@@ -1,0 +1,90 @@
+"""Ablation: numeric magnitude embeddings (Section 3.1 future work, Table 5).
+
+The paper casts all cells to strings and flags direct numeric support as
+future work, after Table 5 shows numeric types like ``ranking`` (33.2 F1)
+and ``capacity`` (62.6 F1) are DODUO's weakest.  This bench measures the
+extension implemented in :mod:`repro.core.numeric`: a learned embedding of
+each cell's log10-magnitude bin added to the cell's token embeddings
+(``DoduoConfig(use_numeric_embeddings=True)``).
+
+Expected shape: overall micro-F1 must not degrade, and mean F1 over the
+Table 5 numeric types should improve or hold — magnitude is exactly the
+signal that separates ``rank`` (1–20) from ``plays`` (1–2M) when their digit
+tokens look alike.
+"""
+
+import numpy as np
+
+from repro.datasets import NUMERIC_TYPES_TABLE5
+from repro.evaluation import per_class_f1
+
+from common import (
+    PIPELINE,
+    _viznet_config,
+    _CACHE,
+    doduo_viznet,
+    make_trainer,
+    pct,
+    print_table,
+    substrate,
+    viznet_splits,
+)
+
+
+def _numeric_trainer():
+    key = "doduo-vz-numeric"
+    if key in _CACHE:
+        return _CACHE[key]
+    tokenizer, pretrained = substrate()
+    splits = viznet_splits()
+    trainer = make_trainer(
+        splits.train, tokenizer, PIPELINE,
+        _viznet_config(use_numeric_embeddings=True),
+        pretrained=pretrained,
+    )
+    trainer.train(valid_dataset=splits.valid)
+    _CACHE[key] = trainer
+    return trainer
+
+
+def _scores(trainer, test):
+    y_true = np.concatenate([
+        [test.type_id(col.type_labels[0]) for col in table.columns]
+        for table in test.tables
+    ])
+    y_pred = np.concatenate(trainer.predict_types(test.tables))
+    per_class = per_class_f1(y_true, y_pred, test.num_types)
+    numeric_f1 = [
+        per_class[test.type_id(name)].f1 for name in NUMERIC_TYPES_TABLE5
+    ]
+    micro = trainer.evaluate(test)["type"].f1
+    return micro, float(np.mean(numeric_f1))
+
+
+def run_experiment():
+    test = viznet_splits().test
+    plain_micro, plain_numeric = _scores(doduo_viznet(), test)
+    ext_micro, ext_numeric = _scores(_numeric_trainer(), test)
+
+    print_table(
+        "Ablation: numeric magnitude embeddings on VizNet",
+        ["Method", "Micro F1 (all types)", "Mean F1 (Table 5 numeric types)"],
+        [
+            ("Doduo (strings only, as in the paper)",
+             pct(plain_micro), pct(plain_numeric)),
+            ("Doduo + numeric embeddings (future work)",
+             pct(ext_micro), pct(ext_numeric)),
+        ],
+    )
+    return {
+        "plain": (plain_micro, plain_numeric),
+        "numeric": (ext_micro, ext_numeric),
+    }
+
+
+def test_ablation_numeric(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    plain_micro, _ = results["plain"]
+    ext_micro, _ = results["numeric"]
+    # The extension must not wreck overall accuracy.
+    assert ext_micro >= plain_micro - 0.05

@@ -1,0 +1,72 @@
+"""Figure 5: per-class F1 of Doduo vs Sato on VizNet (Full & multi-column).
+
+The paper plots per-type F1 for both models on both splits and highlights
+that Doduo is consistently at least as good, including rare types where Sato
+collapses.  The bench prints the per-type comparison sorted by Doduo's F1
+and the aggregate win rate.
+"""
+
+import numpy as np
+
+from repro.datasets import multi_column_only
+from repro.evaluation import per_class_f1
+
+from common import doduo_viznet, pct, print_table, sato_viznet, viznet_splits
+
+
+def _per_class(trainer_or_sato, dataset, is_doduo):
+    if is_doduo:
+        predictions = trainer_or_sato.predict_types(dataset.tables)
+        y_pred = np.concatenate(predictions)
+    else:
+        y_pred = np.concatenate([
+            trainer_or_sato.predict_table(t) for t in dataset.tables
+        ])
+    y_true = np.concatenate([
+        [dataset.type_id(col.type_labels[0]) for col in table.columns]
+        for table in dataset.tables
+    ])
+    scores = per_class_f1(y_true, y_pred, dataset.num_types)
+    support = np.bincount(y_true, minlength=dataset.num_types)
+    return scores, support
+
+
+def run_experiment():
+    splits = viznet_splits()
+    doduo = doduo_viznet()
+    sato = sato_viznet()
+    outcome = {}
+
+    for split_name, subset in (
+        ("Full", splits.test),
+        ("Multi-column only", multi_column_only(splits.test)),
+    ):
+        doduo_scores, support = _per_class(doduo, subset, is_doduo=True)
+        sato_scores, _ = _per_class(sato, subset, is_doduo=False)
+        rows, wins, present = [], 0, 0
+        order = sorted(
+            range(subset.num_types),
+            key=lambda i: -doduo_scores[i].f1,
+        )
+        for i in order:
+            if support[i] == 0:
+                continue
+            present += 1
+            d, s = doduo_scores[i].f1, sato_scores[i].f1
+            if d >= s:
+                wins += 1
+            rows.append((subset.type_vocab[i], pct(d), pct(s), int(support[i])))
+        print_table(
+            f"Figure 5 ({split_name}): per-class F1, Doduo vs Sato",
+            ["type", "Doduo", "Sato", "support"],
+            rows,
+        )
+        outcome[split_name] = {"wins": wins, "present": present}
+    return outcome
+
+
+def test_fig5_per_class(benchmark):
+    outcome = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Shape: Doduo matches or beats Sato on a majority of present classes.
+    for split, stats in outcome.items():
+        assert stats["wins"] >= stats["present"] * 0.5, split

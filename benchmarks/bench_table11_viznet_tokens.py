@@ -1,0 +1,59 @@
+"""Table 11: token budget sweep on VizNet, Doduo vs DosoloSCol.
+
+Paper numbers (macro / micro F1): Doduo 81.0/92.5 (8), 83.6/93.6 (16),
+83.4/94.2 (32); DosoloSCol 72.7/87.2 (8), 76.1/89.1 (16), 77.4/90.2 (32).
+Expected shape: the multi-column model dominates the single-column model at
+every budget, and both improve (or saturate) with more tokens.
+"""
+
+import numpy as np
+
+from repro.evaluation import multiclass_macro_f1, multiclass_micro_f1
+
+from common import (
+    doduo_viznet,
+    dosolo_scol_viznet,
+    pct,
+    print_table,
+    viznet_splits,
+)
+
+TOKEN_BUDGETS = (8, 16)
+
+
+def _evaluate(trainer, dataset):
+    predictions = trainer.predict_types(dataset.tables)
+    y_true = np.concatenate([
+        [dataset.type_id(col.type_labels[0]) for col in table.columns]
+        for table in dataset.tables
+    ])
+    y_pred = np.concatenate(predictions)
+    return (
+        multiclass_macro_f1(y_true, y_pred, dataset.num_types),
+        multiclass_micro_f1(y_true, y_pred).f1,
+    )
+
+
+def run_experiment():
+    splits = viznet_splits()
+    results = {}
+    rows = []
+    for method, factory in (("Doduo", doduo_viznet), ("DosoloSCol", dosolo_scol_viznet)):
+        for budget in TOKEN_BUDGETS:
+            trainer = factory(max_tokens=budget)
+            macro, micro = _evaluate(trainer, splits.test)
+            results[(method, budget)] = (macro, micro)
+            rows.append((method, budget, pct(macro), pct(micro)))
+    print_table(
+        "Table 11: VizNet token budget sweep",
+        ["Method", "MaxToken/col", "Macro F1", "Micro F1"],
+        rows,
+    )
+    return results
+
+
+def test_table11_viznet_tokens(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Shape: table context dominates at the largest budget.
+    top = max(TOKEN_BUDGETS)
+    assert results[("Doduo", top)][1] >= results[("DosoloSCol", top)][1] - 0.02

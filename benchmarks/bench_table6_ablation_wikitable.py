@@ -1,0 +1,131 @@
+"""Table 6: ablation study on the WikiTable dataset.
+
+Paper numbers (micro F1, type / relation): Doduo 92.50 / 91.90; with
+shuffled rows 91.94 / 91.61; with shuffled columns 92.68 / 91.98; Dosolo
+91.37 / 91.24; DosoloSCol 82.45 / 83.08.
+
+Protocol note: for the shuffled variants the paper "trained and evaluated
+Doduo on two versions of the WikiTable dataset, where the input table's rows
+(columns) were randomly shuffled" — i.e. the shuffle is applied to training
+*and* evaluation data.  That is reproduced here.  A second diagnostic table
+reports the stricter evaluation-only shuffle: BERT-base survives it thanks
+to its depth, while the mini encoder's column-segment prior does not — and
+the ``augment_column_shuffle`` training option recovers the invariance.
+
+Expected shape: shuffling rows/columns (paper protocol) changes F1 only
+marginally; removing multi-task learning (Dosolo) costs a little; removing
+table context (DosoloSCol) costs the most on relations.
+"""
+
+import numpy as np
+
+from repro.datasets import DatasetSplits, TableDataset
+
+from common import (
+    custom_wikitable_trainer,
+    doduo_wikitable,
+    dosolo_scol_wikitable,
+    dosolo_wikitable,
+    pct,
+    print_table,
+    wikitable_splits,
+)
+
+
+def _shuffled(dataset: TableDataset, mode: str, seed: int = 0) -> TableDataset:
+    rng = np.random.default_rng(seed)
+    if mode == "rows":
+        tables = [t.shuffled_rows(rng) for t in dataset.tables]
+    else:
+        tables = [t.shuffled_columns(rng) for t in dataset.tables]
+    return TableDataset(
+        tables=tables,
+        type_vocab=dataset.type_vocab,
+        relation_vocab=dataset.relation_vocab,
+        name=f"{dataset.name}-shuf-{mode}",
+    )
+
+
+def _shuffled_splits(mode: str) -> DatasetSplits:
+    splits = wikitable_splits()
+    return DatasetSplits(
+        train=_shuffled(splits.train, mode, seed=1),
+        valid=_shuffled(splits.valid, mode, seed=2),
+        test=_shuffled(splits.test, mode, seed=3),
+    )
+
+
+def run_experiment():
+    splits = wikitable_splits()
+    results = {}
+
+    doduo = doduo_wikitable()
+    results["Doduo"] = doduo.evaluate(splits.test)
+
+    # Paper protocol: train AND evaluate on the shuffled dataset versions.
+    for mode in ("rows", "cols"):
+        shuffled = _shuffled_splits(mode)
+        variant = custom_wikitable_trainer(f"shuf-{mode}", splits=shuffled)
+        results[f"w/ shuffled {mode}"] = variant.evaluate(shuffled.test)
+
+    results["Dosolo"] = {
+        "type": dosolo_wikitable("type").evaluate(splits.test)["type"],
+        "relation": dosolo_wikitable("relation").evaluate(splits.test)["relation"],
+    }
+    results["DosoloSCol"] = dosolo_scol_wikitable().evaluate(splits.test)
+
+    rows = [
+        (method, pct(scores["type"].f1), pct(scores["relation"].f1))
+        for method, scores in results.items()
+    ]
+    print_table(
+        "Table 6: WikiTable ablation (micro F1)",
+        ["Method", "Type prediction", "Relation prediction"],
+        rows,
+    )
+
+    # Diagnostic: evaluation-only shuffle (stricter than the paper).
+    augmented = custom_wikitable_trainer(
+        "shuffle-augment", augment_column_shuffle=True
+    )
+    eval_only = {
+        "Doduo on shuffled-row test": doduo.evaluate(
+            _shuffled(splits.test, "rows")
+        ),
+        "Doduo on shuffled-col test": doduo.evaluate(
+            _shuffled(splits.test, "cols")
+        ),
+        "Doduo+shuffle-augmentation on shuffled-col test": augmented.evaluate(
+            _shuffled(splits.test, "cols")
+        ),
+    }
+    print_table(
+        "Table 6 diagnostic: evaluation-only shuffle (mini-scale property)",
+        ["Setting", "Type F1", "Relation F1"],
+        [
+            (name, pct(scores["type"].f1), pct(scores["relation"].f1))
+            for name, scores in eval_only.items()
+        ],
+    )
+
+    flat = {m: {k: v.f1 for k, v in s.items()} for m, s in results.items()}
+    flat["_eval_only"] = {
+        name: scores["type"].f1 for name, scores in eval_only.items()
+    }
+    return flat
+
+
+def test_table6_ablation(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Paper protocol: shuffling rows/columns causes at most marginal change.
+    assert abs(results["Doduo"]["type"] - results["w/ shuffled rows"]["type"]) < 0.08
+    assert abs(results["Doduo"]["type"] - results["w/ shuffled cols"]["type"]) < 0.08
+    # Single-column ablation is the big hit.
+    assert results["DosoloSCol"]["relation"] <= results["Doduo"]["relation"]
+    assert results["DosoloSCol"]["type"] <= results["Doduo"]["type"] + 0.01
+    # Shuffle augmentation restores order invariance under eval-only shuffle.
+    eval_only = results["_eval_only"]
+    assert (
+        eval_only["Doduo+shuffle-augmentation on shuffled-col test"]
+        >= eval_only["Doduo on shuffled-col test"]
+    )

@@ -1,0 +1,55 @@
+"""Table 7: ablation on the VizNet dataset (Full split).
+
+Paper numbers: Doduo 84.6 macro / 94.3 micro; DosoloSCol 77.4 / 90.2.
+Expected shape: the multi-column model beats the single-column model on both
+averages (table context carries signal the single column cannot).
+"""
+
+import numpy as np
+
+from repro.evaluation import multiclass_macro_f1, multiclass_micro_f1
+
+from common import (
+    doduo_viznet,
+    dosolo_scol_viznet,
+    pct,
+    print_table,
+    viznet_splits,
+)
+
+
+def _evaluate(trainer, dataset):
+    predictions = trainer.predict_types(dataset.tables)
+    y_true = np.concatenate([
+        [dataset.type_id(col.type_labels[0]) for col in table.columns]
+        for table in dataset.tables
+    ])
+    y_pred = np.concatenate(predictions)
+    return (
+        multiclass_macro_f1(y_true, y_pred, dataset.num_types),
+        multiclass_micro_f1(y_true, y_pred).f1,
+    )
+
+
+def run_experiment():
+    splits = viznet_splits()
+    results = {
+        "Doduo": _evaluate(doduo_viznet(), splits.test),
+        "DosoloSCol": _evaluate(dosolo_scol_viznet(), splits.test),
+    }
+    rows = [
+        (method, pct(macro), pct(micro))
+        for method, (macro, micro) in results.items()
+    ]
+    print_table(
+        "Table 7: VizNet ablation (Full)",
+        ["Method", "Macro F1", "Micro F1"],
+        rows,
+    )
+    return results
+
+
+def test_table7_ablation_viznet(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert results["Doduo"][1] >= results["DosoloSCol"][1] - 0.01
+    assert results["Doduo"][0] >= results["DosoloSCol"][0] - 0.01

@@ -1,0 +1,74 @@
+"""Table 9: column-clustering case study on the enterprise HR database.
+
+Paper numbers (Prec/Recall/F1 = Homogeneity/Completeness/V-measure):
+Doduo+column value emb 68.19/70.40/69.28; Doduo+predicted type
+44.87/61.32/51.82; fastText+column value emb 35.90/76.61/48.89;
+fastText+column name emb 56.62/74.68/64.40; COMA 58.47/66.06/62.03;
+DistributionBased 23.87/69.51/35.53.
+
+Protocol: the Doduo model is trained on WikiTable (out-of-domain, Section 7)
+and fastText is "off-the-shelf" — trained on the substrate text corpus, not
+on the enterprise data being clustered.
+
+Reproduced shapes (asserted): contextualized column embeddings beat the
+predicted-type criterion by a wide margin (the paper's key recommendation),
+and DistributionBased has by far the worst precision of any method (it
+merges the overlapping-range ID/count/timestamp/rating columns into one
+giant component).  Documented deviation (EXPERIMENTS.md): the paper's
+*absolute* ranking puts Doduo embeddings first; at mini scale
+character-n-gram methods rank higher than they do on real data, because the
+synthetic values have clean, cluster-identifying formats and our
+out-of-domain substrate covers 18 types rather than 255.
+"""
+
+import numpy as np
+
+from repro.datasets import generate_enterprise_dataset
+from repro.matching import FastTextLike, run_case_study
+
+from common import PIPELINE, doduo_wikitable, knowledge_base, pct, print_table
+
+
+def run_experiment():
+    trainer = doduo_wikitable()
+    enterprise = generate_enterprise_dataset(seed=23)
+
+    # Off-the-shelf embeddings: trained on the substrate corpus (our stand-in
+    # for the web corpus behind released fastText vectors), never on the
+    # enterprise tables themselves.
+    corpus = knowledge_base().verbalize(np.random.default_rng(PIPELINE.pretrain_seed))
+    fasttext = FastTextLike(dim=32, seed=0)
+    fasttext.train(list(corpus), epochs=2)
+
+    result = run_case_study(enterprise, trainer, fasttext, seed=0)
+    rows = [
+        (method, pct(h), pct(c), pct(v))
+        for method, h, c, v in result.rows()
+    ]
+    print_table(
+        "Table 9: case study (clustering 50 enterprise columns)",
+        ["Method", "Prec.", "Recall", "F1"],
+        rows,
+    )
+    return result.scores
+
+
+def test_table9_case_study(benchmark):
+    scores = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert len(scores) == 6
+    doduo_emb = scores["Doduo+column value emb"][2]
+    # Contextualized embeddings beat the predicted-type criterion (the
+    # paper's recommendation for the toolbox).
+    assert doduo_emb > scores["Doduo+predicted type"][2] + 0.05
+    # Among the schema matchers and non-contextual embeddings,
+    # DistributionBased has the worst precision (the paper's Table 9
+    # failure mode: it merges numeric attributes into giant components).
+    dist_precision = scores["DistributionBased (with column name)"][0]
+    for method in (
+        "COMA (with column name)",
+        "fastText+column value emb",
+        "fastText+column name emb",
+    ):
+        assert dist_precision <= scores[method][0] + 1e-9
+    for h, c, v in scores.values():
+        assert 0.0 <= v <= 1.0

@@ -1,0 +1,281 @@
+"""Shared experiment context for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  They share a
+single substrate (KB, tokenizer, pre-trained LM) and cache fine-tuned models
+per configuration, because several experiments evaluate the same model from
+different angles (e.g. Table 4, Table 5, and Figure 5 all use the VizNet
+DODUO model).
+
+Benchmarks run each experiment exactly once (``benchmark.pedantic`` with one
+round): the interesting output is the regenerated table, printed in the
+paper's format, not the wall-clock time.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from repro.baselines import (
+    SatoConfig,
+    SatoModel,
+    SherlockConfig,
+    SherlockModel,
+    make_turl_trainer,
+)
+from repro.core import (
+    DoduoConfig,
+    DoduoTrainer,
+    PipelineConfig,
+    build_knowledge_base,
+    build_pretrained_lm,
+    make_trainer,
+)
+from repro.core.trainer import RELATION_TASK, TYPE_TASK
+from repro.datasets import (
+    DatasetSplits,
+    KnowledgeBase,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    split_dataset,
+    training_fraction,
+)
+
+# ---------------------------------------------------------------------------
+# Shared experiment constants (one substrate for the whole suite)
+# ---------------------------------------------------------------------------
+
+PIPELINE = PipelineConfig(pretrain_epochs=4)
+
+WIKITABLE_TABLES = 320
+WIKITABLE_SEED = 7
+VIZNET_TABLES = 900
+VIZNET_SEED = 3
+EPOCHS = 14
+BATCH_SIZE = 8
+MAX_TOKENS = 16
+
+_CACHE: Dict[str, object] = {}
+
+
+def substrate():
+    """(tokenizer, pretrained LM) shared by every benchmark."""
+    if "substrate" not in _CACHE:
+        _CACHE["substrate"] = build_pretrained_lm(PIPELINE)
+    return _CACHE["substrate"]
+
+
+def knowledge_base() -> KnowledgeBase:
+    if "kb" not in _CACHE:
+        _CACHE["kb"] = build_knowledge_base(PIPELINE)
+    return _CACHE["kb"]
+
+
+def wikitable_splits() -> DatasetSplits:
+    if "wikitable" not in _CACHE:
+        dataset = generate_wikitable_dataset(
+            num_tables=WIKITABLE_TABLES, seed=WIKITABLE_SEED, kb=knowledge_base()
+        )
+        _CACHE["wikitable"] = split_dataset(dataset, seed=1)
+    return _CACHE["wikitable"]
+
+
+def viznet_splits() -> DatasetSplits:
+    if "viznet" not in _CACHE:
+        dataset = generate_viznet_dataset(num_tables=VIZNET_TABLES, seed=VIZNET_SEED)
+        _CACHE["viznet"] = split_dataset(dataset, seed=2)
+    return _CACHE["viznet"]
+
+
+# ---------------------------------------------------------------------------
+# Model factories (cached)
+# ---------------------------------------------------------------------------
+
+def _train(key: str, splits: DatasetSplits, config: DoduoConfig,
+           turl: bool = False) -> DoduoTrainer:
+    if key in _CACHE:
+        return _CACHE[key]
+    tokenizer, pretrained = substrate()
+    if turl:
+        trainer = make_turl_trainer(
+            splits.train,
+            tokenizer,
+            PIPELINE.encoder_config(tokenizer.vocab_size),
+            config,
+            pretrained_encoder_state=pretrained.encoder.state_dict(),
+        )
+    else:
+        trainer = make_trainer(splits.train, tokenizer, PIPELINE, config,
+                               pretrained=pretrained)
+    trainer.train(valid_dataset=splits.valid)
+    _CACHE[key] = trainer
+    return trainer
+
+
+def _wikitable_config(**overrides) -> DoduoConfig:
+    defaults = dict(
+        tasks=(TYPE_TASK, RELATION_TASK), multi_label=True,
+        epochs=EPOCHS, batch_size=BATCH_SIZE, max_tokens_per_column=MAX_TOKENS,
+    )
+    defaults.update(overrides)
+    return DoduoConfig(**defaults)
+
+
+def _viznet_config(**overrides) -> DoduoConfig:
+    # VizNet models get a few extra epochs: the single-label task converges
+    # more slowly to its plateau than the multi-label WikiTable task at this
+    # scale, and every method (Sherlock/Sato train for 40) is given its
+    # converged budget.
+    defaults = dict(
+        tasks=(TYPE_TASK,), multi_label=False,
+        epochs=EPOCHS + 4, batch_size=BATCH_SIZE, max_tokens_per_column=MAX_TOKENS,
+    )
+    defaults.update(overrides)
+    return DoduoConfig(**defaults)
+
+
+def doduo_wikitable(max_tokens: int = MAX_TOKENS,
+                    include_headers: bool = False) -> DoduoTrainer:
+    key = f"doduo-wt-mt{max_tokens}-hdr{include_headers}"
+    return _train(key, wikitable_splits(),
+                  _wikitable_config(max_tokens_per_column=max_tokens,
+                                    include_headers=include_headers))
+
+
+def turl_wikitable(include_headers: bool = False) -> DoduoTrainer:
+    key = f"turl-wt-hdr{include_headers}"
+    return _train(key, wikitable_splits(),
+                  _wikitable_config(include_headers=include_headers), turl=True)
+
+
+def dosolo_wikitable(task: str) -> DoduoTrainer:
+    return _train(f"dosolo-wt-{task}", wikitable_splits(),
+                  _wikitable_config(tasks=(task,)))
+
+
+def dosolo_scol_wikitable() -> DoduoTrainer:
+    return _train("scol-wt", wikitable_splits(),
+                  _wikitable_config(single_column=True))
+
+
+def doduo_viznet(max_tokens: int = MAX_TOKENS) -> DoduoTrainer:
+    return _train(f"doduo-vz-mt{max_tokens}", viznet_splits(),
+                  _viznet_config(max_tokens_per_column=max_tokens))
+
+
+def dosolo_scol_viznet(max_tokens: int = MAX_TOKENS) -> DoduoTrainer:
+    return _train(f"scol-vz-mt{max_tokens}", viznet_splits(),
+                  _viznet_config(single_column=True,
+                                 max_tokens_per_column=max_tokens))
+
+
+def sherlock_viznet() -> SherlockModel:
+    if "sherlock-vz" not in _CACHE:
+        model = SherlockModel(viznet_splits().train, SherlockConfig(epochs=40))
+        model.fit()
+        _CACHE["sherlock-vz"] = model
+    return _CACHE["sherlock-vz"]
+
+
+def sherlock_wikitable() -> SherlockModel:
+    if "sherlock-wt" not in _CACHE:
+        model = SherlockModel(
+            wikitable_splits().train,
+            SherlockConfig(epochs=40, multi_label=True),
+        )
+        model.fit()
+        _CACHE["sherlock-wt"] = model
+    return _CACHE["sherlock-wt"]
+
+
+def sato_viznet() -> SatoModel:
+    if "sato-vz" not in _CACHE:
+        model = SatoModel(
+            viznet_splits().train,
+            SatoConfig(epochs=40, num_topics=12, lda_iterations=25),
+        )
+        model.fit()
+        _CACHE["sato-vz"] = model
+    return _CACHE["sato-vz"]
+
+
+def custom_wikitable_trainer(
+    key: str,
+    pretrained: bool = True,
+    splits: Optional[DatasetSplits] = None,
+    **config_overrides,
+) -> DoduoTrainer:
+    """Train a WikiTable DODUO variant (ablation benches).
+
+    ``pretrained=False`` starts from random encoder weights — the Appendix
+    A.5 comparison.  ``splits`` overrides the training data (e.g. the
+    shuffled-table protocol of Table 6).  Config overrides feed straight
+    into :func:`_wikitable_config`.
+    """
+    cache_key = f"custom-wt-{key}"
+    if cache_key in _CACHE:
+        return _CACHE[cache_key]
+    tokenizer, pretrained_lm = substrate()
+    if splits is None:
+        splits = wikitable_splits()
+    trainer = make_trainer(
+        splits.train, tokenizer, PIPELINE, _wikitable_config(**config_overrides),
+        pretrained=pretrained_lm if pretrained else None,
+    )
+    trainer.train(valid_dataset=splits.valid)
+    _CACHE[cache_key] = trainer
+    return trainer
+
+
+def fraction_trainer(fraction: float, tasks: Tuple[str, ...]) -> DoduoTrainer:
+    """Doduo / Dosolo trained on a fraction of WikiTable (Figure 4)."""
+    key = f"frac-{fraction:.2f}-{'-'.join(tasks)}"
+    if key in _CACHE:
+        return _CACHE[key]
+    splits = training_fraction(wikitable_splits(), fraction, seed=0)
+    return _train(key, splits, _wikitable_config(tasks=tasks))
+
+
+# ---------------------------------------------------------------------------
+# Output formatting
+# ---------------------------------------------------------------------------
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print an experiment table in a paper-like fixed-width format.
+
+    The table is also appended to ``benchmarks/results.txt`` so regenerated
+    experiment tables survive pytest's output capture.
+    """
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines = [f"\n=== {title} ===", line, "-" * len(line)]
+    lines += ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+              for row in rows]
+    text = "\n".join(lines)
+    print(text)
+    with open(RESULTS_FILE, "a") as f:
+        f.write(text + "\n")
+
+
+def print_block(text: str) -> None:
+    """Print a pre-rendered block (chart, heatmap) and keep it in results.txt."""
+    print(text)
+    with open(RESULTS_FILE, "a") as f:
+        f.write("\n" + text + "\n")
+
+
+def pct(value: float) -> str:
+    return f"{value * 100:.2f}"

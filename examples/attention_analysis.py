@@ -1,0 +1,65 @@
+"""Attention analyses: inter-column dependency (Figure 6) and head diversity.
+
+Two analyses from the paper's Appendix A.4 / Section 4.3, run on a small
+VizNet-style model:
+
+    1. the inter-column dependency matrix — which column types "rely on"
+       which others for their contextualized representation (Figure 6), and
+    2. per-head statistics — entropy and pairwise agreement, quantifying the
+       claim that "different attention heads ... capture different
+       characteristics of input data".
+
+Run:  python examples/attention_analysis.py
+"""
+
+from repro import Doduo, DoduoConfig
+from repro.analysis import (
+    compute_attention_dependency,
+    render_heatmap_ascii,
+    summarize_heads,
+)
+from repro.core import PipelineConfig, build_pretrained_lm
+from repro.datasets import generate_viznet_dataset, multi_column_only, split_dataset
+
+
+def main() -> None:
+    pipeline = PipelineConfig(pretrain_epochs=2)
+    print("building substrate (tokenizer + pre-trained LM)...")
+    tokenizer, pretrained = build_pretrained_lm(pipeline)
+
+    dataset = generate_viznet_dataset(num_tables=400, seed=3)
+    splits = split_dataset(dataset, seed=2)
+    print(f"fine-tuning on {len(splits.train)} tables...")
+    model = Doduo.train_on(
+        splits.train,
+        tokenizer,
+        encoder_config=pipeline.encoder_config(tokenizer.vocab_size),
+        config=DoduoConfig(tasks=("type",), multi_label=False,
+                           epochs=10, batch_size=8, max_tokens_per_column=16),
+        valid_dataset=splits.valid,
+        pretrained_encoder_state=pretrained.encoder.state_dict(),
+    )
+
+    # 1. Figure 6: inter-column dependency from last-layer CLS attention.
+    subset = multi_column_only(splits.test)
+    dependency = compute_attention_dependency(model.trainer, subset.tables)
+    print("\nstrongest inter-column dependencies (type relies-on type):")
+    for a, b, score in dependency.strongest_dependencies(top_k=8):
+        print(f"  {a:<14} -> {b:<14} {score:+.4f}")
+    print()
+    print(render_heatmap_ascii(dependency))
+
+    # 2. Section 4.3: are the heads actually diverse?
+    print("\nper-layer head statistics:")
+    for summary in summarize_heads(model.trainer, subset.tables[:30]):
+        print(
+            f"  layer {summary.layer}: mean entropy {summary.mean_entropy:.3f} "
+            f"(spread {summary.entropy_spread:.3f}), "
+            f"mean head agreement {summary.mean_pairwise_agreement:.3f}"
+        )
+    print("\nreading: agreement well below 1.0 means heads attend to "
+          "different structure — the paper's multi-head motivation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Case study: clustering semantically similar columns (paper Section 7).
+
+A data scientist ("Sofia") filters an enterprise HR database down to 10
+jobsearch/review tables with 50 columns and wants to group semantically
+similar columns.  This example reproduces the paper's workflow:
+
+* train DODUO on WikiTable (a *different* domain — the case study
+  demonstrates transfer),
+* embed every enterprise column with the contextualized column embeddings,
+* k-means the embeddings and compare against fastText and schema-matching
+  baselines with Homogeneity / Completeness / V-measure (Table 9).
+
+Run:  python examples/column_clustering.py
+"""
+
+from repro.core import (
+    DoduoConfig,
+    PipelineConfig,
+    build_knowledge_base,
+    build_pretrained_lm,
+    make_trainer,
+)
+from repro.datasets import generate_enterprise_dataset, generate_wikitable_dataset
+from repro.matching import FastTextLike, run_case_study
+
+
+def main() -> None:
+    pipeline = PipelineConfig(pretrain_epochs=2)
+    tokenizer, pretrained = build_pretrained_lm(pipeline)
+
+    # Out-of-domain training: WikiTable, not the enterprise database.
+    wikitable = generate_wikitable_dataset(
+        num_tables=250, seed=7, kb=build_knowledge_base(pipeline)
+    )
+    print(f"training DODUO on {len(wikitable)} WikiTable-style tables...")
+    trainer = make_trainer(
+        wikitable,
+        tokenizer,
+        pipeline,
+        DoduoConfig(epochs=10, batch_size=8, max_tokens_per_column=16,
+                    keep_best_checkpoint=False),
+        pretrained=pretrained,
+    )
+    trainer.train()
+
+    # Sofia's 10 tables, 50 columns, 15 ground-truth clusters.
+    enterprise = generate_enterprise_dataset(seed=23)
+    print(f"enterprise database: {len(enterprise.tables)} tables, "
+          f"{sum(t.num_columns for t in enterprise.tables)} columns")
+
+    # fastText baseline trained on the enterprise cell text.
+    fasttext = FastTextLike(dim=32, seed=0)
+    fasttext.train(enterprise.all_cell_text(), epochs=2)
+
+    result = run_case_study(enterprise, trainer, fasttext, seed=0)
+    print(f"\n{'method':40s} {'Prec.':>7s} {'Recall':>7s} {'F1':>7s}")
+    for method, h, c, v in result.rows():
+        print(f"{method:40s} {h * 100:7.2f} {c * 100:7.2f} {v * 100:7.2f}")
+    print(f"\nbest method: {result.best_method()}")
+
+
+if __name__ == "__main__":
+    main()

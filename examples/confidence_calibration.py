@@ -1,0 +1,76 @@
+"""Calibrating annotation confidences with temperature scaling.
+
+The toolbox reports per-type probabilities (``AnnotatedTable.type_scores``).
+This example shows how to make those probabilities trustworthy enough for an
+auto-apply threshold:
+
+    1. train a single-label VizNet-style model,
+    2. fit a temperature on the validation split,
+    3. compare expected calibration error (ECE) before and after, and show
+       the accuracy of predictions above a 0.9 confidence threshold.
+
+Run:  python examples/confidence_calibration.py
+"""
+
+import numpy as np
+
+from repro import Doduo, DoduoConfig
+from repro.core import PipelineConfig, build_pretrained_lm
+from repro.core.calibration import (
+    apply_temperature,
+    collect_type_logits,
+    expected_calibration_error,
+    fit_temperature,
+)
+from repro.datasets import generate_viznet_dataset, split_dataset
+
+
+def coverage_and_accuracy(probs, labels, threshold):
+    confident = probs.max(axis=1) >= threshold
+    if not confident.any():
+        return 0.0, float("nan")
+    accuracy = (probs[confident].argmax(axis=1) == labels[confident]).mean()
+    return float(confident.mean()), float(accuracy)
+
+
+def main() -> None:
+    pipeline = PipelineConfig(pretrain_epochs=2)
+    print("building substrate (tokenizer + pre-trained LM)...")
+    tokenizer, pretrained = build_pretrained_lm(pipeline)
+
+    dataset = generate_viznet_dataset(num_tables=400, seed=11)
+    splits = split_dataset(dataset, seed=2)
+    print(f"fine-tuning on {len(splits.train)} tables...")
+    model = Doduo.train_on(
+        splits.train,
+        tokenizer,
+        encoder_config=pipeline.encoder_config(tokenizer.vocab_size),
+        config=DoduoConfig(tasks=("type",), multi_label=False,
+                           epochs=10, batch_size=8, max_tokens_per_column=16),
+        valid_dataset=splits.valid,
+        pretrained_encoder_state=pretrained.encoder.state_dict(),
+    )
+
+    # Fit T on validation, evaluate calibration on test.
+    valid_logits, valid_labels = collect_type_logits(model.trainer, splits.valid)
+    temperature = fit_temperature(valid_logits, valid_labels)
+    print(f"\nfitted temperature: {temperature:.2f} "
+          f"({'overconfident' if temperature > 1 else 'underconfident'} model)")
+
+    test_logits, test_labels = collect_type_logits(model.trainer, splits.test)
+    raw = apply_temperature(test_logits, 1.0)
+    calibrated = apply_temperature(test_logits, temperature)
+    print(f"test ECE before: {expected_calibration_error(raw, test_labels):.4f}")
+    print(f"test ECE after:  {expected_calibration_error(calibrated, test_labels):.4f}")
+
+    for name, probs in (("raw", raw), ("calibrated", calibrated)):
+        coverage, accuracy = coverage_and_accuracy(probs, test_labels, 0.9)
+        print(f"{name:>11}: {coverage:5.1%} of columns above 0.9 confidence, "
+              f"accuracy among them {accuracy:.3f}")
+
+    print("\nreading: after temperature scaling, the >0.9 bucket's accuracy "
+          "should sit near or above 0.9 — a threshold you can automate on.")
+
+
+if __name__ == "__main__":
+    main()

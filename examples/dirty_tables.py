@@ -1,0 +1,60 @@
+"""Robustness to dirty data: annotate tables with missing/misplaced values.
+
+The paper (Appendix B) assumes clean tables but argues pre-trained-LM
+annotators degrade gracefully on dirty data.  This example:
+
+    1. trains a VizNet-style single-label DODUO model,
+    2. corrupts the held-out tables with increasing rates of missing,
+       misplaced, and typo'd cells,
+    3. charts micro-F1 against the corruption rate per error mode.
+
+Run:  python examples/dirty_tables.py
+"""
+
+from repro import Doduo, DoduoConfig
+from repro.core import PipelineConfig, build_pretrained_lm
+from repro.datasets import (
+    CorruptionConfig,
+    corrupt_dataset,
+    generate_viznet_dataset,
+    split_dataset,
+)
+
+RATES = (0.0, 0.1, 0.2, 0.4)
+
+
+def main() -> None:
+    pipeline = PipelineConfig(pretrain_epochs=2)
+    print("building substrate (tokenizer + pre-trained LM)...")
+    tokenizer, pretrained = build_pretrained_lm(pipeline)
+
+    dataset = generate_viznet_dataset(num_tables=400, seed=11)
+    splits = split_dataset(dataset, seed=2)
+    print(f"fine-tuning on {len(splits.train)} tables "
+          f"({dataset.num_types} single-label types)...")
+    model = Doduo.train_on(
+        splits.train,
+        tokenizer,
+        encoder_config=pipeline.encoder_config(tokenizer.vocab_size),
+        config=DoduoConfig(tasks=("type",), multi_label=False,
+                           epochs=10, batch_size=8, max_tokens_per_column=16),
+        valid_dataset=splits.valid,
+        pretrained_encoder_state=pretrained.encoder.state_dict(),
+    )
+
+    print(f"\n{'corruption':<12}" + "".join(f"rate={r:<6}" for r in RATES))
+    for mode in ("missing", "misplaced", "typo"):
+        scores = []
+        for rate in RATES:
+            dirty = corrupt_dataset(
+                splits.test, CorruptionConfig(**{f"{mode}_rate": rate}), seed=5
+            )
+            scores.append(model.trainer.evaluate(dirty)["type"].f1)
+        print(f"{mode:<12}" + "".join(f"{f1:<11.3f}" for f1 in scores))
+
+    print("\nreading: F1 at rate=0.0 is the clean baseline; graceful decay "
+          "with rate reproduces the Appendix B claim.")
+
+
+if __name__ == "__main__":
+    main()

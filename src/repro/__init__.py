@@ -1,0 +1,85 @@
+"""repro — a from-scratch reproduction of DODUO (SIGMOD 2022).
+
+"Annotating Columns with Pre-trained Language Models" by Suhara et al.
+introduces DODUO, a multi-task, table-wise column annotation framework on
+top of pre-trained Transformer language models.  This package reproduces the
+full system on a pure-numpy substrate:
+
+* :mod:`repro.nn` — autograd engine, Transformer encoder, Adam/AdamW + LR
+  schedules, checkpointing
+* :mod:`repro.text` — trainable WordPiece tokenizer (with save/load)
+* :mod:`repro.pretrain` — masked-LM pre-training (the BERT substitute)
+* :mod:`repro.datasets` — synthetic KB and WikiTable/VizNet-style benchmarks,
+  the enterprise case-study DB, dirty-data corruption, corpus statistics
+* :mod:`repro.core` — DODUO: serialization, model, multi-task trainer,
+  toolbox API, wide-table splitting, numeric-magnitude embeddings, model
+  bundles (save/load)
+* :mod:`repro.baselines` — Sherlock, Sato (LDA + CRF), TURL visibility model
+* :mod:`repro.matching` — fastText-like embeddings, COMA, DistributionBased,
+  k-means (case-study substrate)
+* :mod:`repro.analysis` — attention dependency and LM probing analyses
+* :mod:`repro.evaluation` — micro/macro F1, multi-label PRF, V-measure,
+  classification reports, k-fold cross-validation, ASCII figure rendering
+* :mod:`repro.io` — CSV tables and JSONL dataset round-trips
+* :mod:`repro.cli` — the ``repro`` command-line toolbox
+
+Quickstart::
+
+    from repro import Doduo, DoduoConfig, PipelineConfig
+    from repro.core import build_pretrained_lm
+    from repro.datasets import generate_wikitable_dataset, split_dataset
+
+    dataset = generate_wikitable_dataset(num_tables=200)
+    splits = split_dataset(dataset)
+    tokenizer, pretrained = build_pretrained_lm(PipelineConfig())
+    model = Doduo.train_on(splits.train, tokenizer,
+                           pretrained_encoder_state=pretrained.encoder.state_dict())
+    annotated = model.annotate(splits.test.tables[0])
+"""
+
+from .core import (
+    AnnotatedTable,
+    Doduo,
+    DoduoConfig,
+    DoduoModel,
+    DoduoTrainer,
+    PipelineConfig,
+    TableSerializer,
+    annotate_wide,
+    load_annotator,
+    save_annotator,
+)
+from .datasets import (
+    Column,
+    KnowledgeBase,
+    Table,
+    TableDataset,
+    generate_enterprise_dataset,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    split_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotatedTable",
+    "Column",
+    "Doduo",
+    "DoduoConfig",
+    "DoduoModel",
+    "DoduoTrainer",
+    "KnowledgeBase",
+    "PipelineConfig",
+    "Table",
+    "TableDataset",
+    "TableSerializer",
+    "__version__",
+    "annotate_wide",
+    "generate_enterprise_dataset",
+    "generate_viznet_dataset",
+    "generate_wikitable_dataset",
+    "load_annotator",
+    "save_annotator",
+    "split_dataset",
+]

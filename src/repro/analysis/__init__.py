@@ -1,0 +1,40 @@
+"""Analyses: attention dependency, LM probing, embedding-space quality."""
+
+from .attention import (
+    AttentionDependency,
+    compute_attention_dependency,
+    render_heatmap_ascii,
+)
+from .embedding_quality import nearest_neighbor_purity, silhouette_score
+from .heads import (
+    HeadSummary,
+    head_agreement_matrix,
+    head_attention_entropy,
+    summarize_heads,
+)
+from .probing import (
+    ProbeScore,
+    ProbingReport,
+    kb_relation_examples,
+    kb_type_examples,
+    probe_column_relations,
+    probe_column_types,
+)
+
+__all__ = [
+    "AttentionDependency",
+    "HeadSummary",
+    "head_agreement_matrix",
+    "head_attention_entropy",
+    "ProbeScore",
+    "ProbingReport",
+    "compute_attention_dependency",
+    "kb_relation_examples",
+    "kb_type_examples",
+    "nearest_neighbor_purity",
+    "probe_column_relations",
+    "probe_column_types",
+    "render_heatmap_ascii",
+    "silhouette_score",
+    "summarize_heads",
+]

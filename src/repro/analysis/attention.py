@@ -1,0 +1,121 @@
+"""Inter-column dependency analysis via attention weights (Appendix A.4).
+
+Following the paper, we look at the **last** Transformer block (the layer NLP
+attention studies associate with semantic similarity), aggregate attention
+weights across all heads, keep only the entries between ``[CLS]`` tokens
+(column representations), and average over every table in a dataset.  The
+result is a ``|C| x |C|`` matrix whose entry (i, j) says how much column type
+``i`` relies on column type ``j`` for its contextualized representation.  To
+remove the effect of raw co-occurrence counts, the matrix is normalized so
+that the reference point is zero (entries are relative importance scores),
+exactly as described for Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.serialization import TableSerializer
+from ..core.trainer import DoduoTrainer
+from ..datasets.tables import Table
+
+
+@dataclass
+class AttentionDependency:
+    """The aggregated dependency matrix plus its type axis."""
+
+    types: List[str]
+    matrix: np.ndarray  # (num_types, num_types), row = depends-on column type
+    counts: np.ndarray  # co-occurrence counts per pair
+
+    def dependency(self, type_from: str, type_on: str) -> float:
+        i = self.types.index(type_from)
+        j = self.types.index(type_on)
+        return float(self.matrix[i, j])
+
+    def strongest_dependencies(self, top_k: int = 10) -> List[Tuple[str, str, float]]:
+        """Off-diagonal (type, depends-on-type, score) triples, descending."""
+        entries = []
+        for i, ti in enumerate(self.types):
+            for j, tj in enumerate(self.types):
+                if i != j and self.counts[i, j] > 0:
+                    entries.append((ti, tj, float(self.matrix[i, j])))
+        entries.sort(key=lambda e: -e[2])
+        return entries[:top_k]
+
+
+def compute_attention_dependency(
+    trainer: DoduoTrainer,
+    tables: Sequence[Table],
+    min_cooccurrence: int = 1,
+) -> AttentionDependency:
+    """Aggregate last-layer CLS-to-CLS attention into a type-dependency matrix.
+
+    Only multi-column tables contribute (single-column tables have no
+    inter-column edges).  Types are the first ground-truth label of each
+    column.
+    """
+    model = trainer.model
+    serializer: TableSerializer = trainer.serializer
+    model.eval()
+
+    type_names = sorted(
+        {
+            column.type_labels[0]
+            for table in tables
+            for column in table.columns
+            if column.type_labels
+        }
+    )
+    index = {name: i for i, name in enumerate(type_names)}
+    n = len(type_names)
+    sums = np.zeros((n, n), dtype=np.float64)
+    counts = np.zeros((n, n), dtype=np.float64)
+
+    for table in tables:
+        if table.num_columns < 2:
+            continue
+        encoded = serializer.serialize_table(table)
+        model.encode_batch([encoded])
+        maps = model.encoder.attention_maps()
+        if not maps:
+            continue
+        last = maps[-1][0]                # (heads, S, S)
+        aggregated = last.sum(axis=0)     # (S, S), summed over heads
+        cls = encoded.cls_positions
+        cls_attention = aggregated[np.ix_(cls, cls)]
+        for a, col_a in enumerate(table.columns):
+            if not col_a.type_labels:
+                continue
+            ia = index[col_a.type_labels[0]]
+            for b, col_b in enumerate(table.columns):
+                if a == b or not col_b.type_labels:
+                    continue
+                ib = index[col_b.type_labels[0]]
+                sums[ia, ib] += cls_attention[a, b]
+                counts[ia, ib] += 1
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts >= min_cooccurrence, sums / counts, np.nan)
+    # Normalize: subtract the mean observed attention so the reference point
+    # is zero and entries become relative importance scores.
+    observed = means[~np.isnan(means)]
+    reference = float(observed.mean()) if observed.size else 0.0
+    matrix = np.where(np.isnan(means), 0.0, means - reference)
+    return AttentionDependency(types=type_names, matrix=matrix, counts=counts)
+
+
+def render_heatmap_ascii(dependency: AttentionDependency, width: int = 12) -> str:
+    """Text rendering of the Figure 6 heatmap (for bench output)."""
+    types = [t[:width].ljust(width) for t in dependency.types]
+    lines = [" " * width + " " + " ".join(t[:6].ljust(6) for t in dependency.types)]
+    for i, row_name in enumerate(types):
+        cells = []
+        for j in range(len(types)):
+            value = dependency.matrix[i, j]
+            cells.append(f"{value:+.2f}".ljust(6))
+        lines.append(row_name + " " + " ".join(cells))
+    return "\n".join(lines)

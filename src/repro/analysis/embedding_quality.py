@@ -1,0 +1,94 @@
+"""Diagnostics for column-embedding spaces.
+
+The case study (Section 7) clusters contextualized column embeddings; these
+utilities measure how clusterable an embedding space actually is, without
+committing to a clustering algorithm:
+
+* :func:`silhouette_score` — the classic cohesion-vs-separation measure in
+  [-1, 1]; higher means ground-truth groups are tighter than their
+  surroundings.
+* :func:`nearest_neighbor_purity` — the fraction of points whose k nearest
+  neighbours share their label; a direct read on whether a retrieval-style
+  use of the embeddings ("find me columns like this one") would work.
+
+Both operate on any ``(n, d)`` array plus integer labels, so they apply
+equally to DODUO's ``colemb`` output, fastText vectors, or ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix ``(n, n)``."""
+    squared = (points ** 2).sum(axis=1)
+    gram = points @ points.T
+    d2 = squared[:, None] + squared[None, :] - 2.0 * gram
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def silhouette_score(points: np.ndarray, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient over all points.
+
+    Points in singleton groups contribute 0 (they have no within-group
+    distance), following the standard convention.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two distinct labels are present, or shapes disagree.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {points.shape}")
+    if len(labels) != len(points):
+        raise ValueError("labels must align with points")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least two distinct labels")
+
+    distances = _pairwise_distances(points)
+    n = len(points)
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same_count = int(same.sum())
+        if same_count <= 1:
+            continue  # singleton: silhouette defined as 0
+        a = distances[i][same].sum() / (same_count - 1)
+        b = min(
+            distances[i][labels == other].mean()
+            for other in unique
+            if other != labels[i]
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def nearest_neighbor_purity(
+    points: np.ndarray, labels: Sequence[int], k: int = 1
+) -> float:
+    """Fraction of points whose ``k`` nearest neighbours share their label.
+
+    The score for a point is the fraction of its ``k`` neighbours (excluding
+    itself) with the same label; the result averages over points.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if len(labels) != len(points):
+        raise ValueError("labels must align with points")
+    n = len(points)
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must be in [1, n-1]: k={k}, n={n}")
+
+    distances = _pairwise_distances(points)
+    np.fill_diagonal(distances, np.inf)
+    neighbour_index = np.argsort(distances, axis=1)[:, :k]
+    matches = labels[neighbour_index] == labels[:, None]
+    return float(matches.mean())

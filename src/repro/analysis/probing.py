@@ -1,0 +1,197 @@
+"""Language-model probing (Appendix A.5, Tables 12/13).
+
+Tests how much factual knowledge the *pre-trained, not fine-tuned* masked LM
+carries about column types and relations:
+
+* **Type probing** — fill the template ``"<value> is a <type>"`` with every
+  candidate type name and score each completed sentence by pseudo-perplexity
+  (Equation 3).  The rank of the true type and its PPL relative to the
+  average PPL measure whether the LM "knows" the fact.
+* **Relation probing** — verbalize ``(subject, relation, object)`` with every
+  candidate relation's natural-language template
+  (``"<s> was born in <o>"`` ...) and rank the true relation the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.kb import RELATION_TEMPLATES, KnowledgeBase
+from ..pretrain import MaskedLanguageModel, sentence_pseudo_perplexity
+from ..text import WordPieceTokenizer
+
+
+@dataclass
+class ProbeScore:
+    """Aggregated probing outcome for one label."""
+
+    label: str
+    average_rank: float
+    normalized_ppl: float
+    count: int
+
+
+@dataclass
+class ProbingReport:
+    """All labels, sortable into the paper's Top-5 / Bottom-5 views."""
+
+    scores: List[ProbeScore]
+    num_candidates: int
+
+    def top(self, k: int = 5) -> List[ProbeScore]:
+        return sorted(self.scores, key=lambda s: s.average_rank)[:k]
+
+    def bottom(self, k: int = 5) -> List[ProbeScore]:
+        return sorted(self.scores, key=lambda s: -s.average_rank)[:k]
+
+
+def _rank_of(value: float, values: Sequence[float]) -> int:
+    """1-based rank of ``value`` inside ``values`` (ties keep earlier rank)."""
+    return 1 + sum(1 for v in values if v < value)
+
+
+def probe_column_types(
+    model: MaskedLanguageModel,
+    tokenizer: WordPieceTokenizer,
+    examples: Sequence[Tuple[str, str]],
+    candidate_types: Sequence[str],
+    max_examples_per_type: int = 5,
+) -> ProbingReport:
+    """Probe type knowledge with the ``"<value> is a <type>"`` template.
+
+    Parameters
+    ----------
+    examples:
+        ``(cell value, true type)`` pairs; the true type must appear in
+        ``candidate_types``.
+    """
+    candidates = list(candidate_types)
+    per_type_examples: Dict[str, List[str]] = {}
+    for value, true_type in examples:
+        bucket = per_type_examples.setdefault(true_type, [])
+        if len(bucket) < max_examples_per_type:
+            bucket.append(value)
+
+    scores: List[ProbeScore] = []
+    for true_type, values in sorted(per_type_examples.items()):
+        if true_type not in candidates:
+            continue
+        ranks, normalized = [], []
+        for value in values:
+            ppls = [
+                sentence_pseudo_perplexity(
+                    model, tokenizer, f"{value} is a {candidate}"
+                )
+                for candidate in candidates
+            ]
+            true_ppl = ppls[candidates.index(true_type)]
+            ranks.append(_rank_of(true_ppl, ppls))
+            mean_ppl = float(np.mean(ppls))
+            normalized.append(true_ppl / mean_ppl if mean_ppl > 0 else float("inf"))
+        scores.append(
+            ProbeScore(
+                label=true_type,
+                average_rank=float(np.mean(ranks)),
+                normalized_ppl=float(np.mean(normalized)),
+                count=len(values),
+            )
+        )
+    return ProbingReport(scores=scores, num_candidates=len(candidates))
+
+
+def _relation_phrase(relation: str) -> Optional[str]:
+    """The relation's verbalization with subject/object slots."""
+    template = RELATION_TEMPLATES.get(relation)
+    if template is None:
+        return None
+    return template[2]
+
+
+def probe_column_relations(
+    model: MaskedLanguageModel,
+    tokenizer: WordPieceTokenizer,
+    examples: Sequence[Tuple[str, str, str]],
+    candidate_relations: Sequence[str],
+    max_examples_per_relation: int = 5,
+) -> ProbingReport:
+    """Probe relation knowledge with verbalized templates.
+
+    Parameters
+    ----------
+    examples:
+        ``(subject value, object value, true relation)`` triples.
+    candidate_relations:
+        Relations with a verbalization in
+        :data:`repro.datasets.kb.RELATION_TEMPLATES`; others are skipped
+        (the paper likewise filtered relations without clean templates).
+    """
+    candidates = [r for r in candidate_relations if _relation_phrase(r) is not None]
+    per_relation: Dict[str, List[Tuple[str, str]]] = {}
+    for subject, obj, relation in examples:
+        if relation not in candidates:
+            continue
+        bucket = per_relation.setdefault(relation, [])
+        if len(bucket) < max_examples_per_relation:
+            bucket.append((subject, obj))
+
+    scores: List[ProbeScore] = []
+    for relation, pairs in sorted(per_relation.items()):
+        ranks, normalized = [], []
+        for subject, obj in pairs:
+            ppls = [
+                sentence_pseudo_perplexity(
+                    model,
+                    tokenizer,
+                    _relation_phrase(candidate).format(s=subject, o=obj),
+                )
+                for candidate in candidates
+            ]
+            true_ppl = ppls[candidates.index(relation)]
+            ranks.append(_rank_of(true_ppl, ppls))
+            mean_ppl = float(np.mean(ppls))
+            normalized.append(true_ppl / mean_ppl if mean_ppl > 0 else float("inf"))
+        scores.append(
+            ProbeScore(
+                label=relation,
+                average_rank=float(np.mean(ranks)),
+                normalized_ppl=float(np.mean(normalized)),
+                count=len(pairs),
+            )
+        )
+    return ProbingReport(scores=scores, num_candidates=len(candidates))
+
+
+def kb_type_examples(
+    kb: KnowledgeBase,
+    rng: np.random.Generator,
+    per_type: int = 5,
+) -> List[Tuple[str, str]]:
+    """Sample (entity name, type) probing examples from the KB."""
+    examples: List[Tuple[str, str]] = []
+    for entity_type in kb.types():
+        pool = kb.entities[entity_type]
+        count = min(per_type, len(pool))
+        indices = rng.choice(len(pool), size=count, replace=False)
+        examples.extend((pool[i].name, entity_type) for i in indices)
+    return examples
+
+
+def kb_relation_examples(
+    kb: KnowledgeBase,
+    rng: np.random.Generator,
+    per_relation: int = 5,
+) -> List[Tuple[str, str, str]]:
+    """Sample (subject, object, relation) probing triples from KB facts."""
+    by_relation: Dict[str, List[Tuple[str, str]]] = {}
+    for entity in kb.all_entities():
+        for relation, target in entity.attributes.items():
+            by_relation.setdefault(relation, []).append((entity.name, target.name))
+    examples: List[Tuple[str, str, str]] = []
+    for relation, pairs in sorted(by_relation.items()):
+        count = min(per_relation, len(pairs))
+        indices = rng.choice(len(pairs), size=count, replace=False)
+        examples.extend((pairs[i][0], pairs[i][1], relation) for i in indices)
+    return examples

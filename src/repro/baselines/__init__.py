@@ -1,0 +1,33 @@
+"""Baselines: Sherlock, Sato (LDA + CRF), TURL (visibility matrix)."""
+
+from .crf import LinearChainCRF
+from .features import (
+    ColumnFeaturizer,
+    FeatureConfig,
+    HashedWordEmbeddings,
+    char_distribution,
+    column_statistics,
+    paragraph_vector,
+)
+from .lda import LdaModel
+from .sato import SatoConfig, SatoModel, SatoNetwork
+from .sherlock import SherlockConfig, SherlockModel, SherlockNetwork
+from .turl import make_turl_trainer
+
+__all__ = [
+    "ColumnFeaturizer",
+    "FeatureConfig",
+    "HashedWordEmbeddings",
+    "LdaModel",
+    "LinearChainCRF",
+    "SatoConfig",
+    "SatoModel",
+    "SatoNetwork",
+    "SherlockConfig",
+    "SherlockModel",
+    "SherlockNetwork",
+    "char_distribution",
+    "column_statistics",
+    "make_turl_trainer",
+    "paragraph_vector",
+]

@@ -1,0 +1,182 @@
+"""Column feature extraction for the Sherlock / Sato baselines.
+
+Sherlock [Hulsebos et al., KDD'19] extracts several per-column feature sets:
+character-level distributions, aggregated word embeddings, a paragraph
+vector, and global column statistics.  We reproduce each set:
+
+* character distribution — frequency of each character over all cells,
+* word embeddings — mean/max over hashed token embeddings (deterministic
+  random vectors per token, substituting for pre-trained GloVe vectors),
+* paragraph vector — hashed character-trigram sketch of the whole column,
+* column statistics — cell length moments, numeric fraction, uniqueness, etc.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..text.tokenizer import basic_tokenize
+
+_CHARSET = "abcdefghijklmnopqrstuvwxyz0123456789.,:;/-_#@%$()[]'\" +"
+_CHAR_INDEX = {ch: i for i, ch in enumerate(_CHARSET)}
+
+
+def _stable_hash(text: str) -> int:
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def char_distribution(values: Sequence[str]) -> np.ndarray:
+    """Normalized character frequencies over all cell text."""
+    counts = np.zeros(len(_CHARSET) + 1, dtype=np.float64)  # +1 = other
+    total = 0
+    for value in values:
+        for ch in value.lower():
+            counts[_CHAR_INDEX.get(ch, len(_CHARSET))] += 1
+            total += 1
+    if total > 0:
+        counts /= total
+    return counts.astype(np.float32)
+
+
+class HashedWordEmbeddings:
+    """Deterministic per-token random vectors (GloVe substitute).
+
+    Every distinct token maps to a fixed pseudo-random unit vector derived
+    from its hash, so identical tokens share identical vectors — the property
+    the downstream network actually exploits.
+    """
+
+    def __init__(self, dim: int = 32) -> None:
+        self.dim = dim
+        self._cache: dict[str, np.ndarray] = {}
+
+    def vector(self, token: str) -> np.ndarray:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(_stable_hash(token))
+        vec = rng.standard_normal(self.dim).astype(np.float32)
+        vec /= np.linalg.norm(vec) + 1e-8
+        self._cache[token] = vec
+        return vec
+
+    def column_feature(self, values: Sequence[str]) -> np.ndarray:
+        """Mean and max pooling of token vectors over the column."""
+        vectors = [
+            self.vector(token)
+            for value in values
+            for token in basic_tokenize(value)
+        ]
+        if not vectors:
+            return np.zeros(2 * self.dim, dtype=np.float32)
+        matrix = np.stack(vectors)
+        return np.concatenate([matrix.mean(axis=0), matrix.max(axis=0)]).astype(np.float32)
+
+
+def paragraph_vector(values: Sequence[str], dim: int = 24) -> np.ndarray:
+    """Hashed character-trigram sketch of the concatenated column text."""
+    sketch = np.zeros(dim, dtype=np.float64)
+    text = " ".join(v.lower() for v in values)
+    for i in range(len(text) - 2):
+        trigram = text[i:i + 3]
+        h = _stable_hash(trigram)
+        sketch[h % dim] += 1.0 if (h >> 8) % 2 == 0 else -1.0
+    norm = np.linalg.norm(sketch)
+    if norm > 0:
+        sketch /= norm
+    return sketch.astype(np.float32)
+
+
+def _is_float(value: str) -> bool:
+    try:
+        float(value.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def column_statistics(values: Sequence[str]) -> np.ndarray:
+    """Global statistics of the column (Sherlock's fourth feature set)."""
+    if not values:
+        return np.zeros(12, dtype=np.float32)
+    lengths = np.array([len(v) for v in values], dtype=np.float64)
+    numeric_mask = np.array([_is_float(v) for v in values])
+    numeric_values = [
+        float(v.replace(",", "")) for v, m in zip(values, numeric_mask) if m
+    ]
+    if numeric_values:
+        arr = np.array(numeric_values)
+        log_mean = float(np.log1p(np.abs(arr).mean()))
+        log_std = float(np.log1p(arr.std()))
+        frac_int = float(np.mean([v == int(v) for v in arr]))
+    else:
+        log_mean, log_std, frac_int = 0.0, 0.0, 0.0
+    tokens_per_cell = np.array(
+        [len(basic_tokenize(v)) for v in values], dtype=np.float64
+    )
+    stats = np.array(
+        [
+            lengths.mean(),
+            lengths.std(),
+            lengths.min(),
+            lengths.max(),
+            float(numeric_mask.mean()),
+            log_mean,
+            log_std,
+            frac_int,
+            len(set(values)) / len(values),
+            tokens_per_cell.mean(),
+            float(np.mean([v.isupper() for v in values if v])),
+            float(np.mean([" " in v for v in values])),
+        ],
+        dtype=np.float64,
+    )
+    return stats.astype(np.float32)
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Sizes of the Sherlock feature sets."""
+
+    word_embedding_dim: int = 32
+    paragraph_dim: int = 24
+
+    @property
+    def char_dim(self) -> int:
+        return len(_CHARSET) + 1
+
+    @property
+    def word_dim(self) -> int:
+        return 2 * self.word_embedding_dim
+
+    @property
+    def stats_dim(self) -> int:
+        return 12
+
+
+class ColumnFeaturizer:
+    """Extracts the four Sherlock feature sets for a column."""
+
+    def __init__(self, config: FeatureConfig = FeatureConfig()) -> None:
+        self.config = config
+        self._word_embeddings = HashedWordEmbeddings(config.word_embedding_dim)
+
+    def featurize(self, values: Sequence[str]) -> dict[str, np.ndarray]:
+        return {
+            "char": char_distribution(values),
+            "word": self._word_embeddings.column_feature(values),
+            "paragraph": paragraph_vector(values, self.config.paragraph_dim),
+            "stats": column_statistics(values),
+        }
+
+    def featurize_many(self, columns: Sequence[Sequence[str]]) -> dict[str, np.ndarray]:
+        features = [self.featurize(col) for col in columns]
+        return {
+            key: np.stack([f[key] for f in features])
+            for key in ("char", "word", "paragraph", "stats")
+        }

@@ -1,0 +1,145 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling.
+
+Sato augments Sherlock's per-column features with an LDA topic vector of the
+whole table as *table context*.  This is a compact, dependency-free LDA
+implementation: training runs collapsed Gibbs sampling; inference folds in a
+new document with the topic-word counts held fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..text.tokenizer import basic_tokenize
+
+
+class LdaModel:
+    """Collapsed-Gibbs LDA over bag-of-words documents.
+
+    Parameters
+    ----------
+    num_topics:
+        Size of the topic vector appended to Sato's features.
+    alpha, beta:
+        Symmetric Dirichlet priors for document-topic and topic-word
+        distributions.
+    """
+
+    def __init__(
+        self,
+        num_topics: int = 10,
+        alpha: float = 0.1,
+        beta: float = 0.01,
+        iterations: int = 30,
+        seed: int = 0,
+    ) -> None:
+        if num_topics < 1:
+            raise ValueError("num_topics must be >= 1")
+        self.num_topics = num_topics
+        self.alpha = alpha
+        self.beta = beta
+        self.iterations = iterations
+        self._rng = np.random.default_rng(seed)
+        self.vocabulary: Dict[str, int] = {}
+        self._topic_word: np.ndarray | None = None
+        self._topic_totals: np.ndarray | None = None
+
+    # -- vocabulary -----------------------------------------------------------
+    def _doc_to_ids(self, document: str, grow: bool) -> List[int]:
+        ids = []
+        for token in basic_tokenize(document):
+            if token not in self.vocabulary:
+                if not grow:
+                    continue
+                self.vocabulary[token] = len(self.vocabulary)
+            ids.append(self.vocabulary[token])
+        return ids
+
+    # -- training ------------------------------------------------------------
+    def fit(self, documents: Sequence[str]) -> "LdaModel":
+        """Run collapsed Gibbs sampling over ``documents``."""
+        docs = [self._doc_to_ids(doc, grow=True) for doc in documents]
+        vocab_size = max(len(self.vocabulary), 1)
+        K = self.num_topics
+
+        topic_word = np.zeros((K, vocab_size), dtype=np.float64)
+        topic_totals = np.zeros(K, dtype=np.float64)
+        doc_topic = np.zeros((len(docs), K), dtype=np.float64)
+        assignments: List[np.ndarray] = []
+
+        for d, doc in enumerate(docs):
+            z = self._rng.integers(0, K, size=len(doc))
+            assignments.append(z)
+            for word, topic in zip(doc, z):
+                topic_word[topic, word] += 1
+                topic_totals[topic] += 1
+                doc_topic[d, topic] += 1
+
+        V_beta = vocab_size * self.beta
+        for _ in range(self.iterations):
+            for d, doc in enumerate(docs):
+                z = assignments[d]
+                for i, word in enumerate(doc):
+                    topic = z[i]
+                    topic_word[topic, word] -= 1
+                    topic_totals[topic] -= 1
+                    doc_topic[d, topic] -= 1
+
+                    weights = (
+                        (topic_word[:, word] + self.beta)
+                        / (topic_totals + V_beta)
+                        * (doc_topic[d] + self.alpha)
+                    )
+                    weights /= weights.sum()
+                    topic = int(self._rng.choice(K, p=weights))
+
+                    z[i] = topic
+                    topic_word[topic, word] += 1
+                    topic_totals[topic] += 1
+                    doc_topic[d, topic] += 1
+
+        self._topic_word = topic_word
+        self._topic_totals = topic_totals
+        return self
+
+    # -- inference -----------------------------------------------------------
+    def transform(self, document: str, fold_in_iterations: int = 25) -> np.ndarray:
+        """Topic proportions for a new document.
+
+        Uses deterministic mean-field fold-in (iterated expected topic
+        assignments with the topic-word distribution fixed), which is far
+        more stable than a single Gibbs chain for the short "documents"
+        tables produce.
+        """
+        if self._topic_word is None or self._topic_totals is None:
+            raise RuntimeError("LdaModel.transform called before fit")
+        doc = self._doc_to_ids(document, grow=False)
+        K = self.num_topics
+        if not doc:
+            return np.full(K, 1.0 / K, dtype=np.float32)
+
+        vocab_size = self._topic_word.shape[1]
+        V_beta = vocab_size * self.beta
+        word_given_topic = (self._topic_word + self.beta) / (
+            self._topic_totals[:, None] + V_beta
+        )  # (K, V)
+        words = np.asarray(doc)
+        likelihood = word_given_topic[:, words].T  # (N, K)
+
+        theta = np.full(K, 1.0 / K, dtype=np.float64)
+        for _ in range(fold_in_iterations):
+            responsibility = likelihood * theta[None, :]
+            responsibility /= responsibility.sum(axis=1, keepdims=True)
+            counts = responsibility.sum(axis=0)
+            theta = (counts + self.alpha) / (counts.sum() + K * self.alpha)
+        return theta.astype(np.float32)
+
+    def top_words(self, topic: int, count: int = 10) -> List[str]:
+        """Most probable words of a topic (debugging / inspection)."""
+        if self._topic_word is None:
+            raise RuntimeError("LdaModel.top_words called before fit")
+        reverse = {i: w for w, i in self.vocabulary.items()}
+        order = np.argsort(self._topic_word[topic])[::-1][:count]
+        return [reverse[i] for i in order if i in reverse]

@@ -1,0 +1,175 @@
+"""The Sato baseline [Zhang et al., VLDB'20].
+
+Sato extends Sherlock in two ways, both reproduced here:
+
+1. **Table context** — an LDA topic vector computed over *all* cell text of
+   the table is appended to every column's features.
+2. **Structured prediction** — a linear-chain CRF over the table's column
+   sequence replaces per-column argmax, so the predicted types of neighbour
+   columns influence each other.
+
+Sato is a single-label (multi-class) model; the paper evaluates it on VizNet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.tables import Table, TableDataset
+from ..evaluation.metrics import PRF, multiclass_micro_f1
+from ..nn import Adam, Linear, Module, Tensor, concatenate
+from .crf import LinearChainCRF
+from .features import ColumnFeaturizer, FeatureConfig
+from .lda import LdaModel
+from .sherlock import _SubNetwork
+
+
+class SatoNetwork(Module):
+    """Sherlock-style subnetworks plus an LDA-context subnetwork."""
+
+    def __init__(
+        self,
+        feature_config: FeatureConfig,
+        num_topics: int,
+        num_types: int,
+        rng: np.random.Generator,
+        subnet_dim: int = 24,
+        primary_hidden: int = 64,
+    ) -> None:
+        super().__init__()
+        self.char_net = _SubNetwork(feature_config.char_dim, 48, subnet_dim, rng)
+        self.word_net = _SubNetwork(feature_config.word_dim, 48, subnet_dim, rng)
+        self.paragraph_net = _SubNetwork(feature_config.paragraph_dim, 32, subnet_dim, rng)
+        self.topic_net = _SubNetwork(num_topics, 16, subnet_dim // 2, rng)
+        primary_in = 3 * subnet_dim + subnet_dim // 2 + feature_config.stats_dim
+        self.primary1 = Linear(primary_in, primary_hidden, rng)
+        self.primary2 = Linear(primary_hidden, num_types, rng)
+
+    def forward(self, features: Dict[str, np.ndarray]) -> Tensor:
+        parts = [
+            self.char_net(Tensor(features["char"])),
+            self.word_net(Tensor(features["word"])),
+            self.paragraph_net(Tensor(features["paragraph"])),
+            self.topic_net(Tensor(features["topic"])),
+            Tensor(features["stats"]),
+        ]
+        combined = concatenate(parts, axis=-1)
+        return self.primary2(self.primary1(combined).relu())
+
+
+@dataclass
+class SatoConfig:
+    """Training hyper-parameters for the Sato baseline."""
+
+    epochs: int = 30
+    batch_size: int = 8  # tables per batch
+    learning_rate: float = 1e-3
+    num_topics: int = 10
+    lda_iterations: int = 20
+    seed: int = 0
+
+
+class SatoModel:
+    """Trainable Sato column-type predictor (single-label)."""
+
+    def __init__(
+        self,
+        dataset: TableDataset,
+        config: SatoConfig = SatoConfig(),
+        feature_config: FeatureConfig = FeatureConfig(),
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.featurizer = ColumnFeaturizer(feature_config)
+        rng = np.random.default_rng(config.seed)
+        self.network = SatoNetwork(
+            feature_config, config.num_topics, dataset.num_types, rng
+        )
+        self.crf = LinearChainCRF(dataset.num_types, rng)
+        self.lda = LdaModel(
+            num_topics=config.num_topics,
+            iterations=config.lda_iterations,
+            seed=config.seed,
+        )
+        self._rng = rng
+        self._topic_cache: Dict[int, np.ndarray] = {}
+
+    # -- feature preparation -------------------------------------------------
+    def _table_document(self, table: Table) -> str:
+        return " ".join(
+            value for column in table.columns for value in column.values
+        )
+
+    def _table_features(self, table: Table) -> Dict[str, np.ndarray]:
+        features = self.featurizer.featurize_many(
+            [column.values for column in table.columns]
+        )
+        cache_key = id(table)
+        topic = self._topic_cache.get(cache_key)
+        if topic is None:
+            topic = self.lda.transform(self._table_document(table))
+            self._topic_cache[cache_key] = topic
+        features["topic"] = np.tile(topic, (table.num_columns, 1))
+        return features
+
+    def _table_labels(self, table: Table) -> np.ndarray:
+        return np.asarray(
+            [self.dataset.type_id(col.type_labels[0]) for col in table.columns],
+            dtype=np.int64,
+        )
+
+    # -- training -------------------------------------------------------------
+    def fit(self, tables: Optional[Sequence[Table]] = None) -> List[float]:
+        """Fit LDA, then jointly train the network and CRF; returns losses."""
+        if tables is None:
+            tables = self.dataset.tables
+        tables = list(tables)
+        self.lda.fit([self._table_document(t) for t in tables])
+        self._topic_cache.clear()
+
+        params = self.network.parameters() + self.crf.parameters()
+        optimizer = Adam(params, lr=self.config.learning_rate)
+        losses: List[float] = []
+        self.network.train()
+        for _ in range(self.config.epochs):
+            order = self._rng.permutation(len(tables))
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, len(order), self.config.batch_size):
+                batch = [tables[i] for i in order[start:start + self.config.batch_size]]
+                total = None
+                for table in batch:
+                    unary = self.network(self._table_features(table))
+                    nll = self.crf.negative_log_likelihood(
+                        unary, self._table_labels(table)
+                    )
+                    total = nll if total is None else total + nll
+                loss = total * (1.0 / len(batch))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        self.network.eval()
+        return losses
+
+    # -- inference -------------------------------------------------------------
+    def predict_table(self, table: Table) -> List[int]:
+        """Jointly decode the column types of ``table`` with Viterbi."""
+        self.network.eval()
+        unary = self.network(self._table_features(table)).data
+        return self.crf.viterbi(unary)
+
+    def predict(self, tables: Sequence[Table]) -> List[List[int]]:
+        return [self.predict_table(table) for table in tables]
+
+    def evaluate(self, tables: Sequence[Table]) -> PRF:
+        y_true: List[int] = []
+        y_pred: List[int] = []
+        for table in tables:
+            y_true.extend(self._table_labels(table).tolist())
+            y_pred.extend(self.predict_table(table))
+        return multiclass_micro_f1(y_true, y_pred)

@@ -1,0 +1,162 @@
+"""The Sherlock baseline [Hulsebos et al., KDD'19].
+
+Single-column feature-based neural network: each feature set (characters,
+word embeddings, paragraph vector) passes through its own "sub" network
+producing a compact dense vector; those vectors plus the raw column
+statistics feed a "primary" network of two fully-connected layers that
+predicts the column type.  Sherlock sees one column at a time — no table
+context — which is exactly the property the paper's comparison exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.tables import Table, TableDataset
+from ..evaluation.metrics import PRF, multiclass_micro_f1, multilabel_micro_prf
+from ..nn import Adam, Linear, Module, Tensor, concatenate
+from ..nn import functional as F
+from .features import ColumnFeaturizer, FeatureConfig
+
+
+class _SubNetwork(Module):
+    """Per-feature-set compression network (Linear + ReLU + Linear)."""
+
+    def __init__(self, in_dim: int, hidden: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fc1 = Linear(in_dim, hidden, rng)
+        self.fc2 = Linear(hidden, out_dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).relu())
+
+
+class SherlockNetwork(Module):
+    """Sub-networks per feature set + two-layer primary network."""
+
+    def __init__(
+        self,
+        feature_config: FeatureConfig,
+        num_types: int,
+        rng: np.random.Generator,
+        subnet_dim: int = 24,
+        primary_hidden: int = 64,
+    ) -> None:
+        super().__init__()
+        self.char_net = _SubNetwork(feature_config.char_dim, 48, subnet_dim, rng)
+        self.word_net = _SubNetwork(feature_config.word_dim, 48, subnet_dim, rng)
+        self.paragraph_net = _SubNetwork(feature_config.paragraph_dim, 32, subnet_dim, rng)
+        primary_in = 3 * subnet_dim + feature_config.stats_dim
+        self.primary1 = Linear(primary_in, primary_hidden, rng)
+        self.primary2 = Linear(primary_hidden, num_types, rng)
+
+    def forward(self, features: Dict[str, np.ndarray]) -> Tensor:
+        char = self.char_net(Tensor(features["char"]))
+        word = self.word_net(Tensor(features["word"]))
+        paragraph = self.paragraph_net(Tensor(features["paragraph"]))
+        stats = Tensor(features["stats"])
+        combined = concatenate([char, word, paragraph, stats], axis=-1)
+        return self.primary2(self.primary1(combined).relu())
+
+
+@dataclass
+class SherlockConfig:
+    """Training hyper-parameters for the Sherlock baseline."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    multi_label: bool = False
+    seed: int = 0
+
+
+class SherlockModel:
+    """Trainable Sherlock column-type predictor."""
+
+    def __init__(
+        self,
+        dataset: TableDataset,
+        config: SherlockConfig = SherlockConfig(),
+        feature_config: FeatureConfig = FeatureConfig(),
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.featurizer = ColumnFeaturizer(feature_config)
+        rng = np.random.default_rng(config.seed)
+        self.network = SherlockNetwork(feature_config, dataset.num_types, rng)
+        self._rng = rng
+
+    # -- data preparation -------------------------------------------------------
+    def _collect_columns(self, tables: Sequence[Table]):
+        columns, labels = [], []
+        for table in tables:
+            for column in table.columns:
+                if not column.type_labels:
+                    continue
+                columns.append(column.values)
+                if self.config.multi_label:
+                    row = np.zeros(self.dataset.num_types, dtype=np.float32)
+                    for name in column.type_labels:
+                        row[self.dataset.type_id(name)] = 1.0
+                    labels.append(row)
+                else:
+                    labels.append(self.dataset.type_id(column.type_labels[0]))
+        if self.config.multi_label:
+            return columns, np.stack(labels)
+        return columns, np.asarray(labels, dtype=np.int64)
+
+    # -- training ------------------------------------------------------------------
+    def fit(self, tables: Optional[Sequence[Table]] = None) -> List[float]:
+        """Train on ``tables`` (defaults to the whole dataset); returns losses."""
+        if tables is None:
+            tables = self.dataset.tables
+        columns, labels = self._collect_columns(tables)
+        features = self.featurizer.featurize_many(columns)
+        optimizer = Adam(self.network.parameters(), lr=self.config.learning_rate)
+        n = len(columns)
+        losses: List[float] = []
+        self.network.train()
+        for _ in range(self.config.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, self.config.batch_size):
+                idx = order[start:start + self.config.batch_size]
+                batch_features = {k: v[idx] for k, v in features.items()}
+                logits = self.network(batch_features)
+                if self.config.multi_label:
+                    loss = F.binary_cross_entropy_logits(logits, labels[idx])
+                else:
+                    loss = F.cross_entropy_logits(logits, labels[idx])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        self.network.eval()
+        return losses
+
+    # -- inference -----------------------------------------------------------------
+    def predict_logits(self, columns: Sequence[Sequence[str]]) -> np.ndarray:
+        features = self.featurizer.featurize_many(columns)
+        self.network.eval()
+        return self.network(features).data
+
+    def predict(self, columns: Sequence[Sequence[str]]) -> np.ndarray:
+        logits = self.predict_logits(columns)
+        if self.config.multi_label:
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            predictions = probs >= 0.5
+            predictions[np.arange(len(probs)), probs.argmax(axis=-1)] = True
+            return predictions
+        return logits.argmax(axis=-1)
+
+    def evaluate(self, tables: Sequence[Table]) -> PRF:
+        columns, labels = self._collect_columns(tables)
+        predictions = self.predict(columns)
+        if self.config.multi_label:
+            return multilabel_micro_prf(labels.astype(bool), predictions)
+        return multiclass_micro_f1(labels, predictions)

@@ -1,0 +1,59 @@
+"""The TURL baseline [Deng et al., VLDB'20].
+
+Architecturally, the defining difference between TURL and DODUO (Section 5.4
+of the paper) is TURL's *visibility matrix*: self-attention edges that cross
+column boundaries are removed, so a column's ``[CLS]`` cannot attend to cell
+values of other columns.  We reproduce TURL as the same fine-tuned
+Transformer with the visibility matrix switched on
+(:func:`repro.core.serialization.column_visibility`), pre-trained on the same
+corpus — exactly the "variant of TURL pre-trained on table values" the paper
+compares against for fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..datasets.tables import TableDataset
+from ..nn import TransformerConfig
+from ..text import WordPieceTokenizer
+from ..core.trainer import DoduoConfig, DoduoTrainer
+
+
+def make_turl_trainer(
+    dataset: TableDataset,
+    tokenizer: WordPieceTokenizer,
+    encoder_config: TransformerConfig,
+    base_config: Optional[DoduoConfig] = None,
+    pretrained_encoder_state: Optional[Dict[str, np.ndarray]] = None,
+) -> DoduoTrainer:
+    """Build a trainer configured as the TURL baseline.
+
+    Identical to DODUO except ``use_visibility_matrix=True``; trained on the
+    same tasks so the comparison isolates the attention-structure difference,
+    as in Table 3.
+    """
+    if base_config is None:
+        base_config = DoduoConfig()
+    turl_config = DoduoConfig(
+        tasks=base_config.tasks,
+        multi_label=base_config.multi_label,
+        single_column=False,
+        use_visibility_matrix=True,
+        max_tokens_per_column=base_config.max_tokens_per_column,
+        include_headers=base_config.include_headers,
+        epochs=base_config.epochs,
+        batch_size=base_config.batch_size,
+        learning_rate=base_config.learning_rate,
+        seed=base_config.seed,
+        keep_best_checkpoint=base_config.keep_best_checkpoint,
+    )
+    return DoduoTrainer(
+        dataset,
+        tokenizer,
+        encoder_config,
+        turl_config,
+        pretrained_encoder_state=pretrained_encoder_state,
+    )

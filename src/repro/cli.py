@@ -1,0 +1,247 @@
+"""Command-line interface for the DODUO toolbox.
+
+The paper releases DODUO "as a toolbox, which can be used with just a few
+lines of Python code"; this module is the zero-lines-of-Python counterpart::
+
+    repro generate wikitable --num-tables 200 --out corpus.jsonl
+    repro train corpus.jsonl --out model/ --epochs 10
+    repro annotate model/ table.csv
+    repro evaluate model/ corpus.jsonl
+
+All subcommands are pure functions of their arguments (deterministic under
+``--seed``), and :func:`main` takes an ``argv`` list so the tests can drive
+the CLI in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .core import Doduo, DoduoConfig, DoduoTrainer
+from .core.persistence import load_annotator, save_annotator
+from .core.trainer import RELATION_TASK, TYPE_TASK
+from .core.wide import annotate_wide
+from .datasets import (
+    generate_enterprise_dataset,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    split_dataset,
+)
+from .evaluation import render_table
+from .io import load_dataset_jsonl, read_table_csv, save_dataset_jsonl
+from .nn import TransformerConfig
+from .text import train_wordpiece
+
+GENERATORS = {
+    "wikitable": generate_wikitable_dataset,
+    "viznet": generate_viznet_dataset,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.corpus == "enterprise":
+        dataset = generate_enterprise_dataset(seed=args.seed)
+    else:
+        dataset = GENERATORS[args.corpus](
+            num_tables=args.num_tables, seed=args.seed
+        )
+    save_dataset_jsonl(dataset, args.out)
+    print(
+        f"wrote {len(dataset.tables)} tables "
+        f"({dataset.num_types} types, {dataset.num_relations} relations) "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset_jsonl(args.dataset)
+    if not dataset.tables:
+        print("error: dataset contains no tables", file=sys.stderr)
+        return 1
+    splits = split_dataset(dataset, seed=args.seed)
+    tokenizer = train_wordpiece(
+        splits.train.all_cell_text(), vocab_size=args.vocab_size
+    )
+    encoder_config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        hidden_dim=args.hidden_dim,
+        num_layers=args.layers,
+        num_heads=args.heads,
+        ffn_dim=2 * args.hidden_dim,
+        max_position=args.max_position,
+        num_segments=12,
+        dropout=args.dropout,
+    )
+    has_relations = dataset.num_relations > 0
+    tasks = (TYPE_TASK, RELATION_TASK) if has_relations else (TYPE_TASK,)
+    config = DoduoConfig(
+        tasks=tasks,
+        multi_label=has_relations if args.multi_label is None else args.multi_label,
+        max_tokens_per_column=args.max_tokens_per_column,
+        value_order=args.value_order,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+    trainer = DoduoTrainer(splits.train, tokenizer, encoder_config, config)
+    trainer.train(valid_dataset=splits.valid, verbose=args.verbose)
+    annotator = Doduo(trainer)
+    scores = trainer.evaluate(splits.test)
+    for task, prf in scores.items():
+        print(f"test {task} micro-F1: {prf.f1:.4f}")
+    save_annotator(annotator, args.out)
+    print(f"saved model bundle to {args.out}")
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    annotator = load_annotator(args.model)
+    table = read_table_csv(args.table, has_header=not args.no_header)
+    if args.max_columns and table.num_columns > args.max_columns:
+        annotated = annotate_wide(
+            annotator, table, max_columns=args.max_columns,
+            strategy=args.wide_strategy,
+        )
+    else:
+        annotated = annotator.annotate(table)
+    if args.json:
+        payload = {
+            "table_id": table.table_id,
+            "columns": [
+                {
+                    "header": col.header,
+                    "predicted_types": annotated.coltypes[c],
+                }
+                for c, col in enumerate(table.columns)
+            ],
+            "relations": [
+                {"columns": list(pair), "predicted_relations": labels}
+                for pair, labels in sorted(annotated.colrels.items())
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        (c, col.header or "", ", ".join(annotated.coltypes[c]))
+        for c, col in enumerate(table.columns)
+    ]
+    print(render_table(("col", "header", "predicted types"), rows,
+                       title=f"column types: {table.table_id}"))
+    if annotated.colrels:
+        rel_rows = [
+            (f"{i}-{j}", ", ".join(labels))
+            for (i, j), labels in sorted(annotated.colrels.items())
+        ]
+        print(render_table(("pair", "predicted relations"), rel_rows,
+                           title="column relations"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    annotator = load_annotator(args.model)
+    dataset = load_dataset_jsonl(args.dataset)
+    scores = annotator.trainer.evaluate(dataset)
+    rows = [
+        (task, f"{prf.precision:.4f}", f"{prf.recall:.4f}", f"{prf.f1:.4f}")
+        for task, prf in sorted(scores.items())
+    ]
+    print(render_table(("task", "precision", "recall", "micro-F1"), rows,
+                       title=f"evaluation on {dataset.name or args.dataset}"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    annotator = load_annotator(args.model)
+    trainer = annotator.trainer
+    config = trainer.model.config
+    num_params = sum(p.size for p in trainer.model.parameters())
+    print(f"model bundle: {args.model}")
+    print(f"  encoder: {config.num_layers} layers, hidden {config.hidden_dim}, "
+          f"{config.num_heads} heads, vocab {config.vocab_size}")
+    print(f"  parameters: {num_params}")
+    print(f"  tasks: {', '.join(trainer.config.tasks)}")
+    print(f"  type vocabulary: {trainer.dataset.num_types} labels")
+    print(f"  relation vocabulary: {trainer.dataset.num_relations} labels")
+    print(f"  trained on: {trainer.dataset.name or '(unknown)'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DODUO column annotation toolbox (SIGMOD 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic benchmark corpus")
+    gen.add_argument("corpus", choices=sorted(GENERATORS) + ["enterprise"])
+    gen.add_argument("--num-tables", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .jsonl path")
+    gen.set_defaults(func=_cmd_generate)
+
+    train = sub.add_parser("train", help="fine-tune a model on a .jsonl corpus")
+    train.add_argument("dataset", help="input .jsonl corpus")
+    train.add_argument("--out", required=True, help="output bundle directory")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--vocab-size", type=int, default=2048)
+    train.add_argument("--hidden-dim", type=int, default=64)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--heads", type=int, default=4)
+    train.add_argument("--max-position", type=int, default=256)
+    train.add_argument("--max-tokens-per-column", type=int, default=8)
+    train.add_argument("--value-order", default="head",
+                       choices=("head", "distinct", "random"),
+                       help="which cells spend the per-column token budget")
+    train.add_argument("--dropout", type=float, default=0.1)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--multi-label", action="store_true", default=None,
+                       help="force multi-label mode (default: inferred)")
+    train.add_argument("--verbose", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    annotate = sub.add_parser("annotate", help="annotate a CSV table")
+    annotate.add_argument("model", help="model bundle directory")
+    annotate.add_argument("table", help="CSV file to annotate")
+    annotate.add_argument("--no-header", action="store_true",
+                          help="the CSV has no header row")
+    annotate.add_argument("--json", action="store_true",
+                          help="emit JSON instead of a text table")
+    annotate.add_argument("--max-columns", type=int, default=0,
+                          help="split tables wider than this before annotating")
+    annotate.add_argument("--wide-strategy", default="contiguous",
+                          choices=("contiguous", "similarity"))
+    annotate.set_defaults(func=_cmd_annotate)
+
+    evaluate = sub.add_parser("evaluate", help="score a model on a .jsonl corpus")
+    evaluate.add_argument("model", help="model bundle directory")
+    evaluate.add_argument("dataset", help=".jsonl corpus with gold labels")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    info = sub.add_parser("info", help="describe a model bundle")
+    info.add_argument("model", help="model bundle directory")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Toolbox-style public API (mirrors the released DODUO toolbox).
+
+The paper ships a toolbox usable "with just a few lines of Python code":
+
+    >>> from repro import Doduo              # doctest: +SKIP
+    >>> model = Doduo.train_on(dataset)      # doctest: +SKIP
+    >>> annotated = model.annotate(table)    # doctest: +SKIP
+    >>> annotated.coltypes, annotated.colrels, annotated.colemb  # doctest: +SKIP
+
+This module provides that interface on top of :class:`DoduoTrainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.tables import Column, Table, TableDataset
+from ..nn import TransformerConfig
+from ..text import WordPieceTokenizer
+from .trainer import RELATION_TASK, TYPE_TASK, DoduoConfig, DoduoTrainer
+
+
+@dataclass
+class AnnotatedTable:
+    """Result of annotating one table.
+
+    Attributes
+    ----------
+    coltypes:
+        Predicted type names per column (a list of names per column in
+        multi-label mode, a single-element list otherwise).
+    colrels:
+        Predicted relation names per annotated column pair.
+    colemb:
+        Contextualized column embeddings ``(num_cols, d)``.
+    type_scores:
+        Per-column ``{type_name: probability}`` over the label vocabulary —
+        sigmoid scores in multi-label mode, a softmax distribution otherwise.
+        Lets callers threshold or rank predictions instead of trusting the
+        argmax.
+    """
+
+    table: Table
+    coltypes: List[List[str]]
+    colrels: Dict[Tuple[int, int], List[str]] = field(default_factory=dict)
+    colemb: Optional[np.ndarray] = None
+    type_scores: List[Dict[str, float]] = field(default_factory=list)
+
+    def top_types(self, column: int, k: int = 3) -> List[Tuple[str, float]]:
+        """The ``k`` highest-scoring type names for one column."""
+        scores = self.type_scores[column]
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+
+class Doduo:
+    """High-level annotator wrapping a trained :class:`DoduoTrainer`."""
+
+    def __init__(self, trainer: DoduoTrainer) -> None:
+        self._trainer = trainer
+        self._dataset = trainer.dataset
+
+    @classmethod
+    def train_on(
+        cls,
+        dataset: TableDataset,
+        tokenizer: WordPieceTokenizer,
+        encoder_config: Optional[TransformerConfig] = None,
+        config: Optional[DoduoConfig] = None,
+        valid_dataset: Optional[TableDataset] = None,
+        pretrained_encoder_state: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "Doduo":
+        """Fine-tune a DODUO model on ``dataset`` and return the annotator."""
+        if encoder_config is None:
+            encoder_config = TransformerConfig(vocab_size=tokenizer.vocab_size)
+        if config is None:
+            tasks = (
+                (TYPE_TASK, RELATION_TASK)
+                if dataset.num_relations > 0
+                else (TYPE_TASK,)
+            )
+            config = DoduoConfig(tasks=tasks, multi_label=dataset.num_relations > 0)
+        trainer = DoduoTrainer(
+            dataset,
+            tokenizer,
+            encoder_config,
+            config,
+            pretrained_encoder_state=pretrained_encoder_state,
+        )
+        trainer.train(valid_dataset=valid_dataset)
+        return cls(trainer)
+
+    @property
+    def trainer(self) -> DoduoTrainer:
+        return self._trainer
+
+    def annotate(self, table: Table, with_embeddings: bool = True) -> AnnotatedTable:
+        """Predict column types, relations, and embeddings for ``table``."""
+        trainer = self._trainer
+        type_predictions = trainer.predict_types([table])[0]
+        coltypes: List[List[str]] = []
+        if trainer.config.multi_label:
+            for row in type_predictions:
+                names = [
+                    self._dataset.type_vocab[k] for k in np.flatnonzero(row)
+                ]
+                coltypes.append(names)
+        else:
+            coltypes = [
+                [self._dataset.type_vocab[int(k)]] for k in type_predictions
+            ]
+
+        # Raw per-type scores, so callers can threshold or rank.
+        if trainer.config.single_column:
+            encoded = [
+                trainer.serializer.serialize_column(table, c)
+                for c in range(table.num_columns)
+            ]
+        else:
+            encoded = [trainer.serializer.serialize_table(table)]
+        probs = trainer.model.predict_type_probs(
+            encoded, trainer.config.multi_label
+        )
+        type_scores = [
+            {
+                name: float(probs[c, k])
+                for k, name in enumerate(self._dataset.type_vocab)
+            }
+            for c in range(table.num_columns)
+        ]
+
+        colrels: Dict[Tuple[int, int], List[str]] = {}
+        has_rel_head = self._trainer.model.relation_head is not None
+        if has_rel_head and table.num_columns > 1:
+            pairs = sorted(table.relation_labels) or [
+                (0, j) for j in range(1, table.num_columns)
+            ]
+            probe = Table(
+                columns=table.columns,
+                table_id=table.table_id,
+                relation_labels={p: ["?"] for p in pairs},
+            )
+            rel_predictions = self._predict_relations_for(probe, pairs)
+            colrels = rel_predictions
+
+        embeddings = self._trainer.column_embeddings(table) if with_embeddings else None
+        return AnnotatedTable(
+            table=table, coltypes=coltypes, colrels=colrels, colemb=embeddings,
+            type_scores=type_scores,
+        )
+
+    def _predict_relations_for(
+        self, table: Table, pairs: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], List[str]]:
+        trainer = self._trainer
+        if trainer.config.single_column:
+            encoded = [
+                trainer.serializer.serialize_column_pair(table, i, j) for i, j in pairs
+            ]
+            index_pairs = [(b, 0, 1) for b in range(len(pairs))]
+        else:
+            encoded = [trainer.serializer.serialize_table(table)]
+            index_pairs = [(0, i, j) for i, j in pairs]
+        probs = trainer.model.predict_relation_probs(
+            encoded, index_pairs, trainer.config.multi_label
+        )
+        result: Dict[Tuple[int, int], List[str]] = {}
+        for row, pair in enumerate(pairs):
+            if trainer.config.multi_label:
+                mask = probs[row] >= 0.5
+                if not mask.any():
+                    mask[probs[row].argmax()] = True
+                result[pair] = [
+                    self._dataset.relation_vocab[k] for k in np.flatnonzero(mask)
+                ]
+            else:
+                result[pair] = [self._dataset.relation_vocab[int(probs[row].argmax())]]
+        return result
+
+    def annotate_many(
+        self, tables: Sequence[Table], with_embeddings: bool = True
+    ) -> List[AnnotatedTable]:
+        """Annotate several tables (convenience wrapper over :meth:`annotate`)."""
+        return [self.annotate(t, with_embeddings=with_embeddings) for t in tables]
+
+    def annotate_dataframe(
+        self, rows: Sequence[Sequence[str]], headers: Optional[Sequence[str]] = None
+    ) -> AnnotatedTable:
+        """Annotate raw row-major data (the dataframe-like entry point)."""
+        if not rows:
+            raise ValueError("rows must be non-empty")
+        num_cols = len(rows[0])
+        if any(len(row) != num_cols for row in rows):
+            raise ValueError("all rows must have the same number of cells")
+        columns = [
+            Column(
+                values=[str(row[c]) for row in rows],
+                header=headers[c] if headers else None,
+            )
+            for c in range(num_cols)
+        ]
+        return self.annotate(Table(columns=columns, table_id="adhoc"))

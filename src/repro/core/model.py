@@ -1,0 +1,205 @@
+"""The DODUO model: shared encoder + per-task output heads (Section 4.3).
+
+Column-type prediction applies a dense layer to each column's ``[CLS]``
+embedding (Equation 1); column-relation prediction applies a dense layer to
+the *concatenation* of two column embeddings (Equation 2).  Both heads share
+the same encoder — the hard parameter sharing of the multi-task setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import (
+    Embedding,
+    Linear,
+    Module,
+    Tensor,
+    TransformerConfig,
+    TransformerEncoder,
+    concatenate,
+)
+from ..nn import functional as F
+from .numeric import NUM_MAGNITUDE_BINS
+from .serialization import EncodedTable, column_visibility, pad_batch
+
+
+class ColumnTypeHead(Module):
+    """Dense layer + output projection over a column embedding (Eq. 1)."""
+
+    def __init__(self, hidden_dim: int, num_types: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dense = Linear(hidden_dim, hidden_dim, rng)
+        self.out = Linear(hidden_dim, num_types, rng)
+
+    def forward(self, column_embeddings: Tensor) -> Tensor:
+        return self.out(F.gelu(self.dense(column_embeddings)))
+
+
+class ColumnRelationHead(Module):
+    """Dense layer + output projection over a column-pair embedding (Eq. 2)."""
+
+    def __init__(self, hidden_dim: int, num_relations: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dense = Linear(2 * hidden_dim, hidden_dim, rng)
+        self.out = Linear(hidden_dim, num_relations, rng)
+
+    def forward(self, pair_embeddings: Tensor) -> Tensor:
+        return self.out(F.gelu(self.dense(pair_embeddings)))
+
+
+class DoduoModel(Module):
+    """Shared Transformer encoder with type and relation heads.
+
+    ``use_visibility_matrix`` turns the same architecture into the TURL
+    baseline: attention edges across columns are removed.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        num_types: int,
+        num_relations: int,
+        rng: np.random.Generator,
+        use_visibility_matrix: bool = False,
+        use_column_segments: bool = True,
+        use_numeric_embeddings: bool = False,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.encoder = TransformerEncoder(config, rng)
+        # Numeric magnitude embeddings (Section 3.1 future work) live outside
+        # the encoder so pre-trained encoder checkpoints stay loadable.
+        if use_numeric_embeddings:
+            self.numeric_embedding: Optional[Embedding] = Embedding(
+                NUM_MAGNITUDE_BINS, config.hidden_dim, rng
+            )
+        else:
+            self.numeric_embedding = None
+        self.type_head = ColumnTypeHead(config.hidden_dim, num_types, rng)
+        if num_relations > 0:
+            self.relation_head: Optional[ColumnRelationHead] = ColumnRelationHead(
+                config.hidden_dim, num_relations, rng
+            )
+        else:
+            self.relation_head = None
+        self.use_visibility_matrix = use_visibility_matrix
+        self.use_column_segments = use_column_segments
+
+    # -- encoding ----------------------------------------------------------------
+    def encode_batch(self, encoded: Sequence[EncodedTable]) -> Tuple[Tensor, np.ndarray]:
+        """Run the encoder over a padded batch.
+
+        Returns the hidden states ``(B, S, d)`` and a ``(num_cls, 2)`` array
+        of (row, position) indices locating every column's ``[CLS]`` token.
+
+        Tokens carry a *column segment id* (column index + 1, clipped to the
+        configured number of segments; global/pad tokens get 0).  BERT-base
+        has enough depth to recover column membership from positions alone;
+        at mini scale the segment signal substitutes for that depth (see
+        DESIGN.md).
+        """
+        pad_id = 0  # PAD is always id 0 in our vocabulary
+        token_ids, attention = pad_batch(encoded, pad_id)
+        width = token_ids.shape[1]
+        segments = np.zeros_like(token_ids)
+        if self.use_column_segments:
+            for row, item in enumerate(encoded):
+                segment_row = np.clip(
+                    item.column_ids + 1, 0, self.config.num_segments - 1
+                )
+                segments[row, : item.length] = segment_row
+        visibility = None
+        if self.use_visibility_matrix:
+            visibility = column_visibility(encoded, width=width)
+        extra = None
+        if self.numeric_embedding is not None:
+            numeric = np.zeros_like(token_ids)
+            for row, item in enumerate(encoded):
+                if item.numeric_ids is not None:
+                    numeric[row, : item.length] = item.numeric_ids
+            extra = self.numeric_embedding(numeric)
+        hidden = self.encoder(
+            token_ids,
+            attention_mask=attention,
+            segment_ids=segments,
+            visibility=visibility,
+            extra_embedding=extra,
+        )
+        locations = []
+        for row, item in enumerate(encoded):
+            for pos in item.cls_positions:
+                locations.append((row, pos))
+        return hidden, np.asarray(locations, dtype=np.int64)
+
+    def column_embeddings(
+        self, encoded: Sequence[EncodedTable], layer: int = -1
+    ) -> Tensor:
+        """Contextualized column representations: the ``[CLS]`` outputs.
+
+        ``layer`` selects which encoder block's output to read (``-1`` is the
+        final layer and the default, matching the paper's toolbox; earlier
+        layers are less collapsed toward the fine-tuning label space and can
+        transfer better to out-of-domain clustering).
+        """
+        hidden, locations = self.encode_batch(encoded)
+        if layer not in (-1, self.config.num_layers - 1):
+            hidden = self.encoder.layer_outputs[layer]
+        return hidden[(locations[:, 0], locations[:, 1])]
+
+    # -- task heads ----------------------------------------------------------------
+    def type_logits(self, encoded: Sequence[EncodedTable]) -> Tensor:
+        """Type logits for every column of every table in the batch,
+        ordered (table 0 col 0, table 0 col 1, ..., table 1 col 0, ...)."""
+        return self.type_head(self.column_embeddings(encoded))
+
+    def relation_logits(
+        self,
+        encoded: Sequence[EncodedTable],
+        pairs: Sequence[Tuple[int, int, int]],
+    ) -> Tensor:
+        """Relation logits for ``pairs`` of columns.
+
+        Each pair is ``(batch_index, col_i, col_j)`` referring to columns of
+        ``encoded[batch_index]``.
+        """
+        if self.relation_head is None:
+            raise RuntimeError("model was built without a relation head")
+        hidden, _ = self.encode_batch(encoded)
+        rows, pos_i, pos_j = [], [], []
+        for batch_index, i, j in pairs:
+            cls = encoded[batch_index].cls_positions
+            rows.append(batch_index)
+            pos_i.append(cls[i])
+            pos_j.append(cls[j])
+        rows_arr = np.asarray(rows)
+        emb_i = hidden[(rows_arr, np.asarray(pos_i))]
+        emb_j = hidden[(rows_arr, np.asarray(pos_j))]
+        pair_embedding = concatenate([emb_i, emb_j], axis=-1)
+        return self.relation_head(pair_embedding)
+
+    # -- inference helpers ------------------------------------------------------
+    def predict_type_probs(
+        self, encoded: Sequence[EncodedTable], multi_label: bool
+    ) -> np.ndarray:
+        logits = self.type_logits(encoded).data
+        if multi_label:
+            return 1.0 / (1.0 + np.exp(-logits))
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def predict_relation_probs(
+        self,
+        encoded: Sequence[EncodedTable],
+        pairs: Sequence[Tuple[int, int, int]],
+        multi_label: bool,
+    ) -> np.ndarray:
+        logits = self.relation_logits(encoded, pairs).data
+        if multi_label:
+            return 1.0 / (1.0 + np.exp(-logits))
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)

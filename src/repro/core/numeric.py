@@ -1,0 +1,80 @@
+"""Numeric-aware input features (the paper's Section 3.1 future work).
+
+DODUO casts every cell to a string, which the paper flags as a limitation
+for numeric columns: "There has been extensions of the Transformer models to
+support numeric data [60] and providing such direct support of numeric data
+is important future work."  Table 5 quantifies the damage — ``ranking``
+(33.2 F1) and ``capacity`` (62.6 F1) are the model's worst types.
+
+This module implements that future-work extension at the input layer: every
+cell is mapped to a *magnitude bin* — non-numeric, zero, one of twelve
+log10-magnitude buckets, or date-like — and the model adds a learned
+embedding of the bin to each of the cell's tokens.  The WordPiece digit-pair
+tokens tell the model *which digits* a number has; the magnitude embedding
+tells it *how big* the number is, which digit pieces encode only indirectly
+through token count.
+
+Enabled with ``DoduoConfig(use_numeric_embeddings=True)``; measured by
+``benchmarks/bench_ablation_numeric.py`` on the Table 5 numeric types.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# Bin layout: 0 non-numeric, 1 zero, 2..13 log10 magnitude in [-4, 7]
+# (clipped), 14 date-like, 15 reserved for non-finite parses.
+NON_NUMERIC_BIN = 0
+ZERO_BIN = 1
+_MAGNITUDE_BIN_START = 2
+_MAGNITUDE_MIN_EXP = -4
+_MAGNITUDE_MAX_EXP = 7
+DATE_BIN = 14
+OTHER_NUMERIC_BIN = 15
+NUM_MAGNITUDE_BINS = 16
+
+_DATE_RE = re.compile(
+    r"^\s*\d{1,4}[/\-.]\d{1,2}[/\-.]\d{1,4}\s*$"
+)
+_STRIP_CHARS = " ,$%€£+"
+
+
+def magnitude_bin(value: str) -> int:
+    """Map one cell value to its magnitude bin.
+
+    The parse is deliberately permissive about formatting (thousands
+    separators, currency signs, trailing units like ``"120 kg"`` are *not*
+    accepted — mixed text stays non-numeric, matching the %num measure of
+    Table 5 which counts only fully castable cells).
+    """
+    text = value.strip()
+    if not text:
+        return NON_NUMERIC_BIN
+    if _DATE_RE.match(text):
+        return DATE_BIN
+    cleaned = text.strip(_STRIP_CHARS).replace(",", "")
+    if not cleaned:
+        return NON_NUMERIC_BIN
+    try:
+        number = float(cleaned)
+    except ValueError:
+        return NON_NUMERIC_BIN
+    if number != number or number in (float("inf"), float("-inf")):
+        return OTHER_NUMERIC_BIN
+    magnitude = abs(number)
+    if magnitude == 0.0:
+        return ZERO_BIN
+    exponent = 0
+    while magnitude >= 10.0 and exponent < _MAGNITUDE_MAX_EXP:
+        magnitude /= 10.0
+        exponent += 1
+    while magnitude < 1.0 and exponent > _MAGNITUDE_MIN_EXP:
+        magnitude *= 10.0
+        exponent -= 1
+    return _MAGNITUDE_BIN_START + (exponent - _MAGNITUDE_MIN_EXP)
+
+
+def column_magnitude_bins(values: List[str]) -> List[int]:
+    """Magnitude bins for every value of a column."""
+    return [magnitude_bin(v) for v in values]

@@ -1,0 +1,103 @@
+"""Saving and loading trained annotators as self-contained model bundles.
+
+The released DODUO toolbox ships fine-tuned models that users load and apply
+without retraining.  A *bundle* here is a directory holding everything needed
+to reconstruct a working :class:`~repro.core.annotator.Doduo`:
+
+* ``bundle.json`` — encoder config, fine-tuning config, label vocabularies
+* ``tokenizer.json`` — the WordPiece vocabulary
+* ``weights.npz`` — the fine-tuned model parameters
+
+``load_annotator(save_annotator(model))`` reproduces predictions bit-exactly
+(asserted by the tests), which is what makes the CLI's train-then-annotate
+workflow possible across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..datasets.tables import TableDataset
+from ..nn import TransformerConfig, load_checkpoint, save_checkpoint
+from ..text import WordPieceTokenizer
+from .annotator import Doduo
+from .trainer import DoduoConfig, DoduoTrainer
+
+PathLike = Union[str, Path]
+
+_BUNDLE_VERSION = 1
+
+
+def save_annotator(annotator: Doduo, directory: PathLike) -> Path:
+    """Write a trained annotator as a model bundle under ``directory``.
+
+    The directory is created if missing; existing bundle files inside it are
+    overwritten.  Returns the bundle path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    trainer = annotator.trainer
+
+    manifest = {
+        "kind": "doduo-bundle",
+        "version": _BUNDLE_VERSION,
+        "encoder_config": dataclasses.asdict(trainer.model.config),
+        "doduo_config": dataclasses.asdict(trainer.config),
+        "type_vocab": list(trainer.dataset.type_vocab),
+        "relation_vocab": list(trainer.dataset.relation_vocab),
+        "dataset_name": trainer.dataset.name,
+    }
+    with open(directory / "bundle.json", "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    trainer.tokenizer.save(directory / "tokenizer.json")
+    save_checkpoint(trainer.model, directory / "weights.npz")
+    return directory
+
+
+def load_annotator(directory: PathLike) -> Doduo:
+    """Reconstruct an annotator from a bundle written by :func:`save_annotator`.
+
+    Raises
+    ------
+    ValueError
+        If the directory is not a bundle or was written by an incompatible
+        version.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "bundle.json"
+    if not manifest_path.exists():
+        raise ValueError(f"{directory} does not contain a bundle.json")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("kind") != "doduo-bundle":
+        raise ValueError(f"{manifest_path} is not a doduo bundle manifest")
+    if manifest.get("version") != _BUNDLE_VERSION:
+        raise ValueError(
+            f"bundle version {manifest.get('version')} is not supported "
+            f"(this build reads version {_BUNDLE_VERSION})"
+        )
+
+    tokenizer = WordPieceTokenizer.load(directory / "tokenizer.json")
+    encoder_config = TransformerConfig(**manifest["encoder_config"])
+    doduo_config = DoduoConfig(**{
+        key: tuple(value) if key == "tasks" else value
+        for key, value in manifest["doduo_config"].items()
+    })
+
+    # The trainer only needs the label vocabularies at inference time; an
+    # empty table list keeps the bundle self-contained.
+    dataset = TableDataset(
+        tables=[],
+        type_vocab=list(manifest["type_vocab"]),
+        relation_vocab=list(manifest["relation_vocab"]),
+        name=manifest.get("dataset_name", ""),
+    )
+    trainer = DoduoTrainer(dataset, tokenizer, encoder_config, doduo_config)
+    load_checkpoint(trainer.model, directory / "weights.npz")
+    trainer.model.eval()
+    return Doduo(trainer)

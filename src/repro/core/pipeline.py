@@ -1,0 +1,118 @@
+"""End-to-end pipeline helpers: KB -> corpus -> tokenizer -> pre-train -> fine-tune.
+
+Benchmarks and examples share this plumbing so every experiment builds its
+models the same way (and caches the expensive pre-training step per
+configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.kb import KnowledgeBase
+from ..datasets.tables import TableDataset
+from ..nn import TransformerConfig
+from ..pretrain import PretrainResult, pretrain_mlm
+from ..text import WordPieceTokenizer, train_wordpiece
+from .trainer import DoduoConfig, DoduoTrainer
+
+_PRETRAIN_CACHE: Dict[Tuple, Tuple[WordPieceTokenizer, PretrainResult]] = {}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Controls the shared substrate of an experiment."""
+
+    kb_seed: int = 13
+    kb_scale: float = 1.0
+    vocab_size: int = 2048
+    hidden_dim: int = 96
+    num_layers: int = 3
+    num_heads: int = 4
+    ffn_dim: int = 192
+    max_position: int = 256
+    num_segments: int = 12
+    dropout: float = 0.1
+    pretrain_epochs: int = 2
+    pretrain_batch_size: int = 32
+    pretrain_lr: float = 1e-3
+    pretrain_seed: int = 5
+
+    def encoder_config(self, vocab_size: int) -> TransformerConfig:
+        return TransformerConfig(
+            vocab_size=vocab_size,
+            hidden_dim=self.hidden_dim,
+            num_layers=self.num_layers,
+            num_heads=self.num_heads,
+            ffn_dim=self.ffn_dim,
+            max_position=self.max_position,
+            num_segments=self.num_segments,
+            dropout=self.dropout,
+        )
+
+
+def build_knowledge_base(config: PipelineConfig) -> KnowledgeBase:
+    return KnowledgeBase(np.random.default_rng(config.kb_seed), scale=config.kb_scale)
+
+
+def build_pretrained_lm(
+    config: PipelineConfig,
+    kb: Optional[KnowledgeBase] = None,
+    extra_corpus: Optional[Tuple[str, ...]] = None,
+    use_cache: bool = True,
+) -> Tuple[WordPieceTokenizer, PretrainResult]:
+    """Build the tokenizer and masked-LM pre-trained on the verbalized KB.
+
+    Results are cached per configuration because several benchmarks share the
+    same substrate.
+    """
+    cache_key = (config, extra_corpus)
+    if use_cache and cache_key in _PRETRAIN_CACHE:
+        return _PRETRAIN_CACHE[cache_key]
+
+    if kb is None:
+        kb = build_knowledge_base(config)
+    corpus = kb.verbalize(np.random.default_rng(config.pretrain_seed))
+    if extra_corpus:
+        corpus = list(corpus) + list(extra_corpus)
+    tokenizer = train_wordpiece(corpus, vocab_size=config.vocab_size)
+    encoder_config = config.encoder_config(tokenizer.vocab_size)
+    result = pretrain_mlm(
+        corpus,
+        tokenizer,
+        encoder_config,
+        epochs=config.pretrain_epochs,
+        batch_size=config.pretrain_batch_size,
+        lr=config.pretrain_lr,
+        seed=config.pretrain_seed,
+    )
+    if use_cache:
+        _PRETRAIN_CACHE[cache_key] = (tokenizer, result)
+    return tokenizer, result
+
+
+def make_trainer(
+    train_dataset: TableDataset,
+    tokenizer: WordPieceTokenizer,
+    pipeline_config: PipelineConfig,
+    doduo_config: DoduoConfig,
+    pretrained: Optional[PretrainResult] = None,
+) -> DoduoTrainer:
+    """Construct a :class:`DoduoTrainer`, optionally warm-started from the
+    pre-trained encoder (the paper's fine-tuning setup)."""
+    encoder_config = pipeline_config.encoder_config(tokenizer.vocab_size)
+    state = pretrained.encoder.state_dict() if pretrained is not None else None
+    return DoduoTrainer(
+        train_dataset,
+        tokenizer,
+        encoder_config,
+        doduo_config,
+        pretrained_encoder_state=state,
+    )
+
+
+def clear_pretrain_cache() -> None:
+    _PRETRAIN_CACHE.clear()

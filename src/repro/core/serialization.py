@@ -1,0 +1,273 @@
+"""Table serialization (Section 4.2 of the paper).
+
+DODUO's table-wise serialization turns a table into one token sequence with a
+``[CLS]`` marker opening every column:
+
+    serialize(T) ::= [CLS] v11 v12 ... [CLS] v21 ... [SEP]
+
+The single-column baseline (Section 4.1) instead serializes one column (or a
+column pair, with an extra ``[SEP]`` separator) per sequence.  Both schemes
+are implemented here, along with the TURL-style *visibility matrix* that
+removes cross-column attention edges.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.tables import Table
+from ..text import WordPieceTokenizer
+from .numeric import NON_NUMERIC_BIN, magnitude_bin
+
+
+@dataclass
+class EncodedTable:
+    """A serialized table ready for the encoder.
+
+    ``column_ids`` assigns each token to the column it came from (the final
+    ``[SEP]`` belongs to no column and gets ``-1``), which is what the
+    visibility matrix and the attention analysis consume.  ``numeric_ids``
+    carries each token's magnitude bin (see :mod:`repro.core.numeric`);
+    special tokens and non-numeric cells get bin 0.
+    """
+
+    token_ids: np.ndarray
+    cls_positions: np.ndarray
+    column_ids: np.ndarray
+    numeric_ids: Optional[np.ndarray] = None
+    table: Optional[Table] = None
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.cls_positions)
+
+    @property
+    def length(self) -> int:
+        return len(self.token_ids)
+
+
+@dataclass(frozen=True)
+class SerializerConfig:
+    """Controls how tables become token sequences.
+
+    ``max_tokens_per_column`` is the MaxToken/col knob of Table 8;
+    ``include_headers`` is the "+metadata" variant of Table 3 (column names
+    are prepended to the column's values before serialization).
+
+    ``value_order`` decides which cells spend the token budget when a column
+    has more values than fit (the paper truncates; *which* rows survive the
+    truncation is a design choice):
+
+    * ``"head"`` — first rows first (the paper's protocol; default),
+    * ``"distinct"`` — first occurrence of each distinct value first, so a
+      low-cardinality column shows its vocabulary instead of repeating one
+      value (then remaining budget returns to head order),
+    * ``"random"`` — a deterministic shuffle per column (``sample_seed``),
+      trading recency bias for coverage.
+    """
+
+    max_tokens_per_column: int = 8
+    max_sequence_length: int = 256
+    include_headers: bool = False
+    value_order: str = "head"
+    sample_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value_order not in ("head", "distinct", "random"):
+            raise ValueError(
+                f'value_order must be "head", "distinct", or "random": '
+                f"{self.value_order!r}"
+            )
+
+
+class TableSerializer:
+    """Serializes tables/columns into encoder inputs."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer, config: SerializerConfig) -> None:
+        self.tokenizer = tokenizer
+        self.config = config
+
+    # -- column token budget ---------------------------------------------------
+    def _column_tokens(
+        self, values: Sequence[str], header: Optional[str]
+    ) -> Tuple[List[int], List[int]]:
+        """Tokens for one column plus each token's magnitude bin.
+
+        All tokens of a numeric cell share the cell's bin, so the model sees
+        the magnitude alongside every digit-pair piece of the number.
+        """
+        budget = self.config.max_tokens_per_column
+        tokens: List[int] = []
+        bins: List[int] = []
+        if self.config.include_headers and header:
+            header_tokens = self.tokenizer.encode(header)
+            tokens.extend(header_tokens)
+            bins.extend([NON_NUMERIC_BIN] * len(header_tokens))
+        for value in self._ordered_values(values):
+            if len(tokens) >= budget:
+                break
+            value_tokens = self.tokenizer.encode(value)
+            tokens.extend(value_tokens)
+            bins.extend([magnitude_bin(value)] * len(value_tokens))
+        return tokens[:budget], bins[:budget]
+
+    def _ordered_values(self, values: Sequence[str]) -> List[str]:
+        """Order cells by the configured ``value_order`` policy."""
+        order = self.config.value_order
+        if order == "head":
+            return list(values)
+        if order == "distinct":
+            seen = set()
+            firsts: List[str] = []
+            rest: List[str] = []
+            for value in values:
+                if value not in seen:
+                    seen.add(value)
+                    firsts.append(value)
+                else:
+                    rest.append(value)
+            return firsts + rest
+        # "random": deterministic per serializer seed and column content
+        # (stable across processes — no use of the salted built-in hash), so
+        # the same table always serializes identically.
+        digest = zlib.crc32("\x1f".join(values).encode("utf-8"))
+        rng = np.random.default_rng(self.config.sample_seed + digest)
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        return shuffled
+
+    # -- table-wise serialization (DODUO) ---------------------------------------
+    def serialize_table(self, table: Table) -> EncodedTable:
+        """``[CLS] col1-values [CLS] col2-values ... [SEP]``"""
+        vocab = self.tokenizer.vocab
+        token_ids: List[int] = []
+        column_ids: List[int] = []
+        numeric_ids: List[int] = []
+        cls_positions: List[int] = []
+        for col_index, column in enumerate(table.columns):
+            cls_positions.append(len(token_ids))
+            token_ids.append(vocab.cls_id)
+            column_ids.append(col_index)
+            numeric_ids.append(NON_NUMERIC_BIN)
+            tokens, bins = self._column_tokens(column.values, column.header)
+            for token, magnitude in zip(tokens, bins):
+                token_ids.append(token)
+                column_ids.append(col_index)
+                numeric_ids.append(magnitude)
+        token_ids.append(vocab.sep_id)
+        column_ids.append(-1)
+        numeric_ids.append(NON_NUMERIC_BIN)
+        if len(token_ids) > self.config.max_sequence_length:
+            raise ValueError(
+                f"serialized table has {len(token_ids)} tokens, exceeding "
+                f"max_sequence_length={self.config.max_sequence_length}; "
+                "lower max_tokens_per_column or split the table"
+            )
+        return EncodedTable(
+            token_ids=np.asarray(token_ids, dtype=np.int64),
+            cls_positions=np.asarray(cls_positions, dtype=np.int64),
+            column_ids=np.asarray(column_ids, dtype=np.int64),
+            numeric_ids=np.asarray(numeric_ids, dtype=np.int64),
+            table=table,
+        )
+
+    # -- single-column serialization (Dosolo-SCol) -------------------------------
+    def serialize_column(self, table: Table, col_index: int) -> EncodedTable:
+        """``[CLS] values [SEP]`` for one column."""
+        vocab = self.tokenizer.vocab
+        column = table.columns[col_index]
+        tokens, bins = self._column_tokens(column.values, column.header)
+        token_ids = [vocab.cls_id] + tokens + [vocab.sep_id]
+        column_ids = [0] * (len(tokens) + 1) + [-1]
+        numeric_ids = [NON_NUMERIC_BIN] + bins + [NON_NUMERIC_BIN]
+        return EncodedTable(
+            token_ids=np.asarray(token_ids, dtype=np.int64),
+            cls_positions=np.asarray([0], dtype=np.int64),
+            column_ids=np.asarray(column_ids, dtype=np.int64),
+            numeric_ids=np.asarray(numeric_ids, dtype=np.int64),
+            table=table,
+        )
+
+    def serialize_column_pair(self, table: Table, i: int, j: int) -> EncodedTable:
+        """``[CLS] values_i [SEP] [CLS] values_j [SEP]`` for a column pair.
+
+        Two ``[CLS]`` markers are used so the pair model can read both column
+        representations, with ``[SEP]`` separating the columns as in §4.1.
+        """
+        vocab = self.tokenizer.vocab
+        col_i, col_j = table.columns[i], table.columns[j]
+        tokens_i, bins_i = self._column_tokens(col_i.values, col_i.header)
+        tokens_j, bins_j = self._column_tokens(col_j.values, col_j.header)
+        token_ids = (
+            [vocab.cls_id] + tokens_i + [vocab.sep_id]
+            + [vocab.cls_id] + tokens_j + [vocab.sep_id]
+        )
+        cls_positions = [0, len(tokens_i) + 2]
+        column_ids = (
+            [0] * (len(tokens_i) + 1) + [-1] + [1] * (len(tokens_j) + 1) + [-1]
+        )
+        numeric_ids = (
+            [NON_NUMERIC_BIN] + bins_i + [NON_NUMERIC_BIN]
+            + [NON_NUMERIC_BIN] + bins_j + [NON_NUMERIC_BIN]
+        )
+        return EncodedTable(
+            token_ids=np.asarray(token_ids, dtype=np.int64),
+            cls_positions=np.asarray(cls_positions, dtype=np.int64),
+            column_ids=np.asarray(column_ids, dtype=np.int64),
+            numeric_ids=np.asarray(numeric_ids, dtype=np.int64),
+            table=table,
+        )
+
+    def max_columns_within(self, sequence_budget: int = 128) -> int:
+        """How many columns fit in ``sequence_budget`` tokens (Table 8's
+        "Max. # of cols" column): each column costs 1 + MaxToken/col, plus the
+        final [SEP]."""
+        per_column = 1 + self.config.max_tokens_per_column
+        return max(0, (sequence_budget - 1) // per_column)
+
+
+def pad_batch(
+    encoded: Sequence[EncodedTable],
+    pad_id: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length sequences into ``(token_ids, attention_mask)``."""
+    width = max(e.length for e in encoded)
+    token_ids = np.full((len(encoded), width), pad_id, dtype=np.int64)
+    mask = np.zeros((len(encoded), width), dtype=bool)
+    for row, item in enumerate(encoded):
+        token_ids[row, : item.length] = item.token_ids
+        mask[row, : item.length] = True
+    return token_ids, mask
+
+
+def column_visibility(
+    encoded: Sequence[EncodedTable],
+    width: Optional[int] = None,
+) -> np.ndarray:
+    """TURL-style visibility matrix ``(B, S, S)``.
+
+    Attention is strictly column-local: a token may attend only to tokens of
+    its own column (plus itself).  Cross-column edges — including edges from
+    other columns' cells to a column's ``[CLS]`` — are removed, matching the
+    description of TURL's visibility matrix in Section 5.4.  The final
+    ``[SEP]`` is deliberately *not* a global hub: a globally-visible token
+    would re-leak full table context through two attention hops, defeating
+    the restriction the baseline is supposed to model.
+    """
+    if width is None:
+        width = max(e.length for e in encoded)
+    batch = len(encoded)
+    visibility = np.zeros((batch, width, width), dtype=bool)
+    for row, item in enumerate(encoded):
+        ids = np.full(width, -2, dtype=np.int64)  # -2 = padding (invisible)
+        ids[: item.length] = item.column_ids
+        same = (ids[:, None] == ids[None, :]) & (ids[None, :] != -2) & (ids[:, None] != -2)
+        visibility[row] = same
+        # every real token can always see itself (incl. the [SEP])
+        idx = np.arange(item.length)
+        visibility[row, idx, idx] = True
+    return visibility

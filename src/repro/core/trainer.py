@@ -1,0 +1,485 @@
+"""Multi-task training of DODUO (Algorithm 1 of the paper).
+
+The trainer alternates between the column-type task and the column-relation
+task every epoch, each with its own optimizer and linear-decay scheduler, and
+keeps the checkpoint with the best validation F1 — exactly the procedure of
+Sections 4.4 and 5.3.
+
+Three model variants from the paper map onto configuration flags:
+
+* **Doduo** — table-wise serialization, both tasks (``tasks=("type", "relation")``)
+* **Dosolo** — table-wise serialization, a single task (no multi-task learning)
+* **DosoloSCol** — ``single_column=True``: each column (or column pair) is
+  serialized independently, discarding table context
+* **TURL baseline** — ``use_visibility_matrix=True``: cross-column attention
+  edges removed
+
+Further configuration flags extend the paper's setup:
+``use_numeric_embeddings`` (Section 3.1 future work),
+``augment_column_shuffle`` (column-order-invariance training),
+``use_column_segments=False`` (ablates this reproduction's segment prior),
+and ``early_stopping_patience`` (stop when validation F1 plateaus).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.tables import Table, TableDataset
+from ..evaluation.metrics import PRF, multiclass_micro_f1, multilabel_micro_prf
+from ..nn import Adam, LinearDecayScheduler, TransformerConfig
+from ..nn import functional as F
+from ..text import WordPieceTokenizer
+from .model import DoduoModel
+from .serialization import EncodedTable, SerializerConfig, TableSerializer
+
+TYPE_TASK = "type"
+RELATION_TASK = "relation"
+
+
+@dataclass
+class DoduoConfig:
+    """Hyper-parameters for fine-tuning.
+
+    ``multi_label`` selects BCE loss (WikiTable) vs CE loss (VizNet), per
+    Section 5.3.
+    """
+
+    tasks: Tuple[str, ...] = (TYPE_TASK, RELATION_TASK)
+    multi_label: bool = True
+    single_column: bool = False
+    use_visibility_matrix: bool = False
+    use_column_segments: bool = True
+    use_numeric_embeddings: bool = False
+    augment_column_shuffle: bool = False
+    max_tokens_per_column: int = 8
+    include_headers: bool = False
+    value_order: str = "head"
+    epochs: int = 10
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    seed: int = 0
+    keep_best_checkpoint: bool = True
+    early_stopping_patience: int = 0  # 0 disables early stopping
+
+    def __post_init__(self) -> None:
+        for task in self.tasks:
+            if task not in (TYPE_TASK, RELATION_TASK):
+                raise ValueError(f"unknown task: {task}")
+        if self.early_stopping_patience < 0:
+            raise ValueError(
+                f"early_stopping_patience must be >= 0: "
+                f"{self.early_stopping_patience}"
+            )
+
+
+@dataclass
+class _TypeExample:
+    encoded: EncodedTable
+    labels: np.ndarray  # multi-hot (num_cols, num_types) or int (num_cols,)
+
+
+@dataclass
+class _RelationExample:
+    encoded: EncodedTable
+    pairs: List[Tuple[int, int]]          # local column index pairs
+    labels: np.ndarray                    # multi-hot (num_pairs, R) or int (num_pairs,)
+
+
+@dataclass
+class TrainingHistory:
+    """Loss / validation-F1 trajectory of a training run."""
+
+    task_losses: Dict[str, List[float]] = field(default_factory=dict)
+    valid_f1: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+
+class DoduoTrainer:
+    """Fine-tunes a :class:`DoduoModel` on a :class:`TableDataset`."""
+
+    def __init__(
+        self,
+        dataset: TableDataset,
+        tokenizer: WordPieceTokenizer,
+        encoder_config: TransformerConfig,
+        config: DoduoConfig,
+        pretrained_encoder_state: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.tokenizer = tokenizer
+        self.serializer = TableSerializer(
+            tokenizer,
+            SerializerConfig(
+                max_tokens_per_column=config.max_tokens_per_column,
+                max_sequence_length=encoder_config.max_position,
+                include_headers=config.include_headers,
+                value_order=config.value_order,
+            ),
+        )
+        rng = np.random.default_rng(config.seed)
+        num_relations = dataset.num_relations if RELATION_TASK in config.tasks else 0
+        self.model = DoduoModel(
+            encoder_config,
+            num_types=dataset.num_types,
+            num_relations=num_relations,
+            rng=rng,
+            use_visibility_matrix=config.use_visibility_matrix,
+            use_column_segments=config.use_column_segments,
+            use_numeric_embeddings=config.use_numeric_embeddings,
+        )
+        if pretrained_encoder_state is not None:
+            self.model.encoder.load_state_dict(pretrained_encoder_state)
+        self._rng = rng
+        self.history = TrainingHistory(
+            task_losses={task: [] for task in config.tasks}
+        )
+
+    # ------------------------------------------------------------------
+    # Example preparation
+    # ------------------------------------------------------------------
+    def _type_label_array(self, table: Table) -> np.ndarray:
+        if self.config.multi_label:
+            labels = np.zeros((table.num_columns, self.dataset.num_types), dtype=np.float32)
+            for c, column in enumerate(table.columns):
+                for name in column.type_labels:
+                    labels[c, self.dataset.type_id(name)] = 1.0
+            return labels
+        labels = np.zeros(table.num_columns, dtype=np.int64)
+        for c, column in enumerate(table.columns):
+            if not column.type_labels:
+                raise ValueError(f"column {c} of {table.table_id} has no type label")
+            labels[c] = self.dataset.type_id(column.type_labels[0])
+        return labels
+
+    def _relation_label_array(self, table: Table, pairs: List[Tuple[int, int]]) -> np.ndarray:
+        if self.config.multi_label:
+            labels = np.zeros((len(pairs), self.dataset.num_relations), dtype=np.float32)
+            for row, pair in enumerate(pairs):
+                for name in table.relation_labels[pair]:
+                    labels[row, self.dataset.relation_id(name)] = 1.0
+            return labels
+        labels = np.zeros(len(pairs), dtype=np.int64)
+        for row, pair in enumerate(pairs):
+            labels[row] = self.dataset.relation_id(table.relation_labels[pair][0])
+        return labels
+
+    def _prepare_type_examples(self, tables: Sequence[Table]) -> List[_TypeExample]:
+        examples: List[_TypeExample] = []
+        for table in tables:
+            label_array = self._type_label_array(table)
+            if self.config.single_column:
+                for c in range(table.num_columns):
+                    encoded = self.serializer.serialize_column(table, c)
+                    examples.append(_TypeExample(encoded, label_array[c:c + 1]))
+            else:
+                encoded = self.serializer.serialize_table(table)
+                examples.append(_TypeExample(encoded, label_array))
+        return examples
+
+    def _prepare_relation_examples(self, tables: Sequence[Table]) -> List[_RelationExample]:
+        examples: List[_RelationExample] = []
+        for table in tables:
+            pairs = sorted(table.relation_labels)
+            if not pairs:
+                continue
+            labels = self._relation_label_array(table, pairs)
+            if self.config.single_column:
+                for row, (i, j) in enumerate(pairs):
+                    encoded = self.serializer.serialize_column_pair(table, i, j)
+                    examples.append(
+                        _RelationExample(encoded, [(0, 1)], labels[row:row + 1])
+                    )
+            else:
+                encoded = self.serializer.serialize_table(table)
+                examples.append(_RelationExample(encoded, pairs, labels))
+        return examples
+
+    # ------------------------------------------------------------------
+    # Loss computation per batch
+    # ------------------------------------------------------------------
+    def _type_batch_loss(self, batch: Sequence[_TypeExample]):
+        logits = self.model.type_logits([ex.encoded for ex in batch])
+        if self.config.multi_label:
+            targets = np.concatenate([ex.labels for ex in batch], axis=0)
+            return F.binary_cross_entropy_logits(logits, targets)
+        targets = np.concatenate([ex.labels for ex in batch], axis=0)
+        return F.cross_entropy_logits(logits, targets)
+
+    def _relation_batch_loss(self, batch: Sequence[_RelationExample]):
+        encoded = [ex.encoded for ex in batch]
+        pairs = [
+            (b, i, j)
+            for b, ex in enumerate(batch)
+            for (i, j) in ex.pairs
+        ]
+        logits = self.model.relation_logits(encoded, pairs)
+        targets = np.concatenate([ex.labels for ex in batch], axis=0)
+        if self.config.multi_label:
+            return F.binary_cross_entropy_logits(logits, targets)
+        return F.cross_entropy_logits(logits, targets)
+
+    # ------------------------------------------------------------------
+    # Training loop (Algorithm 1)
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        valid_dataset: Optional[TableDataset] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        config = self.config
+
+        def prepare(tables):
+            type_examples = (
+                self._prepare_type_examples(tables)
+                if TYPE_TASK in config.tasks
+                else []
+            )
+            relation_examples = (
+                self._prepare_relation_examples(tables)
+                if RELATION_TASK in config.tasks
+                else []
+            )
+            return type_examples, relation_examples
+
+        type_examples, relation_examples = prepare(self.dataset.tables)
+
+        # One optimizer + scheduler per task (hard parameter sharing: both
+        # optimizers update the shared encoder).
+        optimizers: Dict[str, Adam] = {}
+        schedulers: Dict[str, LinearDecayScheduler] = {}
+        counts = {TYPE_TASK: len(type_examples), RELATION_TASK: len(relation_examples)}
+        for task in config.tasks:
+            if counts[task] == 0:
+                continue
+            optimizers[task] = Adam(self.model.parameters(), lr=config.learning_rate)
+            steps = config.epochs * max(1, int(np.ceil(counts[task] / config.batch_size)))
+            schedulers[task] = LinearDecayScheduler(optimizers[task], total_steps=steps)
+
+        best_f1 = -1.0
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        epochs_without_improvement = 0
+
+        self.model.train()
+        for epoch in range(config.epochs):
+            if config.augment_column_shuffle and epoch > 0:
+                # Re-serialize with a fresh column permutation per table so
+                # the model cannot tie a type to a column position — the
+                # order-invariance property the Table 6 ablation measures.
+                shuffled = [t.shuffled_columns(self._rng) for t in self.dataset.tables]
+                type_examples, relation_examples = prepare(shuffled)
+            for task in config.tasks:
+                if task not in optimizers:
+                    continue
+                examples = type_examples if task == TYPE_TASK else relation_examples
+                order = self._rng.permutation(len(examples))
+                epoch_loss, num_batches = 0.0, 0
+                for start in range(0, len(order), config.batch_size):
+                    batch = [examples[i] for i in order[start:start + config.batch_size]]
+                    if task == TYPE_TASK:
+                        loss = self._type_batch_loss(batch)
+                    else:
+                        loss = self._relation_batch_loss(batch)
+                    optimizers[task].zero_grad()
+                    loss.backward()
+                    optimizers[task].step()
+                    schedulers[task].step()
+                    epoch_loss += loss.item()
+                    num_batches += 1
+                self.history.task_losses[task].append(epoch_loss / max(num_batches, 1))
+
+            if valid_dataset is not None and config.keep_best_checkpoint:
+                scores = self.evaluate(valid_dataset)
+                mean_f1 = float(np.mean([prf.f1 for prf in scores.values()]))
+                self.history.valid_f1.append(mean_f1)
+                if mean_f1 > best_f1:
+                    best_f1 = mean_f1
+                    best_state = self.model.state_dict()
+                    self.history.best_epoch = epoch
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                self.model.train()
+            if verbose:  # pragma: no cover - console output
+                losses = {t: v[-1] for t, v in self.history.task_losses.items() if v}
+                print(f"epoch {epoch}: losses={losses}")
+            if (
+                config.early_stopping_patience > 0
+                and epochs_without_improvement >= config.early_stopping_patience
+            ):
+                self.history.stopped_early = True
+                break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Prediction and evaluation
+    # ------------------------------------------------------------------
+    def _predict_multilabel(self, probs: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        predictions = probs >= threshold
+        # Guarantee at least the top-scoring label per sample.
+        top = probs.argmax(axis=-1)
+        predictions[np.arange(len(probs)), top] = True
+        return predictions
+
+    def predict_types(self, tables: Sequence[Table]) -> List[np.ndarray]:
+        """Per-table type predictions.
+
+        Multi-label mode returns boolean indicator matrices
+        ``(num_cols, num_types)``; single-label mode returns int arrays.
+        """
+        self.model.eval()
+        results: List[np.ndarray] = []
+        batch_size = max(1, self.config.batch_size)
+        for start in range(0, len(tables), batch_size):
+            chunk = tables[start:start + batch_size]
+            if self.config.single_column:
+                encoded = [
+                    self.serializer.serialize_column(t, c)
+                    for t in chunk
+                    for c in range(t.num_columns)
+                ]
+            else:
+                encoded = [self.serializer.serialize_table(t) for t in chunk]
+            probs = self.model.predict_type_probs(encoded, self.config.multi_label)
+            offset = 0
+            for table in chunk:
+                rows = probs[offset:offset + table.num_columns]
+                offset += table.num_columns
+                if self.config.multi_label:
+                    results.append(self._predict_multilabel(rows))
+                else:
+                    results.append(rows.argmax(axis=-1))
+        return results
+
+    def predict_relations(
+        self, tables: Sequence[Table]
+    ) -> List[Dict[Tuple[int, int], np.ndarray]]:
+        """Per-table relation predictions for each annotated column pair."""
+        self.model.eval()
+        results: List[Dict[Tuple[int, int], np.ndarray]] = []
+        for table in tables:
+            pairs = sorted(table.relation_labels)
+            if not pairs:
+                results.append({})
+                continue
+            if self.config.single_column:
+                encoded = [
+                    self.serializer.serialize_column_pair(table, i, j) for i, j in pairs
+                ]
+                index_pairs = [(b, 0, 1) for b in range(len(pairs))]
+            else:
+                encoded = [self.serializer.serialize_table(table)]
+                index_pairs = [(0, i, j) for i, j in pairs]
+            probs = self.model.predict_relation_probs(
+                encoded, index_pairs, self.config.multi_label
+            )
+            table_result = {}
+            for row, pair in enumerate(pairs):
+                if self.config.multi_label:
+                    table_result[pair] = self._predict_multilabel(probs[row:row + 1])[0]
+                else:
+                    table_result[pair] = np.asarray(probs[row].argmax())
+            results.append(table_result)
+        return results
+
+    def evaluate(self, dataset: TableDataset) -> Dict[str, PRF]:
+        """Micro PRF per task on ``dataset``."""
+        scores: Dict[str, PRF] = {}
+        if TYPE_TASK in self.config.tasks:
+            predictions = self.predict_types(dataset.tables)
+            if self.config.multi_label:
+                y_true = np.concatenate(
+                    [self._indicator_for(table, dataset) for table in dataset.tables], axis=0
+                )
+                y_pred = np.concatenate(predictions, axis=0)
+                scores[TYPE_TASK] = multilabel_micro_prf(y_true, y_pred)
+            else:
+                y_true = np.concatenate(
+                    [
+                        [dataset.type_id(col.type_labels[0]) for col in table.columns]
+                        for table in dataset.tables
+                    ]
+                )
+                y_pred = np.concatenate(predictions)
+                scores[TYPE_TASK] = multiclass_micro_f1(y_true, y_pred)
+        if RELATION_TASK in self.config.tasks and dataset.num_relations > 0:
+            predictions = self.predict_relations(dataset.tables)
+            true_rows, pred_rows = [], []
+            for table, table_pred in zip(dataset.tables, predictions):
+                for pair in sorted(table.relation_labels):
+                    row = np.zeros(dataset.num_relations, dtype=bool)
+                    for name in table.relation_labels[pair]:
+                        row[dataset.relation_id(name)] = True
+                    true_rows.append(row)
+                    if self.config.multi_label:
+                        pred_rows.append(table_pred[pair])
+                    else:
+                        one_hot = np.zeros(dataset.num_relations, dtype=bool)
+                        one_hot[int(table_pred[pair])] = True
+                        pred_rows.append(one_hot)
+            if true_rows:
+                scores[RELATION_TASK] = multilabel_micro_prf(
+                    np.stack(true_rows), np.stack(pred_rows)
+                )
+        return scores
+
+    def _indicator_for(self, table: Table, dataset: TableDataset) -> np.ndarray:
+        indicator = np.zeros((table.num_columns, dataset.num_types), dtype=bool)
+        for c, column in enumerate(table.columns):
+            for name in column.type_labels:
+                indicator[c, dataset.type_id(name)] = True
+        return indicator
+
+    # ------------------------------------------------------------------
+    # Embeddings (case study / analysis)
+    # ------------------------------------------------------------------
+    def column_embeddings(
+        self,
+        table: Table,
+        max_tokens_per_column: Optional[int] = None,
+        layer: int = -1,
+    ) -> np.ndarray:
+        """Contextualized column embeddings ``(num_cols, d)`` for a table.
+
+        ``max_tokens_per_column`` widens (or narrows) the serialization
+        budget at inference time — embeddings used for clustering benefit
+        from seeing more cell evidence than the training budget, and the
+        position embeddings cover the longer sequence as long as it fits
+        ``max_sequence_length``.  ``layer`` selects the encoder block to
+        read (see :meth:`DoduoModel.column_embeddings`).
+        """
+        self.model.eval()
+        serializer = self.serializer
+        if max_tokens_per_column is not None:
+            limits = serializer.config
+            serializer = TableSerializer(
+                self.tokenizer,
+                SerializerConfig(
+                    max_tokens_per_column=max_tokens_per_column,
+                    max_sequence_length=limits.max_sequence_length,
+                    include_headers=limits.include_headers,
+                    value_order=limits.value_order,
+                    sample_seed=limits.sample_seed,
+                ),
+            )
+        if self.config.single_column:
+            encoded = [
+                serializer.serialize_column(table, c)
+                for c in range(table.num_columns)
+            ]
+        else:
+            encoded = [serializer.serialize_table(table)]
+        return self.model.column_embeddings(encoded, layer=layer).data.copy()
+
+    def clone_state(self) -> Dict[str, np.ndarray]:
+        return copy.deepcopy(self.model.state_dict())

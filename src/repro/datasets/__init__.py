@@ -1,0 +1,68 @@
+"""Datasets: synthetic KB, WikiTable/VizNet-style benchmarks, case study DB."""
+
+from .corruption import (
+    CorruptionConfig,
+    corrupt_dataset,
+    corrupt_table,
+    drop_cells,
+    misplace_cells,
+    typo_cells,
+)
+from .enterprise import case_study_clusters, generate_enterprise_dataset
+from .kb import Entity, KnowledgeBase, RELATION_TEMPLATES
+from .splits import DatasetSplits, split_dataset, training_fraction
+from .stats import (
+    DatasetStatistics,
+    dataset_statistics,
+    relation_label_distribution,
+    type_label_distribution,
+)
+from .tables import Column, Table, TableDataset
+from .viznet import (
+    NUMERIC_TYPES_TABLE5,
+    generate_viznet_dataset,
+    multi_column_only,
+    numeric_fraction,
+    viznet_type_vocab,
+)
+from .wikitable import (
+    SCHEMAS,
+    TYPE_HIERARCHY,
+    generate_wikitable_dataset,
+    wikitable_relation_vocab,
+    wikitable_type_vocab,
+)
+
+__all__ = [
+    "Column",
+    "CorruptionConfig",
+    "DatasetSplits",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "relation_label_distribution",
+    "type_label_distribution",
+    "Entity",
+    "KnowledgeBase",
+    "NUMERIC_TYPES_TABLE5",
+    "RELATION_TEMPLATES",
+    "SCHEMAS",
+    "TYPE_HIERARCHY",
+    "Table",
+    "TableDataset",
+    "case_study_clusters",
+    "corrupt_dataset",
+    "corrupt_table",
+    "drop_cells",
+    "generate_enterprise_dataset",
+    "generate_viznet_dataset",
+    "generate_wikitable_dataset",
+    "misplace_cells",
+    "multi_column_only",
+    "numeric_fraction",
+    "split_dataset",
+    "training_fraction",
+    "typo_cells",
+    "viznet_type_vocab",
+    "wikitable_relation_vocab",
+    "wikitable_type_vocab",
+]

@@ -1,0 +1,177 @@
+"""Dirty-data injection (Appendix B: "Clean data vs. dirty data").
+
+The paper assumes table values are "correct and clean" and cites evidence
+that pre-trained-LM approaches stay robust when they are not — values missing
+or *misplaced* (cells swapped into the wrong column).  This module makes that
+claim testable: it injects controlled amounts of each corruption into a
+dataset so the robustness ablation (``benchmarks/bench_ablation_dirty.py``)
+can chart F1 as a function of the corruption rate.
+
+Corruptions operate on *copies*; input tables are never mutated.  Labels are
+left untouched on purpose — the evaluation question is how far predictions
+degrade when the evidence degrades, against ground truth that stays fixed.
+
+Supported corruptions
+---------------------
+* :func:`drop_cells` — replace a fraction of cells with the empty string
+  (missing values).
+* :func:`misplace_cells` — swap a fraction of cells between two columns of
+  the same row (misfielded values, the classic spreadsheet error).
+* :func:`typo_cells` — perturb characters inside a fraction of cells
+  (duplicate / delete / transpose), modelling entry noise.
+* :func:`corrupt_dataset` — apply a :class:`CorruptionConfig` mix to a whole
+  dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .tables import Column, Table, TableDataset
+
+
+def _copy_table(table: Table) -> Table:
+    return Table(
+        columns=[
+            Column(
+                values=list(col.values),
+                type_labels=list(col.type_labels),
+                header=col.header,
+            )
+            for col in table.columns
+        ],
+        table_id=table.table_id,
+        relation_labels={k: list(v) for k, v in table.relation_labels.items()},
+        metadata=dict(table.metadata),
+    )
+
+
+def drop_cells(table: Table, rate: float, rng: np.random.Generator) -> Table:
+    """Replace ``rate`` of all cells with the empty string."""
+    _check_rate(rate)
+    out = _copy_table(table)
+    for column in out.columns:
+        for r in range(column.num_rows):
+            if rng.random() < rate:
+                column.values[r] = ""
+    return out
+
+
+def misplace_cells(table: Table, rate: float, rng: np.random.Generator) -> Table:
+    """Swap ``rate`` of cells with the same row's cell in another column.
+
+    Tables with a single column are returned unchanged (there is nowhere to
+    misplace a value to).
+    """
+    _check_rate(rate)
+    out = _copy_table(table)
+    if out.num_columns < 2:
+        return out
+    for c, column in enumerate(out.columns):
+        for r in range(column.num_rows):
+            if rng.random() >= rate:
+                continue
+            other = int(rng.integers(out.num_columns - 1))
+            if other >= c:
+                other += 1
+            other_col = out.columns[other]
+            if r < other_col.num_rows:
+                column.values[r], other_col.values[r] = (
+                    other_col.values[r],
+                    column.values[r],
+                )
+    return out
+
+
+def _typo(value: str, rng: np.random.Generator) -> str:
+    """Apply one random character-level edit (duplicate / delete / transpose)."""
+    if not value:
+        return value
+    pos = int(rng.integers(len(value)))
+    kind = int(rng.integers(3))
+    chars = list(value)
+    if kind == 0:  # duplicate a character
+        chars.insert(pos, chars[pos])
+    elif kind == 1 and len(chars) > 1:  # delete a character
+        del chars[pos]
+    elif len(chars) > 1:  # transpose with the next character
+        nxt = min(pos + 1, len(chars) - 1)
+        chars[pos], chars[nxt] = chars[nxt], chars[pos]
+    return "".join(chars)
+
+
+def typo_cells(table: Table, rate: float, rng: np.random.Generator) -> Table:
+    """Introduce one character-level typo into ``rate`` of cells."""
+    _check_rate(rate)
+    out = _copy_table(table)
+    for column in out.columns:
+        for r in range(column.num_rows):
+            if rng.random() < rate:
+                column.values[r] = _typo(column.values[r], rng)
+    return out
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"corruption rate must be in [0, 1]: {rate}")
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    """Mix of corruption rates applied per cell.
+
+    Rates are independent probabilities per corruption type; a cell can be
+    hit by several corruptions (e.g. misplaced and then typo'd), mirroring
+    real dirty data where error modes compound.
+    """
+
+    missing_rate: float = 0.0
+    misplaced_rate: float = 0.0
+    typo_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("missing_rate", "misplaced_rate", "typo_rate"):
+            _check_rate(getattr(self, name))
+
+    @property
+    def is_clean(self) -> bool:
+        return self.missing_rate == self.misplaced_rate == self.typo_rate == 0.0
+
+
+def corrupt_table(
+    table: Table, config: CorruptionConfig, rng: np.random.Generator
+) -> Table:
+    """Apply the configured corruption mix to one table (labels unchanged)."""
+    out = table
+    if config.misplaced_rate > 0:
+        out = misplace_cells(out, config.misplaced_rate, rng)
+    if config.typo_rate > 0:
+        out = typo_cells(out, config.typo_rate, rng)
+    if config.missing_rate > 0:
+        out = drop_cells(out, config.missing_rate, rng)
+    return out if out is not table else _copy_table(table)
+
+
+def corrupt_dataset(
+    dataset: TableDataset,
+    config: CorruptionConfig,
+    seed: int = 0,
+) -> TableDataset:
+    """Corrupted copy of a dataset (same vocabularies, same labels)."""
+    rng = np.random.default_rng(seed)
+    tables: List[Table] = [
+        corrupt_table(table, config, rng) for table in dataset.tables
+    ]
+    suffix = (
+        f"-dirty(m{config.missing_rate:.2f}"
+        f",x{config.misplaced_rate:.2f},t{config.typo_rate:.2f})"
+    )
+    return TableDataset(
+        tables=tables,
+        type_vocab=dataset.type_vocab,
+        relation_vocab=dataset.relation_vocab,
+        name=dataset.name + suffix,
+    )

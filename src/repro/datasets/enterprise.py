@@ -1,0 +1,271 @@
+"""Synthetic enterprise HR database for the Section 7 case study.
+
+The paper's case study uses 10 in-production "jobsearch"/"review" tables with
+50 columns total (29 string, 21 integer) whose ground truth groups them into
+15 semantic clusters:
+
+    date, IP address, job title, timestamp (unixtime), timestamp (hhmm),
+    counts, status, file path, browser, location, search term, rating,
+    company ID, review ID, user ID
+
+Two properties of real enterprise data make this clustering hard, and both
+are generated here on purpose because they are what separates the Table 9
+methods:
+
+* **Cross-cluster surface collisions.**  The three ID clusters and the
+  counts cluster are all plain integers with *overlapping ranges* (auto-
+  increment IDs from different services), and different teams reuse the same
+  header word for different things (``time`` for unixtime and hh:mm,
+  ``location`` for geography and file paths, ``score`` for ratings and
+  counts).  Distribution- and name-based matchers merge across clusters —
+  the paper's low-precision failure mode for DistributionBased and COMA.
+
+* **Within-cluster distribution drift.**  The same semantic column has a
+  different distribution per table: each table's ID column covers its own
+  auto-increment window, counts columns differ by orders of magnitude
+  (per-session vs aggregate), dates come from different export periods.
+  Value-distribution matchers miss these same-cluster pairs (recall loss),
+  while the signal that survives is *format* plus *table context* — exactly
+  what DODUO's contextualized column embeddings capture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .kb import CITY_PARTS_A, CITY_PARTS_B
+from .tables import Column, Table, TableDataset
+
+# A per-column value sampler, created fresh for every (table, column) so the
+# column can carry its own distribution parameters (drift).
+ValueGen = Callable[[np.random.Generator], str]
+ColumnFactory = Callable[[np.random.Generator], ValueGen]
+
+_JOB_TITLES = [
+    "software engineer", "data scientist", "product manager", "designer",
+    "accountant", "nurse", "sales associate", "marketing manager",
+    "technician", "analyst", "recruiter", "teacher",
+]
+
+_BROWSERS = ["chrome", "firefox", "safari", "edge", "opera"]
+
+_STATUSES = ["active", "pending", "approved", "rejected", "expired", "draft"]
+
+_SEARCH_TERMS = [
+    "remote jobs", "salary data", "best companies", "part time work",
+    "engineering roles", "entry level", "benefits review", "hybrid office",
+    "internships", "career change",
+]
+
+
+def _date_factory(rng: np.random.Generator) -> ValueGen:
+    # Each table is an export from its own period: a distinct year and a
+    # narrow month window (within-cluster drift).
+    year = int(rng.integers(2018, 2023))
+    month_low = int(rng.integers(1, 10))
+
+    def gen(r: np.random.Generator) -> str:
+        month = int(r.integers(month_low, month_low + 3))
+        return f"{year}-{month:02d}-{int(r.integers(1, 29)):02d}"
+
+    return gen
+
+
+def _ip_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return ".".join(str(int(r.integers(1, 255))) for _ in range(4))
+
+    return gen
+
+
+def _unixtime_factory(rng: np.random.Generator) -> ValueGen:
+    # Ten-digit epoch seconds; each table covers its own few-month window.
+    start = int(rng.integers(1_500_000_000, 1_630_000_000))
+
+    def gen(r: np.random.Generator) -> str:
+        return str(start + int(r.integers(0, 10_000_000)))
+
+    return gen
+
+
+def _hhmm_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return f"{int(r.integers(0, 24)):02d}:{int(r.integers(0, 60)):02d}"
+
+    return gen
+
+
+def _counts_factory(rng: np.random.Generator) -> ValueGen:
+    # Orders-of-magnitude drift: session counts vs aggregate counts.  The
+    # largest scale overlaps the ID ranges — the precision trap for
+    # distribution matching.
+    scale = int(rng.choice([80, 900, 40_000, 2_000_000]))
+
+    def gen(r: np.random.Generator) -> str:
+        return str(int(r.integers(0, scale)))
+
+    return gen
+
+
+def _status_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return _STATUSES[r.integers(len(_STATUSES))]
+
+    return gen
+
+
+def _file_path_factory(rng: np.random.Generator) -> ValueGen:
+    parts = ["var", "data", "logs", "export", "tmp", "jobs", "reviews"]
+
+    def gen(r: np.random.Generator) -> str:
+        depth = int(r.integers(2, 4))
+        segs = [parts[r.integers(len(parts))] for _ in range(depth)]
+        return "/" + "/".join(segs) + f"/file{int(r.integers(100))}.csv"
+
+    return gen
+
+
+def _browser_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return _BROWSERS[r.integers(len(_BROWSERS))]
+
+    return gen
+
+
+def _location_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return (
+            CITY_PARTS_A[r.integers(len(CITY_PARTS_A))]
+            + CITY_PARTS_B[r.integers(len(CITY_PARTS_B))]
+        )
+
+    return gen
+
+
+def _search_term_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return _SEARCH_TERMS[r.integers(len(_SEARCH_TERMS))]
+
+    return gen
+
+
+def _job_title_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return _JOB_TITLES[r.integers(len(_JOB_TITLES))]
+
+    return gen
+
+
+def _rating_factory(rng: np.random.Generator) -> ValueGen:
+    def gen(r: np.random.Generator) -> str:
+        return f"{r.random() * 4 + 1:.1f}"
+
+    return gen
+
+
+def _id_factory(rng: np.random.Generator) -> ValueGen:
+    """Auto-increment ID window shared by all three ID clusters.
+
+    Every ID column — user, company, review — draws a window from the same
+    global range, so windows overlap *across* clusters as often as *within*
+    one: plain integers carry no cluster signal, only table context does.
+    """
+    low = int(rng.integers(100_000, 6_000_000))
+
+    def gen(r: np.random.Generator) -> str:
+        return str(low + int(r.integers(0, int(low * 0.8))))
+
+    return gen
+
+
+CLUSTER_FACTORIES: Dict[str, ColumnFactory] = {
+    "date": _date_factory,
+    "ip_address": _ip_factory,
+    "job_title": _job_title_factory,
+    "timestamp_unixtime": _unixtime_factory,
+    "timestamp_hhmm": _hhmm_factory,
+    "counts": _counts_factory,
+    "status": _status_factory,
+    "file_path": _file_path_factory,
+    "browser": _browser_factory,
+    "location": _location_factory,
+    "search_term": _search_term_factory,
+    "rating": _rating_factory,
+    "company_id": _id_factory,
+    "review_id": _id_factory,
+    "user_id": _id_factory,
+}
+
+# Header variants per cluster.  Several names are deliberately shared across
+# clusters ("time", "location", "score", "id", "ref") — different teams,
+# different conventions, same word for different things.
+HEADER_VARIANTS: Dict[str, List[str]] = {
+    "date": ["date", "event_date", "day", "dt"],
+    "ip_address": ["ip", "ip_address", "client_ip", "remote_addr"],
+    "job_title": ["job_title", "title", "position", "role_name"],
+    "timestamp_unixtime": ["ts", "time", "created_ts", "epoch"],
+    "timestamp_hhmm": ["time", "hhmm", "clock_time", "time_of_day"],
+    "counts": ["count", "n", "total", "score"],
+    "status": ["status", "state", "review_status", "flag"],
+    "file_path": ["path", "file_path", "source_file", "location"],
+    "browser": ["browser", "user_agent", "client", "ua_family"],
+    "location": ["location", "city", "job_location", "geo"],
+    "search_term": ["query", "search_term", "keywords", "q"],
+    "rating": ["rating", "score", "stars", "review_score"],
+    "company_id": ["company_id", "id", "employer_ref", "ref"],
+    "review_id": ["review_id", "id", "review_ref", "ref"],
+    "user_id": ["user_id", "id", "member_ref", "ref"],
+}
+
+# Ten tables x five columns = 50 columns; every cluster appears >= 2 times.
+TABLE_LAYOUTS: List[Tuple[str, List[str]]] = [
+    ("jobsearch_events", ["date", "user_id", "search_term", "location", "counts"]),
+    ("jobsearch_clicks", ["timestamp_unixtime", "user_id", "job_title", "browser", "ip_address"]),
+    ("jobsearch_sessions", ["date", "timestamp_hhmm", "user_id", "ip_address", "browser"]),
+    ("jobsearch_queries", ["search_term", "counts", "date", "status", "user_id"]),
+    ("jobsearch_exports", ["file_path", "date", "counts", "status", "timestamp_unixtime"]),
+    ("review_ratings", ["review_id", "company_id", "rating", "date", "user_id"]),
+    ("review_moderation", ["review_id", "status", "timestamp_unixtime", "user_id", "counts"]),
+    ("review_companies", ["company_id", "location", "rating", "counts", "status"]),
+    ("review_imports", ["file_path", "review_id", "timestamp_hhmm", "date", "counts"]),
+    ("review_titles", ["job_title", "company_id", "rating", "search_term", "location"]),
+]
+
+
+def case_study_clusters() -> List[str]:
+    return sorted(CLUSTER_FACTORIES)
+
+
+def generate_enterprise_dataset(
+    seed: int = 23,
+    num_rows: int = 12,
+) -> TableDataset:
+    """Generate the 10-table, 50-column case-study database.
+
+    Column ``type_labels`` hold the ground-truth cluster name (used only for
+    evaluation, exactly like the paper's manually refined ground truth).
+    """
+    rng = np.random.default_rng(seed)
+    tables = []
+    for table_name, clusters in TABLE_LAYOUTS:
+        columns = []
+        for cluster in clusters:
+            variants = HEADER_VARIANTS[cluster]
+            header = variants[rng.integers(len(variants))]
+            generator = CLUSTER_FACTORIES[cluster](rng)
+            columns.append(
+                Column(
+                    values=[generator(rng) for _ in range(num_rows)],
+                    type_labels=[cluster],
+                    header=header,
+                )
+            )
+        tables.append(Table(columns=columns, table_id=table_name))
+    return TableDataset(
+        tables=tables,
+        type_vocab=case_study_clusters(),
+        relation_vocab=[],
+        name="enterprise-hr",
+    )

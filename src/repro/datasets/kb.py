@@ -1,0 +1,406 @@
+"""Synthetic typed knowledge base.
+
+This module replaces the role Freebase/DBpedia play for the paper's datasets
+(see DESIGN.md).  It generates a world of typed entities — people with
+professions, works, places, organizations — connected by binary relations
+(``directed_by``, ``place_of_birth``, ``team_roster``, ...).  Tables are then
+*views* over this KB, which guarantees row-wise consistency, and the same KB
+is verbalized into the pre-training corpus so the language model can acquire
+the factual knowledge the paper's probing analysis measures.
+
+Ambiguity is generated deliberately: person subtypes (director, producer,
+athlete, politician, ...) draw names from overlapping pools, exactly like the
+paper's "George Miller" example, so single-column models cannot fully
+disambiguate and table context carries signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Name-part pools.  Kept small on purpose so the WordPiece vocabulary stays
+# compact and the mini-LM can actually learn distributional structure.
+# ---------------------------------------------------------------------------
+
+FIRST_NAMES = [
+    "george", "judy", "warren", "bill", "doug", "john", "joe", "darla", "david",
+    "sam", "dick", "ian", "simon", "max", "thomas", "derrick", "emma", "olivia",
+    "liam", "noah", "ava", "mia", "lucas", "henry", "amelia", "jack", "ella",
+    "oscar", "ruby", "felix", "clara", "hugo", "nina", "marco", "lena", "paulo",
+    "anna", "victor", "rosa", "ivan",
+]
+
+LAST_NAMES = [
+    "miller", "coleman", "morris", "mitchell", "lasseter", "ranft", "anderson",
+    "bowers", "fell", "clement", "frenais", "nye", "browne", "tyner", "henry",
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "davis",
+    "wilson", "moore", "taylor", "thomas", "lee", "harris", "clark", "lewis",
+    "walker", "hall", "allen", "young", "king", "wright", "scott", "green",
+    "baker", "adams", "nelson", "hill", "campbell", "carter", "diaz", "evans",
+]
+
+CITY_PARTS_A = [
+    "spring", "oak", "maple", "river", "lake", "hill", "stone", "clear",
+    "fair", "green", "silver", "north", "south", "east", "west", "new",
+    "port", "fort", "glen", "ash",
+]
+
+CITY_PARTS_B = [
+    "field", "ville", "town", "burg", "dale", "ford", "haven", "wood",
+    "brook", "view", "port", "mont", "land", "side", "crest", "bridge",
+]
+
+COUNTRIES = [
+    "usa", "uk", "france", "germany", "japan", "brazil", "canada", "australia",
+    "italy", "spain", "mexico", "india", "china", "sweden", "norway", "poland",
+    "egypt", "kenya", "chile", "peru",
+]
+
+STATES = [
+    "washington", "oregon", "florida", "alabama", "california", "texas",
+    "ohio", "georgia", "nevada", "utah", "kansas", "iowa", "maine", "idaho",
+    "montana", "arizona",
+]
+
+FILM_WORDS_A = [
+    "happy", "flushed", "silent", "broken", "hidden", "golden", "crimson",
+    "frozen", "electric", "lonely", "burning", "midnight", "distant",
+    "forgotten", "rising", "falling", "secret", "final", "lost", "brave",
+]
+
+FILM_WORDS_B = [
+    "feet", "away", "cars", "dreams", "river", "empire", "garden", "shadow",
+    "voyage", "kingdom", "summer", "winter", "station", "horizon", "echo",
+    "storm", "canyon", "harbor", "signal", "mirror",
+]
+
+COMPANY_WORDS = [
+    "pixel", "vertex", "solar", "quantum", "alpine", "atlas", "nova", "delta",
+    "summit", "orbit", "prime", "fusion", "cedar", "falcon", "aurora",
+    "zenith", "cobalt", "ember", "lumen", "drift",
+]
+
+COMPANY_SUFFIXES = ["studios", "pictures", "media", "works", "group", "labs", "films"]
+
+TEAM_MASCOTS = [
+    "tigers", "eagles", "sharks", "wolves", "hawks", "bears", "lions",
+    "panthers", "falcons", "raptors", "comets", "rockets", "pirates",
+    "knights", "titans", "storm",
+]
+
+POSITIONS = [
+    "quarterback", "running back", "linebacker", "wide receiver", "safety",
+    "cornerback", "kicker", "tight end", "center", "guard",
+]
+
+GENRES = [
+    "drama", "comedy", "thriller", "animation", "documentary", "horror",
+    "romance", "adventure", "fantasy", "western",
+]
+
+LANGUAGES = [
+    "english", "french", "german", "japanese", "portuguese", "spanish",
+    "italian", "mandarin", "hindi", "swedish",
+]
+
+# Person subtypes and the slice of the first-name pool each draws from.
+# Slices overlap heavily, creating cross-profession name ambiguity.
+PERSON_PROFESSIONS: Dict[str, Tuple[int, int]] = {
+    "director": (0, 28),
+    "producer": (6, 34),
+    "athlete": (12, 40),
+    "politician": (4, 32),
+    "musician": (8, 36),
+    "author": (2, 30),
+    "actor": (10, 38),
+    "coach": (14, 40),
+}
+
+
+@dataclass
+class Entity:
+    """A KB entity: a surface name, a fine type, and attribute links."""
+
+    name: str
+    entity_type: str
+    attributes: Dict[str, "Entity"] = field(default_factory=dict)
+    numeric: Dict[str, str] = field(default_factory=dict)
+
+    def attribute_name(self, relation: str) -> Optional[str]:
+        if relation in self.attributes:
+            return self.attributes[relation].name
+        return self.numeric.get(relation)
+
+
+# Relation name -> (subject fine type family, object type, verbalization)
+RELATION_TEMPLATES: Dict[str, Tuple[str, str, str]] = {
+    "film.directed_by": ("film", "director", "{s} is directed by {o}"),
+    "film.produced_by": ("film", "producer", "{s} is produced by {o}"),
+    "film.release_country": ("film", "country", "{s} was released in {o}"),
+    "film.studio": ("film", "company", "{s} was made by {o}"),
+    "film.starring": ("film", "actor", "{s} is starring {o}"),
+    "film.genre": ("film", "genre", "{s} is a {o} film"),
+    "person.place_of_birth": ("person", "city", "{s} was born in {o}"),
+    "person.place_of_death": ("person", "city", "{s} died in {o}"),
+    "person.place_lived": ("person", "city", "{s} lived in {o}"),
+    "person.nationality": ("person", "country", "{s} is from {o}"),
+    "athlete.team_roster": ("athlete", "sports_team", "{s} plays for {o}"),
+    "athlete.position": ("athlete", "position", "{s} plays as {o}"),
+    "album.performed_by": ("album", "musician", "{s} is performed by {o}"),
+    "album.label": ("album", "company", "{s} was released by {o}"),
+    "book.written_by": ("book", "author", "{s} is written by {o}"),
+    "book.publisher": ("book", "company", "{s} was published by {o}"),
+    "book.language": ("book", "language", "{s} is written in {o}"),
+    "city.located_in": ("city", "country", "{s} is located in {o}"),
+    "company.headquarters": ("company", "city", "{s} is based in {o}"),
+    "team.home_city": ("sports_team", "city", "{s} is based in {o}"),
+    "politician.office_country": ("politician", "country", "{s} holds office in {o}"),
+}
+
+# Numeric attribute -> (value range description used by generators)
+NUMERIC_ATTRIBUTES = {
+    "film.release_year": (1950, 2021),
+    "film.runtime": (70, 200),
+    "person.birth_year": (1930, 2003),
+    "person.death_year": (1985, 2021),
+    "album.release_year": (1960, 2021),
+    "book.publication_year": (1900, 2021),
+    "city.population": (10_000, 9_000_000),
+    "company.founded_year": (1900, 2020),
+}
+
+
+class KnowledgeBase:
+    """A deterministic, seeded synthetic knowledge base.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness; the KB is fully determined by it.
+    scale:
+        Multiplier on entity counts (1.0 gives ~600 entities).
+    """
+
+    def __init__(self, rng: np.random.Generator, scale: float = 1.0) -> None:
+        self._rng = rng
+        self.entities: Dict[str, List[Entity]] = {}
+        self._build(scale)
+
+    # -- construction --------------------------------------------------------
+    def _unique_names(self, candidates: List[str], count: int) -> List[str]:
+        self._rng.shuffle(candidates)
+        return candidates[:count]
+
+    def _build(self, scale: float) -> None:
+        rng = self._rng
+        n = lambda base: max(4, int(base * scale))
+
+        # Locations first (other entities point at them).
+        city_names = []
+        for a in CITY_PARTS_A:
+            for b in CITY_PARTS_B:
+                city_names.append(a + b)
+        rng.shuffle(city_names)
+        cities = [Entity(name, "city") for name in city_names[: n(60)]]
+        countries = [Entity(name, "country") for name in COUNTRIES]
+        for city in cities:
+            city.attributes["city.located_in"] = countries[rng.integers(len(countries))]
+            lo, hi = NUMERIC_ATTRIBUTES["city.population"]
+            city.numeric["city.population"] = str(int(rng.integers(lo, hi)))
+        self.entities["city"] = cities
+        self.entities["country"] = countries
+        self.entities["state"] = [Entity(name, "state") for name in STATES]
+
+        # Organizations.
+        companies = []
+        used = set()
+        while len(companies) < n(30):
+            name = (
+                COMPANY_WORDS[rng.integers(len(COMPANY_WORDS))]
+                + " "
+                + COMPANY_SUFFIXES[rng.integers(len(COMPANY_SUFFIXES))]
+            )
+            if name in used:
+                continue
+            used.add(name)
+            company = Entity(name, "company")
+            company.attributes["company.headquarters"] = cities[rng.integers(len(cities))]
+            lo, hi = NUMERIC_ATTRIBUTES["company.founded_year"]
+            company.numeric["company.founded_year"] = str(int(rng.integers(lo, hi)))
+            companies.append(company)
+        self.entities["company"] = companies
+
+        teams = []
+        used = set()
+        while len(teams) < n(20):
+            city = cities[rng.integers(len(cities))]
+            name = city.name + " " + TEAM_MASCOTS[rng.integers(len(TEAM_MASCOTS))]
+            if name in used:
+                continue
+            used.add(name)
+            team = Entity(name, "sports_team")
+            team.attributes["team.home_city"] = city
+            teams.append(team)
+        self.entities["sports_team"] = teams
+
+        # Small closed-class types.
+        self.entities["position"] = [Entity(p, "position") for p in POSITIONS]
+        self.entities["genre"] = [Entity(g, "genre") for g in GENRES]
+        self.entities["language"] = [Entity(l, "language") for l in LANGUAGES]
+
+        # People, with overlapping name pools per profession.
+        for profession, (lo_idx, hi_idx) in PERSON_PROFESSIONS.items():
+            pool = FIRST_NAMES[lo_idx:hi_idx]
+            people = []
+            used_names = set()
+            attempts = 0
+            while len(people) < n(40) and attempts < 5000:
+                attempts += 1
+                name = (
+                    pool[rng.integers(len(pool))]
+                    + " "
+                    + LAST_NAMES[rng.integers(len(LAST_NAMES))]
+                )
+                if name in used_names:
+                    continue
+                used_names.add(name)
+                person = Entity(name, profession)
+                person.attributes["person.place_of_birth"] = cities[rng.integers(len(cities))]
+                person.attributes["person.place_of_death"] = cities[rng.integers(len(cities))]
+                person.attributes["person.place_lived"] = cities[rng.integers(len(cities))]
+                person.attributes["person.nationality"] = countries[rng.integers(len(countries))]
+                lo, hi = NUMERIC_ATTRIBUTES["person.birth_year"]
+                person.numeric["person.birth_year"] = str(int(rng.integers(lo, hi)))
+                lo, hi = NUMERIC_ATTRIBUTES["person.death_year"]
+                person.numeric["person.death_year"] = str(int(rng.integers(lo, hi)))
+                if profession == "athlete":
+                    person.attributes["athlete.team_roster"] = teams[rng.integers(len(teams))]
+                    person.attributes["athlete.position"] = self.entities["position"][
+                        rng.integers(len(self.entities["position"]))
+                    ]
+                if profession == "politician":
+                    person.attributes["politician.office_country"] = countries[
+                        rng.integers(len(countries))
+                    ]
+                people.append(person)
+            self.entities[profession] = people
+
+        # Works.
+        films = []
+        used = set()
+        while len(films) < n(60):
+            name = (
+                FILM_WORDS_A[rng.integers(len(FILM_WORDS_A))]
+                + " "
+                + FILM_WORDS_B[rng.integers(len(FILM_WORDS_B))]
+            )
+            if name in used:
+                continue
+            used.add(name)
+            film = Entity(name, "film")
+            film.attributes["film.directed_by"] = self._pick("director")
+            film.attributes["film.produced_by"] = self._pick("producer")
+            film.attributes["film.release_country"] = self._pick("country")
+            film.attributes["film.studio"] = self._pick("company")
+            film.attributes["film.starring"] = self._pick("actor")
+            film.attributes["film.genre"] = self._pick("genre")
+            lo, hi = NUMERIC_ATTRIBUTES["film.release_year"]
+            film.numeric["film.release_year"] = str(int(rng.integers(lo, hi)))
+            lo, hi = NUMERIC_ATTRIBUTES["film.runtime"]
+            film.numeric["film.runtime"] = str(int(rng.integers(lo, hi)))
+            films.append(film)
+        self.entities["film"] = films
+
+        albums = []
+        used = set()
+        while len(albums) < n(40):
+            name = (
+                FILM_WORDS_A[rng.integers(len(FILM_WORDS_A))]
+                + " "
+                + FILM_WORDS_B[rng.integers(len(FILM_WORDS_B))]
+                + " "
+                + ("lp" if rng.random() < 0.5 else "sessions")
+            )
+            if name in used:
+                continue
+            used.add(name)
+            album = Entity(name, "album")
+            album.attributes["album.performed_by"] = self._pick("musician")
+            album.attributes["album.label"] = self._pick("company")
+            lo, hi = NUMERIC_ATTRIBUTES["album.release_year"]
+            album.numeric["album.release_year"] = str(int(rng.integers(lo, hi)))
+            albums.append(album)
+        self.entities["album"] = albums
+
+        books = []
+        used = set()
+        while len(books) < n(40):
+            name = (
+                "the "
+                + FILM_WORDS_A[rng.integers(len(FILM_WORDS_A))]
+                + " "
+                + FILM_WORDS_B[rng.integers(len(FILM_WORDS_B))]
+            )
+            if name in used:
+                continue
+            used.add(name)
+            book = Entity(name, "book")
+            book.attributes["book.written_by"] = self._pick("author")
+            book.attributes["book.publisher"] = self._pick("company")
+            book.attributes["book.language"] = self._pick("language")
+            lo, hi = NUMERIC_ATTRIBUTES["book.publication_year"]
+            book.numeric["book.publication_year"] = str(int(rng.integers(lo, hi)))
+            books.append(book)
+        self.entities["book"] = books
+
+    def _pick(self, entity_type: str) -> Entity:
+        pool = self.entities[entity_type]
+        return pool[self._rng.integers(len(pool))]
+
+    # -- queries --------------------------------------------------------------
+    def sample(self, entity_type: str, count: int, rng: np.random.Generator) -> List[Entity]:
+        """Sample ``count`` distinct entities of ``entity_type``."""
+        pool = self.entities[entity_type]
+        if count > len(pool):
+            raise ValueError(
+                f"cannot sample {count} distinct {entity_type} entities "
+                f"(only {len(pool)} exist)"
+            )
+        indices = rng.choice(len(pool), size=count, replace=False)
+        return [pool[i] for i in indices]
+
+    def types(self) -> List[str]:
+        return sorted(self.entities)
+
+    def all_entities(self) -> List[Entity]:
+        return [e for pool in self.entities.values() for e in pool]
+
+    # -- corpus verbalization ---------------------------------------------------
+    def verbalize(self, rng: np.random.Generator, sentences_per_fact: int = 1) -> List[str]:
+        """Render every KB fact as natural-language sentences.
+
+        These sentences form the masked-LM pre-training corpus, playing the
+        role Wikipedia plays for BERT: factual knowledge the fine-tuned model
+        can exploit, and the knowledge the probing analysis (Tables 12/13)
+        looks for.
+        """
+        sentences: List[str] = []
+        for entity in self.all_entities():
+            for relation, target in entity.attributes.items():
+                template = RELATION_TEMPLATES.get(relation)
+                if template is None:
+                    continue
+                for _ in range(sentences_per_fact):
+                    sentences.append(template[2].format(s=entity.name, o=target.name))
+            for attribute, value in entity.numeric.items():
+                short = attribute.split(".")[-1].replace("_", " ")
+                sentences.append(f"the {short} of {entity.name} is {value}")
+            # Type statements: "<name> is a <type>" — the exact pattern the
+            # LM-probing template queries.
+            sentences.append(f"{entity.name} is a {entity.entity_type}")
+        rng.shuffle(sentences)
+        return sentences

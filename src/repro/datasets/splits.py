@@ -1,0 +1,54 @@
+"""Train/validation/test splitting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from .tables import TableDataset
+
+
+@dataclass(frozen=True)
+class DatasetSplits:
+    """A train/valid/test partition of a :class:`TableDataset`."""
+
+    train: TableDataset
+    valid: TableDataset
+    test: TableDataset
+
+
+def split_dataset(
+    dataset: TableDataset,
+    valid_fraction: float = 0.1,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Randomly partition tables into train/valid/test subsets."""
+    if valid_fraction + test_fraction >= 1.0:
+        raise ValueError("valid_fraction + test_fraction must be < 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset.tables))
+    n_test = int(round(len(order) * test_fraction))
+    n_valid = int(round(len(order) * valid_fraction))
+    test_idx = order[:n_test]
+    valid_idx = order[n_test:n_test + n_valid]
+    train_idx = order[n_test + n_valid:]
+    return DatasetSplits(
+        train=dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        valid=dataset.subset(valid_idx, name=f"{dataset.name}-valid"),
+        test=dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )
+
+
+def training_fraction(splits: DatasetSplits, fraction: float, seed: int = 0) -> DatasetSplits:
+    """Reduce the training set to ``fraction`` of its tables (Figure 4)."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+    rng = np.random.default_rng(seed)
+    count = max(1, int(round(len(splits.train.tables) * fraction)))
+    indices = rng.choice(len(splits.train.tables), size=count, replace=False)
+    return DatasetSplits(
+        train=splits.train.subset(indices, name=f"{splits.train.name}-{fraction:.2f}"),
+        valid=splits.valid,
+        test=splits.test,
+    )

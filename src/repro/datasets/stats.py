@@ -1,0 +1,99 @@
+"""Dataset statistics (the paper's Table 2, "Dataset description").
+
+The paper summarises its two benchmarks by table count, annotated column
+count, and label vocabulary sizes.  :func:`dataset_statistics` computes the
+same summary for any :class:`~repro.datasets.tables.TableDataset`, plus a
+few shape diagnostics (column/row distributions, label coverage) that the
+generators' tests use to assert the synthetic corpora match the task shape
+the paper relies on (multi-label vs single-label, single-column tables
+present or not, and so on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .tables import TableDataset
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary of a table corpus (one row of the paper's Table 2)."""
+
+    name: str
+    num_tables: int
+    num_columns: int
+    num_annotated_columns: int
+    num_annotated_pairs: int
+    num_types: int
+    num_relations: int
+    max_labels_per_column: int
+    mean_columns_per_table: float
+    mean_rows_per_table: float
+    single_column_tables: int
+
+    @property
+    def is_multi_label(self) -> bool:
+        """Whether any column carries more than one type annotation."""
+        return self.max_labels_per_column > 1
+
+    def as_row(self) -> List[object]:
+        """Row for the Table 2 rendering: name, #tables, #col, #types, #rels."""
+        return [
+            self.name,
+            self.num_tables,
+            self.num_columns,
+            self.num_types,
+            self.num_relations if self.num_relations else "–",
+        ]
+
+
+def dataset_statistics(dataset: TableDataset) -> DatasetStatistics:
+    """Compute corpus statistics for ``dataset``."""
+    num_columns = sum(t.num_columns for t in dataset.tables)
+    max_labels = max(
+        (len(col.type_labels) for t in dataset.tables for col in t.columns),
+        default=0,
+    )
+    columns_per_table = [t.num_columns for t in dataset.tables]
+    rows_per_table = [t.num_rows for t in dataset.tables]
+    return DatasetStatistics(
+        name=dataset.name or "(unnamed)",
+        num_tables=len(dataset.tables),
+        num_columns=num_columns,
+        num_annotated_columns=dataset.num_annotated_columns(),
+        num_annotated_pairs=dataset.num_annotated_pairs(),
+        num_types=dataset.num_types,
+        num_relations=dataset.num_relations,
+        max_labels_per_column=max_labels,
+        mean_columns_per_table=float(np.mean(columns_per_table)) if columns_per_table else 0.0,
+        mean_rows_per_table=float(np.mean(rows_per_table)) if rows_per_table else 0.0,
+        single_column_tables=sum(1 for n in columns_per_table if n == 1),
+    )
+
+
+def type_label_distribution(dataset: TableDataset) -> Dict[str, int]:
+    """How many columns carry each type label (class-imbalance diagnostics).
+
+    The paper's Figure 5 discussion attributes Sato's zero-F1 classes to
+    labels with under ~25 training columns; this distribution is what the
+    per-class benches use to annotate their output with support counts.
+    """
+    counts: Counter[str] = Counter()
+    for table in dataset.tables:
+        for column in table.columns:
+            counts.update(column.type_labels)
+    return dict(counts)
+
+
+def relation_label_distribution(dataset: TableDataset) -> Dict[str, int]:
+    """How many column pairs carry each relation label."""
+    counts: Counter[str] = Counter()
+    for table in dataset.tables:
+        for labels in table.relation_labels.values():
+            counts.update(labels)
+    return dict(counts)

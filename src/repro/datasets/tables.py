@@ -1,0 +1,156 @@
+"""Relational data model used throughout the library.
+
+A :class:`Table` is an ordered collection of :class:`Column` objects plus the
+annotations the paper's two tasks target: per-column *type labels* (multi-label
+on WikiTable, single-label on VizNet) and *relation labels* between the
+subject column (column 0, following TURL's convention) and each other column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Column:
+    """A single table column: string cell values plus annotations."""
+
+    values: List[str]
+    type_labels: List[str] = field(default_factory=list)
+    header: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.values = [str(v) for v in self.values]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.values)
+
+    def head(self, n: int) -> List[str]:
+        return self.values[:n]
+
+
+@dataclass
+class Table:
+    """A table with optional column-pair relation annotations.
+
+    ``relation_labels`` maps a column-index pair ``(i, j)`` to the list of
+    relation names that hold between columns ``i`` and ``j``.
+    """
+
+    columns: List[Column]
+    table_id: str = ""
+    relation_labels: Dict[Tuple[int, int], List[str]] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def num_rows(self) -> int:
+        return max((col.num_rows for col in self.columns), default=0)
+
+    def column_values(self, index: int) -> List[str]:
+        return self.columns[index].values
+
+    def shuffled_rows(self, rng) -> "Table":
+        """Return a copy with rows permuted identically across columns."""
+        order = rng.permutation(self.num_rows)
+        new_columns = [
+            Column(
+                values=[col.values[i] for i in order if i < col.num_rows],
+                type_labels=list(col.type_labels),
+                header=col.header,
+            )
+            for col in self.columns
+        ]
+        return Table(
+            columns=new_columns,
+            table_id=self.table_id,
+            relation_labels=dict(self.relation_labels),
+            metadata=dict(self.metadata),
+        )
+
+    def shuffled_columns(self, rng) -> "Table":
+        """Return a copy with columns permuted (relation pairs remapped)."""
+        order = list(rng.permutation(self.num_columns))
+        position = {old: new for new, old in enumerate(order)}
+        new_columns = [
+            Column(
+                values=list(self.columns[old].values),
+                type_labels=list(self.columns[old].type_labels),
+                header=self.columns[old].header,
+            )
+            for old in order
+        ]
+        new_relations = {}
+        for (i, j), labels in self.relation_labels.items():
+            new_relations[(position[i], position[j])] = list(labels)
+        return Table(
+            columns=new_columns,
+            table_id=self.table_id,
+            relation_labels=new_relations,
+            metadata=dict(self.metadata),
+        )
+
+
+@dataclass
+class TableDataset:
+    """A collection of annotated tables plus fixed label vocabularies."""
+
+    tables: List[Table]
+    type_vocab: List[str]
+    relation_vocab: List[str] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self._type_index = {t: i for i, t in enumerate(self.type_vocab)}
+        self._relation_index = {r: i for i, r in enumerate(self.relation_vocab)}
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def type_id(self, label: str) -> int:
+        if label not in self._type_index:
+            raise KeyError(f"unknown type label: {label}")
+        return self._type_index[label]
+
+    def relation_id(self, label: str) -> int:
+        if label not in self._relation_index:
+            raise KeyError(f"unknown relation label: {label}")
+        return self._relation_index[label]
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_vocab)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relation_vocab)
+
+    def num_annotated_columns(self) -> int:
+        return sum(
+            1 for table in self.tables for col in table.columns if col.type_labels
+        )
+
+    def num_annotated_pairs(self) -> int:
+        return sum(len(table.relation_labels) for table in self.tables)
+
+    def subset(self, indices: Sequence[int], name: str = "") -> "TableDataset":
+        return TableDataset(
+            tables=[self.tables[i] for i in indices],
+            type_vocab=self.type_vocab,
+            relation_vocab=self.relation_vocab,
+            name=name or self.name,
+        )
+
+    def all_cell_text(self) -> List[str]:
+        """Every cell value in the dataset (tokenizer / embedding training)."""
+        return [
+            value
+            for table in self.tables
+            for col in table.columns
+            for value in col.values
+        ]

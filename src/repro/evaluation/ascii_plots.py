@@ -1,0 +1,149 @@
+"""ASCII rendering for the paper's figures.
+
+The benchmark harness regenerates every *table* as fixed-width text; the
+*figures* (4, 5, 6) are line charts and a heatmap in the paper.  This module
+renders the same shapes as terminal graphics so a figure bench's output can
+be read the way the paper's figure is read — who is above whom, where curves
+cross, which heatmap cells run hot — without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    width: int = 60,
+    height: int = 12,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render named series as an ASCII line chart (Figure 4's shape).
+
+    Each series is drawn with its own marker; a legend maps markers to
+    names.  All series must have ``len(x_labels)`` points.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_labels)}"
+            )
+    markers = "ox+*sdv^"
+    all_values = [v for values in series.values() for v in values]
+    lo = min(all_values) if y_min is None else y_min
+    hi = max(all_values) if y_max is None else y_max
+    if hi == lo:
+        hi = lo + 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+    num_points = len(x_labels)
+    xs = (
+        [0] if num_points == 1
+        else [round(i * (width - 1) / (num_points - 1)) for i in range(num_points)]
+    )
+    for s, (name, values) in enumerate(series.items()):
+        marker = markers[s % len(markers)]
+        for i, value in enumerate(values):
+            frac = (float(value) - lo) / (hi - lo)
+            frac = min(1.0, max(0.0, frac))
+            row = height - 1 - round(frac * (height - 1))
+            grid[row][xs[i]] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"=== {title} ===")
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:7.3f} |"
+        elif r == height - 1:
+            label = f"{lo:7.3f} |"
+        else:
+            label = "        |"
+        lines.append(label + "".join(row))
+    lines.append("        +" + "-" * width)
+    axis = [" "] * width
+    for i, x in enumerate(xs):
+        text = str(x_labels[i])
+        start = min(x, width - len(text))
+        for k, ch in enumerate(text):
+            axis[start + k] = ch
+    lines.append("         " + "".join(axis))
+    legend = "  ".join(
+        f"{markers[s % len(markers)]}={name}" for s, name in enumerate(series)
+    )
+    lines.append(f"        [{legend}]")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: Optional[str] = None,
+    label_width: int = 12,
+) -> str:
+    """Render a matrix as a shaded ASCII heatmap (Figure 6's shape).
+
+    Values are mapped linearly onto a ten-step character ramp; the ramp and
+    value range are printed beneath so hot/cold cells can be read back to
+    numbers.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[0] != len(row_labels) or matrix.shape[1] != len(col_labels):
+        raise ValueError(
+            f"matrix {matrix.shape} does not match "
+            f"{len(row_labels)} row / {len(col_labels)} column labels"
+        )
+    lo, hi = float(matrix.min()), float(matrix.max())
+    span = (hi - lo) or 1e-9
+
+    def shade(value: float) -> str:
+        index = int((value - lo) / span * (len(_SHADES) - 1))
+        return _SHADES[index]
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"=== {title} ===")
+    # Column header: first character of each label, plus a legend below.
+    header = " " * (label_width + 1) + "".join(
+        (label[:1] or "?") for label in col_labels
+    )
+    lines.append(header)
+    for r, label in enumerate(row_labels):
+        cells = "".join(shade(matrix[r, c]) for c in range(matrix.shape[1]))
+        lines.append(f"{label[:label_width]:>{label_width}} {cells}")
+    lines.append(f"ramp: '{_SHADES}'  range: [{lo:.4f}, {hi:.4f}]")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render named values as horizontal bars (per-class F1, Figure 5's shape)."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    hi = max(values.values())
+    if hi <= 0:
+        hi = 1.0
+    label_width = max(len(name) for name in values)
+    lines: List[str] = []
+    if title:
+        lines.append(f"=== {title} ===")
+    for name, value in values.items():
+        bar = "#" * round(max(0.0, float(value)) / hi * width)
+        lines.append(f"{name:>{label_width}} |{bar} {value:.3f}")
+    return "\n".join(lines)

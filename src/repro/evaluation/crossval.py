@@ -1,0 +1,132 @@
+"""Cross-validation harness.
+
+The VizNet benchmark (Sato, and Table 4 of the DODUO paper) is evaluated with
+k-fold cross-validation over tables.  This module provides the deterministic
+fold assignment and the fold-aggregation helpers that protocol needs, working
+on any :class:`~repro.datasets.tables.TableDataset`.
+
+Folds split *tables*, not columns — the paper's unit of exchange — so columns
+of one table never leak between train and test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..datasets.splits import DatasetSplits
+from ..datasets.tables import TableDataset
+from .metrics import PRF
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One cross-validation fold (train/valid/test datasets plus its index)."""
+
+    index: int
+    splits: DatasetSplits
+
+
+def kfold(
+    dataset: TableDataset,
+    k: int = 5,
+    valid_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[Fold]:
+    """Deterministic k-fold assignment over tables.
+
+    Each fold's *test* set is one of ``k`` disjoint chunks; the remaining
+    tables are split into train and validation (``valid_fraction`` of the
+    non-test tables, drawn deterministically from ``seed``).
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2: {k}")
+    if len(dataset.tables) < k:
+        raise ValueError(
+            f"dataset has {len(dataset.tables)} tables, fewer than k={k}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset.tables))
+    chunks = np.array_split(order, k)
+
+    folds: List[Fold] = []
+    for index in range(k):
+        test_idx = chunks[index]
+        rest = np.concatenate([chunks[j] for j in range(k) if j != index])
+        n_valid = max(1, int(round(len(rest) * valid_fraction)))
+        valid_idx = rest[:n_valid]
+        train_idx = rest[n_valid:]
+        folds.append(
+            Fold(
+                index=index,
+                splits=DatasetSplits(
+                    train=dataset.subset(train_idx, name=f"{dataset.name}-f{index}-train"),
+                    valid=dataset.subset(valid_idx, name=f"{dataset.name}-f{index}-valid"),
+                    test=dataset.subset(test_idx, name=f"{dataset.name}-f{index}-test"),
+                ),
+            )
+        )
+    return folds
+
+
+@dataclass
+class CrossValResult:
+    """Per-fold scores plus their mean and standard deviation."""
+
+    fold_scores: List[Dict[str, float]]
+
+    def mean(self, metric: str) -> float:
+        return float(np.mean([scores[metric] for scores in self.fold_scores]))
+
+    def std(self, metric: str) -> float:
+        return float(np.std([scores[metric] for scores in self.fold_scores]))
+
+    def metrics(self) -> List[str]:
+        return sorted(self.fold_scores[0]) if self.fold_scores else []
+
+    def summary(self) -> Dict[str, str]:
+        """``metric -> "mean ± std"`` rendering for report tables."""
+        return {
+            metric: f"{self.mean(metric):.4f} ± {self.std(metric):.4f}"
+            for metric in self.metrics()
+        }
+
+
+def cross_validate(
+    dataset: TableDataset,
+    evaluate_fold: Callable[[Fold], Dict[str, float]],
+    k: int = 5,
+    valid_fraction: float = 0.1,
+    seed: int = 0,
+) -> CrossValResult:
+    """Run ``evaluate_fold`` on every fold and aggregate the scores.
+
+    ``evaluate_fold`` receives a :class:`Fold` and returns a flat
+    ``metric -> value`` dict (e.g. ``{"micro_f1": ..., "macro_f1": ...}``).
+    Every fold must return the same metric keys.
+    """
+    folds = kfold(dataset, k=k, valid_fraction=valid_fraction, seed=seed)
+    scores: List[Dict[str, float]] = []
+    expected_keys = None
+    for fold in folds:
+        result = evaluate_fold(fold)
+        if expected_keys is None:
+            expected_keys = set(result)
+        elif set(result) != expected_keys:
+            raise ValueError(
+                f"fold {fold.index} returned metrics {sorted(result)}, "
+                f"expected {sorted(expected_keys)}"
+            )
+        scores.append(dict(result))
+    return CrossValResult(fold_scores=scores)
+
+
+def prf_to_dict(prefix: str, prf: PRF) -> Dict[str, float]:
+    """Flatten a :class:`PRF` into ``{prefix_precision: ..., ...}``."""
+    return {
+        f"{prefix}_precision": prf.precision,
+        f"{prefix}_recall": prf.recall,
+        f"{prefix}_f1": prf.f1,
+    }

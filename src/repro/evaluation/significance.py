@@ -1,0 +1,123 @@
+"""Bootstrap uncertainty for evaluation metrics.
+
+The paper (like most) reports point estimates; at reproduction scale the
+test sets are small enough that single numbers can mislead.  This module
+provides percentile-bootstrap confidence intervals for any per-sample metric
+and a paired bootstrap test for "is model A actually better than model B on
+this test set?" — the standard protocol for comparing classifiers on a
+shared evaluation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4f} "
+            f"[{self.lower:.4f}, {self.upper:.4f}] @{self.confidence:.0%}"
+        )
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_metric(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile-bootstrap CI for ``metric(y_true, y_pred)``.
+
+    ``metric`` receives resampled aligned arrays and returns a scalar (e.g.
+    ``lambda t, p: multiclass_micro_f1(t, p).f1``).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if not len(y_true):
+        raise ValueError("cannot bootstrap an empty evaluation set")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1): {confidence}")
+
+    rng = np.random.default_rng(seed)
+    n = len(y_true)
+    samples = np.empty(num_resamples, dtype=np.float64)
+    for b in range(num_resamples):
+        index = rng.integers(0, n, size=n)
+        samples[b] = metric(y_true[index], y_pred[index])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=float(metric(y_true, y_pred)),
+        lower=float(np.quantile(samples, alpha)),
+        upper=float(np.quantile(samples, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired bootstrap comparison of two models."""
+
+    delta: float                 # metric(A) - metric(B) on the full set
+    p_value: float               # P(delta <= 0) under the bootstrap
+    wins: float                  # fraction of resamples where A > B
+
+    @property
+    def significant(self) -> bool:
+        """A beats B at the conventional 0.05 level."""
+        return self.delta > 0 and self.p_value < 0.05
+
+
+def paired_bootstrap(
+    y_true: Sequence[int],
+    pred_a: Sequence[int],
+    pred_b: Sequence[int],
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    num_resamples: int = 1000,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired bootstrap test: does model A beat model B on this test set?
+
+    Both models are scored on the *same* resample each round, so the
+    comparison controls for which examples happen to be drawn — the paired
+    protocol that makes small test sets usable for model comparison.
+    """
+    y_true = np.asarray(y_true)
+    pred_a = np.asarray(pred_a)
+    pred_b = np.asarray(pred_b)
+    if not (y_true.shape == pred_a.shape == pred_b.shape):
+        raise ValueError("all three arrays must have the same shape")
+    if not len(y_true):
+        raise ValueError("cannot bootstrap an empty evaluation set")
+
+    rng = np.random.default_rng(seed)
+    n = len(y_true)
+    deltas = np.empty(num_resamples, dtype=np.float64)
+    for b in range(num_resamples):
+        index = rng.integers(0, n, size=n)
+        deltas[b] = metric(y_true[index], pred_a[index]) - metric(
+            y_true[index], pred_b[index]
+        )
+    return PairedComparison(
+        delta=float(metric(y_true, pred_a) - metric(y_true, pred_b)),
+        p_value=float((deltas <= 0).mean()),
+        wins=float((deltas > 0).mean()),
+    )

@@ -1,0 +1,38 @@
+"""Table and dataset I/O.
+
+The DODUO toolbox is meant to be pointed at real data: spreadsheets exported
+as CSV, or whole annotated corpora exchanged as JSON Lines.  This package
+provides both entry points:
+
+* :mod:`repro.io.csvio` — one table per CSV file (values only, or values with
+  a header row), matching the paper's assumption that tables arrive as raw
+  cell values without reliable metadata.
+* :mod:`repro.io.jsonlio` — whole :class:`~repro.datasets.tables.TableDataset`
+  round-trips, including type/relation annotations and vocabularies, so
+  generated benchmarks and human-labelled corpora can be stored and reloaded
+  deterministically.
+"""
+
+from .csvio import (
+    read_table_csv,
+    read_tables_from_dir,
+    write_table_csv,
+)
+from .jsonlio import (
+    load_dataset_jsonl,
+    load_table_json,
+    save_dataset_jsonl,
+    table_from_dict,
+    table_to_dict,
+)
+
+__all__ = [
+    "load_dataset_jsonl",
+    "load_table_json",
+    "read_table_csv",
+    "read_tables_from_dir",
+    "save_dataset_jsonl",
+    "table_from_dict",
+    "table_to_dict",
+    "write_table_csv",
+]

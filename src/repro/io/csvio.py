@@ -1,0 +1,145 @@
+"""CSV import/export for single tables.
+
+CSV is the lowest common denominator for the data-science workflows the paper
+targets (Section 7's case study starts from exported spreadsheets).  A CSV
+file maps onto a :class:`~repro.datasets.tables.Table` column-wise: each CSV
+column becomes one :class:`~repro.datasets.tables.Column`, optionally keeping
+the header row as the column's ``header`` attribute (used only by the
+"+metadata" model variants — the base DODUO model never reads it).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..datasets.tables import Column, Table
+
+PathLike = Union[str, Path]
+
+
+def read_table_csv(
+    path: PathLike,
+    has_header: bool = True,
+    table_id: Optional[str] = None,
+    max_rows: Optional[int] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Read one CSV file into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file to read.
+    has_header:
+        When true the first row is stored as column headers instead of data.
+    table_id:
+        Identifier for the resulting table; defaults to the file stem.
+    max_rows:
+        Optional cap on the number of *data* rows read (tables are usually
+        truncated to a handful of rows before serialization anyway).
+    delimiter:
+        Cell separator, for TSV and friends.
+
+    Raises
+    ------
+    ValueError
+        If the file is empty or rows have inconsistent widths.
+    """
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path} contains no rows")
+
+    headers: List[Optional[str]]
+    if has_header:
+        headers = [cell.strip() or None for cell in rows[0]]
+        data_rows = rows[1:]
+    else:
+        headers = [None] * len(rows[0])
+        data_rows = rows
+
+    width = len(headers)
+    for i, row in enumerate(data_rows):
+        if len(row) != width:
+            raise ValueError(
+                f"{path}: row {i + 1} has {len(row)} cells, expected {width}"
+            )
+    if max_rows is not None:
+        data_rows = data_rows[:max_rows]
+
+    columns = [
+        Column(
+            values=[row[c] for row in data_rows],
+            header=headers[c],
+        )
+        for c in range(width)
+    ]
+    return Table(columns=columns, table_id=table_id or path.stem)
+
+
+def write_table_csv(
+    table: Table,
+    path: PathLike,
+    include_header: bool = True,
+    delimiter: str = ",",
+) -> None:
+    """Write a :class:`Table` to CSV (row-major).
+
+    Columns shorter than the table's row count are padded with empty cells so
+    the output is rectangular.  Headers default to ``col0, col1, ...`` when a
+    column carries none.
+    """
+    path = Path(path)
+    num_rows = table.num_rows
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        # QUOTE_ALL keeps the format unambiguous: a row holding one empty
+        # cell serializes as '""', not as a blank line the reader would skip.
+        writer = csv.writer(handle, delimiter=delimiter, quoting=csv.QUOTE_ALL)
+        if include_header:
+            writer.writerow(
+                col.header or f"col{c}" for c, col in enumerate(table.columns)
+            )
+        for r in range(num_rows):
+            writer.writerow(
+                col.values[r] if r < col.num_rows else ""
+                for col in table.columns
+            )
+
+
+def read_tables_from_dir(
+    directory: PathLike,
+    pattern: str = "*.csv",
+    has_header: bool = True,
+    max_rows: Optional[int] = None,
+) -> List[Table]:
+    """Read every CSV in ``directory`` (sorted by name) into tables.
+
+    This is the bulk entry point for the case-study workflow: point it at a
+    directory of exported tables and hand the result to
+    :meth:`repro.core.Doduo.annotate` or the clustering utilities.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ValueError(f"{directory} is not a directory")
+    tables = []
+    for path in sorted(directory.glob(pattern)):
+        tables.append(read_table_csv(path, has_header=has_header, max_rows=max_rows))
+    return tables
+
+
+def column_major(rows: Sequence[Sequence[str]]) -> List[List[str]]:
+    """Transpose row-major cell data into column-major lists.
+
+    Helper for adapting in-memory row data (e.g. database cursors) to the
+    column-wise :class:`Table` model; raises on ragged input.
+    """
+    if not rows:
+        return []
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ValueError("rows are ragged; all rows must have the same width")
+    return [[str(row[c]) for row in rows] for c in range(width)]

@@ -1,0 +1,30 @@
+"""Schema matching and clustering substrate for the case study (Table 9)."""
+
+from .case_study import CaseStudyResult, run_case_study
+from .clustering import UnionFind, kmeans, matches_to_clusters
+from .coma import ComaConfig, ComaMatcher, levenshtein, name_similarity, trigram_similarity
+from .distribution import (
+    DistributionBasedMatcher,
+    DistributionConfig,
+    quantile_distance,
+    token_distribution_similarity,
+)
+from .fasttextlike import FastTextLike
+
+__all__ = [
+    "CaseStudyResult",
+    "ComaConfig",
+    "ComaMatcher",
+    "DistributionBasedMatcher",
+    "DistributionConfig",
+    "FastTextLike",
+    "UnionFind",
+    "kmeans",
+    "levenshtein",
+    "matches_to_clusters",
+    "name_similarity",
+    "quantile_distance",
+    "run_case_study",
+    "token_distribution_similarity",
+    "trigram_similarity",
+]

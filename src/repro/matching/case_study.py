@@ -1,0 +1,167 @@
+"""Column-clustering case study harness (Section 7, Table 9).
+
+Given the enterprise HR database and a DODUO model trained on WikiTable
+(i.e. *out-of-domain*, as in the paper), this module runs the six clustering
+methods of Table 9 and scores each against the ground-truth clusters with
+Homogeneity (Precision), Completeness (Recall), and V-measure (F1):
+
+1. ``Doduo+column value emb``   — k-means on contextualized column embeddings
+2. ``Doduo+predicted type``     — columns grouped by predicted column type
+3. ``fastText+column value emb``— k-means on fastText value embeddings
+4. ``fastText+column name emb`` — k-means on fastText header embeddings
+5. ``COMA (with column name)``  — pairwise schema matches -> connected comps
+6. ``DistributionBased``        — distributional matches -> connected comps
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.trainer import DoduoTrainer
+from ..datasets.tables import TableDataset
+from ..evaluation.metrics import homogeneity_completeness_v
+from .clustering import kmeans, matches_to_clusters
+from .coma import ComaMatcher
+from .distribution import DistributionBasedMatcher
+from .fasttextlike import FastTextLike
+
+
+@dataclass
+class CaseStudyResult:
+    """Homogeneity / completeness / V-measure per method."""
+
+    scores: Dict[str, Tuple[float, float, float]]
+
+    def best_method(self) -> str:
+        return max(self.scores, key=lambda m: self.scores[m][2])
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        return [
+            (method, *self.scores[method])
+            for method in sorted(self.scores, key=lambda m: -self.scores[m][2])
+        ]
+
+
+def _ground_truth(dataset: TableDataset) -> List[int]:
+    names = {}
+    labels = []
+    for table in dataset.tables:
+        for column in table.columns:
+            cluster = column.type_labels[0]
+            if cluster not in names:
+                names[cluster] = len(names)
+            labels.append(names[cluster])
+    return labels
+
+
+def _column_items(dataset: TableDataset) -> List[Tuple[int, int]]:
+    return [
+        (t, c)
+        for t, table in enumerate(dataset.tables)
+        for c in range(table.num_columns)
+    ]
+
+
+def _l2_normalize(embeddings: np.ndarray) -> np.ndarray:
+    """Row-normalize so k-means distances reflect direction, not norm."""
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    return embeddings / np.maximum(norms, 1e-12)
+
+
+def run_case_study(
+    dataset: TableDataset,
+    doduo_trainer: DoduoTrainer,
+    fasttext: FastTextLike,
+    num_clusters: int | None = None,
+    seed: int = 0,
+) -> CaseStudyResult:
+    """Run all six Table 9 methods and return their clustering scores."""
+    rng = np.random.default_rng(seed)
+    truth = _ground_truth(dataset)
+    if num_clusters is None:
+        num_clusters = len(set(truth))
+    items = _column_items(dataset)
+    scores: Dict[str, Tuple[float, float, float]] = {}
+
+    # 1. Doduo + contextualized column value embeddings.  The embedding
+    # serialization uses the widest per-column token budget that keeps every
+    # table inside the encoder window: clustering benefits from more cell
+    # evidence than the training truncation kept.
+    window = doduo_trainer.serializer.config.max_sequence_length
+    widest = max(table.num_columns for table in dataset.tables)
+    budget = max(
+        doduo_trainer.config.max_tokens_per_column,
+        min(48, (window - 1) // widest - 1),
+    )
+    doduo_embeddings = _l2_normalize(np.concatenate(
+        [
+            doduo_trainer.column_embeddings(table, max_tokens_per_column=budget)
+            for table in dataset.tables
+        ],
+        axis=0,
+    ))
+    assign = kmeans(doduo_embeddings, num_clusters, rng)
+    scores["Doduo+column value emb"] = homogeneity_completeness_v(truth, assign)
+
+    # 2. Doduo + predicted column type (argmax over the trained vocabulary).
+    predicted: List[int] = []
+    for table in dataset.tables:
+        if doduo_trainer.config.single_column:
+            encoded = [
+                doduo_trainer.serializer.serialize_column(table, c)
+                for c in range(table.num_columns)
+            ]
+        else:
+            encoded = [doduo_trainer.serializer.serialize_table(table)]
+        probs = doduo_trainer.model.predict_type_probs(
+            encoded, doduo_trainer.config.multi_label
+        )
+        predicted.extend(probs.argmax(axis=-1).tolist())
+    scores["Doduo+predicted type"] = homogeneity_completeness_v(truth, predicted)
+
+    # 3. fastText + column value embeddings.
+    value_embeddings = _l2_normalize(np.stack(
+        [
+            fasttext.values_vector(dataset.tables[t].columns[c].values)
+            for (t, c) in items
+        ]
+    ))
+    assign = kmeans(value_embeddings, num_clusters, rng)
+    scores["fastText+column value emb"] = homogeneity_completeness_v(truth, assign)
+
+    # 4. fastText + column name embeddings.
+    name_embeddings = _l2_normalize(np.stack(
+        [
+            fasttext.text_vector(dataset.tables[t].columns[c].header or "")
+            for (t, c) in items
+        ]
+    ))
+    assign = kmeans(name_embeddings, num_clusters, rng)
+    scores["fastText+column name emb"] = homogeneity_completeness_v(truth, assign)
+
+    # 5. COMA over all table pairs -> connected components.
+    coma = ComaMatcher()
+    coma_matches = []
+    for a in range(len(dataset.tables)):
+        for b in range(a + 1, len(dataset.tables)):
+            for i, j, _ in coma.match(dataset.tables[a], dataset.tables[b]):
+                coma_matches.append(((a, i), (b, j)))
+    assign = matches_to_clusters(items, coma_matches)
+    scores["COMA (with column name)"] = homogeneity_completeness_v(truth, assign)
+
+    # 6. DistributionBased matcher -> connected components.
+    dist = DistributionBasedMatcher()
+    dist_matches = []
+    for a in range(len(dataset.tables)):
+        for b in range(a + 1, len(dataset.tables)):
+            for i, j, _ in dist.match(dataset.tables[a], dataset.tables[b]):
+                dist_matches.append(((a, i), (b, j)))
+    assign = matches_to_clusters(items, dist_matches)
+    scores["DistributionBased (with column name)"] = homogeneity_completeness_v(
+        truth, assign
+    )
+
+    return CaseStudyResult(scores=scores)

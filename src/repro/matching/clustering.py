@@ -1,0 +1,131 @@
+"""Clustering utilities for the case study (Section 7).
+
+The paper clusters column embeddings with k-means and converts the pairwise
+matches returned by schema matchers into clusters via connected components;
+both operations are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def kmeans(
+    points: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+    restarts: int = 4,
+) -> np.ndarray:
+    """k-means with k-means++ seeding; returns cluster assignments.
+
+    Runs ``restarts`` independent initializations and keeps the solution with
+    the lowest inertia, matching how a data scientist would apply a standard
+    toolkit implementation.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be >= 1")
+    if n < num_clusters:
+        raise ValueError(f"cannot form {num_clusters} clusters from {n} points")
+
+    best_assign: np.ndarray | None = None
+    best_inertia = np.inf
+    for _ in range(restarts):
+        centers = _kmeanspp_init(points, num_clusters, rng)
+        assign = np.zeros(n, dtype=np.int64)
+        for _ in range(max_iterations):
+            distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=-1)
+            new_assign = distances.argmin(axis=1)
+            if (new_assign == assign).all():
+                assign = new_assign
+                break
+            assign = new_assign
+            for k in range(num_clusters):
+                members = points[assign == k]
+                if len(members):
+                    centers[k] = members.mean(axis=0)
+        inertia = float(
+            ((points - centers[assign]) ** 2).sum()
+        )
+        if inertia < best_inertia:
+            best_inertia = inertia
+            best_assign = assign.copy()
+    assert best_assign is not None
+    return best_assign
+
+
+def _kmeanspp_init(
+    points: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = len(points)
+    centers = [points[rng.integers(n)]]
+    for _ in range(1, num_clusters):
+        distances = np.min(
+            [((points - c) ** 2).sum(axis=-1) for c in centers], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centers.append(points[rng.integers(n)])
+            continue
+        probabilities = distances / total
+        centers.append(points[rng.choice(n, p=probabilities)])
+    return np.stack(centers)
+
+
+class UnionFind:
+    """Disjoint-set forest over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def components(self) -> Dict[Hashable, int]:
+        """Map each item to a dense component id."""
+        roots: Dict[Hashable, int] = {}
+        result: Dict[Hashable, int] = {}
+        for item in self._parent:
+            root = self.find(item)
+            if root not in roots:
+                roots[root] = len(roots)
+            result[item] = roots[root]
+        return result
+
+
+def matches_to_clusters(
+    items: Sequence[Hashable],
+    matches: Iterable[Tuple[Hashable, Hashable]],
+) -> List[int]:
+    """Convert pairwise matches into cluster labels via connected components.
+
+    This is the paper's procedure for turning schema-matcher output (pairs of
+    matched columns between two tables) into a clustering comparable with
+    k-means output.
+    """
+    uf = UnionFind()
+    for item in items:
+        uf.add(item)
+    for a, b in matches:
+        uf.union(a, b)
+    components = uf.components()
+    return [components[item] for item in items]

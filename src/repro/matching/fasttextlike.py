@@ -1,0 +1,142 @@
+"""fastText-style subword embeddings (the case study's "go-to" baseline).
+
+The paper compares DODUO's contextualized column embeddings against
+fastText [Bojanowski et al., 2017] column-name and column-value embeddings.
+This module reproduces fastText's two defining ingredients:
+
+* a word vector is the sum of its character n-gram (3..5) bucket vectors plus
+  a whole-word vector, and
+* vectors are trained with CBOW + negative sampling on a text corpus.
+
+Crucially for the case study's outcome, these embeddings are
+*context-independent*: the same token always maps to the same vector, so
+semantically different columns with overlapping surface forms land close
+together — the over-clustering behaviour Table 9 reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..text.tokenizer import basic_tokenize
+
+
+def _bucket(text: str, num_buckets: int) -> int:
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % num_buckets
+
+
+class FastTextLike:
+    """Trainable subword embedding model.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    num_buckets:
+        Hash-bucket count for character n-grams.
+    min_ngram, max_ngram:
+        Character n-gram lengths (fastText uses 3..6; we default to 3..5).
+    """
+
+    def __init__(
+        self,
+        dim: int = 32,
+        num_buckets: int = 4096,
+        min_ngram: int = 3,
+        max_ngram: int = 5,
+        seed: int = 0,
+    ) -> None:
+        self.dim = dim
+        self.num_buckets = num_buckets
+        self.min_ngram = min_ngram
+        self.max_ngram = max_ngram
+        self._rng = np.random.default_rng(seed)
+        self.input_vectors = (
+            self._rng.standard_normal((num_buckets, dim)).astype(np.float32) * 0.05
+        )
+        self.output_vectors: Dict[str, np.ndarray] = {}
+        self._word_ngrams_cache: Dict[str, List[int]] = {}
+
+    # -- subword machinery -------------------------------------------------------
+    def _word_ngrams(self, word: str) -> List[int]:
+        cached = self._word_ngrams_cache.get(word)
+        if cached is not None:
+            return cached
+        wrapped = f"<{word}>"
+        buckets = [_bucket(wrapped, self.num_buckets)]  # whole-word bucket
+        for n in range(self.min_ngram, self.max_ngram + 1):
+            for i in range(len(wrapped) - n + 1):
+                buckets.append(_bucket(wrapped[i:i + n], self.num_buckets))
+        self._word_ngrams_cache[word] = buckets
+        return buckets
+
+    def word_vector(self, word: str) -> np.ndarray:
+        buckets = self._word_ngrams(word)
+        return self.input_vectors[buckets].mean(axis=0)
+
+    def text_vector(self, text: str) -> np.ndarray:
+        """Average word vector of all tokens in ``text``."""
+        tokens = basic_tokenize(text)
+        if not tokens:
+            return np.zeros(self.dim, dtype=np.float32)
+        return np.mean([self.word_vector(t) for t in tokens], axis=0)
+
+    def values_vector(self, values: Sequence[str]) -> np.ndarray:
+        """Column-value embedding: average over all cell vectors."""
+        if not values:
+            return np.zeros(self.dim, dtype=np.float32)
+        return np.mean([self.text_vector(v) for v in values], axis=0)
+
+    # -- CBOW training -------------------------------------------------------------
+    def train(
+        self,
+        corpus: Iterable[str],
+        epochs: int = 2,
+        window: int = 3,
+        negatives: int = 3,
+        lr: float = 0.05,
+    ) -> "FastTextLike":
+        """Train with CBOW + negative sampling over ``corpus`` sentences."""
+        sentences = [basic_tokenize(line) for line in corpus]
+        vocabulary = sorted({t for s in sentences for t in s})
+        for word in vocabulary:
+            if word not in self.output_vectors:
+                self.output_vectors[word] = (
+                    self._rng.standard_normal(self.dim).astype(np.float32) * 0.05
+                )
+        vocab_array = np.array(vocabulary)
+
+        for _ in range(epochs):
+            order = self._rng.permutation(len(sentences))
+            for s_idx in order:
+                sentence = sentences[s_idx]
+                for center, target in enumerate(sentence):
+                    lo = max(0, center - window)
+                    hi = min(len(sentence), center + window + 1)
+                    context = [sentence[i] for i in range(lo, hi) if i != center]
+                    if not context:
+                        continue
+                    context_buckets = [
+                        b for word in context for b in self._word_ngrams(word)
+                    ]
+                    hidden = self.input_vectors[context_buckets].mean(axis=0)
+
+                    grad_hidden = np.zeros(self.dim, dtype=np.float32)
+                    samples = [(target, 1.0)]
+                    neg_words = vocab_array[
+                        self._rng.integers(0, len(vocab_array), size=negatives)
+                    ]
+                    samples.extend((w, 0.0) for w in neg_words if w != target)
+                    for word, label in samples:
+                        out = self.output_vectors[word]
+                        score = 1.0 / (1.0 + np.exp(-float(hidden @ out)))
+                        g = (score - label) * lr
+                        grad_hidden += g * out
+                        self.output_vectors[word] = out - g * hidden
+                    update = grad_hidden / len(context_buckets)
+                    np.subtract.at(self.input_vectors, context_buckets, update)
+        return self

@@ -1,0 +1,53 @@
+"""Numpy-based neural network substrate: autograd, layers, Transformer, optim.
+
+This subpackage replaces PyTorch + HuggingFace transformers in the original
+DODUO implementation (see DESIGN.md, substitution table).
+"""
+
+from . import functional
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Module
+from .optim import (
+    Adam,
+    AdamW,
+    CosineDecayScheduler,
+    LinearDecayScheduler,
+    Optimizer,
+    SGD,
+    WarmupLinearScheduler,
+)
+from .serialization import copy_parameters, load_checkpoint, save_checkpoint
+from .tensor import Tensor, concatenate, stack, where
+from .transformer import (
+    MultiHeadSelfAttention,
+    TransformerBlock,
+    TransformerConfig,
+    TransformerEncoder,
+)
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "CosineDecayScheduler",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "LinearDecayScheduler",
+    "MLP",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "SGD",
+    "Tensor",
+    "TransformerBlock",
+    "TransformerConfig",
+    "TransformerEncoder",
+    "WarmupLinearScheduler",
+    "concatenate",
+    "copy_parameters",
+    "functional",
+    "load_checkpoint",
+    "save_checkpoint",
+    "stack",
+    "where",
+]

@@ -1,0 +1,252 @@
+"""Fused neural-network operations with custom backward passes.
+
+Composite operations such as softmax, layer normalization, GELU, and the
+cross-entropy losses are implemented as single graph nodes: that keeps the
+autograd tape short and the CPU wall-clock time low compared to composing
+them from primitive tensor ops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+_SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as used by BERT)."""
+    data = x.data
+    inner = _SQRT_2_OVER_PI * (data + 0.044715 * data ** 3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * data ** 2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * data * sech2 * d_inner
+        x.accumulate_grad(grad * local.astype(data.dtype))
+
+    return x._make_child(out_data.astype(data.dtype), (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x.accumulate_grad(out_data * (grad - dot))
+
+    return x._make_child(out_data.astype(x.data.dtype), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        softmax_vals = np.exp(out_data)
+        x.accumulate_grad(grad - softmax_vals * grad.sum(axis=axis, keepdims=True))
+
+    return x._make_child(out_data.astype(x.data.dtype), (x,), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp reduction (used by the CRF forward pass)."""
+    shift = x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(x.data - shift)
+    summed = exp.sum(axis=axis, keepdims=True)
+    out_full = shift + np.log(summed)
+    out_data = out_full if keepdims else np.squeeze(out_full, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = np.asarray(grad)
+        if not keepdims:
+            g = np.expand_dims(g, axis)
+        softmax_vals = exp / summed
+        x.accumulate_grad((g * softmax_vals).astype(x.dtype))
+
+    return x._make_child(out_data.astype(x.dtype), (x,), backward)
+
+
+def cross_entropy_logits(
+    logits: Tensor,
+    labels: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean cross entropy between ``logits`` and integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., num_classes)``.
+    labels:
+        Integer array of shape ``(...)``.
+    ignore_index:
+        Label value excluded from the loss (e.g. padding positions).
+    """
+    labels = np.asarray(labels)
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1)
+
+    if ignore_index is not None:
+        mask = flat_labels != ignore_index
+    else:
+        mask = np.ones(flat_labels.shape, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("cross_entropy_logits received no valid labels")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+
+    safe_labels = np.where(mask, flat_labels, 0)
+    picked = log_probs[np.arange(len(flat_labels)), safe_labels]
+    loss_value = -float((picked * mask).sum(dtype=np.float64) / count)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(log_probs)
+        probs[np.arange(len(flat_labels)), safe_labels] -= 1.0
+        probs *= (mask / count)[:, None]
+        logits.accumulate_grad((float(grad) * probs).reshape(logits.shape).astype(logits.dtype))
+
+    return logits._make_child(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+
+
+def binary_cross_entropy_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    sample_mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean binary cross entropy with logits (multi-label training).
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., num_labels)``.
+    targets:
+        Float array of the same shape with entries in ``[0, 1]``.
+    sample_mask:
+        Optional boolean array of shape ``logits.shape[:-1]`` selecting rows
+        that participate in the loss.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    x = logits.data.astype(np.float64)
+    if sample_mask is None:
+        mask = np.ones(x.shape[:-1], dtype=bool)
+    else:
+        mask = np.asarray(sample_mask, dtype=bool)
+    count = int(mask.sum()) * x.shape[-1]
+    if count == 0:
+        raise ValueError("binary_cross_entropy_logits received no valid rows")
+
+    # log(1 + exp(-|x|)) formulation for numerical stability.
+    per_elem = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+    loss_value = float((per_elem * mask[..., None]).sum() / count)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        sig = 1.0 / (1.0 + np.exp(-x))
+        g = (sig - targets) * mask[..., None] / count
+        logits.accumulate_grad((float(grad) * g).astype(logits.dtype))
+
+    return logits._make_child(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with affine parameters."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    var = (centered ** 2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = centered * inv_std
+    out_data = normalized * gamma.data + beta.data
+
+    def backward(grad: np.ndarray) -> None:
+        dim = x.shape[-1]
+        if gamma.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            gamma.accumulate_grad((grad * normalized).sum(axis=axes))
+        if beta.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            beta.accumulate_grad(grad.sum(axis=axes))
+        if x.requires_grad:
+            g_norm = grad * gamma.data
+            term1 = g_norm
+            term2 = g_norm.mean(axis=-1, keepdims=True)
+            term3 = normalized * (g_norm * normalized).mean(axis=-1, keepdims=True)
+            x.accumulate_grad(((term1 - term2 - term3) * inv_std).astype(x.dtype))
+        del dim
+
+    return x._make_child(out_data.astype(x.dtype), (x, gamma, beta), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices`` (gradient scatters back)."""
+    indices = np.asarray(indices)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+        weight.accumulate_grad(full)
+
+    return weight._make_child(out_data, (weight,), backward)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or rate is 0."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x.accumulate_grad(grad * mask)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def attention_bias_from_mask(attention_mask: np.ndarray, dtype=np.float32) -> np.ndarray:
+    """Convert a boolean keep-mask ``(B, S)`` into an additive bias ``(B, 1, 1, S)``.
+
+    Positions with ``False`` receive a large negative bias so softmax ignores
+    them.
+    """
+    mask = np.asarray(attention_mask, dtype=bool)
+    bias = np.where(mask, 0.0, -1e9).astype(dtype)
+    return bias[:, None, None, :]
+
+
+def visibility_bias(visibility: np.ndarray, dtype=np.float32) -> np.ndarray:
+    """Convert a per-pair visibility matrix ``(B, S, S)`` into an additive bias.
+
+    Used by the TURL baseline, whose attention removes cross-column edges.
+    """
+    vis = np.asarray(visibility, dtype=bool)
+    bias = np.where(vis, 0.0, -1e9).astype(dtype)
+    return bias[:, None, :, :]

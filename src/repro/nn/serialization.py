@@ -1,0 +1,31 @@
+"""Saving and loading model weights as ``.npz`` checkpoints."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Serialize a module's parameters to a compressed ``.npz`` file."""
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    with np.load(path) as data:
+        state: Dict[str, np.ndarray] = {key: data[key] for key in data.files}
+    module.load_state_dict(state)
+
+
+def copy_parameters(source: Module, target: Module) -> None:
+    """Copy parameters between modules with identical structure.
+
+    Used to initialize a fine-tuning model from pre-trained encoder weights.
+    """
+    target.load_state_dict(source.state_dict())

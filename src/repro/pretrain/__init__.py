@@ -1,0 +1,21 @@
+"""Pre-training substrate: masked-LM training on the verbalized KB corpus."""
+
+from .mlm import (
+    IGNORE_INDEX,
+    MaskedLanguageModel,
+    PretrainResult,
+    mask_tokens,
+    pack_sentences,
+    pretrain_mlm,
+    sentence_pseudo_perplexity,
+)
+
+__all__ = [
+    "IGNORE_INDEX",
+    "MaskedLanguageModel",
+    "PretrainResult",
+    "mask_tokens",
+    "pack_sentences",
+    "pretrain_mlm",
+    "sentence_pseudo_perplexity",
+]

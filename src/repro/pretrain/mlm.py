@@ -1,0 +1,216 @@
+"""Masked language-model pre-training.
+
+The paper fine-tunes BERT, whose value comes from pre-training on large text
+corpora ("BERT might know that George Miller is a director/producer since the
+name frequently appears together with 'directed/produced by'").  Since no
+pre-trained checkpoint is available offline, this module pre-trains our
+mini-BERT on a corpus of verbalized KB facts (see
+:meth:`repro.datasets.kb.KnowledgeBase.verbalize`), reproducing the same
+mechanism: the encoder enters fine-tuning already carrying factual knowledge
+about the entities that appear in tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Adam, Linear, Module, Tensor, TransformerConfig, TransformerEncoder
+from ..nn import functional as F
+from ..text import WordPieceTokenizer
+
+IGNORE_INDEX = -100
+
+
+class MaskedLanguageModel(Module):
+    """Encoder plus a vocabulary-projection head for masked-token prediction."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.encoder = TransformerEncoder(config, rng)
+        self.head = Linear(config.hidden_dim, config.vocab_size, rng)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        hidden = self.encoder(token_ids, attention_mask=attention_mask)
+        return self.head(hidden)
+
+
+def mask_tokens(
+    token_ids: np.ndarray,
+    tokenizer: WordPieceTokenizer,
+    rng: np.random.Generator,
+    mask_prob: float = 0.15,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply BERT's 80/10/10 masking recipe.
+
+    Returns ``(masked_ids, labels)`` where ``labels`` is ``IGNORE_INDEX``
+    except at masked positions.
+    """
+    token_ids = np.asarray(token_ids)
+    vocab = tokenizer.vocab
+    labels = np.full(token_ids.shape, IGNORE_INDEX, dtype=np.int64)
+    masked = token_ids.copy()
+
+    special = {vocab.pad_id, vocab.cls_id, vocab.sep_id}
+    candidates = ~np.isin(token_ids, list(special))
+    selection = (rng.random(token_ids.shape) < mask_prob) & candidates
+    if not selection.any():
+        # Force at least one masked position so every batch trains.
+        eligible = np.argwhere(candidates)
+        if len(eligible):
+            pick = eligible[rng.integers(len(eligible))]
+            selection[tuple(pick)] = True
+
+    labels[selection] = token_ids[selection]
+    roll = rng.random(token_ids.shape)
+    replace_mask = selection & (roll < 0.8)
+    replace_random = selection & (roll >= 0.8) & (roll < 0.9)
+    masked[replace_mask] = vocab.mask_id
+    if replace_random.any():
+        masked[replace_random] = rng.integers(
+            0, tokenizer.vocab_size, size=int(replace_random.sum())
+        )
+    return masked, labels
+
+
+def pack_sentences(
+    sentences: Sequence[str],
+    tokenizer: WordPieceTokenizer,
+    max_len: int,
+) -> List[List[int]]:
+    """Pack sentences into ``[CLS] s1 [SEP] s2 [SEP] ...`` examples.
+
+    BERT packs its pre-training stream to the full sequence length so that
+    *every* position embedding gets trained; we reproduce that here (table
+    serializations at fine-tuning time are much longer than one sentence).
+    """
+    vocab = tokenizer.vocab
+    examples: List[List[int]] = []
+    current: List[int] = [vocab.cls_id]
+    for sentence in sentences:
+        ids = tokenizer.encode(sentence)[: max_len - 2] + [vocab.sep_id]
+        if len(current) + len(ids) > max_len and len(current) > 1:
+            examples.append(current)
+            current = [vocab.cls_id]
+        current.extend(ids)
+    if len(current) > 1:
+        examples.append(current)
+    return examples
+
+
+def _stack_examples(
+    examples: Sequence[Sequence[int]],
+    pad_id: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    width = max(len(ids) for ids in examples)
+    batch = np.full((len(examples), width), pad_id, dtype=np.int64)
+    mask = np.zeros((len(examples), width), dtype=bool)
+    for i, ids in enumerate(examples):
+        batch[i, : len(ids)] = ids
+        mask[i, : len(ids)] = True
+    return batch, mask
+
+
+@dataclass
+class PretrainResult:
+    """Output of :func:`pretrain_mlm`: the model and its loss trajectory."""
+
+    model: MaskedLanguageModel
+    losses: List[float]
+
+    @property
+    def encoder(self) -> TransformerEncoder:
+        return self.model.encoder
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def pretrain_mlm(
+    corpus: Sequence[str],
+    tokenizer: WordPieceTokenizer,
+    config: TransformerConfig,
+    epochs: int = 2,
+    batch_size: int = 16,
+    lr: float = 1e-3,
+    max_len: int = 64,
+    seed: int = 0,
+) -> PretrainResult:
+    """Pre-train a masked LM on ``corpus`` and return it.
+
+    Sentences are packed to ``max_len`` (see :func:`pack_sentences`).  The
+    loss trajectory is recorded per epoch so tests can assert that
+    pre-training actually reduces the MLM loss.
+    """
+    rng = np.random.default_rng(seed)
+    model = MaskedLanguageModel(config, rng)
+    optimizer = Adam(model.parameters(), lr=lr)
+    examples = pack_sentences(list(corpus), tokenizer, max_len)
+
+    losses: List[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(len(examples))
+        epoch_loss, batches = 0.0, 0
+        for start in range(0, len(order), batch_size):
+            chunk = [examples[i] for i in order[start:start + batch_size]]
+            token_ids, attention = _stack_examples(chunk, tokenizer.vocab.pad_id)
+            masked, labels = mask_tokens(token_ids, tokenizer, rng)
+            logits = model(masked, attention_mask=attention)
+            loss = F.cross_entropy_logits(logits, labels, ignore_index=IGNORE_INDEX)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    model.eval()
+    return PretrainResult(model=model, losses=losses)
+
+
+def sentence_pseudo_perplexity(
+    model: MaskedLanguageModel,
+    tokenizer: WordPieceTokenizer,
+    sentence: str,
+    max_len: int = 32,
+) -> float:
+    """Pseudo-perplexity of a sentence under the masked LM (Equation 3).
+
+    Each token is masked in turn and scored from its bidirectional context,
+    exactly the protocol of the paper's LM-probing analysis (Appendix A.5).
+    """
+    vocab = tokenizer.vocab
+    ids = [vocab.cls_id] + tokenizer.encode(sentence)[: max_len - 2] + [vocab.sep_id]
+    content_positions = [
+        i for i, t in enumerate(ids) if t not in (vocab.cls_id, vocab.sep_id, vocab.pad_id)
+    ]
+    if not content_positions:
+        return float("inf")
+
+    # Build one batch with each row masking a different position.
+    batch = np.tile(np.asarray(ids, dtype=np.int64), (len(content_positions), 1))
+    targets = []
+    for row, pos in enumerate(content_positions):
+        targets.append(batch[row, pos])
+        batch[row, pos] = vocab.mask_id
+    attention = np.ones(batch.shape, dtype=bool)
+
+    was_training = model.training
+    model.eval()
+    logits = model(batch, attention_mask=attention).data
+    if was_training:
+        model.train()
+
+    log_likelihood = 0.0
+    for row, pos in enumerate(content_positions):
+        row_logits = logits[row, pos].astype(np.float64)
+        row_logits -= row_logits.max()
+        log_probs = row_logits - np.log(np.exp(row_logits).sum())
+        log_likelihood += log_probs[targets[row]]
+    return float(np.exp(-log_likelihood / len(content_positions)))

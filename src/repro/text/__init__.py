@@ -1,0 +1,32 @@
+"""Text substrate: WordPiece / BPE tokenization and vocabulary management."""
+
+from .bpe import BpeTokenizer, train_bpe
+from .tokenizer import (
+    CLS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+    WordPieceTokenizer,
+    basic_tokenize,
+    build_tokenizer_from_words,
+    train_wordpiece,
+)
+
+__all__ = [
+    "BpeTokenizer",
+    "CLS_TOKEN",
+    "MASK_TOKEN",
+    "PAD_TOKEN",
+    "SEP_TOKEN",
+    "SPECIAL_TOKENS",
+    "UNK_TOKEN",
+    "Vocabulary",
+    "WordPieceTokenizer",
+    "basic_tokenize",
+    "build_tokenizer_from_words",
+    "train_bpe",
+    "train_wordpiece",
+]

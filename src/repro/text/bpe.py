@@ -1,0 +1,181 @@
+"""Byte-pair-encoding tokenizer (drop-in alternative to WordPiece).
+
+The paper notes DODUO "is independent of the choice of pre-trained LMs";
+the tokenizer is part of that choice (BERT uses WordPiece, RoBERTa/GPT-2 use
+BPE).  This module provides a trainable BPE tokenizer with the same
+interface as :class:`~repro.text.tokenizer.WordPieceTokenizer` — the same
+special tokens, ``tokenize/encode/decode``, and JSON persistence — so every
+component downstream (serializer, pre-training, fine-tuning) runs unchanged
+on top of it.
+
+Algorithm: classic Sennrich et al. BPE.  Words are split into characters
+plus an end-of-word marker; training repeatedly merges the most frequent
+adjacent symbol pair; encoding replays the learned merges in order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .tokenizer import SPECIAL_TOKENS, Vocabulary, basic_tokenize
+
+_END = "</w>"
+
+
+def _word_symbols(word: str) -> Tuple[str, ...]:
+    return tuple(word[:-1]) + (word[-1] + _END,)
+
+
+def _pair_counts(words: Dict[Tuple[str, ...], int]) -> Counter:
+    pairs: Counter = Counter()
+    for symbols, count in words.items():
+        for a, b in zip(symbols, symbols[1:]):
+            pairs[(a, b)] += count
+    return pairs
+
+
+def _merge_word(symbols: Tuple[str, ...], pair: Tuple[str, str]) -> Tuple[str, ...]:
+    merged: List[str] = []
+    i = 0
+    while i < len(symbols):
+        if i + 1 < len(symbols) and (symbols[i], symbols[i + 1]) == pair:
+            merged.append(symbols[i] + symbols[i + 1])
+            i += 2
+        else:
+            merged.append(symbols[i])
+            i += 1
+    return tuple(merged)
+
+
+class BpeTokenizer:
+    """Byte-pair encoding with the library's standard tokenizer interface."""
+
+    def __init__(self, vocab: Vocabulary, merges: Sequence[Tuple[str, str]]) -> None:
+        self.vocab = vocab
+        self.merges: List[Tuple[str, str]] = [tuple(m) for m in merges]
+        self._ranks = {pair: rank for rank, pair in enumerate(self.merges)}
+        self._cache: Dict[str, List[str]] = {}
+
+    # -- encoding -------------------------------------------------------------
+    def tokenize_word(self, word: str) -> List[str]:
+        if word in self._cache:
+            return self._cache[word]
+        symbols = list(_word_symbols(word))
+        while len(symbols) > 1:
+            best_rank, best_index = None, None
+            for i, pair in enumerate(zip(symbols, symbols[1:])):
+                rank = self._ranks.get(pair)
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank, best_index = rank, i
+            if best_index is None:
+                break
+            symbols[best_index:best_index + 2] = [
+                symbols[best_index] + symbols[best_index + 1]
+            ]
+        pieces = symbols
+        self._cache[word] = pieces
+        return pieces
+
+    def tokenize(self, text: str) -> List[str]:
+        pieces: List[str] = []
+        for word in basic_tokenize(text):
+            pieces.extend(self.tokenize_word(word))
+        return pieces
+
+    def encode(self, text: str) -> List[int]:
+        return [self.vocab.token_to_id(piece) for piece in self.tokenize(text)]
+
+    def decode(self, token_ids: Iterable[int]) -> str:
+        words: List[str] = []
+        current = ""
+        for token_id in token_ids:
+            token = self.vocab.id_to_token(token_id)
+            if token in SPECIAL_TOKENS:
+                continue
+            if token.endswith(_END):
+                words.append(current + token[: -len(_END)])
+                current = ""
+            else:
+                current += token
+        if current:
+            words.append(current)
+        return " ".join(words)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    # -- persistence ------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the tokenizer (vocabulary + merge list) as JSON."""
+        payload = {
+            "format": "bpe-v1",
+            "tokens": self.vocab.tokens(),
+            "merges": [list(pair) for pair in self.merges],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "BpeTokenizer":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "bpe-v1":
+            raise ValueError(
+                f"{path} is not a bpe-v1 tokenizer file "
+                f"(format={payload.get('format')!r})"
+            )
+        tokens = [t for t in payload["tokens"] if t not in SPECIAL_TOKENS]
+        merges = [tuple(pair) for pair in payload["merges"]]
+        return cls(Vocabulary(tokens), merges)
+
+
+def train_bpe(
+    corpus: Iterable[str],
+    vocab_size: int = 2048,
+    min_pair_frequency: int = 2,
+) -> BpeTokenizer:
+    """Learn BPE merges from a corpus.
+
+    The vocabulary holds the special tokens, every base symbol (characters
+    and end-of-word-marked characters), and one entry per learned merge, so
+    any text over seen characters stays encodable; unseen characters map to
+    ``[UNK]`` through the vocabulary lookup.
+    """
+    word_counts: Counter = Counter()
+    for line in corpus:
+        word_counts.update(basic_tokenize(line))
+    words: Dict[Tuple[str, ...], int] = {
+        _word_symbols(word): count for word, count in word_counts.items()
+    }
+
+    base_symbols: List[str] = []
+    seen = set()
+    for symbols in words:
+        for symbol in symbols:
+            if symbol not in seen:
+                seen.add(symbol)
+                base_symbols.append(symbol)
+
+    budget = vocab_size - len(SPECIAL_TOKENS) - len(base_symbols)
+    merges: List[Tuple[str, str]] = []
+    merged_tokens: List[str] = []
+    for _ in range(max(0, budget)):
+        pairs = _pair_counts(words)
+        if not pairs:
+            break
+        (a, b), count = pairs.most_common(1)[0]
+        if count < min_pair_frequency:
+            break
+        merges.append((a, b))
+        merged_tokens.append(a + b)
+        rewritten: Dict[Tuple[str, ...], int] = {}
+        for symbols, count in words.items():
+            key = _merge_word(symbols, (a, b))
+            rewritten[key] = rewritten.get(key, 0) + count
+        words = rewritten
+
+    return BpeTokenizer(Vocabulary(base_symbols + merged_tokens), merges)

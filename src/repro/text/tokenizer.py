@@ -1,0 +1,279 @@
+"""WordPiece-style tokenization.
+
+The paper tokenizes cell values with BERT's WordPiece tokenizer.  We
+reproduce the same interface: a trainable subword vocabulary, greedy
+longest-match-first encoding with ``##`` continuation pieces, and the BERT
+special tokens ``[PAD] [UNK] [CLS] [SEP] [MASK]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN)
+
+_WORD_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]", re.IGNORECASE)
+
+
+def _split_digits(word: str) -> List[str]:
+    """Split a digit run into pairs from the left: ``2925341`` -> 29 25 34 1.
+
+    Numbers are open-class: every distinct value would otherwise be a rare,
+    opaque token.  Digit pairs make magnitude learnable (token count encodes
+    digit count, the first pair encodes the leading digits) — the property
+    BERT's WordPiece number splitting gives the original DODUO.
+    """
+    return [word[i:i + 2] for i in range(0, len(word), 2)]
+
+
+def basic_tokenize(text: str) -> List[str]:
+    """Lowercase, split into words/punctuation, and pair-split digit runs."""
+    tokens: List[str] = []
+    for match in _WORD_RE.findall(text):
+        word = match.lower()
+        if word.isdigit() and len(word) > 2:
+            tokens.extend(_split_digits(word))
+        else:
+            tokens.append(word)
+    return tokens
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping with reserved special tokens."""
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        seen: Dict[str, int] = {}
+        for token in list(SPECIAL_TOKENS) + list(tokens):
+            if token not in seen:
+                seen[token] = len(seen)
+        self._token_to_id = seen
+        self._id_to_token = {i: t for t, i in seen.items()}
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[UNK_TOKEN])
+
+    def id_to_token(self, token_id: int) -> str:
+        if token_id not in self._id_to_token:
+            raise KeyError(f"unknown token id: {token_id}")
+        return self._id_to_token[token_id]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK_TOKEN]
+
+    def tokens(self) -> List[str]:
+        return [self._id_to_token[i] for i in range(len(self))]
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first WordPiece encoder.
+
+    A word is segmented into the longest vocabulary prefix followed by
+    ``##``-prefixed continuation pieces; words that cannot be segmented map
+    to ``[UNK]``.
+    """
+
+    def __init__(self, vocab: Vocabulary, max_word_chars: int = 32) -> None:
+        self.vocab = vocab
+        self.max_word_chars = max_word_chars
+
+    def tokenize_word(self, word: str) -> List[str]:
+        if len(word) > self.max_word_chars:
+            return [UNK_TOKEN]
+        pieces: List[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [UNK_TOKEN]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> List[str]:
+        pieces: List[str] = []
+        for word in basic_tokenize(text):
+            pieces.extend(self.tokenize_word(word))
+        return pieces
+
+    def encode(self, text: str) -> List[int]:
+        return [self.vocab.token_to_id(piece) for piece in self.tokenize(text)]
+
+    def decode(self, token_ids: Iterable[int]) -> str:
+        words: List[str] = []
+        for token_id in token_ids:
+            token = self.vocab.id_to_token(token_id)
+            if token in SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the tokenizer (vocabulary + settings) as JSON."""
+        payload = {
+            "format": "wordpiece-v1",
+            "max_word_chars": self.max_word_chars,
+            "tokens": self.vocab.tokens(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "WordPieceTokenizer":
+        """Load a tokenizer written by :meth:`save`.
+
+        The token list in the file includes the special tokens in id order;
+        :class:`Vocabulary` re-reserves them at the same positions, so ids
+        are stable across the round-trip.
+        """
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "wordpiece-v1":
+            raise ValueError(
+                f"{path} is not a wordpiece-v1 tokenizer file "
+                f"(format={payload.get('format')!r})"
+            )
+        tokens = [t for t in payload["tokens"] if t not in SPECIAL_TOKENS]
+        return cls(
+            Vocabulary(tokens),
+            max_word_chars=int(payload.get("max_word_chars", 32)),
+        )
+
+
+def train_wordpiece(
+    corpus: Iterable[str],
+    vocab_size: int = 2048,
+    min_frequency: int = 2,
+    max_subword_len: int = 8,
+) -> WordPieceTokenizer:
+    """Induce a WordPiece vocabulary from a text corpus.
+
+    The trainer keeps (a) every single character seen (so any word can be
+    segmented), (b) the most frequent whole words, and (c) the most frequent
+    continuation substrings, up to ``vocab_size`` entries.  This is a
+    frequency-based approximation of the likelihood-driven WordPiece trainer
+    that produces the same tokenizer behaviour for our synthetic corpus.
+    """
+    word_counts: Counter[str] = Counter()
+    for line in corpus:
+        word_counts.update(basic_tokenize(line))
+
+    char_counts: Counter[str] = Counter()
+    prefix_counts: Counter[str] = Counter()
+    suffix_counts: Counter[str] = Counter()
+    for word, count in word_counts.items():
+        # Register both the word-initial and continuation form of every
+        # character so any word over seen characters stays segmentable.
+        for ch in word:
+            char_counts[ch] += count
+            char_counts["##" + ch] += count
+        for length in range(2, min(max_subword_len, len(word)) + 1):
+            prefix_counts[word[:length]] += count
+            for start in range(1, len(word) - length + 1):
+                suffix_counts["##" + word[start:start + length]] += count
+
+    tokens: List[str] = []
+    # 1. Characters (both word-initial and continuation forms).
+    tokens.extend(sorted(char_counts))
+    # 1b. All digit pairs (and continuations): numbers are open-class, so the
+    # vocabulary must cover every pair `basic_tokenize` can emit.
+    for a in "0123456789":
+        for b in "0123456789":
+            tokens.append(a + b)
+            tokens.append("##" + a + b)
+    # 2. Frequent whole words.
+    budget = vocab_size - len(SPECIAL_TOKENS) - len(tokens)
+    frequent_words = [
+        w for w, c in word_counts.most_common() if c >= min_frequency and len(w) > 1
+    ]
+    take_words = frequent_words[: max(0, budget * 2 // 3)]
+    tokens.extend(take_words)
+    # 3. Frequent prefixes / continuations to cover unseen words.
+    budget = vocab_size - len(SPECIAL_TOKENS) - len(set(tokens))
+    subwords = prefix_counts + suffix_counts
+    for piece, count in subwords.most_common():
+        if budget <= 0:
+            break
+        if count < min_frequency or piece in set(tokens):
+            continue
+        tokens.append(piece)
+        budget -= 1
+
+    # Deduplicate while preserving order.
+    unique: List[str] = []
+    seen = set()
+    for token in tokens:
+        if token not in seen:
+            seen.add(token)
+            unique.append(token)
+    unique = unique[: vocab_size - len(SPECIAL_TOKENS)]
+    return WordPieceTokenizer(Vocabulary(unique))
+
+
+def build_tokenizer_from_words(words: Sequence[str]) -> WordPieceTokenizer:
+    """Convenience constructor: whole-word vocabulary plus character fallback."""
+    chars: List[str] = []
+    seen = set()
+    for word in words:
+        for i, ch in enumerate(word.lower()):
+            forms = [ch] if i == 0 else [ch, "##" + ch]
+            for form in forms:
+                if form not in seen:
+                    seen.add(form)
+                    chars.append(form)
+    lowered = []
+    for word in words:
+        lw = word.lower()
+        if lw not in seen:
+            seen.add(lw)
+            lowered.append(lw)
+    return WordPieceTokenizer(Vocabulary(chars + lowered))

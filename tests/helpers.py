@@ -1,0 +1,54 @@
+"""Shared test utilities: numerical gradient checking and tiny fixtures."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = fn(x)
+        flat[i] = original - eps
+        f_minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    op: Callable[[Tensor], Tensor],
+    x_data: np.ndarray,
+    atol: float = 2e-2,
+    rtol: float = 2e-2,
+) -> None:
+    """Assert that autograd gradients of ``sum(op(x))`` match finite differences."""
+    x_data = np.asarray(x_data, dtype=np.float64).astype(np.float32)
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        t = Tensor(arr.astype(np.float32))
+        return float(op(t).sum().data)
+
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    analytic = x.grad.astype(np.float64)
+    numeric = numerical_gradient(scalar_fn, x_data.astype(np.float64).copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,147 @@
+"""Tests for the attention-dependency and LM-probing analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AttentionDependency,
+    ProbeScore,
+    compute_attention_dependency,
+    kb_relation_examples,
+    kb_type_examples,
+    probe_column_relations,
+    probe_column_types,
+    render_heatmap_ascii,
+)
+from repro.core import DoduoConfig, DoduoTrainer
+from repro.datasets import KnowledgeBase, generate_viznet_dataset
+from repro.nn import TransformerConfig
+from repro.pretrain import MaskedLanguageModel, pretrain_mlm
+from repro.text import train_wordpiece
+
+from helpers import rng
+
+
+@pytest.fixture(scope="module")
+def viznet():
+    return generate_viznet_dataset(num_tables=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(viznet):
+    return train_wordpiece(viznet.all_cell_text() + ["is a directed born"], vocab_size=1200)
+
+
+@pytest.fixture(scope="module")
+def encoder_config(tokenizer):
+    return TransformerConfig(
+        vocab_size=tokenizer.vocab_size, hidden_dim=32, num_layers=2,
+        num_heads=2, ffn_dim=64, max_position=128, num_segments=8, dropout=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def trainer(viznet, tokenizer, encoder_config):
+    config = DoduoConfig(
+        tasks=("type",), multi_label=False, epochs=2, batch_size=8,
+        keep_best_checkpoint=False,
+    )
+    t = DoduoTrainer(viznet, tokenizer, encoder_config, config)
+    t.train()
+    return t
+
+
+class TestAttentionDependency:
+    def test_matrix_shape_and_types(self, trainer, viznet):
+        dependency = compute_attention_dependency(trainer, viznet.tables)
+        n = len(dependency.types)
+        assert dependency.matrix.shape == (n, n)
+        assert dependency.counts.shape == (n, n)
+
+    def test_reference_point_zero(self, trainer, viznet):
+        """Observed entries average ~0 after normalization."""
+        dependency = compute_attention_dependency(trainer, viznet.tables)
+        observed = dependency.matrix[dependency.counts > 0]
+        assert abs(observed.mean()) < 1e-6
+
+    def test_single_column_tables_excluded(self, trainer, viznet):
+        singles = [t for t in viznet.tables if t.num_columns == 1]
+        if singles:
+            dependency = compute_attention_dependency(trainer, singles)
+            assert dependency.counts.sum() == 0
+
+    def test_dependency_lookup_and_top(self, trainer, viznet):
+        dependency = compute_attention_dependency(trainer, viznet.tables)
+        strongest = dependency.strongest_dependencies(top_k=5)
+        assert len(strongest) <= 5
+        if strongest:
+            t_from, t_on, score = strongest[0]
+            assert dependency.dependency(t_from, t_on) == pytest.approx(score)
+
+    def test_ascii_rendering(self, trainer, viznet):
+        dependency = compute_attention_dependency(trainer, viznet.tables[:10])
+        text = render_heatmap_ascii(dependency)
+        assert isinstance(text, str) and len(text.splitlines()) >= 1
+
+
+class TestProbing:
+    @pytest.fixture(scope="class")
+    def probing_setup(self):
+        kb = KnowledgeBase(rng(3), scale=0.3)
+        corpus = kb.verbalize(rng(4))
+        tokenizer = train_wordpiece(corpus, vocab_size=1200)
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, hidden_dim=32, num_layers=2,
+            num_heads=2, ffn_dim=64, max_position=64, dropout=0.0,
+        )
+        result = pretrain_mlm(corpus, tokenizer, config, epochs=3, batch_size=16,
+                              lr=2e-3, seed=0)
+        return kb, tokenizer, result.model
+
+    def test_type_probing_report(self, probing_setup):
+        kb, tokenizer, model = probing_setup
+        examples = kb_type_examples(kb, rng(0), per_type=2)
+        candidates = ["director", "city", "country", "film"]
+        filtered = [(v, t) for v, t in examples if t in candidates]
+        report = probe_column_types(model, tokenizer, filtered, candidates,
+                                    max_examples_per_type=2)
+        assert report.num_candidates == 4
+        for score in report.scores:
+            assert 1.0 <= score.average_rank <= 4.0
+            assert score.normalized_ppl > 0
+
+    def test_top_bottom_disjoint_ordering(self, probing_setup):
+        kb, tokenizer, model = probing_setup
+        examples = kb_type_examples(kb, rng(0), per_type=1)
+        candidates = sorted({t for _, t in examples})[:6]
+        filtered = [(v, t) for v, t in examples if t in candidates]
+        report = probe_column_types(model, tokenizer, filtered, candidates,
+                                    max_examples_per_type=1)
+        top = report.top(2)
+        bottom = report.bottom(2)
+        assert top[0].average_rank <= bottom[-1].average_rank
+
+    def test_relation_probing(self, probing_setup):
+        kb, tokenizer, model = probing_setup
+        examples = kb_relation_examples(kb, rng(0), per_relation=1)
+        candidates = ["film.directed_by", "person.place_of_birth", "city.located_in"]
+        filtered = [e for e in examples if e[2] in candidates]
+        report = probe_column_relations(model, tokenizer, filtered, candidates,
+                                        max_examples_per_relation=1)
+        assert report.scores
+        for score in report.scores:
+            assert 1.0 <= score.average_rank <= len(candidates)
+
+    def test_unknown_relations_skipped(self, probing_setup):
+        kb, tokenizer, model = probing_setup
+        report = probe_column_relations(
+            model, tokenizer, [("a", "b", "no.such_relation")], ["no.such_relation"]
+        )
+        assert report.scores == []
+
+    def test_kb_example_helpers(self, probing_setup):
+        kb, _, _ = probing_setup
+        type_examples = kb_type_examples(kb, rng(1), per_type=3)
+        assert all(t in kb.entities for _, t in type_examples)
+        relation_examples = kb_relation_examples(kb, rng(1), per_relation=3)
+        assert all(len(e) == 3 for e in relation_examples)

@@ -1,0 +1,74 @@
+"""Tests for per-head attention analysis (repro.analysis.heads)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    head_agreement_matrix,
+    head_attention_entropy,
+    summarize_heads,
+)
+
+
+@pytest.fixture(scope="module")
+def trainer_and_tables(shared_tiny_annotator):
+    trainer = shared_tiny_annotator.trainer
+    tables = trainer.dataset.tables[:5]
+    return trainer, tables
+
+
+class TestHeadEntropy:
+    def test_shape_and_bounds(self, trainer_and_tables):
+        trainer, tables = trainer_and_tables
+        entropy = head_attention_entropy(trainer, tables)
+        config = trainer.model.config
+        assert entropy.shape == (config.num_layers, config.num_heads)
+        assert (entropy >= 0.0).all()
+        assert (entropy <= 1.0 + 1e-9).all()
+
+    def test_empty_tables_raise(self, trainer_and_tables):
+        trainer, _ = trainer_and_tables
+        with pytest.raises(ValueError, match="no tables"):
+            head_attention_entropy(trainer, [])
+
+    def test_deterministic(self, trainer_and_tables):
+        trainer, tables = trainer_and_tables
+        a = head_attention_entropy(trainer, tables)
+        b = head_attention_entropy(trainer, tables)
+        np.testing.assert_allclose(a, b)
+
+
+class TestHeadAgreement:
+    def test_symmetric_with_unit_diagonal(self, trainer_and_tables):
+        trainer, tables = trainer_and_tables
+        agreement = head_agreement_matrix(trainer, tables)
+        np.testing.assert_allclose(agreement, agreement.T, atol=1e-6)
+        np.testing.assert_allclose(np.diag(agreement), 1.0, atol=1e-5)
+
+    def test_heads_not_fully_redundant(self, trainer_and_tables):
+        """The paper's premise: different heads attend differently."""
+        trainer, tables = trainer_and_tables
+        agreement = head_agreement_matrix(trainer, tables)
+        h = agreement.shape[0]
+        if h > 1:
+            off_diag = agreement[~np.eye(h, dtype=bool)]
+            assert off_diag.min() < 0.999
+
+    def test_layer_indexing(self, trainer_and_tables):
+        trainer, tables = trainer_and_tables
+        first = head_agreement_matrix(trainer, tables, layer=0)
+        last = head_agreement_matrix(trainer, tables, layer=-1)
+        assert first.shape == last.shape
+        assert not np.allclose(first, last)
+
+
+class TestSummary:
+    def test_one_summary_per_layer(self, trainer_and_tables):
+        trainer, tables = trainer_and_tables
+        summaries = summarize_heads(trainer, tables)
+        assert len(summaries) == trainer.model.config.num_layers
+        for layer_index, summary in enumerate(summaries):
+            assert summary.layer == layer_index
+            assert 0.0 <= summary.mean_entropy <= 1.0
+            assert summary.entropy_spread >= 0.0
+            assert -1.0 <= summary.mean_pairwise_agreement <= 1.0 + 1e-9

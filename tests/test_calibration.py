@@ -1,0 +1,147 @@
+"""Tests for temperature scaling and calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import (
+    apply_temperature,
+    calibrate_trainer,
+    collect_type_logits,
+    expected_calibration_error,
+    fit_temperature,
+    negative_log_likelihood,
+)
+
+
+def overconfident_logits(n=400, classes=4, scale=8.0, accuracy=0.7, seed=0):
+    """Synthetic overconfident classifier: huge logits, 70% accuracy."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, n)
+    predicted = np.where(
+        rng.random(n) < accuracy, labels, (labels + 1) % classes
+    )
+    logits = rng.normal(0, 0.1, (n, classes))
+    logits[np.arange(n), predicted] += scale
+    return logits, labels
+
+
+class TestApplyTemperature:
+    def test_rows_are_distributions(self):
+        logits, _ = overconfident_logits(n=20)
+        probs = apply_temperature(logits, 2.0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_argmax_invariant(self):
+        logits, _ = overconfident_logits(n=50)
+        for t in (0.5, 1.0, 4.0):
+            np.testing.assert_array_equal(
+                apply_temperature(logits, t).argmax(axis=1),
+                logits.argmax(axis=1),
+            )
+
+    def test_higher_temperature_softens(self):
+        logits, _ = overconfident_logits(n=50)
+        sharp = apply_temperature(logits, 0.5).max(axis=1).mean()
+        soft = apply_temperature(logits, 4.0).max(axis=1).mean()
+        assert soft < sharp
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError, match="positive"):
+            apply_temperature(np.zeros((2, 2)), 0.0)
+
+
+class TestFitTemperature:
+    def test_overconfident_model_gets_t_above_one(self):
+        logits, labels = overconfident_logits()
+        assert fit_temperature(logits, labels) > 1.5
+
+    def test_fitted_t_reduces_nll(self):
+        logits, labels = overconfident_logits()
+        t = fit_temperature(logits, labels)
+        assert negative_log_likelihood(logits, labels, t) < (
+            negative_log_likelihood(logits, labels, 1.0)
+        )
+
+    def test_fitted_t_reduces_ece(self):
+        logits, labels = overconfident_logits()
+        t = fit_temperature(logits, labels)
+        before = expected_calibration_error(apply_temperature(logits, 1.0), labels)
+        after = expected_calibration_error(apply_temperature(logits, t), labels)
+        assert after < before
+
+    def test_well_calibrated_model_keeps_t_near_one(self):
+        rng = np.random.default_rng(1)
+        n, classes = 2000, 3
+        labels = rng.integers(0, classes, n)
+        # true posterior logits: model that knows its own uncertainty
+        logits = rng.normal(0, 1.0, (n, classes))
+        logits[np.arange(n), labels] += 1.0
+        # resample labels FROM the model's own softmax -> perfectly calibrated
+        probs = apply_temperature(logits, 1.0)
+        labels = np.array([rng.choice(classes, p=p) for p in probs])
+        t = fit_temperature(logits, labels)
+        assert 0.6 < t < 1.7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            fit_temperature(np.zeros((0, 3)), [])
+
+
+class TestEce:
+    def test_perfectly_confident_and_correct_is_zero(self):
+        probs = np.eye(3)[[0, 1, 2, 0]]
+        labels = [0, 1, 2, 0]
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0)
+
+    def test_confident_but_wrong_is_high(self):
+        probs = np.eye(3)[[0, 0, 0, 0]]
+        labels = [1, 1, 1, 1]
+        assert expected_calibration_error(probs, labels) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="aligned"):
+            expected_calibration_error(np.zeros((3, 2)), [0, 1])
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.dirichlet(np.ones(4), size=50)
+        labels = rng.integers(0, 4, 50)
+        assert 0.0 <= expected_calibration_error(probs, labels) <= 1.0
+
+
+class TestTrainerIntegration:
+    def test_calibrate_trainer_single_label(self):
+        from repro.core import DoduoConfig, DoduoTrainer
+        from repro.datasets import generate_viznet_dataset, split_dataset
+        from repro.nn import TransformerConfig
+        from repro.text import train_wordpiece
+
+        dataset = generate_viznet_dataset(num_tables=40, seed=6)
+        splits = split_dataset(dataset, seed=0)
+        tokenizer = train_wordpiece(splits.train.all_cell_text(), vocab_size=600)
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, hidden_dim=16, num_layers=1,
+            num_heads=2, ffn_dim=32, max_position=128, num_segments=6,
+            dropout=0.0,
+        )
+        trainer = DoduoTrainer(
+            splits.train, tokenizer, config,
+            DoduoConfig(tasks=("type",), multi_label=False, epochs=3,
+                        batch_size=8, keep_best_checkpoint=False),
+        )
+        trainer.train()
+        temperature = calibrate_trainer(trainer, splits.valid)
+        assert temperature > 0
+        logits, labels = collect_type_logits(trainer, splits.test)
+        assert logits.shape[0] == len(labels)
+
+    def test_multi_label_rejected(self, shared_tiny_annotator):
+        with pytest.raises(ValueError, match="single-label"):
+            calibrate_trainer(
+                shared_tiny_annotator.trainer,
+                shared_tiny_annotator.trainer.dataset,
+            )

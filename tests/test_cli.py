@@ -1,0 +1,164 @@
+"""End-to-end tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import save_annotator
+from repro.datasets import generate_viznet_dataset
+from repro.io import load_dataset_jsonl, save_dataset_jsonl, write_table_csv
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(shared_tiny_annotator, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-bundle")
+    save_annotator(shared_tiny_annotator, directory)
+    return directory
+
+
+@pytest.fixture()
+def sample_csv(shared_tiny_annotator, tmp_path):
+    table = shared_tiny_annotator.trainer.dataset.tables[0]
+    path = tmp_path / "sample.csv"
+    write_table_csv(table, path)
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("corpus", ["wikitable", "viznet"])
+    def test_generates_jsonl(self, corpus, tmp_path, capsys):
+        out = tmp_path / f"{corpus}.jsonl"
+        code = main(["generate", corpus, "--num-tables", "8", "--out", str(out)])
+        assert code == 0
+        dataset = load_dataset_jsonl(out)
+        assert len(dataset.tables) == 8
+        assert "wrote 8 tables" in capsys.readouterr().out
+
+    def test_generates_enterprise(self, tmp_path):
+        out = tmp_path / "hr.jsonl"
+        assert main(["generate", "enterprise", "--out", str(out)]) == 0
+        dataset = load_dataset_jsonl(out)
+        assert dataset.tables
+
+    def test_deterministic_under_seed(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["generate", "viznet", "--num-tables", "5", "--seed", "3", "--out", str(a)])
+        main(["generate", "viznet", "--num-tables", "5", "--seed", "3", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestTrainAnnotateEvaluate:
+    @pytest.fixture(scope="class")
+    def trained_bundle(self, tmp_path_factory):
+        """Train a minuscule model through the CLI itself."""
+        root = tmp_path_factory.mktemp("cli-train")
+        corpus = root / "corpus.jsonl"
+        dataset = generate_viznet_dataset(num_tables=30, seed=5)
+        save_dataset_jsonl(dataset, corpus)
+        bundle = root / "model"
+        code = main([
+            "train", str(corpus), "--out", str(bundle),
+            "--epochs", "1", "--vocab-size", "600",
+            "--hidden-dim", "32", "--layers", "1", "--heads", "2",
+        ])
+        assert code == 0
+        return root, corpus, bundle
+
+    def test_train_writes_bundle(self, trained_bundle):
+        _, _, bundle = trained_bundle
+        assert (bundle / "bundle.json").exists()
+        assert (bundle / "weights.npz").exists()
+
+    def test_annotate_text_output(self, trained_bundle, tmp_path, capsys):
+        root, corpus, bundle = trained_bundle
+        dataset = load_dataset_jsonl(corpus)
+        csv_path = tmp_path / "t.csv"
+        write_table_csv(dataset.tables[0], csv_path)
+        assert main(["annotate", str(bundle), str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "predicted types" in out
+
+    def test_annotate_json_output(self, trained_bundle, tmp_path, capsys):
+        root, corpus, bundle = trained_bundle
+        dataset = load_dataset_jsonl(corpus)
+        csv_path = tmp_path / "t.csv"
+        write_table_csv(dataset.tables[1], csv_path)
+        assert main(["annotate", str(bundle), str(csv_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["columns"]) == dataset.tables[1].num_columns
+        assert all(c["predicted_types"] for c in payload["columns"])
+
+    def test_evaluate_prints_scores(self, trained_bundle, capsys):
+        _, corpus, bundle = trained_bundle
+        assert main(["evaluate", str(bundle), str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "micro-F1" in out
+        assert "type" in out
+
+    def test_info(self, trained_bundle, capsys):
+        _, _, bundle = trained_bundle
+        assert main(["info", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "parameters" in out
+        assert "type vocabulary" in out
+
+
+class TestAnnotateWideAndErrors:
+    def test_wide_annotation_path(self, bundle_dir, sample_csv, capsys):
+        code = main([
+            "annotate", str(bundle_dir), str(sample_csv),
+            "--max-columns", "1",
+        ])
+        assert code == 0
+        assert "predicted types" in capsys.readouterr().out
+
+    def test_wide_similarity_strategy(self, bundle_dir, sample_csv, capsys):
+        code = main([
+            "annotate", str(bundle_dir), str(sample_csv),
+            "--max-columns", "2", "--wide-strategy", "similarity",
+        ])
+        assert code == 0
+        assert "predicted types" in capsys.readouterr().out
+
+    def test_annotate_no_header_csv(self, bundle_dir, shared_tiny_annotator,
+                                     tmp_path, capsys):
+        from repro.io import write_table_csv
+
+        table = shared_tiny_annotator.trainer.dataset.tables[1]
+        path = tmp_path / "raw.csv"
+        write_table_csv(table, path, include_header=False)
+        assert main(["annotate", str(bundle_dir), str(path), "--no-header"]) == 0
+
+    def test_missing_model_errors(self, sample_csv, tmp_path, capsys):
+        code = main(["annotate", str(tmp_path), str(sample_csv)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_table_errors(self, bundle_dir, tmp_path, capsys):
+        code = main(["annotate", str(bundle_dir), str(tmp_path / "nope.csv")])
+        assert code == 1
+
+    def test_empty_dataset_train_errors(self, tmp_path, capsys):
+        corpus = tmp_path / "empty.jsonl"
+        corpus.write_text(json.dumps({
+            "kind": "dataset", "version": 1, "name": "x",
+            "type_vocab": ["a"], "relation_vocab": [],
+        }) + "\n")
+        code = main(["train", str(corpus), "--out", str(tmp_path / "m")])
+        assert code == 1
+        assert "no tables" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "viznet"])
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "imagenet", "--out", "x"])

@@ -1,0 +1,436 @@
+"""Tests for the DODUO model, multi-task trainer, and annotator API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Doduo,
+    DoduoConfig,
+    DoduoModel,
+    DoduoTrainer,
+    SerializerConfig,
+    TableSerializer,
+)
+from repro.core.trainer import RELATION_TASK, TYPE_TASK
+from repro.datasets import generate_viznet_dataset, generate_wikitable_dataset, split_dataset
+from repro.nn import TransformerConfig
+from repro.text import train_wordpiece
+
+from helpers import rng
+
+
+def small_encoder_config(vocab_size):
+    return TransformerConfig(
+        vocab_size=vocab_size,
+        hidden_dim=32,
+        num_layers=2,
+        num_heads=2,
+        ffn_dim=64,
+        max_position=128,
+        num_segments=8,
+        dropout=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def wikitable():
+    return generate_wikitable_dataset(num_tables=40, seed=7, max_rows=5)
+
+
+@pytest.fixture(scope="module")
+def viznet():
+    return generate_viznet_dataset(num_tables=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(wikitable, viznet):
+    corpus = wikitable.all_cell_text() + viznet.all_cell_text()
+    return train_wordpiece(corpus, vocab_size=1200)
+
+
+class TestDoduoModel:
+    def test_type_logits_shape(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, num_types=10, num_relations=5, rng=rng(0))
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(t) for t in wikitable.tables[:3]]
+        total_cols = sum(e.num_columns for e in encoded)
+        logits = model.type_logits(encoded)
+        assert logits.shape == (total_cols, 10)
+
+    def test_relation_logits_shape(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, num_types=10, num_relations=5, rng=rng(0))
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = next(t for t in wikitable.tables if t.num_columns >= 3)
+        encoded = [serializer.serialize_table(table)]
+        logits = model.relation_logits(encoded, [(0, 0, 1), (0, 0, 2)])
+        assert logits.shape == (2, 5)
+
+    def test_no_relation_head_raises(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, num_types=10, num_relations=0, rng=rng(0))
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(wikitable.tables[0])]
+        with pytest.raises(RuntimeError):
+            model.relation_logits(encoded, [(0, 0, 1)])
+
+    def test_predict_probs_normalized(self, viznet, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, num_types=7, num_relations=0, rng=rng(0))
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(viznet.tables[0])]
+        probs = model.predict_type_probs(encoded, multi_label=False)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+        probs_ml = model.predict_type_probs(encoded, multi_label=True)
+        assert ((probs_ml >= 0) & (probs_ml <= 1)).all()
+
+    def test_column_embeddings_shape(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, num_types=4, num_relations=0, rng=rng(0))
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = wikitable.tables[0]
+        encoded = [serializer.serialize_table(table)]
+        emb = model.column_embeddings(encoded)
+        assert emb.shape == (table.num_columns, config.hidden_dim)
+
+    def test_layer_selection(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, 4, 0, rng(0))
+        model.eval()
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(wikitable.tables[0])]
+        final = model.column_embeddings(encoded, layer=-1).data
+        first = model.column_embeddings(encoded, layer=0).data
+        assert final.shape == first.shape
+        assert not np.allclose(final, first)
+        # layer=-1 and the explicit last index agree
+        last = model.column_embeddings(encoded, layer=config.num_layers - 1).data
+        np.testing.assert_allclose(final, last)
+
+    def test_encoder_layer_outputs_collected(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        model = DoduoModel(config, 4, 0, rng(0))
+        model.eval()
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        model.column_embeddings([serializer.serialize_table(wikitable.tables[0])])
+        outputs = model.encoder.layer_outputs
+        assert len(outputs) == config.num_layers
+        np.testing.assert_allclose(outputs[-1].data, outputs[-1].data)
+
+    def test_segment_flag_changes_output(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        with_segments = DoduoModel(config, 4, 0, rng(0), use_column_segments=True)
+        without = DoduoModel(config, 4, 0, rng(0), use_column_segments=False)
+        without.load_state_dict(with_segments.state_dict())
+        with_segments.eval(); without.eval()
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(wikitable.tables[0])]
+        a = with_segments.column_embeddings(encoded).data
+        b = without.column_embeddings(encoded).data
+        assert not np.allclose(a, b)
+
+    def test_visibility_flag_changes_output(self, wikitable, tokenizer):
+        config = small_encoder_config(tokenizer.vocab_size)
+        full = DoduoModel(config, 4, 0, rng(0), use_visibility_matrix=False)
+        restricted = DoduoModel(config, 4, 0, rng(0), use_visibility_matrix=True)
+        restricted.load_state_dict(full.state_dict())
+        full.eval(); restricted.eval()
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(wikitable.tables[0])]
+        a = full.column_embeddings(encoded).data
+        b = restricted.column_embeddings(encoded).data
+        assert not np.allclose(a, b)
+
+
+class TestTrainerConfig:
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            DoduoConfig(tasks=("type", "bogus"))
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError, match="patience"):
+            DoduoConfig(early_stopping_patience=-1)
+
+    def test_invalid_value_order_rejected_at_trainer_build(self, wikitable, tokenizer):
+        config = DoduoConfig(value_order="tail")
+        with pytest.raises(ValueError, match="value_order"):
+            DoduoTrainer(
+                wikitable, tokenizer,
+                small_encoder_config(tokenizer.vocab_size), config,
+            )
+
+    def test_distinct_value_order_trains(self, wikitable, tokenizer):
+        config = DoduoConfig(tasks=(TYPE_TASK,), epochs=1, batch_size=8,
+                             value_order="distinct", keep_best_checkpoint=False)
+        trainer = DoduoTrainer(
+            wikitable, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        history = trainer.train()
+        assert len(history.task_losses[TYPE_TASK]) == 1
+
+
+class TestTypeScores:
+    def test_scores_cover_vocabulary(self, shared_tiny_annotator):
+        table = shared_tiny_annotator.trainer.dataset.tables[0]
+        result = shared_tiny_annotator.annotate(table, with_embeddings=False)
+        vocab = set(shared_tiny_annotator.trainer.dataset.type_vocab)
+        assert len(result.type_scores) == table.num_columns
+        for scores in result.type_scores:
+            assert set(scores) == vocab
+            assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    def test_top_types_ranked(self, shared_tiny_annotator):
+        table = shared_tiny_annotator.trainer.dataset.tables[0]
+        result = shared_tiny_annotator.annotate(table, with_embeddings=False)
+        top = result.top_types(0, k=3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_argmax_score_matches_prediction(self, shared_tiny_annotator):
+        """The highest-scoring type must be among the predicted names
+        (multi-label prediction always keeps at least the top label)."""
+        table = shared_tiny_annotator.trainer.dataset.tables[2]
+        result = shared_tiny_annotator.annotate(table, with_embeddings=False)
+        for c in range(table.num_columns):
+            best = result.top_types(c, k=1)[0][0]
+            assert best in result.coltypes[c]
+
+
+class TestAnnotateMany:
+    def test_matches_individual_annotation(self, shared_tiny_annotator):
+        tables = shared_tiny_annotator.trainer.dataset.tables[:3]
+        batch = shared_tiny_annotator.annotate_many(tables, with_embeddings=False)
+        assert len(batch) == 3
+        for table, result in zip(tables, batch):
+            single = shared_tiny_annotator.annotate(table, with_embeddings=False)
+            assert result.coltypes == single.coltypes
+            assert result.colrels == single.colrels
+
+
+class TestTrainerEmbeddingOptions:
+    @pytest.fixture(scope="class")
+    def quick_trainer(self, wikitable, tokenizer):
+        config = DoduoConfig(tasks=(TYPE_TASK,), epochs=1, batch_size=8,
+                             keep_best_checkpoint=False)
+        trainer = DoduoTrainer(
+            wikitable, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        trainer.train()
+        return trainer
+
+    def test_wider_budget_changes_embeddings(self, quick_trainer, wikitable):
+        table = wikitable.tables[0]
+        narrow = quick_trainer.column_embeddings(table, max_tokens_per_column=4)
+        wide = quick_trainer.column_embeddings(table, max_tokens_per_column=32)
+        assert narrow.shape == wide.shape
+        assert not np.allclose(narrow, wide)
+
+    def test_default_budget_matches_training_serializer(self, quick_trainer, wikitable):
+        table = wikitable.tables[0]
+        default = quick_trainer.column_embeddings(table)
+        explicit = quick_trainer.column_embeddings(
+            table,
+            max_tokens_per_column=quick_trainer.config.max_tokens_per_column,
+        )
+        np.testing.assert_allclose(default, explicit)
+
+    def test_layer_option_passthrough(self, quick_trainer, wikitable):
+        table = wikitable.tables[0]
+        final = quick_trainer.column_embeddings(table, layer=-1)
+        early = quick_trainer.column_embeddings(table, layer=0)
+        assert not np.allclose(final, early)
+
+
+class TestShuffleAugmentation:
+    def test_trains_and_reduces_loss(self, wikitable, tokenizer):
+        config = DoduoConfig(
+            epochs=6, batch_size=8, learning_rate=2e-3,
+            augment_column_shuffle=True, keep_best_checkpoint=False,
+        )
+        trainer = DoduoTrainer(
+            wikitable, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        history = trainer.train()
+        for task in (TYPE_TASK, RELATION_TASK):
+            losses = history.task_losses[task]
+            assert losses[-1] < losses[0]
+
+    def test_deterministic_under_seed(self, wikitable, tokenizer):
+        def run():
+            config = DoduoConfig(
+                tasks=(TYPE_TASK,), epochs=3, batch_size=8, seed=5,
+                augment_column_shuffle=True, keep_best_checkpoint=False,
+            )
+            trainer = DoduoTrainer(
+                wikitable, tokenizer,
+                small_encoder_config(tokenizer.vocab_size), config,
+            )
+            trainer.train()
+            return trainer.history.task_losses[TYPE_TASK]
+
+        assert run() == run()
+
+
+class TestEarlyStopping:
+    def test_stops_before_epoch_budget(self, wikitable, tokenizer):
+        """With patience=1 and a tiny learning rate, validation F1 plateaus
+        immediately and training must stop well before 30 epochs."""
+        splits_train = wikitable.subset(range(0, 20), name="train")
+        splits_valid = wikitable.subset(range(20, 30), name="valid")
+        config = DoduoConfig(
+            tasks=(TYPE_TASK,), epochs=30, batch_size=8,
+            learning_rate=1e-9, early_stopping_patience=1,
+        )
+        trainer = DoduoTrainer(
+            splits_train, tokenizer,
+            small_encoder_config(tokenizer.vocab_size), config,
+        )
+        history = trainer.train(valid_dataset=splits_valid)
+        assert history.stopped_early
+        assert len(history.task_losses[TYPE_TASK]) < 30
+
+    def test_disabled_by_default(self, wikitable, tokenizer):
+        splits_train = wikitable.subset(range(0, 12), name="train")
+        splits_valid = wikitable.subset(range(12, 16), name="valid")
+        config = DoduoConfig(tasks=(TYPE_TASK,), epochs=3, batch_size=8,
+                             learning_rate=1e-9)
+        trainer = DoduoTrainer(
+            splits_train, tokenizer,
+            small_encoder_config(tokenizer.vocab_size), config,
+        )
+        history = trainer.train(valid_dataset=splits_valid)
+        assert not history.stopped_early
+        assert len(history.task_losses[TYPE_TASK]) == 3
+
+
+class TestTrainerWikiTable:
+    @pytest.fixture(scope="class")
+    def trained(self, wikitable, tokenizer):
+        config = DoduoConfig(epochs=20, batch_size=8, learning_rate=2e-3, seed=0,
+                             keep_best_checkpoint=False)
+        trainer = DoduoTrainer(
+            wikitable, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        trainer.train()
+        return trainer
+
+    def test_losses_recorded_and_decreasing(self, trained):
+        for task in (TYPE_TASK, RELATION_TASK):
+            losses = trained.history.task_losses[task]
+            assert len(losses) == 20
+            assert losses[-1] < losses[0]
+
+    def test_predict_types_multilabel_format(self, trained, wikitable):
+        predictions = trained.predict_types(wikitable.tables[:3])
+        for table, pred in zip(wikitable.tables[:3], predictions):
+            assert pred.shape == (table.num_columns, wikitable.num_types)
+            assert pred.dtype == bool
+            assert pred.any(axis=-1).all(), "at least one label per column"
+
+    def test_predict_relations_format(self, trained, wikitable):
+        predictions = trained.predict_relations(wikitable.tables[:3])
+        for table, pred in zip(wikitable.tables[:3], predictions):
+            assert set(pred) == set(table.relation_labels)
+
+    def test_evaluate_keys(self, trained, wikitable):
+        scores = trained.evaluate(wikitable.subset(range(5)))
+        assert set(scores) == {TYPE_TASK, RELATION_TASK}
+        for prf in scores.values():
+            assert 0.0 <= prf.f1 <= 1.0
+
+    def test_training_improves_over_untrained(self, trained, wikitable, tokenizer):
+        untrained = DoduoTrainer(
+            wikitable,
+            tokenizer,
+            small_encoder_config(tokenizer.vocab_size),
+            DoduoConfig(epochs=1, seed=1, keep_best_checkpoint=False),
+        )
+        test = wikitable.subset(range(10))
+        assert trained.evaluate(test)[TYPE_TASK].f1 > untrained.evaluate(test)[TYPE_TASK].f1
+
+    def test_column_embeddings(self, trained, wikitable):
+        emb = trained.column_embeddings(wikitable.tables[0])
+        assert emb.shape[0] == wikitable.tables[0].num_columns
+
+
+class TestTrainerSingleColumn:
+    def test_single_column_mode_runs(self, viznet, tokenizer):
+        config = DoduoConfig(
+            tasks=(TYPE_TASK,), multi_label=False, single_column=True,
+            epochs=2, batch_size=8, keep_best_checkpoint=False,
+        )
+        trainer = DoduoTrainer(
+            viznet, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        trainer.train()
+        predictions = trainer.predict_types(viznet.tables[:2])
+        for table, pred in zip(viznet.tables[:2], predictions):
+            assert pred.shape == (table.num_columns,)
+
+    def test_single_column_relations(self, wikitable, tokenizer):
+        config = DoduoConfig(single_column=True, epochs=1, batch_size=8,
+                             keep_best_checkpoint=False)
+        trainer = DoduoTrainer(
+            wikitable, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        trainer.train()
+        predictions = trainer.predict_relations(wikitable.tables[:2])
+        assert len(predictions) == 2
+
+
+class TestCheckpointSelection:
+    def test_best_checkpoint_kept(self, wikitable, tokenizer):
+        splits = split_dataset(wikitable, seed=0)
+        config = DoduoConfig(tasks=(TYPE_TASK,), epochs=3, batch_size=8, seed=0)
+        trainer = DoduoTrainer(
+            splits.train, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        history = trainer.train(valid_dataset=splits.valid)
+        assert len(history.valid_f1) == 3
+        assert history.best_epoch == int(np.argmax(history.valid_f1))
+
+
+class TestAnnotator:
+    @pytest.fixture(scope="class")
+    def annotator(self, wikitable, tokenizer):
+        config = DoduoConfig(epochs=5, batch_size=8, learning_rate=2e-3,
+                             keep_best_checkpoint=False)
+        trainer = DoduoTrainer(
+            wikitable, tokenizer, small_encoder_config(tokenizer.vocab_size), config
+        )
+        trainer.train()
+        return Doduo(trainer)
+
+    def test_annotate_returns_names(self, annotator, wikitable):
+        table = wikitable.tables[0]
+        result = annotator.annotate(table)
+        assert len(result.coltypes) == table.num_columns
+        vocab = set(wikitable.type_vocab)
+        for names in result.coltypes:
+            assert names and set(names) <= vocab
+        assert result.colemb.shape == (table.num_columns, 32)
+
+    def test_annotate_relations_named(self, annotator, wikitable):
+        table = wikitable.tables[0]
+        result = annotator.annotate(table)
+        rel_vocab = set(wikitable.relation_vocab)
+        for pair, names in result.colrels.items():
+            assert set(names) <= rel_vocab
+
+    def test_annotate_dataframe(self, annotator):
+        result = annotator.annotate_dataframe(
+            [["happy feet", "george miller"], ["cars", "john lasseter"]],
+            headers=["film", "director"],
+        )
+        assert len(result.coltypes) == 2
+
+    def test_annotate_dataframe_validation(self, annotator):
+        with pytest.raises(ValueError):
+            annotator.annotate_dataframe([])
+        with pytest.raises(ValueError):
+            annotator.annotate_dataframe([["a", "b"], ["c"]])
+
+    def test_annotate_without_embeddings(self, annotator, wikitable):
+        result = annotator.annotate(wikitable.tables[0], with_embeddings=False)
+        assert result.colemb is None

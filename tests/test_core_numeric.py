@@ -1,0 +1,191 @@
+"""Tests for numeric magnitude features (repro.core.numeric) and the
+use_numeric_embeddings model extension (Section 3.1 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DoduoConfig, DoduoModel, DoduoTrainer, SerializerConfig, TableSerializer
+from repro.core.numeric import (
+    DATE_BIN,
+    NON_NUMERIC_BIN,
+    NUM_MAGNITUDE_BINS,
+    OTHER_NUMERIC_BIN,
+    ZERO_BIN,
+    column_magnitude_bins,
+    magnitude_bin,
+)
+from repro.datasets import Column, Table, generate_viznet_dataset
+from repro.nn import TransformerConfig
+from repro.text import train_wordpiece
+
+from helpers import rng
+
+
+class TestMagnitudeBin:
+    def test_non_numeric(self):
+        assert magnitude_bin("george miller") == NON_NUMERIC_BIN
+        assert magnitude_bin("") == NON_NUMERIC_BIN
+        assert magnitude_bin("120 kg") == NON_NUMERIC_BIN  # mixed text
+
+    def test_zero(self):
+        assert magnitude_bin("0") == ZERO_BIN
+        assert magnitude_bin("0.0") == ZERO_BIN
+
+    def test_magnitude_ordering(self):
+        """Bins grow monotonically with magnitude."""
+        values = ["0.001", "0.5", "7", "42", "900", "15000", "2500000"]
+        bins = [magnitude_bin(v) for v in values]
+        assert bins == sorted(bins)
+        assert len(set(bins)) == len(bins)
+
+    def test_sign_ignored(self):
+        assert magnitude_bin("-42") == magnitude_bin("42")
+
+    def test_thousands_separator(self):
+        assert magnitude_bin("1,250,000") == magnitude_bin("1250000")
+
+    def test_currency_stripped(self):
+        assert magnitude_bin("$99") == magnitude_bin("99")
+
+    def test_extreme_magnitudes_clipped(self):
+        assert magnitude_bin("1e99") == magnitude_bin("99999999999")
+        assert magnitude_bin("1e-99") == magnitude_bin("0.0001")
+
+    def test_dates(self):
+        assert magnitude_bin("3/14/1995") == DATE_BIN
+        assert magnitude_bin("1995-03-14") == DATE_BIN
+
+    def test_nan_and_inf(self):
+        assert magnitude_bin("nan") == OTHER_NUMERIC_BIN
+        assert magnitude_bin("inf") == OTHER_NUMERIC_BIN
+
+    def test_all_bins_in_range(self):
+        for value in ("x", "0", "5", "1e20", "nan", "1/2/2000", "-0.003"):
+            assert 0 <= magnitude_bin(value) < NUM_MAGNITUDE_BINS
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(max_examples=100, deadline=None)
+    def test_any_float_string_is_numeric(self, value):
+        bin_id = magnitude_bin(str(value))
+        assert bin_id != NON_NUMERIC_BIN
+        assert 0 < bin_id < NUM_MAGNITUDE_BINS
+
+    def test_column_bins(self):
+        assert column_magnitude_bins(["7", "x"]) == [magnitude_bin("7"),
+                                                     NON_NUMERIC_BIN]
+
+
+@pytest.fixture(scope="module")
+def substrate():
+    dataset = generate_viznet_dataset(num_tables=30, seed=3)
+    tokenizer = train_wordpiece(dataset.all_cell_text(), vocab_size=900)
+    return dataset, tokenizer
+
+
+def encoder_config(vocab_size):
+    return TransformerConfig(
+        vocab_size=vocab_size, hidden_dim=32, num_layers=2, num_heads=2,
+        ffn_dim=64, max_position=128, num_segments=8, dropout=0.0,
+    )
+
+
+class TestSerializerNumericIds:
+    def test_numeric_ids_align_with_tokens(self, substrate):
+        dataset, tokenizer = substrate
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        for table in dataset.tables[:10]:
+            encoded = serializer.serialize_table(table)
+            assert encoded.numeric_ids is not None
+            assert len(encoded.numeric_ids) == len(encoded.token_ids)
+            # Specials carry the non-numeric bin.
+            for pos in encoded.cls_positions:
+                assert encoded.numeric_ids[pos] == NON_NUMERIC_BIN
+            assert encoded.numeric_ids[-1] == NON_NUMERIC_BIN
+
+    def test_numeric_cells_marked(self, substrate):
+        _, tokenizer = substrate
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = Table(columns=[Column(values=["12345", "67890"])])
+        encoded = serializer.serialize_column(table, 0)
+        inner = encoded.numeric_ids[1:-1]
+        assert (inner != NON_NUMERIC_BIN).all()
+
+    def test_text_cells_unmarked(self, substrate):
+        _, tokenizer = substrate
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = Table(columns=[Column(values=["hello world"])])
+        encoded = serializer.serialize_column(table, 0)
+        assert (encoded.numeric_ids == NON_NUMERIC_BIN).all()
+
+    def test_column_pair_ids(self, substrate):
+        _, tokenizer = substrate
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = Table(columns=[
+            Column(values=["42"]), Column(values=["text"]),
+        ])
+        encoded = serializer.serialize_column_pair(table, 0, 1)
+        assert len(encoded.numeric_ids) == len(encoded.token_ids)
+        assert (encoded.numeric_ids != NON_NUMERIC_BIN).any()
+
+
+class TestNumericEmbeddingModel:
+    def test_flag_adds_parameters(self, substrate):
+        _, tokenizer = substrate
+        config = encoder_config(tokenizer.vocab_size)
+        plain = DoduoModel(config, 5, 0, rng(0))
+        numeric = DoduoModel(config, 5, 0, rng(0), use_numeric_embeddings=True)
+        assert numeric.num_parameters() > plain.num_parameters()
+        names = dict(numeric.named_parameters())
+        assert any("numeric_embedding" in n for n in names)
+
+    def test_flag_changes_output_on_numeric_table(self, substrate):
+        _, tokenizer = substrate
+        config = encoder_config(tokenizer.vocab_size)
+        plain = DoduoModel(config, 5, 0, rng(0))
+        numeric = DoduoModel(config, 5, 0, rng(1), use_numeric_embeddings=True)
+        # Align all shared weights; only the numeric table differs.
+        shared = plain.state_dict()
+        state = numeric.state_dict()
+        state.update(shared)
+        numeric.load_state_dict(state)
+        plain.eval(); numeric.eval()
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = Table(columns=[Column(values=["1234", "5678"])])
+        encoded = [serializer.serialize_table(table)]
+        a = plain.column_embeddings(encoded).data
+        b = numeric.column_embeddings(encoded).data
+        assert not np.allclose(a, b)
+
+    def test_trainer_with_numeric_embeddings_learns(self, substrate):
+        dataset, tokenizer = substrate
+        config = DoduoConfig(
+            tasks=("type",), multi_label=False, epochs=4, batch_size=8,
+            learning_rate=2e-3, use_numeric_embeddings=True,
+            keep_best_checkpoint=False,
+        )
+        trainer = DoduoTrainer(
+            dataset, tokenizer, encoder_config(tokenizer.vocab_size), config
+        )
+        history = trainer.train()
+        losses = history.task_losses["type"]
+        assert losses[-1] < losses[0]
+
+    def test_numeric_bundle_roundtrip(self, substrate, tmp_path):
+        from repro.core import Doduo, load_annotator, save_annotator
+
+        dataset, tokenizer = substrate
+        config = DoduoConfig(
+            tasks=("type",), multi_label=False, epochs=1, batch_size=8,
+            use_numeric_embeddings=True, keep_best_checkpoint=False,
+        )
+        trainer = DoduoTrainer(
+            dataset, tokenizer, encoder_config(tokenizer.vocab_size), config
+        )
+        trainer.train()
+        annotator = Doduo(trainer)
+        save_annotator(annotator, tmp_path / "m")
+        restored = load_annotator(tmp_path / "m")
+        table = dataset.tables[0]
+        assert restored.annotate(table).coltypes == annotator.annotate(table).coltypes

@@ -1,0 +1,198 @@
+"""Tests for table serialization, padding, and the visibility matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import SerializerConfig, TableSerializer, column_visibility, pad_batch
+from repro.datasets import Column, Table
+from repro.text import build_tokenizer_from_words
+
+
+class TestValueOrder:
+    @pytest.fixture(scope="class")
+    def order_tokenizer(self):
+        return build_tokenizer_from_words(
+            ["aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"]
+        )
+
+    def _tokens(self, tokenizer, order, values, budget=4, seed=0):
+        serializer = TableSerializer(
+            tokenizer,
+            SerializerConfig(max_tokens_per_column=budget, value_order=order,
+                             sample_seed=seed),
+        )
+        table = Table(columns=[Column(values=values)])
+        encoded = serializer.serialize_column(table, 0)
+        return [tokenizer.vocab.id_to_token(t) for t in encoded.token_ids[1:-1]]
+
+    def test_head_keeps_leading_rows(self, order_tokenizer):
+        tokens = self._tokens(order_tokenizer, "head", ["aa", "bb", "cc", "dd", "ee"])
+        assert tokens == ["aa", "bb", "cc", "dd"]
+
+    def test_distinct_prefers_unique_values(self, order_tokenizer):
+        tokens = self._tokens(
+            order_tokenizer, "distinct", ["aa", "aa", "aa", "bb", "cc", "dd"]
+        )
+        assert tokens == ["aa", "bb", "cc", "dd"]
+
+    def test_distinct_falls_back_to_repeats(self, order_tokenizer):
+        tokens = self._tokens(order_tokenizer, "distinct", ["aa", "aa", "aa"], budget=3)
+        assert tokens == ["aa", "aa", "aa"]
+
+    def test_random_is_deterministic(self, order_tokenizer):
+        values = ["aa", "bb", "cc", "dd", "ee", "ff"]
+        a = self._tokens(order_tokenizer, "random", values, budget=6, seed=3)
+        b = self._tokens(order_tokenizer, "random", values, budget=6, seed=3)
+        assert a == b
+
+    def test_random_seed_changes_order(self, order_tokenizer):
+        values = ["aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"]
+        a = self._tokens(order_tokenizer, "random", values, budget=8, seed=1)
+        b = self._tokens(order_tokenizer, "random", values, budget=8, seed=2)
+        assert sorted(a) == sorted(b)
+        assert a != b
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="value_order"):
+            SerializerConfig(value_order="tail")
+
+
+@pytest.fixture
+def tokenizer():
+    return build_tokenizer_from_words(
+        ["happy", "feet", "cars", "george", "miller", "usa", "uk", "film", "director"]
+    )
+
+
+@pytest.fixture
+def table():
+    return Table(
+        columns=[
+            Column(values=["happy feet", "cars"], header="film"),
+            Column(values=["george miller", "george"], header="director"),
+            Column(values=["usa", "uk"], header="country"),
+        ],
+        table_id="demo",
+    )
+
+
+def make_serializer(tokenizer, **overrides):
+    defaults = dict(max_tokens_per_column=8, max_sequence_length=128)
+    defaults.update(overrides)
+    return TableSerializer(tokenizer, SerializerConfig(**defaults))
+
+
+class TestTableSerialization:
+    def test_cls_per_column_and_final_sep(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_table(table)
+        vocab = tokenizer.vocab
+        assert encoded.num_columns == 3
+        assert (encoded.token_ids[encoded.cls_positions] == vocab.cls_id).all()
+        assert encoded.token_ids[-1] == vocab.sep_id
+        assert encoded.column_ids[-1] == -1
+
+    def test_column_ids_track_membership(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_table(table)
+        for col in range(3):
+            start = encoded.cls_positions[col]
+            assert encoded.column_ids[start] == col
+
+    def test_token_budget_respected(self, tokenizer, table):
+        serializer = make_serializer(tokenizer, max_tokens_per_column=2)
+        encoded = serializer.serialize_table(table)
+        # each column contributes at most 1 (CLS) + 2 tokens
+        assert encoded.length <= 3 * 3 + 1
+
+    def test_budget_truncates_not_drops_columns(self, tokenizer, table):
+        serializer = make_serializer(tokenizer, max_tokens_per_column=1)
+        encoded = serializer.serialize_table(table)
+        assert encoded.num_columns == 3
+
+    def test_includes_headers_when_configured(self, tokenizer, table):
+        with_headers = make_serializer(tokenizer, include_headers=True)
+        without = make_serializer(tokenizer)
+        ids_with = with_headers.serialize_table(table).token_ids
+        ids_without = without.serialize_table(table).token_ids
+        header_id = tokenizer.vocab.token_to_id("film")
+        assert header_id in ids_with.tolist()
+        assert not np.array_equal(ids_with, ids_without)
+
+    def test_sequence_length_guard(self, tokenizer):
+        serializer = make_serializer(tokenizer, max_sequence_length=5)
+        wide = Table(columns=[Column(values=["usa"] * 3)] * 4)
+        with pytest.raises(ValueError):
+            serializer.serialize_table(wide)
+
+    def test_max_columns_within(self, tokenizer):
+        serializer = make_serializer(tokenizer, max_tokens_per_column=8)
+        # Table 8: 128-token budget, 9 tokens/col -> 14 columns
+        assert serializer.max_columns_within(128) == (128 - 1) // 9
+
+
+class TestSingleColumnSerialization:
+    def test_single_column(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_column(table, 1)
+        assert encoded.num_columns == 1
+        assert encoded.cls_positions[0] == 0
+        assert encoded.token_ids[-1] == tokenizer.vocab.sep_id
+
+    def test_column_pair_has_two_cls_and_middle_sep(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_column_pair(table, 0, 2)
+        vocab = tokenizer.vocab
+        assert encoded.num_columns == 2
+        assert (encoded.token_ids[encoded.cls_positions] == vocab.cls_id).all()
+        sep_count = (encoded.token_ids == vocab.sep_id).sum()
+        assert sep_count == 2
+
+
+class TestPadBatch:
+    def test_padding_and_mask(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        short = serializer.serialize_column(table, 2)
+        long = serializer.serialize_table(table)
+        ids, mask = pad_batch([short, long], pad_id=tokenizer.vocab.pad_id)
+        assert ids.shape == mask.shape == (2, long.length)
+        assert mask[0, : short.length].all()
+        assert not mask[0, short.length:].any()
+        assert (ids[0, short.length:] == tokenizer.vocab.pad_id).all()
+
+
+class TestVisibility:
+    def test_same_column_visible_cross_column_blocked(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_table(table)
+        vis = column_visibility([encoded])[0]
+        c0, c1 = encoded.cls_positions[0], encoded.cls_positions[1]
+        # CLS of column 1 cannot see CLS/values of column 0 ...
+        assert not vis[c1, c0]
+        assert not vis[c1, c0 + 1]
+        # ... but sees its own column values
+        assert vis[c1, c1 + 1]
+
+    def test_sep_is_not_a_global_hub(self, tokenizer, table):
+        """A globally-visible [SEP] would leak table context in two hops."""
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_table(table)
+        vis = column_visibility([encoded])[0]
+        sep_position = encoded.length - 1
+        assert vis[sep_position, sep_position]
+        assert not vis[: sep_position, sep_position].any()
+        assert not vis[sep_position, : sep_position].any()
+
+    def test_padding_invisible(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        short = serializer.serialize_column(table, 2)
+        long = serializer.serialize_table(table)
+        vis = column_visibility([short, long])
+        assert not vis[0, 0, short.length:].any()
+
+    def test_self_visibility_always(self, tokenizer, table):
+        serializer = make_serializer(tokenizer)
+        encoded = serializer.serialize_table(table)
+        vis = column_visibility([encoded])[0]
+        idx = np.arange(encoded.length)
+        assert vis[idx, idx].all()

@@ -1,0 +1,197 @@
+"""Tests for dirty-data injection (repro.datasets.corruption)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    Column,
+    CorruptionConfig,
+    Table,
+    corrupt_dataset,
+    corrupt_table,
+    drop_cells,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    misplace_cells,
+    typo_cells,
+)
+from repro.datasets.corruption import _typo
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def make_table(num_cols=3, num_rows=6) -> Table:
+    return Table(
+        columns=[
+            Column(
+                values=[f"c{c}r{r}" for r in range(num_rows)],
+                type_labels=[f"type{c}"],
+            )
+            for c in range(num_cols)
+        ],
+        table_id="t",
+        relation_labels={(0, 1): ["rel"]},
+    )
+
+
+class TestDropCells:
+    def test_rate_zero_changes_nothing(self):
+        table = make_table()
+        out = drop_cells(table, 0.0, rng())
+        assert all(
+            out.columns[c].values == table.columns[c].values
+            for c in range(table.num_columns)
+        )
+
+    def test_rate_one_empties_everything(self):
+        out = drop_cells(make_table(), 1.0, rng())
+        assert all(v == "" for col in out.columns for v in col.values)
+
+    def test_input_not_mutated(self):
+        table = make_table()
+        before = [list(col.values) for col in table.columns]
+        drop_cells(table, 1.0, rng())
+        assert [list(col.values) for col in table.columns] == before
+
+    def test_intermediate_rate_drops_roughly_rate(self):
+        table = make_table(num_cols=4, num_rows=50)
+        out = drop_cells(table, 0.3, rng(1))
+        total = sum(col.num_rows for col in out.columns)
+        empty = sum(1 for col in out.columns for v in col.values if v == "")
+        assert 0.15 < empty / total < 0.45
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError, match="rate"):
+            drop_cells(make_table(), 1.5, rng())
+
+
+class TestMisplaceCells:
+    def test_preserves_multiset_of_row_values(self):
+        """Misplacing swaps within a row: each row keeps the same cell multiset."""
+        table = make_table(num_cols=4, num_rows=10)
+        out = misplace_cells(table, 0.5, rng(2))
+        for r in range(10):
+            before = sorted(col.values[r] for col in table.columns)
+            after = sorted(col.values[r] for col in out.columns)
+            assert after == before
+
+    def test_rate_one_moves_cells(self):
+        table = make_table(num_cols=3, num_rows=20)
+        out = misplace_cells(table, 1.0, rng(3))
+        moved = sum(
+            1
+            for c in range(3)
+            for r in range(20)
+            if out.columns[c].values[r] != table.columns[c].values[r]
+        )
+        assert moved > 20  # most cells ended up in another column
+
+    def test_single_column_unchanged(self):
+        table = Table(columns=[Column(values=["a", "b"])])
+        out = misplace_cells(table, 1.0, rng())
+        assert out.columns[0].values == ["a", "b"]
+
+    def test_labels_untouched(self):
+        out = misplace_cells(make_table(), 1.0, rng())
+        assert out.columns[0].type_labels == ["type0"]
+        assert out.relation_labels == {(0, 1): ["rel"]}
+
+
+class TestTypoCells:
+    def test_rate_one_changes_most_cells(self):
+        table = make_table(num_cols=2, num_rows=30)
+        out = typo_cells(table, 1.0, rng(4))
+        changed = sum(
+            1
+            for c in range(2)
+            for r in range(30)
+            if out.columns[c].values[r] != table.columns[c].values[r]
+        )
+        # duplicate/delete/transpose can no-op on repeated characters
+        assert changed > 40
+
+    def test_empty_string_survives(self):
+        assert _typo("", rng()) == ""
+
+    def test_single_char_never_deleted_to_empty(self):
+        for seed in range(20):
+            assert len(_typo("x", rng(seed))) >= 1
+
+    @given(st.text(min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_typo_edit_distance_at_most_one_insertion(self, value):
+        out = _typo(value, rng(0))
+        assert abs(len(out) - len(value)) <= 1
+
+
+class TestCorruptionConfig:
+    def test_clean_flag(self):
+        assert CorruptionConfig().is_clean
+        assert not CorruptionConfig(missing_rate=0.1).is_clean
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(typo_rate=-0.1)
+
+    def test_corrupt_table_clean_config_returns_copy(self):
+        table = make_table()
+        out = corrupt_table(table, CorruptionConfig(), rng())
+        assert out is not table
+        assert out.columns[0].values == table.columns[0].values
+
+
+class TestCorruptDataset:
+    def test_vocab_and_labels_preserved(self):
+        dataset = generate_wikitable_dataset(num_tables=8, seed=5)
+        config = CorruptionConfig(missing_rate=0.2, misplaced_rate=0.2, typo_rate=0.2)
+        dirty = corrupt_dataset(dataset, config, seed=1)
+        assert dirty.type_vocab == dataset.type_vocab
+        assert dirty.relation_vocab == dataset.relation_vocab
+        for t_in, t_out in zip(dataset.tables, dirty.tables):
+            assert t_out.relation_labels == t_in.relation_labels
+            assert [c.type_labels for c in t_out.columns] == [
+                c.type_labels for c in t_in.columns
+            ]
+
+    def test_name_records_rates(self):
+        dataset = generate_viznet_dataset(num_tables=4, seed=0)
+        dirty = corrupt_dataset(dataset, CorruptionConfig(missing_rate=0.25), seed=0)
+        assert "m0.25" in dirty.name
+
+    def test_deterministic_under_seed(self):
+        dataset = generate_viznet_dataset(num_tables=6, seed=2)
+        config = CorruptionConfig(missing_rate=0.3, typo_rate=0.3)
+        a = corrupt_dataset(dataset, config, seed=9)
+        b = corrupt_dataset(dataset, config, seed=9)
+        for t_a, t_b in zip(a.tables, b.tables):
+            for c_a, c_b in zip(t_a.columns, t_b.columns):
+                assert c_a.values == c_b.values
+
+    def test_different_seed_differs(self):
+        dataset = generate_viznet_dataset(num_tables=6, seed=2)
+        config = CorruptionConfig(missing_rate=0.5)
+        a = corrupt_dataset(dataset, config, seed=1)
+        b = corrupt_dataset(dataset, config, seed=2)
+        assert any(
+            c_a.values != c_b.values
+            for t_a, t_b in zip(a.tables, b.tables)
+            for c_a, c_b in zip(t_a.columns, t_b.columns)
+        )
+
+    def test_original_dataset_untouched(self):
+        dataset = generate_viznet_dataset(num_tables=4, seed=3)
+        snapshot = [
+            list(col.values) for t in dataset.tables for col in t.columns
+        ]
+        corrupt_dataset(
+            dataset,
+            CorruptionConfig(missing_rate=1.0, misplaced_rate=1.0, typo_rate=1.0),
+            seed=0,
+        )
+        assert snapshot == [
+            list(col.values) for t in dataset.tables for col in t.columns
+        ]

@@ -1,0 +1,342 @@
+"""Tests for the KB and the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Column,
+    DatasetSplits,
+    KnowledgeBase,
+    NUMERIC_TYPES_TABLE5,
+    RELATION_TEMPLATES,
+    SCHEMAS,
+    Table,
+    TYPE_HIERARCHY,
+    case_study_clusters,
+    generate_enterprise_dataset,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    multi_column_only,
+    numeric_fraction,
+    split_dataset,
+    training_fraction,
+    viznet_type_vocab,
+    wikitable_relation_vocab,
+    wikitable_type_vocab,
+)
+from repro.datasets.viznet import THEMES, VALUE_GENERATORS
+from repro.datasets.wikitable import ATTRIBUTE_INFO, NUMERIC_INFO
+
+from helpers import rng
+
+
+class TestKnowledgeBase:
+    @pytest.fixture(scope="class")
+    def kb(self):
+        return KnowledgeBase(rng(13))
+
+    def test_deterministic(self):
+        a = KnowledgeBase(rng(5))
+        b = KnowledgeBase(rng(5))
+        assert [e.name for e in a.entities["film"]] == [e.name for e in b.entities["film"]]
+
+    def test_expected_types_present(self, kb):
+        for entity_type in ("film", "director", "producer", "city", "country",
+                            "company", "sports_team", "album", "book", "athlete"):
+            assert len(kb.entities[entity_type]) > 0
+
+    def test_films_have_consistent_attributes(self, kb):
+        for film in kb.entities["film"]:
+            assert film.attributes["film.directed_by"].entity_type == "director"
+            assert film.attributes["film.produced_by"].entity_type == "producer"
+            assert film.attributes["film.release_country"].entity_type == "country"
+            year = int(film.numeric["film.release_year"])
+            assert 1950 <= year <= 2021
+
+    def test_people_have_birth_city(self, kb):
+        for person in kb.entities["athlete"]:
+            assert person.attributes["person.place_of_birth"].entity_type == "city"
+            assert person.attributes["athlete.team_roster"].entity_type == "sports_team"
+
+    def test_sample_distinct(self, kb):
+        entities = kb.sample("film", 10, rng(0))
+        names = [e.name for e in entities]
+        assert len(set(names)) == 10
+
+    def test_sample_too_many_raises(self, kb):
+        with pytest.raises(ValueError):
+            kb.sample("country", 10_000, rng(0))
+
+    def test_name_ambiguity_across_professions(self, kb):
+        """Some surface names must appear in multiple professions (the
+        George Miller property motivating table context)."""
+        director_names = {e.name for e in kb.entities["director"]}
+        producer_names = {e.name for e in kb.entities["producer"]}
+        director_firsts = {n.split()[0] for n in director_names}
+        producer_firsts = {n.split()[0] for n in producer_names}
+        assert director_firsts & producer_firsts
+
+    def test_verbalize_covers_relations_and_types(self, kb):
+        sentences = kb.verbalize(rng(0))
+        text = " || ".join(sentences)
+        assert "is directed by" in text
+        assert "was born in" in text
+        assert "is a director" in text
+
+    def test_scale_parameter(self):
+        small = KnowledgeBase(rng(1), scale=0.5)
+        large = KnowledgeBase(rng(1), scale=1.0)
+        assert len(small.entities["film"]) < len(large.entities["film"])
+
+
+class TestTableModel:
+    def make_table(self):
+        return Table(
+            columns=[
+                Column(values=["a", "b", "c"], type_labels=["t1"]),
+                Column(values=["1", "2", "3"], type_labels=["t2"]),
+            ],
+            table_id="t",
+            relation_labels={(0, 1): ["rel"]},
+        )
+
+    def test_shapes(self):
+        table = self.make_table()
+        assert table.num_columns == 2
+        assert table.num_rows == 3
+
+    def test_shuffled_rows_keeps_row_alignment(self):
+        table = self.make_table()
+        shuffled = table.shuffled_rows(rng(0))
+        pairs = set(zip(shuffled.columns[0].values, shuffled.columns[1].values))
+        assert pairs == {("a", "1"), ("b", "2"), ("c", "3")}
+
+    def test_shuffled_columns_remaps_relations(self):
+        table = self.make_table()
+        shuffled = table.shuffled_columns(rng(3))
+        # find where the original columns went
+        values0 = tuple(table.columns[0].values)
+        new_idx = [i for i, c in enumerate(shuffled.columns) if tuple(c.values) == values0][0]
+        other = 1 - new_idx
+        assert shuffled.relation_labels[(new_idx, other)] == ["rel"]
+
+    def test_values_coerced_to_str(self):
+        column = Column(values=[1, 2.5, "x"])
+        assert column.values == ["1", "2.5", "x"]
+
+
+class TestWikiTable:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_wikitable_dataset(num_tables=60, seed=7)
+
+    def test_size(self, dataset):
+        assert len(dataset) == 60
+
+    def test_all_labels_in_vocab(self, dataset):
+        vocab = set(dataset.type_vocab)
+        rel_vocab = set(dataset.relation_vocab)
+        for table in dataset.tables:
+            for column in table.columns:
+                assert column.type_labels, "every column is annotated"
+                assert set(column.type_labels) <= vocab
+            for pair, labels in table.relation_labels.items():
+                assert set(labels) <= rel_vocab
+                assert pair[0] == 0, "relations link the subject column"
+
+    def test_multi_label_columns_exist(self, dataset):
+        assert any(
+            len(col.type_labels) > 1
+            for table in dataset.tables
+            for col in table.columns
+        )
+
+    def test_rows_consistent_with_kb(self, dataset):
+        """Director cells in films_crew tables belong to the film's row."""
+        films_crew = [t for t in dataset.tables if t.metadata.get("schema") == "films_crew"]
+        assert films_crew, "expected at least one films_crew table"
+        table = films_crew[0]
+        assert table.columns[1].type_labels == ["people.person", "film.director"]
+
+    def test_deterministic(self):
+        a = generate_wikitable_dataset(num_tables=10, seed=3)
+        b = generate_wikitable_dataset(num_tables=10, seed=3)
+        assert a.tables[0].columns[0].values == b.tables[0].columns[0].values
+
+    def test_vocab_helpers_consistent(self):
+        assert set(wikitable_type_vocab()) == {
+            label for labels in TYPE_HIERARCHY.values() for label in labels
+        }
+        assert set(wikitable_relation_vocab()) == set(ATTRIBUTE_INFO) | set(NUMERIC_INFO)
+
+    def test_schemas_reference_known_attributes(self):
+        for schema in SCHEMAS:
+            for attribute in schema.attributes:
+                assert attribute in ATTRIBUTE_INFO or attribute in NUMERIC_INFO
+
+    def test_ambiguous_relation_pairs_exist(self, dataset):
+        """place_of_birth and place_lived both map (person, city) pairs."""
+        relations = {
+            label
+            for table in dataset.tables
+            for labels in table.relation_labels.values()
+            for label in labels
+        }
+        assert "person.place_of_birth" in relations
+        assert "person.place_lived" in relations
+
+
+class TestVizNet:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_viznet_dataset(num_tables=200, seed=11)
+
+    def test_single_label(self, dataset):
+        for table in dataset.tables:
+            for column in table.columns:
+                assert len(column.type_labels) == 1
+
+    def test_no_relations(self, dataset):
+        assert dataset.num_relations == 0
+        assert all(not t.relation_labels for t in dataset.tables)
+
+    def test_types_cover_table5_numeric_types(self):
+        vocab = set(viznet_type_vocab())
+        assert set(NUMERIC_TYPES_TABLE5) <= vocab
+
+    def test_single_column_tables_exist(self, dataset):
+        assert any(t.num_columns == 1 for t in dataset.tables)
+
+    def test_multi_column_only_filter(self, dataset):
+        filtered = multi_column_only(dataset)
+        assert all(t.num_columns >= 2 for t in filtered.tables)
+        assert len(filtered) < len(dataset)
+
+    def test_theme_types_are_generated_types(self):
+        for theme, types in THEMES.items():
+            for t in types:
+                assert t in VALUE_GENERATORS, f"{theme}: {t}"
+
+    def test_numeric_fraction(self):
+        assert numeric_fraction(["1", "2", "3"]) == 1.0
+        assert numeric_fraction(["a", "b"]) == 0.0
+        assert numeric_fraction(["1", "a"]) == 0.5
+        assert numeric_fraction(["1/2/1999"]) == 1.0
+        assert numeric_fraction([]) == 0.0
+
+    def test_year_columns_mostly_numeric(self, dataset):
+        year_cols = [
+            c for t in dataset.tables for c in t.columns if c.type_labels == ["year"]
+        ]
+        assert year_cols
+        for col in year_cols:
+            assert numeric_fraction(col.values) == 1.0
+
+    def test_context_only_types_share_distribution(self):
+        """birthPlace and city values must be indistinguishable in isolation."""
+        generator = rng(0)
+        city_values = {VALUE_GENERATORS["city"](generator) for _ in range(300)}
+        generator = rng(0)
+        bp_values = {VALUE_GENERATORS["birthPlace"](generator) for _ in range(300)}
+        assert city_values == bp_values
+
+
+class TestEnterprise:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_enterprise_dataset(seed=23)
+
+    def test_ten_tables_fifty_columns(self, dataset):
+        assert len(dataset.tables) == 10
+        assert sum(t.num_columns for t in dataset.tables) == 50
+
+    def test_fifteen_clusters(self, dataset):
+        clusters = {
+            c.type_labels[0] for t in dataset.tables for c in t.columns
+        }
+        assert len(clusters) == 15
+        assert clusters == set(case_study_clusters())
+
+    def test_headers_vary_for_same_cluster(self, dataset):
+        headers_by_cluster = {}
+        for table in dataset.tables:
+            for column in table.columns:
+                headers_by_cluster.setdefault(column.type_labels[0], set()).add(column.header)
+        # at least one cluster is named differently across tables
+        assert any(len(headers) > 1 for headers in headers_by_cluster.values())
+
+    def test_every_cluster_in_at_least_two_tables(self, dataset):
+        tables_by_cluster = {}
+        for i, table in enumerate(dataset.tables):
+            for column in table.columns:
+                tables_by_cluster.setdefault(column.type_labels[0], set()).add(i)
+        assert all(len(tables) >= 2 for tables in tables_by_cluster.values())
+
+
+class TestSplits:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_viznet_dataset(num_tables=100, seed=1)
+
+    def test_partition(self, dataset):
+        splits = split_dataset(dataset, valid_fraction=0.1, test_fraction=0.2, seed=0)
+        total = len(splits.train) + len(splits.valid) + len(splits.test)
+        assert total == len(dataset)
+        ids = lambda d: {t.table_id for t in d.tables}
+        assert not (ids(splits.train) & ids(splits.test))
+        assert not (ids(splits.train) & ids(splits.valid))
+
+    def test_invalid_fractions(self, dataset):
+        with pytest.raises(ValueError):
+            split_dataset(dataset, valid_fraction=0.5, test_fraction=0.6)
+
+    def test_training_fraction(self, dataset):
+        splits = split_dataset(dataset, seed=0)
+        reduced = training_fraction(splits, 0.5, seed=0)
+        assert len(reduced.train) == round(len(splits.train) * 0.5)
+        assert reduced.test is splits.test
+
+    def test_training_fraction_bounds(self, dataset):
+        splits = split_dataset(dataset, seed=0)
+        with pytest.raises(ValueError):
+            training_fraction(splits, 0.0)
+        with pytest.raises(ValueError):
+            training_fraction(splits, 1.5)
+
+    def test_deterministic(self, dataset):
+        a = split_dataset(dataset, seed=4)
+        b = split_dataset(dataset, seed=4)
+        assert [t.table_id for t in a.train.tables] == [t.table_id for t in b.train.tables]
+
+
+class TestDatasetContainer:
+    def test_type_and_relation_ids(self):
+        dataset = generate_wikitable_dataset(num_tables=5, seed=0)
+        for i, name in enumerate(dataset.type_vocab):
+            assert dataset.type_id(name) == i
+        with pytest.raises(KeyError):
+            dataset.type_id("no.such.type")
+        with pytest.raises(KeyError):
+            dataset.relation_id("no.such.rel")
+
+    def test_counts(self):
+        dataset = generate_wikitable_dataset(num_tables=10, seed=0)
+        assert dataset.num_annotated_columns() == sum(
+            t.num_columns for t in dataset.tables
+        )
+        assert dataset.num_annotated_pairs() == sum(
+            len(t.relation_labels) for t in dataset.tables
+        )
+
+    def test_subset_preserves_vocab(self):
+        dataset = generate_viznet_dataset(num_tables=20, seed=0)
+        sub = dataset.subset([0, 1, 2])
+        assert sub.type_vocab == dataset.type_vocab
+        assert len(sub) == 3
+
+    def test_all_cell_text(self):
+        dataset = generate_viznet_dataset(num_tables=3, seed=0)
+        cells = dataset.all_cell_text()
+        assert len(cells) == sum(
+            col.num_rows for t in dataset.tables for col in t.columns
+        )

@@ -1,0 +1,99 @@
+"""Tests for dataset statistics (repro.datasets.stats)."""
+
+import pytest
+
+from repro.datasets import (
+    Column,
+    Table,
+    TableDataset,
+    dataset_statistics,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    relation_label_distribution,
+    type_label_distribution,
+)
+
+
+def tiny_dataset() -> TableDataset:
+    tables = [
+        Table(
+            columns=[
+                Column(values=["a", "b"], type_labels=["t1", "t2"]),
+                Column(values=["c", "d"], type_labels=["t1"]),
+            ],
+            table_id="x",
+            relation_labels={(0, 1): ["r1"]},
+        ),
+        Table(
+            columns=[Column(values=["e"], type_labels=["t2"])],
+            table_id="y",
+        ),
+    ]
+    return TableDataset(tables=tables, type_vocab=["t1", "t2"],
+                        relation_vocab=["r1"], name="tiny")
+
+
+class TestDatasetStatistics:
+    def test_counts(self):
+        stats = dataset_statistics(tiny_dataset())
+        assert stats.num_tables == 2
+        assert stats.num_columns == 3
+        assert stats.num_annotated_columns == 3
+        assert stats.num_annotated_pairs == 1
+        assert stats.num_types == 2
+        assert stats.num_relations == 1
+        assert stats.single_column_tables == 1
+
+    def test_multi_label_detection(self):
+        stats = dataset_statistics(tiny_dataset())
+        assert stats.max_labels_per_column == 2
+        assert stats.is_multi_label
+
+    def test_means(self):
+        stats = dataset_statistics(tiny_dataset())
+        assert stats.mean_columns_per_table == pytest.approx(1.5)
+        assert stats.mean_rows_per_table == pytest.approx(1.5)
+
+    def test_empty_dataset(self):
+        stats = dataset_statistics(TableDataset(tables=[], type_vocab=[]))
+        assert stats.num_tables == 0
+        assert stats.mean_columns_per_table == 0.0
+        assert not stats.is_multi_label
+
+    def test_as_row_shows_dash_without_relations(self):
+        dataset = generate_viznet_dataset(num_tables=5, seed=0)
+        row = dataset_statistics(dataset).as_row()
+        assert row[-1] == "–"
+
+    def test_wikitable_shape_matches_paper_protocol(self):
+        """WikiTable must be multi-label with relations; VizNet single-label."""
+        wikitable = dataset_statistics(generate_wikitable_dataset(num_tables=30, seed=1))
+        viznet = dataset_statistics(generate_viznet_dataset(num_tables=30, seed=1))
+        assert wikitable.num_relations > 0
+        assert wikitable.num_annotated_pairs > 0
+        assert viznet.num_relations == 0
+        assert viznet.max_labels_per_column == 1
+        assert viznet.single_column_tables > 0  # "Full" vs "Multi-column only"
+
+
+class TestLabelDistributions:
+    def test_type_distribution_counts_columns(self):
+        dist = type_label_distribution(tiny_dataset())
+        assert dist == {"t1": 2, "t2": 2}
+
+    def test_relation_distribution(self):
+        dist = relation_label_distribution(tiny_dataset())
+        assert dist == {"r1": 1}
+
+    def test_distribution_sums_to_annotations(self):
+        dataset = generate_wikitable_dataset(num_tables=25, seed=4)
+        dist = type_label_distribution(dataset)
+        total_labels = sum(
+            len(col.type_labels) for t in dataset.tables for col in t.columns
+        )
+        assert sum(dist.values()) == total_labels
+
+    def test_every_label_in_vocab(self):
+        dataset = generate_wikitable_dataset(num_tables=25, seed=4)
+        assert set(type_label_distribution(dataset)) <= set(dataset.type_vocab)
+        assert set(relation_label_distribution(dataset)) <= set(dataset.relation_vocab)

@@ -1,0 +1,94 @@
+"""Tests for embedding-space diagnostics (repro.analysis.embedding_quality)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import nearest_neighbor_purity, silhouette_score
+
+
+def two_blobs(separation=10.0, n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(n, 3))
+    b = rng.normal(separation, 0.5, size=(n, 3))
+    points = np.concatenate([a, b])
+    labels = np.array([0] * n + [1] * n)
+    return points, labels
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_near_one(self):
+        points, labels = two_blobs(separation=50.0)
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(60, 4))
+        labels = rng.integers(0, 3, 60)
+        assert abs(silhouette_score(points, labels)) < 0.2
+
+    def test_mixed_labels_negative(self):
+        """Labels that cut across both blobs score far below true labels."""
+        points, labels = two_blobs(separation=50.0)
+        wrong = np.tile([0, 1], len(labels) // 2)  # alternates within blobs
+        assert silhouette_score(points, wrong) < 0.0
+        assert silhouette_score(points, wrong) < silhouette_score(points, labels)
+
+    def test_separation_orders_scores(self):
+        far, labels = two_blobs(separation=30.0)
+        near, _ = two_blobs(separation=1.0)
+        assert silhouette_score(far, labels) > silhouette_score(near, labels)
+
+    def test_singleton_cluster_contributes_zero(self):
+        points = np.array([[0.0], [0.1], [10.0]])
+        labels = [0, 0, 1]
+        score = silhouette_score(points, labels)
+        assert 0.0 < score <= 1.0  # two real points positive, singleton 0
+
+    def test_single_label_raises(self):
+        points = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="two distinct"):
+            silhouette_score(points, [0, 0, 0, 0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            silhouette_score(np.zeros((3, 2)), [0, 1])
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(20, 3))
+        labels = rng.integers(0, 4, 20)
+        if len(np.unique(labels)) < 2:
+            return
+        assert -1.0 <= silhouette_score(points, labels) <= 1.0
+
+
+class TestNeighborPurity:
+    def test_separated_blobs_perfect(self):
+        points, labels = two_blobs(separation=50.0)
+        assert nearest_neighbor_purity(points, labels, k=3) == 1.0
+
+    def test_random_labels_near_chance(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(200, 3))
+        labels = rng.integers(0, 2, 200)
+        purity = nearest_neighbor_purity(points, labels, k=5)
+        assert 0.3 < purity < 0.7
+
+    def test_k_bounds_checked(self):
+        points = np.zeros((5, 2))
+        labels = [0, 0, 1, 1, 1]
+        with pytest.raises(ValueError, match="k must be"):
+            nearest_neighbor_purity(points, labels, k=5)
+        with pytest.raises(ValueError, match="k must be"):
+            nearest_neighbor_purity(points, labels, k=0)
+
+    def test_purity_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 3, 30)
+        purity = nearest_neighbor_purity(points, labels, k=4)
+        assert 0.0 <= purity <= 1.0

@@ -1,0 +1,41 @@
+"""Guard: every example script must at least parse and import-check.
+
+Examples are documentation that executes; a stale API reference in one of
+them is a bug.  Full runs are exercised manually (they train models); here
+we compile each file and verify that every ``from repro...`` import it
+declares resolves against the installed package.
+"""
+
+import ast
+import importlib
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module} has no attribute {alias.name}"
+                )
+
+
+def test_examples_exist_and_include_quickstart():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,160 @@
+"""Failure-injection tests: malformed inputs must fail loudly and precisely.
+
+The library is meant to be pointed at arbitrary user data (CSV exports,
+hand-built tables), so the error behaviour at the boundaries is part of the
+public contract: wrong label vocabulary -> KeyError naming the label;
+over-long serialization -> ValueError with the remedy; empty structures ->
+defined results, not crashes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Doduo,
+    DoduoConfig,
+    DoduoTrainer,
+    SerializerConfig,
+    TableSerializer,
+)
+from repro.datasets import Column, Table, TableDataset, split_dataset
+from repro.nn import TransformerConfig
+from repro.text import train_wordpiece
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return train_wordpiece(
+        ["alpha beta gamma delta", "one two three four"], vocab_size=200
+    )
+
+
+def tiny_config(vocab_size):
+    return TransformerConfig(
+        vocab_size=vocab_size, hidden_dim=16, num_layers=1, num_heads=2,
+        ffn_dim=32, max_position=64, num_segments=4, dropout=0.0,
+    )
+
+
+def labelled_table(type_label="t0"):
+    return Table(
+        columns=[Column(values=["alpha", "beta"], type_labels=[type_label])],
+        table_id="x",
+    )
+
+
+class TestVocabularyErrors:
+    def test_unknown_type_label_raises_keyerror_with_name(self, tokenizer):
+        dataset = TableDataset(
+            tables=[labelled_table("mystery")], type_vocab=["t0"]
+        )
+        config = DoduoConfig(tasks=("type",), multi_label=False, epochs=1)
+        trainer = DoduoTrainer(
+            dataset, tokenizer, tiny_config(tokenizer.vocab_size), config
+        )
+        with pytest.raises(KeyError, match="mystery"):
+            trainer.train()
+
+    def test_column_without_label_raises_in_single_label_mode(self, tokenizer):
+        table = Table(columns=[Column(values=["alpha"])], table_id="bad")
+        dataset = TableDataset(tables=[table], type_vocab=["t0"])
+        config = DoduoConfig(tasks=("type",), multi_label=False, epochs=1)
+        trainer = DoduoTrainer(
+            dataset, tokenizer, tiny_config(tokenizer.vocab_size), config
+        )
+        with pytest.raises(ValueError, match="no type label"):
+            trainer.train()
+
+    def test_dataset_rejects_unknown_lookups(self):
+        dataset = TableDataset(tables=[], type_vocab=["a"], relation_vocab=["r"])
+        with pytest.raises(KeyError, match="unknown type"):
+            dataset.type_id("b")
+        with pytest.raises(KeyError, match="unknown relation"):
+            dataset.relation_id("s")
+
+
+class TestSerializerLimits:
+    def test_too_many_columns_raises_with_remedy(self, tokenizer):
+        serializer = TableSerializer(
+            tokenizer,
+            SerializerConfig(max_tokens_per_column=8, max_sequence_length=16),
+        )
+        table = Table(columns=[
+            Column(values=["alpha beta gamma"]) for _ in range(4)
+        ])
+        with pytest.raises(ValueError, match="split the table"):
+            serializer.serialize_table(table)
+
+    def test_empty_table_serializes_to_sep_only(self, tokenizer):
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = serializer.serialize_table(Table(columns=[]))
+        assert encoded.num_columns == 0
+        assert encoded.length == 1  # just [SEP]
+
+    def test_column_with_empty_values(self, tokenizer):
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = serializer.serialize_table(
+            Table(columns=[Column(values=["", "", ""])])
+        )
+        # [CLS] for the column plus the trailing [SEP]
+        assert encoded.length == 2
+        assert encoded.num_columns == 1
+
+
+class TestAnnotatorBoundaries:
+    @pytest.fixture(scope="class")
+    def annotator(self, shared_tiny_annotator):
+        return shared_tiny_annotator
+
+    def test_annotate_dataframe_rejects_empty(self, annotator):
+        with pytest.raises(ValueError, match="non-empty"):
+            annotator.annotate_dataframe([])
+
+    def test_annotate_dataframe_rejects_ragged(self, annotator):
+        with pytest.raises(ValueError, match="same number"):
+            annotator.annotate_dataframe([["a", "b"], ["c"]])
+
+    def test_annotate_single_column_table_has_no_relations(self, annotator):
+        table = Table(columns=[Column(values=["alpha", "beta"])])
+        result = annotator.annotate(table)
+        assert result.colrels == {}
+        assert len(result.coltypes) == 1
+
+    def test_annotate_handles_unseen_characters(self, annotator):
+        table = Table(columns=[Column(values=["Ωmega ★value", "ℵleph"])])
+        result = annotator.annotate(table)
+        assert len(result.coltypes) == 1  # degrades to [UNK], never crashes
+
+
+class TestSplitBoundaries:
+    def test_split_fractions_must_leave_training_data(self):
+        dataset = TableDataset(tables=[labelled_table()], type_vocab=["t0"])
+        with pytest.raises(ValueError, match="< 1"):
+            split_dataset(dataset, valid_fraction=0.5, test_fraction=0.5)
+
+    def test_encoder_rejects_overlong_sequence(self, tokenizer):
+        from repro.nn import TransformerEncoder
+
+        config = tiny_config(tokenizer.vocab_size)
+        encoder = TransformerEncoder(config, np.random.default_rng(0))
+        tokens = np.zeros((1, config.max_position + 1), dtype=np.int64)
+        with pytest.raises(ValueError, match="max_position"):
+            encoder(tokens)
+
+    def test_encoder_rejects_non_2d_input(self, tokenizer):
+        from repro.nn import TransformerEncoder
+
+        config = tiny_config(tokenizer.vocab_size)
+        encoder = TransformerEncoder(config, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="batch"):
+            encoder(np.zeros(5, dtype=np.int64))
+
+    def test_extra_embedding_shape_checked(self, tokenizer):
+        from repro.nn import Tensor, TransformerEncoder
+
+        config = tiny_config(tokenizer.vocab_size)
+        encoder = TransformerEncoder(config, np.random.default_rng(0))
+        tokens = np.zeros((1, 4), dtype=np.int64)
+        bad = Tensor(np.zeros((1, 4, config.hidden_dim + 1), dtype=np.float32))
+        with pytest.raises(ValueError, match="extra_embedding"):
+            encoder(tokens, extra_embedding=bad)

@@ -1,0 +1,151 @@
+"""End-to-end integration tests across substrates.
+
+These exercise the full pipeline the benchmarks rely on:
+KB -> corpus -> tokenizer -> MLM pre-training -> fine-tuning -> annotation,
+plus checkpointing and the case-study path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Doduo,
+    DoduoConfig,
+    PipelineConfig,
+    build_knowledge_base,
+    build_pretrained_lm,
+    clear_pretrain_cache,
+    make_trainer,
+)
+from repro.datasets import (
+    generate_enterprise_dataset,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+    split_dataset,
+)
+from repro.matching import FastTextLike, run_case_study
+from repro.nn import load_checkpoint, save_checkpoint
+
+
+TINY = PipelineConfig(
+    kb_scale=0.3,
+    vocab_size=1200,
+    hidden_dim=32,
+    num_layers=2,
+    num_heads=2,
+    ffn_dim=64,
+    pretrain_epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def substrate():
+    clear_pretrain_cache()
+    tokenizer, pretrained = build_pretrained_lm(TINY)
+    return tokenizer, pretrained
+
+
+class TestPipeline:
+    def test_cache_returns_same_objects(self, substrate):
+        tokenizer, pretrained = substrate
+        tokenizer2, pretrained2 = build_pretrained_lm(TINY)
+        assert tokenizer is tokenizer2
+        assert pretrained is pretrained2
+
+    def test_kb_build(self):
+        kb = build_knowledge_base(TINY)
+        assert kb.entities["film"]
+
+    def test_pretraining_happened(self, substrate):
+        _, pretrained = substrate
+        assert len(pretrained.losses) == 1
+        assert np.isfinite(pretrained.final_loss)
+
+
+class TestEndToEndWikiTable:
+    @pytest.fixture(scope="class")
+    def trained(self, substrate):
+        tokenizer, pretrained = substrate
+        dataset = generate_wikitable_dataset(
+            num_tables=60, seed=7, kb=build_knowledge_base(TINY), max_rows=5
+        )
+        splits = split_dataset(dataset, seed=0)
+        config = DoduoConfig(epochs=25, batch_size=8, learning_rate=2e-3)
+        trainer = make_trainer(splits.train, tokenizer, TINY, config, pretrained=pretrained)
+        trainer.train(valid_dataset=splits.valid)
+        return trainer, splits
+
+    def test_learns_both_tasks(self, trained):
+        trainer, splits = trained
+        scores = trainer.evaluate(splits.test)
+        assert scores["type"].f1 > 0.3
+        assert scores["relation"].f1 > 0.3
+
+    def test_pretrained_encoder_was_loaded(self, substrate, trained):
+        """Fine-tuned weights must differ from the pre-trained starting point
+        (training moved them) while sharing the architecture."""
+        tokenizer, pretrained = substrate
+        trainer, _ = trained
+        pre_state = pretrained.encoder.state_dict()
+        post_state = trainer.model.encoder.state_dict()
+        assert set(pre_state) == set(post_state)
+        assert any(
+            not np.allclose(pre_state[k], post_state[k]) for k in pre_state
+        )
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, trained, tmp_path):
+        trainer, splits = trained
+        table = splits.test.tables[0]
+        before = trainer.predict_types([table])[0]
+        path = tmp_path / "doduo.npz"
+        save_checkpoint(trainer.model, path)
+        trainer.model.type_head.out.weight.data += 1.0  # corrupt
+        corrupted = trainer.predict_types([table])[0]
+        load_checkpoint(trainer.model, path)
+        after = trainer.predict_types([table])[0]
+        np.testing.assert_array_equal(before, after)
+        assert not np.array_equal(before, corrupted) or before.all()
+
+    def test_annotator_on_unseen_table(self, trained):
+        trainer, splits = trained
+        annotator = Doduo(trainer)
+        result = annotator.annotate(splits.test.tables[0])
+        assert result.coltypes
+        assert result.colemb is not None
+
+
+class TestEndToEndCaseStudy:
+    def test_case_study_runs_and_doduo_embeddings_best_of_doduo_methods(self, substrate):
+        tokenizer, pretrained = substrate
+        wikitable = generate_wikitable_dataset(
+            num_tables=80, seed=7, kb=build_knowledge_base(TINY), max_rows=5
+        )
+        config = DoduoConfig(epochs=8, batch_size=8, learning_rate=2e-3,
+                             keep_best_checkpoint=False)
+        trainer = make_trainer(wikitable, tokenizer, TINY, config, pretrained=pretrained)
+        trainer.train()
+
+        enterprise = generate_enterprise_dataset(seed=23, num_rows=8)
+        fasttext = FastTextLike(dim=16, seed=0)
+        fasttext.train(enterprise.all_cell_text()[:300], epochs=1)
+        result = run_case_study(enterprise, trainer, fasttext, seed=0)
+        assert len(result.scores) == 6
+        for name, (h, c, v) in result.scores.items():
+            assert 0.0 <= v <= 1.0, name
+        # the headline method produces a usable clustering
+        assert result.scores["Doduo+column value emb"][2] > 0.3
+
+
+class TestEndToEndVizNet:
+    def test_single_label_path(self, substrate):
+        tokenizer, pretrained = substrate
+        dataset = generate_viznet_dataset(num_tables=240, seed=11)
+        splits = split_dataset(dataset, seed=0)
+        config = DoduoConfig(
+            tasks=("type",), multi_label=False, epochs=25, batch_size=8,
+            learning_rate=2e-3,
+        )
+        trainer = make_trainer(splits.train, tokenizer, TINY, config, pretrained=pretrained)
+        trainer.train(valid_dataset=splits.valid)
+        scores = trainer.evaluate(splits.test)
+        assert scores["type"].f1 > 0.2

@@ -1,0 +1,232 @@
+"""Tests for repro.io: CSV and JSONL round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    Column,
+    Table,
+    TableDataset,
+    generate_viznet_dataset,
+    generate_wikitable_dataset,
+)
+from repro.io import (
+    load_dataset_jsonl,
+    load_table_json,
+    read_table_csv,
+    read_tables_from_dir,
+    save_dataset_jsonl,
+    table_from_dict,
+    table_to_dict,
+    write_table_csv,
+)
+from repro.io.csvio import column_major
+
+
+def make_table() -> Table:
+    return Table(
+        columns=[
+            Column(values=["Happy Feet", "Cars"], type_labels=["film"], header="film"),
+            Column(values=["George Miller", "John Lasseter"],
+                   type_labels=["director", "person"], header="director"),
+        ],
+        table_id="t1",
+        relation_labels={(0, 1): ["directed_by"]},
+        metadata={"source": "unit-test"},
+    )
+
+
+class TestCsv:
+    def test_write_read_roundtrip_values(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "table.csv"
+        write_table_csv(table, path)
+        back = read_table_csv(path)
+        assert back.num_columns == table.num_columns
+        for col_in, col_out in zip(table.columns, back.columns):
+            assert col_out.values == col_in.values
+            assert col_out.header == col_in.header
+
+    def test_read_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,b\nc,d\n")
+        table = read_table_csv(path, has_header=False)
+        assert table.num_rows == 2
+        assert table.columns[0].header is None
+        assert table.columns[0].values == ["a", "c"]
+
+    def test_header_row_consumed(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("name,age\nalice,30\n")
+        table = read_table_csv(path)
+        assert table.columns[0].header == "name"
+        assert table.columns[0].values == ["alice"]
+
+    def test_table_id_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "sales_2021.csv"
+        path.write_text("x\n1\n")
+        assert read_table_csv(path).table_id == "sales_2021"
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "big.csv"
+        path.write_text("x\n" + "\n".join(str(i) for i in range(100)) + "\n")
+        table = read_table_csv(path, max_rows=5)
+        assert table.num_rows == 5
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no rows"):
+            read_table_csv(path)
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="cells"):
+            read_table_csv(path)
+
+    def test_tsv_delimiter(self, tmp_path):
+        path = tmp_path / "table.tsv"
+        path.write_text("a\tb\n1\t2\n")
+        table = read_table_csv(path, delimiter="\t")
+        assert table.columns[1].values == ["2"]
+
+    def test_write_pads_short_columns(self, tmp_path):
+        table = Table(columns=[
+            Column(values=["1", "2", "3"]),
+            Column(values=["x"]),
+        ])
+        path = tmp_path / "pad.csv"
+        write_table_csv(table, path)
+        back = read_table_csv(path)
+        assert back.columns[1].values == ["x", "", ""]
+        assert back.columns[1].header == "col1"
+
+    def test_read_dir_sorted(self, tmp_path):
+        (tmp_path / "b.csv").write_text("x\n2\n")
+        (tmp_path / "a.csv").write_text("x\n1\n")
+        tables = read_tables_from_dir(tmp_path)
+        assert [t.table_id for t in tables] == ["a", "b"]
+
+    def test_read_dir_rejects_file(self, tmp_path):
+        path = tmp_path / "a.csv"
+        path.write_text("x\n1\n")
+        with pytest.raises(ValueError, match="not a directory"):
+            read_tables_from_dir(path)
+
+    def test_column_major_transpose(self):
+        cols = column_major([["a", "b"], ["c", "d"]])
+        assert cols == [["a", "c"], ["b", "d"]]
+
+    def test_column_major_ragged(self):
+        with pytest.raises(ValueError, match="ragged"):
+            column_major([["a"], ["b", "c"]])
+
+    def test_column_major_empty(self):
+        assert column_major([]) == []
+
+
+class TestTableDict:
+    def test_roundtrip_preserves_annotations(self):
+        table = make_table()
+        back = table_from_dict(table_to_dict(table))
+        assert back.table_id == table.table_id
+        assert back.relation_labels == table.relation_labels
+        assert back.metadata == table.metadata
+        assert [c.type_labels for c in back.columns] == [
+            c.type_labels for c in table.columns
+        ]
+
+    def test_dict_is_json_serializable(self):
+        json.dumps(table_to_dict(make_table()))
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a table record"):
+            table_from_dict({"kind": "dataset"})
+
+    def test_rejects_malformed_relation_key(self):
+        payload = table_to_dict(make_table())
+        payload["relation_labels"] = {"zero-one": ["r"]}
+        with pytest.raises(ValueError, match="malformed relation key"):
+            table_from_dict(payload)
+
+
+class TestJsonlDataset:
+    def test_roundtrip_wikitable(self, tmp_path):
+        dataset = generate_wikitable_dataset(num_tables=12, seed=3)
+        path = tmp_path / "wt.jsonl"
+        save_dataset_jsonl(dataset, path)
+        back = load_dataset_jsonl(path)
+        assert back.name == dataset.name
+        assert back.type_vocab == dataset.type_vocab
+        assert back.relation_vocab == dataset.relation_vocab
+        assert len(back.tables) == len(dataset.tables)
+        for t_in, t_out in zip(dataset.tables, back.tables):
+            assert t_out.relation_labels == t_in.relation_labels
+            for c_in, c_out in zip(t_in.columns, t_out.columns):
+                assert c_out.values == c_in.values
+                assert c_out.type_labels == c_in.type_labels
+
+    def test_roundtrip_viznet(self, tmp_path):
+        dataset = generate_viznet_dataset(num_tables=10, seed=1)
+        path = tmp_path / "vz.jsonl"
+        save_dataset_jsonl(dataset, path)
+        back = load_dataset_jsonl(path)
+        assert back.num_types == dataset.num_types
+        assert back.num_relations == 0
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_dataset_jsonl(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "nohdr.jsonl"
+        path.write_text(json.dumps(table_to_dict(make_table())) + "\n")
+        with pytest.raises(ValueError, match="dataset header"):
+            load_dataset_jsonl(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        path.write_text(json.dumps({"kind": "dataset", "version": 9}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_dataset_jsonl(path)
+
+    def test_load_single_table_json(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(table_to_dict(make_table())))
+        table = load_table_json(path)
+        assert table.table_id == "t1"
+
+
+# Property-based: arbitrary printable cell content survives both formats.
+cell_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\r\n"),
+    max_size=12,
+)
+
+
+class TestRoundtripProperties:
+    @given(values=st.lists(cell_text, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_jsonl_roundtrip_arbitrary_cells(self, values, tmp_path_factory):
+        table = Table(columns=[Column(values=values, type_labels=["t"])])
+        dataset = TableDataset(tables=[table], type_vocab=["t"])
+        path = tmp_path_factory.mktemp("jsonl") / "ds.jsonl"
+        save_dataset_jsonl(dataset, path)
+        back = load_dataset_jsonl(path)
+        assert back.tables[0].columns[0].values == values
+
+    @given(values=st.lists(cell_text, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_csv_roundtrip_arbitrary_cells(self, values, tmp_path_factory):
+        table = Table(columns=[Column(values=values)])
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        write_table_csv(table, path, include_header=False)
+        back = read_table_csv(path, has_header=False)
+        assert back.columns[0].values == values

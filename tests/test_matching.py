@@ -1,0 +1,222 @@
+"""Tests for the schema matching / clustering substrate (case study)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Column, Table, generate_enterprise_dataset
+from repro.matching import (
+    ComaConfig,
+    ComaMatcher,
+    DistributionBasedMatcher,
+    FastTextLike,
+    UnionFind,
+    kmeans,
+    levenshtein,
+    matches_to_clusters,
+    name_similarity,
+    quantile_distance,
+    token_distribution_similarity,
+    trigram_similarity,
+)
+
+from helpers import rng
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("", "", 0), ("abc", "abc", 0), ("abc", "abd", 1),
+         ("abc", "", 3), ("kitten", "sitting", 3), ("flaw", "lawn", 2)],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=10), st.text(max_size=10))
+    def test_property_symmetric_and_bounded(self, a, b):
+        d = levenshtein(a, b)
+        assert d == levenshtein(b, a)
+        assert d <= max(len(a), len(b))
+        assert (d == 0) == (a == b)
+
+
+class TestNameSimilarities:
+    def test_identical(self):
+        assert name_similarity("job_title", "job_title") == 1.0
+        assert trigram_similarity("title", "title") == 1.0
+
+    def test_disjoint(self):
+        assert name_similarity("abc", "xyz") == 0.0
+
+    def test_related_names_score_higher(self):
+        related = name_similarity("job_title", "jobtitle")
+        unrelated = name_similarity("job_title", "review_id")
+        assert related > unrelated
+
+    def test_empty_names(self):
+        assert name_similarity("", "") == 1.0
+        assert trigram_similarity("", "") == 1.0
+
+
+class TestComaMatcher:
+    def make_tables(self):
+        a = Table(columns=[
+            Column(values=["alpha", "beta", "gamma"], header="status"),
+            Column(values=["1.2", "3.4", "5.6"], header="score"),
+        ])
+        b = Table(columns=[
+            Column(values=["alpha", "gamma", "beta"], header="state"),
+            Column(values=["2.2", "4.4", "1.6"], header="rating"),
+        ])
+        return a, b
+
+    def test_instance_overlap_drives_match(self):
+        a, b = self.make_tables()
+        matcher = ComaMatcher()
+        matches = matcher.match(a, b)
+        assert (0, 0) in [(i, j) for i, j, _ in matches]
+
+    def test_one_to_one(self):
+        a, b = self.make_tables()
+        matches = ComaMatcher().match(a, b)
+        lefts = [i for i, _, _ in matches]
+        rights = [j for _, j, _ in matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_threshold_respected(self):
+        a, b = self.make_tables()
+        strict = ComaMatcher(ComaConfig(threshold=0.99))
+        assert strict.match(a, b) == []
+
+
+class TestDistributionMatcher:
+    def test_quantile_distance_identical(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert quantile_distance(x, x) == 0.0
+
+    def test_quantile_distance_is_shape_based(self):
+        """Scale-free: a rescaled sample has the same shape (distance 0),
+        while a genuinely different shape is far (the published method's
+        merge-happy behaviour on uniform ID/count/timestamp columns)."""
+        uniform = np.arange(10.0)
+        rescaled = quantile_distance(uniform, uniform * 100 + 7)
+        skewed = quantile_distance(uniform, np.array([0.0] * 9 + [1.0]))
+        assert rescaled == pytest.approx(0.0, abs=1e-12)
+        assert skewed > 0.2
+
+    def test_numeric_columns_with_same_range_match(self):
+        matcher = DistributionBasedMatcher()
+        a = [str(v) for v in range(100, 200, 10)]
+        b = [str(v) for v in range(105, 205, 10)]
+        assert matcher.column_match_score(a, b) > 0
+
+    def test_numeric_vs_string_never_match(self):
+        matcher = DistributionBasedMatcher()
+        assert matcher.column_match_score(["1", "2"], ["abc", "def"]) == 0.0
+
+    def test_string_token_overlap(self):
+        matcher = DistributionBasedMatcher()
+        a = ["software engineer", "data scientist"]
+        b = ["software engineer", "product manager"]
+        assert matcher.column_match_score(a, b) > 0
+
+    def test_token_distribution_similarity_bounds(self):
+        s = token_distribution_similarity(["a b"], ["a b"])
+        assert s == pytest.approx(1.0)
+        assert token_distribution_similarity(["a"], ["b"]) == 0.0
+        assert token_distribution_similarity([], ["a"]) == 0.0
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        generator = rng(0)
+        blob_a = generator.standard_normal((20, 2)) + np.array([10.0, 0.0])
+        blob_b = generator.standard_normal((20, 2)) + np.array([-10.0, 0.0])
+        points = np.vstack([blob_a, blob_b])
+        assign = kmeans(points, 2, rng(1))
+        assert len(set(assign[:20])) == 1
+        assert len(set(assign[20:])) == 1
+        assert assign[0] != assign[20]
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 5, rng(0))
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0, rng(0))
+
+    def test_deterministic_given_rng(self):
+        points = np.random.default_rng(5).standard_normal((30, 3))
+        a = kmeans(points, 3, rng(7))
+        b = kmeans(points, 3, rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestUnionFind:
+    def test_components(self):
+        uf = UnionFind()
+        for item in "abcde":
+            uf.add(item)
+        uf.union("a", "b")
+        uf.union("b", "c")
+        components = uf.components()
+        assert components["a"] == components["c"]
+        assert components["a"] != components["d"]
+
+    def test_matches_to_clusters(self):
+        items = ["x", "y", "z", "w"]
+        labels = matches_to_clusters(items, [("x", "y"), ("z", "w")])
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_no_matches_all_singletons(self):
+        labels = matches_to_clusters(["a", "b", "c"], [])
+        assert len(set(labels)) == 3
+
+
+class TestFastTextLike:
+    def test_same_word_same_vector(self):
+        model = FastTextLike(dim=16, seed=0)
+        np.testing.assert_allclose(model.word_vector("hello"), model.word_vector("hello"))
+
+    def test_similar_words_share_ngrams(self):
+        model = FastTextLike(dim=32, seed=0)
+        sim_related = np.dot(model.word_vector("running"), model.word_vector("runner"))
+        sim_unrelated = np.dot(model.word_vector("running"), model.word_vector("zebra"))
+        assert sim_related > sim_unrelated
+
+    def test_empty_text_zero_vector(self):
+        model = FastTextLike(dim=8, seed=0)
+        assert model.text_vector("").sum() == 0.0
+        assert model.values_vector([]).sum() == 0.0
+
+    def test_training_moves_cooccurring_words_together(self):
+        corpus = ["apple banana sweet fruit"] * 30 + ["engine motor steel wheel"] * 30
+        model = FastTextLike(dim=16, seed=0)
+
+        def cosine(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-9))
+
+        before = cosine(model.word_vector("apple"), model.word_vector("banana"))
+        model.train(corpus, epochs=3)
+        after = cosine(model.word_vector("apple"), model.word_vector("banana"))
+        cross = cosine(model.word_vector("apple"), model.word_vector("engine"))
+        assert after > before
+        assert after > cross
+
+
+class TestCaseStudySubstrate:
+    def test_enterprise_matchers_find_some_structure(self):
+        dataset = generate_enterprise_dataset(seed=23)
+        matcher = DistributionBasedMatcher()
+        matches = matcher.match(dataset.tables[0], dataset.tables[1])
+        assert isinstance(matches, list)
+        coma = ComaMatcher()
+        coma_matches = []
+        for a in range(3):
+            for b in range(a + 1, 3):
+                coma_matches.extend(coma.match(dataset.tables[a], dataset.tables[b]))
+        assert coma_matches, "COMA should match at least one column pair"

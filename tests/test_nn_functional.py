@@ -1,0 +1,214 @@
+"""Tests for fused functional ops (softmax, losses, layer norm, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from helpers import gradcheck, numerical_gradient, rng
+
+
+class TestGelu:
+    def test_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0], dtype=np.float32))
+        out = F.gelu(x).data
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_gradcheck(self):
+        gradcheck(F.gelu, rng(0).uniform(-2, 2, size=(3, 5)))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(rng(1).standard_normal((4, 7)).astype(np.float32))
+        out = F.softmax(x).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_shift_invariance(self):
+        x = rng(2).standard_normal((3, 5)).astype(np.float32)
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_gradcheck(self):
+        gradcheck(lambda t: F.softmax(t, axis=-1), rng(3).standard_normal((2, 4)))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(rng(4).standard_normal((3, 6)).astype(np.float32))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-5
+        )
+
+    def test_log_softmax_gradcheck(self):
+        gradcheck(lambda t: F.log_softmax(t, axis=-1), rng(5).standard_normal((2, 4)))
+
+
+class TestLogSumExp:
+    def test_value(self):
+        x = Tensor(np.array([[0.0, np.log(3.0)]], dtype=np.float32))
+        assert F.logsumexp(x, axis=-1).data[0] == pytest.approx(np.log(4.0), rel=1e-5)
+
+    def test_keepdims(self):
+        x = Tensor(np.zeros((2, 3), dtype=np.float32))
+        assert F.logsumexp(x, axis=1, keepdims=True).shape == (2, 1)
+
+    def test_gradcheck(self):
+        gradcheck(lambda t: F.logsumexp(t, axis=-1), rng(6).standard_normal((3, 4)))
+
+    def test_large_values_stable(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        out = F.logsumexp(x, axis=-1).data
+        assert np.isfinite(out).all()
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32), requires_grad=True)
+        loss = F.cross_entropy_logits(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0), rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits_data = np.full((1, 3), -20.0, dtype=np.float32)
+        logits_data[0, 1] = 20.0
+        loss = F.cross_entropy_logits(Tensor(logits_data, requires_grad=True), np.array([1]))
+        assert loss.item() < 1e-4
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        data = rng(7).standard_normal((3, 5)).astype(np.float32)
+        labels = np.array([0, 2, 4])
+        logits = Tensor(data.copy(), requires_grad=True)
+        F.cross_entropy_logits(logits, labels).backward()
+        probs = np.exp(data - data.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = probs.copy()
+        expected[np.arange(3), labels] -= 1.0
+        expected /= 3
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-5)
+
+    def test_ignore_index(self):
+        data = rng(8).standard_normal((4, 3)).astype(np.float32)
+        labels = np.array([0, -100, 1, -100])
+        logits = Tensor(data.copy(), requires_grad=True)
+        loss = F.cross_entropy_logits(logits, labels, ignore_index=-100)
+        loss.backward()
+        # ignored rows receive zero gradient
+        np.testing.assert_allclose(logits.grad[1], 0.0, atol=1e-7)
+        np.testing.assert_allclose(logits.grad[3], 0.0, atol=1e-7)
+
+    def test_all_ignored_raises(self):
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            F.cross_entropy_logits(logits, np.array([-1, -1]), ignore_index=-1)
+
+    def test_3d_logits(self):
+        data = rng(9).standard_normal((2, 3, 4)).astype(np.float32)
+        labels = rng(9).integers(0, 4, size=(2, 3))
+        logits = Tensor(data, requires_grad=True)
+        loss = F.cross_entropy_logits(logits, labels)
+        loss.backward()
+        assert logits.grad.shape == (2, 3, 4)
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_reference(self):
+        data = rng(10).standard_normal((3, 4)).astype(np.float32)
+        targets = (rng(10).random((3, 4)) > 0.5).astype(np.float64)
+        logits = Tensor(data, requires_grad=True)
+        loss = F.binary_cross_entropy_logits(logits, targets)
+        probs = 1.0 / (1.0 + np.exp(-data.astype(np.float64)))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-4)
+
+    def test_gradient(self):
+        data = rng(11).standard_normal((2, 3)).astype(np.float32)
+        targets = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.float64)
+        logits = Tensor(data.copy(), requires_grad=True)
+        F.binary_cross_entropy_logits(logits, targets).backward()
+        sig = 1.0 / (1.0 + np.exp(-data.astype(np.float64)))
+        np.testing.assert_allclose(logits.grad, (sig - targets) / 6, atol=1e-5)
+
+    def test_sample_mask(self):
+        data = rng(12).standard_normal((3, 2)).astype(np.float32)
+        targets = np.ones((3, 2))
+        mask = np.array([True, False, True])
+        logits = Tensor(data.copy(), requires_grad=True)
+        F.binary_cross_entropy_logits(logits, targets, sample_mask=mask).backward()
+        np.testing.assert_allclose(logits.grad[1], 0.0, atol=1e-8)
+
+    def test_extreme_logits_stable(self):
+        logits = Tensor(np.array([[1000.0, -1000.0]], dtype=np.float32), requires_grad=True)
+        loss = F.binary_cross_entropy_logits(logits, np.array([[1.0, 0.0]]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+
+class TestLayerNorm:
+    def test_output_statistics(self):
+        x = Tensor(rng(13).standard_normal((4, 8)).astype(np.float32))
+        gamma = Tensor(np.ones(8, dtype=np.float32))
+        beta = Tensor(np.zeros(8, dtype=np.float32))
+        out = F.layer_norm(x, gamma, beta).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck_input(self):
+        gamma = Tensor(np.full(4, 1.5, dtype=np.float32))
+        beta = Tensor(np.full(4, 0.5, dtype=np.float32))
+        gradcheck(lambda t: F.layer_norm(t, gamma, beta), rng(14).standard_normal((3, 4)))
+
+    def test_affine_parameter_grads(self):
+        x = Tensor(rng(15).standard_normal((2, 4)).astype(np.float32))
+        gamma = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        F.layer_norm(x, gamma, beta).sum().backward()
+        assert gamma.grad.shape == (4,)
+        np.testing.assert_allclose(beta.grad, [2.0, 2.0, 2.0, 2.0])
+
+
+class TestEmbeddingLookup:
+    def test_forward_and_scatter_backward(self):
+        weight = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3), requires_grad=True)
+        indices = np.array([[1, 1], [3, 0]])
+        out = F.embedding_lookup(weight, indices)
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(weight.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(weight.grad[2], [0.0, 0.0, 0.0])
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        x = Tensor(np.ones((5, 5), dtype=np.float32))
+        out = F.dropout(x, 0.5, rng(16), training=False)
+        assert out is x
+
+    def test_training_scales_kept_units(self):
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = F.dropout(x, 0.5, rng(17), training=True).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_zero_rate_identity(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert F.dropout(x, 0.0, rng(18), training=True) is x
+
+
+class TestAttentionBias:
+    def test_mask_to_bias(self):
+        mask = np.array([[True, False]])
+        bias = F.attention_bias_from_mask(mask)
+        assert bias.shape == (1, 1, 1, 2)
+        assert bias[0, 0, 0, 0] == 0.0
+        assert bias[0, 0, 0, 1] <= -1e8
+
+    def test_visibility_bias(self):
+        vis = np.zeros((1, 3, 3), dtype=bool)
+        vis[0, 0, 0] = True
+        bias = F.visibility_bias(vis)
+        assert bias.shape == (1, 1, 3, 3)
+        assert bias[0, 0, 0, 0] == 0.0
+        assert bias[0, 0, 0, 1] <= -1e8

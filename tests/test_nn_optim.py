@@ -1,0 +1,241 @@
+"""Tests for optimizers, the LR schedule, and checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AdamW,
+    CosineDecayScheduler,
+    Linear,
+    LinearDecayScheduler,
+    SGD,
+    Tensor,
+    WarmupLinearScheduler,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.nn.serialization import copy_parameters
+
+from helpers import rng
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0], dtype=np.float32))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        param = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        param_a = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        param_b = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        plain = SGD([param_a], lr=0.01)
+        momentum = SGD([param_b], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for param, opt in ((param_a, plain), (param_b, momentum)):
+                loss = quadratic_loss(param)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert quadratic_loss(param_b).item() < quadratic_loss(param_a).item()
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0])], lr=0.1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        param = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-2)
+
+    def test_skips_params_without_grad(self):
+        a = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([a, b], lr=0.1)
+        loss = quadratic_loss(a)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_allclose(b.data, 1.0)  # untouched
+
+    def test_gradient_clipping(self):
+        param = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([param], lr=1.0, max_grad_norm=1.0)
+        param.grad = np.array([30.0, 40.0], dtype=np.float32)
+        optimizer._clip_gradients()
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_weight_decay_shrinks(self):
+        param = Tensor(np.full(2, 10.0, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([param], lr=0.1, weight_decay=0.1, max_grad_norm=None)
+        for _ in range(50):
+            optimizer.zero_grad()
+            param.grad = np.zeros(2, dtype=np.float32)
+            optimizer.step()
+        assert np.abs(param.data).max() < 10.0
+
+
+class TestAdamW:
+    def test_minimizes_quadratic(self):
+        param = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.0)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-2)
+
+    def test_decoupled_decay_shrinks_weights(self):
+        param = Tensor(np.full(2, 10.0, dtype=np.float32), requires_grad=True)
+        optimizer = AdamW([param], lr=0.1, weight_decay=0.5, max_grad_norm=None)
+        param.grad = np.zeros(2, dtype=np.float32)
+        optimizer.step()
+        # One step shrinks by exactly lr * weight_decay (zero gradient means
+        # the Adam update itself is zero).
+        np.testing.assert_allclose(param.data, 10.0 * (1 - 0.1 * 0.5), rtol=1e-5)
+
+    def test_decay_pulls_toward_smaller_optimum_than_adam_l2_free(self):
+        target_free = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        target_decayed = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        free = Adam([target_free], lr=0.05)
+        decayed = AdamW([target_decayed], lr=0.05, weight_decay=0.2)
+        for _ in range(300):
+            for param, opt in ((target_free, free), (target_decayed, decayed)):
+                loss = quadratic_loss(param)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert np.abs(target_decayed.data).sum() < np.abs(target_free.data).sum()
+
+
+class TestWarmupLinearScheduler:
+    def _opt(self, lr=1.0):
+        param = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        return Adam([param], lr=lr)
+
+    def test_starts_at_zero(self):
+        optimizer = self._opt()
+        WarmupLinearScheduler(optimizer, total_steps=10, warmup_steps=4)
+        assert optimizer.lr == 0.0
+
+    def test_peak_at_end_of_warmup(self):
+        optimizer = self._opt()
+        scheduler = WarmupLinearScheduler(optimizer, total_steps=10, warmup_steps=4)
+        for _ in range(4):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(1.0)
+
+    def test_decays_to_zero(self):
+        optimizer = self._opt()
+        scheduler = WarmupLinearScheduler(optimizer, total_steps=10, warmup_steps=4)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_warmup_behaves_like_linear_decay(self):
+        opt_a, opt_b = self._opt(), self._opt()
+        warmup = WarmupLinearScheduler(opt_a, total_steps=8, warmup_steps=0)
+        linear = LinearDecayScheduler(opt_b, total_steps=8)
+        for _ in range(5):
+            warmup.step()
+            linear.step()
+        assert opt_a.lr == pytest.approx(opt_b.lr)
+
+    def test_invalid_warmup_raises(self):
+        with pytest.raises(ValueError, match="warmup_steps"):
+            WarmupLinearScheduler(self._opt(), total_steps=5, warmup_steps=5)
+
+
+class TestCosineDecayScheduler:
+    def _opt(self, lr=1.0):
+        param = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        return Adam([param], lr=lr)
+
+    def test_monotone_decreasing(self):
+        optimizer = self._opt()
+        scheduler = CosineDecayScheduler(optimizer, total_steps=20)
+        values = []
+        for _ in range(20):
+            scheduler.step()
+            values.append(optimizer.lr)
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_reaches_min_lr(self):
+        optimizer = self._opt()
+        scheduler = CosineDecayScheduler(optimizer, total_steps=10, min_lr=0.1)
+        for _ in range(15):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_halfway_is_mean_of_base_and_min(self):
+        optimizer = self._opt()
+        scheduler = CosineDecayScheduler(optimizer, total_steps=10, min_lr=0.0)
+        for _ in range(5):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_negative_min_lr_raises(self):
+        with pytest.raises(ValueError, match="min_lr"):
+            CosineDecayScheduler(self._opt(), total_steps=5, min_lr=-1.0)
+
+
+class TestScheduler:
+    def test_linear_decay_to_zero(self):
+        param = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([param], lr=1.0)
+        scheduler = LinearDecayScheduler(optimizer, total_steps=10)
+        for step in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_halfway(self):
+        param = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([param], lr=1.0)
+        scheduler = LinearDecayScheduler(optimizer, total_steps=4)
+        scheduler.step()
+        scheduler.step()
+        assert scheduler.current_lr == pytest.approx(0.5)
+
+    def test_invalid_total_steps(self):
+        param = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            LinearDecayScheduler(Adam([param]), total_steps=0)
+
+
+class TestCheckpoints:
+    def test_save_load_roundtrip(self, tmp_path):
+        a = Linear(3, 4, rng(0))
+        b = Linear(3, 4, rng(1))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(a, path)
+        load_checkpoint(b, path)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        np.testing.assert_allclose(a.bias.data, b.bias.data)
+
+    def test_copy_parameters(self):
+        a = Linear(3, 4, rng(0))
+        b = Linear(3, 4, rng(1))
+        copy_parameters(a, b)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        # copies are independent
+        b.weight.data[0, 0] += 1.0
+        assert a.weight.data[0, 0] != b.weight.data[0, 0]

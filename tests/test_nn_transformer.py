@@ -1,0 +1,137 @@
+"""Tests for the Transformer encoder and its masking mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, TransformerConfig, TransformerEncoder
+from repro.nn.transformer import MultiHeadSelfAttention, TransformerBlock
+
+from helpers import rng
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        vocab_size=50,
+        hidden_dim=16,
+        num_layers=2,
+        num_heads=2,
+        ffn_dim=32,
+        max_position=32,
+        dropout=0.0,
+    )
+    defaults.update(overrides)
+    return TransformerConfig(**defaults)
+
+
+class TestConfig:
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(hidden_dim=10, num_heads=3)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        config = tiny_config()
+        attn = MultiHeadSelfAttention(config, rng(0))
+        x = Tensor(rng(1).standard_normal((2, 5, 16)).astype(np.float32))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_attention_rows_sum_to_one(self):
+        config = tiny_config()
+        attn = MultiHeadSelfAttention(config, rng(0))
+        x = Tensor(rng(1).standard_normal((1, 4, 16)).astype(np.float32))
+        attn(x)
+        weights = attn.last_attention
+        assert weights.shape == (1, 2, 4, 4)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_bias_blocks_positions(self):
+        config = tiny_config()
+        attn = MultiHeadSelfAttention(config, rng(0))
+        x = Tensor(rng(1).standard_normal((1, 4, 16)).astype(np.float32))
+        bias = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        bias[..., 3] = -1e9  # nobody may attend to position 3
+        attn(x, attention_bias=bias)
+        np.testing.assert_allclose(attn.last_attention[..., 3], 0.0, atol=1e-6)
+
+
+class TestEncoder:
+    def test_forward_shape(self):
+        encoder = TransformerEncoder(tiny_config(), rng(0))
+        out = encoder(np.zeros((2, 7), dtype=np.int64))
+        assert out.shape == (2, 7, 16)
+
+    def test_rejects_bad_rank(self):
+        encoder = TransformerEncoder(tiny_config(), rng(0))
+        with pytest.raises(ValueError):
+            encoder(np.zeros(7, dtype=np.int64))
+
+    def test_rejects_too_long(self):
+        encoder = TransformerEncoder(tiny_config(max_position=4), rng(0))
+        with pytest.raises(ValueError):
+            encoder(np.zeros((1, 5), dtype=np.int64))
+
+    def test_padding_mask_makes_output_independent_of_pad_content(self):
+        encoder = TransformerEncoder(tiny_config(), rng(0))
+        encoder.eval()
+        ids_a = np.array([[5, 6, 7, 0, 0]])
+        ids_b = np.array([[5, 6, 7, 9, 9]])  # different padding content
+        mask = np.array([[True, True, True, False, False]])
+        out_a = encoder(ids_a, attention_mask=mask).data[:, :3]
+        out_b = encoder(ids_b, attention_mask=mask).data[:, :3]
+        np.testing.assert_allclose(out_a, out_b, atol=1e-5)
+
+    def test_visibility_matrix_blocks_cross_influence(self):
+        """Changing tokens invisible to position 0 must not change its output."""
+        encoder = TransformerEncoder(tiny_config(), rng(0))
+        encoder.eval()
+        visibility = np.zeros((1, 4, 4), dtype=bool)
+        visibility[0, 0, 0] = True  # position 0 sees only itself
+        visibility[0, 1:, :] = True
+        ids_a = np.array([[5, 6, 7, 8]])
+        ids_b = np.array([[5, 9, 9, 9]])
+        out_a = encoder(ids_a, visibility=visibility).data[0, 0]
+        out_b = encoder(ids_b, visibility=visibility).data[0, 0]
+        np.testing.assert_allclose(out_a, out_b, atol=1e-5)
+
+    def test_segment_embeddings_change_output(self):
+        encoder = TransformerEncoder(tiny_config(num_segments=3), rng(0))
+        encoder.eval()
+        ids = np.array([[5, 6, 7]])
+        seg_a = np.zeros((1, 3), dtype=np.int64)
+        seg_b = np.array([[0, 1, 2]])
+        out_a = encoder(ids, segment_ids=seg_a).data
+        out_b = encoder(ids, segment_ids=seg_b).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_position_embeddings_break_permutation_symmetry(self):
+        encoder = TransformerEncoder(tiny_config(), rng(0))
+        encoder.eval()
+        out_a = encoder(np.array([[5, 6]])).data[0, 0]
+        out_b = encoder(np.array([[6, 5]])).data[0, 1]
+        assert not np.allclose(out_a, out_b, atol=1e-4)
+
+    def test_attention_maps_collected(self):
+        encoder = TransformerEncoder(tiny_config(num_layers=3), rng(0))
+        encoder(np.zeros((1, 4), dtype=np.int64))
+        maps = encoder.attention_maps()
+        assert len(maps) == 3
+        assert maps[0].shape == (1, 2, 4, 4)
+
+    def test_gradients_flow_to_all_parameters(self):
+        encoder = TransformerEncoder(tiny_config(num_layers=1), rng(0))
+        out = encoder(np.array([[1, 2, 3]]))
+        out.sum().backward()
+        for name, param in encoder.named_parameters():
+            if name.startswith("segment"):
+                continue  # default segment 0 is used; others legitimately zero
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_block_residual_structure(self):
+        config = tiny_config(num_layers=1)
+        block = TransformerBlock(config, rng(0))
+        block.eval()
+        x = Tensor(rng(1).standard_normal((1, 3, 16)).astype(np.float32))
+        out = block(x)
+        assert out.shape == x.shape
+        assert np.isfinite(out.data).all()

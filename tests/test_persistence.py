@@ -1,0 +1,107 @@
+"""Tests for model bundles (repro.core.persistence) and tokenizer save/load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import load_annotator, save_annotator
+from repro.datasets import generate_wikitable_dataset
+from repro.text import WordPieceTokenizer, train_wordpiece
+
+
+class TestTokenizerPersistence:
+    def test_roundtrip_ids_stable(self, tmp_path):
+        tokenizer = train_wordpiece(["happy feet", "george miller 1998"],
+                                    vocab_size=300)
+        path = tmp_path / "tok.json"
+        tokenizer.save(path)
+        back = WordPieceTokenizer.load(path)
+        assert back.vocab_size == tokenizer.vocab_size
+        for text in ("happy feet", "george miller", "unseen zebra 42"):
+            assert back.encode(text) == tokenizer.encode(text)
+
+    def test_special_token_ids_preserved(self, tmp_path):
+        tokenizer = train_wordpiece(["some text"], vocab_size=100)
+        path = tmp_path / "tok.json"
+        tokenizer.save(path)
+        back = WordPieceTokenizer.load(path)
+        assert back.vocab.pad_id == tokenizer.vocab.pad_id
+        assert back.vocab.cls_id == tokenizer.vocab.cls_id
+        assert back.vocab.sep_id == tokenizer.vocab.sep_id
+        assert back.vocab.mask_id == tokenizer.vocab.mask_id
+
+    def test_max_word_chars_preserved(self, tmp_path):
+        tokenizer = train_wordpiece(["abc"], vocab_size=50)
+        tokenizer.max_word_chars = 7
+        path = tmp_path / "tok.json"
+        tokenizer.save(path)
+        assert WordPieceTokenizer.load(path).max_word_chars == 7
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "bpe-v2", "tokens": []}))
+        with pytest.raises(ValueError, match="wordpiece-v1"):
+            WordPieceTokenizer.load(path)
+
+
+class TestAnnotatorBundle:
+    @pytest.fixture(scope="class")
+    def annotator(self, shared_tiny_annotator):
+        return shared_tiny_annotator
+
+    @pytest.fixture(scope="class")
+    def sample_tables(self):
+        return generate_wikitable_dataset(num_tables=6, seed=91, max_rows=4).tables
+
+    def test_roundtrip_reproduces_predictions(self, annotator, sample_tables,
+                                              tmp_path_factory):
+        bundle_dir = tmp_path_factory.mktemp("bundle")
+        save_annotator(annotator, bundle_dir)
+        restored = load_annotator(bundle_dir)
+        for table in sample_tables:
+            original = annotator.annotate(table)
+            loaded = restored.annotate(table)
+            assert loaded.coltypes == original.coltypes
+            assert loaded.colrels == original.colrels
+            np.testing.assert_allclose(loaded.colemb, original.colemb,
+                                       rtol=1e-5, atol=1e-6)
+
+    def test_bundle_files_exist(self, annotator, tmp_path):
+        save_annotator(annotator, tmp_path / "m")
+        assert (tmp_path / "m" / "bundle.json").exists()
+        assert (tmp_path / "m" / "tokenizer.json").exists()
+        assert (tmp_path / "m" / "weights.npz").exists()
+
+    def test_manifest_contents(self, annotator, tmp_path):
+        save_annotator(annotator, tmp_path / "m")
+        manifest = json.loads((tmp_path / "m" / "bundle.json").read_text())
+        assert manifest["kind"] == "doduo-bundle"
+        assert manifest["type_vocab"] == annotator.trainer.dataset.type_vocab
+        assert list(manifest["doduo_config"]["tasks"]) == list(
+            annotator.trainer.config.tasks
+        )
+
+    def test_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="bundle.json"):
+            load_annotator(tmp_path)
+
+    def test_wrong_kind_raises(self, tmp_path):
+        (tmp_path / "bundle.json").write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ValueError, match="not a doduo bundle"):
+            load_annotator(tmp_path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        (tmp_path / "bundle.json").write_text(
+            json.dumps({"kind": "doduo-bundle", "version": 99})
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_annotator(tmp_path)
+
+    def test_save_is_idempotent(self, annotator, tmp_path):
+        save_annotator(annotator, tmp_path / "m")
+        save_annotator(annotator, tmp_path / "m")  # overwrite in place
+        restored = load_annotator(tmp_path / "m")
+        assert restored.trainer.dataset.num_types == (
+            annotator.trainer.dataset.num_types
+        )

@@ -1,0 +1,115 @@
+"""Property-based invariants of table serialization (hypothesis).
+
+Whatever table the generators (or a user) produce, the serializer must emit
+a structurally consistent encoding: every ``cls_positions`` entry points at
+a ``[CLS]`` token, ``column_ids`` partitions the token sequence by column in
+order, ``numeric_ids`` aligns one-to-one with tokens, and the per-column
+token budget is never exceeded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SerializerConfig, TableSerializer, column_visibility, pad_batch
+from repro.datasets import Column, Table
+from repro.text import train_wordpiece
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    corpus = [
+        "alpha beta gamma", "delta epsilon", "2024 12 99", "x-1 y/2 z.3",
+    ]
+    return train_wordpiece(corpus, vocab_size=300)
+
+
+cell = st.one_of(
+    st.text(alphabet="abcdefgh ", min_size=0, max_size=12),
+    st.integers(0, 10**9).map(str),
+    st.floats(0, 1e6, allow_nan=False).map(lambda f: f"{f:.2f}"),
+)
+
+columns = st.lists(
+    st.lists(cell, min_size=1, max_size=5).map(lambda vs: Column(values=vs)),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestSerializeTableProperties:
+    @given(cols=columns, budget=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_structure_invariants(self, tokenizer, cols, budget):
+        serializer = TableSerializer(
+            tokenizer,
+            SerializerConfig(max_tokens_per_column=budget,
+                             max_sequence_length=512),
+        )
+        table = Table(columns=cols)
+        encoded = serializer.serialize_table(table)
+        vocab = tokenizer.vocab
+
+        # one [CLS] per column, each at its recorded position
+        assert encoded.num_columns == table.num_columns
+        for pos in encoded.cls_positions:
+            assert encoded.token_ids[pos] == vocab.cls_id
+        # sequence ends with [SEP] owned by no column
+        assert encoded.token_ids[-1] == vocab.sep_id
+        assert encoded.column_ids[-1] == -1
+        # column ids are a non-decreasing partition 0..n-1 before the [SEP]
+        body = encoded.column_ids[:-1]
+        assert (np.diff(body) >= 0).all()
+        assert set(body.tolist()) == set(range(table.num_columns))
+        # numeric ids align with tokens
+        assert len(encoded.numeric_ids) == len(encoded.token_ids)
+        # per-column budget respected: tokens per column <= budget (+CLS)
+        for col_index in range(table.num_columns):
+            count = int((body == col_index).sum())
+            assert count <= budget + 1
+
+    @given(cols=columns)
+    @settings(max_examples=30, deadline=None)
+    def test_single_column_matches_table_column_count(self, tokenizer, cols):
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        table = Table(columns=cols)
+        for c in range(table.num_columns):
+            encoded = serializer.serialize_column(table, c)
+            assert encoded.num_columns == 1
+            assert encoded.token_ids[0] == tokenizer.vocab.cls_id
+
+
+class TestBatchProperties:
+    @given(data=st.data(), batch=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_pad_batch_mask_covers_exactly_real_tokens(self, tokenizer, data, batch):
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [
+            serializer.serialize_table(Table(columns=data.draw(columns)))
+            for _ in range(batch)
+        ]
+        token_ids, mask = pad_batch(encoded, pad_id=tokenizer.vocab.pad_id)
+        assert token_ids.shape == mask.shape
+        for row, item in enumerate(encoded):
+            assert mask[row, : item.length].all()
+            assert not mask[row, item.length:].any()
+            assert (token_ids[row, item.length:] == tokenizer.vocab.pad_id).all()
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_visibility_is_column_block_diagonal(self, tokenizer, data):
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = [serializer.serialize_table(Table(columns=data.draw(columns)))]
+        vis = column_visibility(encoded)[0]
+        item = encoded[0]
+        np.testing.assert_array_equal(vis, vis.T)  # symmetric relation
+        for p in range(item.length):
+            assert vis[p, p]  # self-visibility always
+            for q in range(item.length):
+                same_column = (
+                    item.column_ids[p] == item.column_ids[q]
+                    and item.column_ids[p] != -1
+                )
+                if p != q and vis[p, q]:
+                    assert same_column

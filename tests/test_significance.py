@@ -1,0 +1,115 @@
+"""Tests for bootstrap confidence intervals and paired comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    bootstrap_metric,
+    multiclass_micro_f1,
+    paired_bootstrap,
+)
+
+
+def accuracy(y_true, y_pred):
+    return float((np.asarray(y_true) == np.asarray(y_pred)).mean())
+
+
+class TestBootstrapMetric:
+    def test_perfect_predictions_ci_is_degenerate(self):
+        y = list(range(50))
+        interval = bootstrap_metric(y, y, accuracy)
+        assert interval.estimate == 1.0
+        assert interval.lower == 1.0
+        assert interval.upper == 1.0
+
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 200)
+        y_pred = np.where(rng.random(200) < 0.7, y_true, (y_true + 1) % 3)
+        interval = bootstrap_metric(y_true, y_pred, accuracy, seed=1)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.contains(interval.estimate)
+
+    def test_wider_confidence_widens_interval(self):
+        rng = np.random.default_rng(2)
+        y_true = rng.integers(0, 2, 80)
+        y_pred = np.where(rng.random(80) < 0.6, y_true, 1 - y_true)
+        narrow = bootstrap_metric(y_true, y_pred, accuracy, confidence=0.5, seed=3)
+        wide = bootstrap_metric(y_true, y_pred, accuracy, confidence=0.99, seed=3)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_deterministic_under_seed(self):
+        y_true = [0, 1, 0, 1, 1, 0]
+        y_pred = [0, 1, 1, 1, 0, 0]
+        a = bootstrap_metric(y_true, y_pred, accuracy, seed=7)
+        b = bootstrap_metric(y_true, y_pred, accuracy, seed=7)
+        assert a == b
+
+    def test_works_with_prf_metric(self):
+        y_true = [0, 1, 2, 0, 1, 2] * 5
+        y_pred = [0, 1, 2, 0, 1, 1] * 5
+        interval = bootstrap_metric(
+            y_true, y_pred, lambda t, p: multiclass_micro_f1(t, p).f1
+        )
+        assert 0.0 < interval.estimate < 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            bootstrap_metric([], [], accuracy)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            bootstrap_metric([0, 1], [0], accuracy)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_metric([0], [0], accuracy, confidence=1.5)
+
+    @given(n=st.integers(5, 60), noise=st.floats(0, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_always_within_metric_bounds(self, n, noise):
+        rng = np.random.default_rng(4)
+        y_true = rng.integers(0, 2, n)
+        y_pred = np.where(rng.random(n) < 1 - noise, y_true, 1 - y_true)
+        interval = bootstrap_metric(y_true, y_pred, accuracy,
+                                    num_resamples=200, seed=5)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+
+class TestPairedBootstrap:
+    def test_clearly_better_model_is_significant(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 300)
+        good = np.where(rng.random(300) < 0.95, y_true, 1 - y_true)
+        bad = np.where(rng.random(300) < 0.55, y_true, 1 - y_true)
+        result = paired_bootstrap(y_true, good, bad, accuracy, seed=1)
+        assert result.delta > 0.2
+        assert result.significant
+        assert result.wins > 0.99
+
+    def test_identical_models_not_significant(self):
+        rng = np.random.default_rng(1)
+        y_true = rng.integers(0, 2, 100)
+        pred = np.where(rng.random(100) < 0.7, y_true, 1 - y_true)
+        result = paired_bootstrap(y_true, pred, pred.copy(), accuracy, seed=2)
+        assert result.delta == 0.0
+        assert not result.significant
+
+    def test_symmetry_of_delta(self):
+        rng = np.random.default_rng(3)
+        y_true = rng.integers(0, 2, 150)
+        a = np.where(rng.random(150) < 0.8, y_true, 1 - y_true)
+        b = np.where(rng.random(150) < 0.7, y_true, 1 - y_true)
+        ab = paired_bootstrap(y_true, a, b, accuracy, seed=4)
+        ba = paired_bootstrap(y_true, b, a, accuracy, seed=4)
+        assert ab.delta == pytest.approx(-ba.delta)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="same shape"):
+            paired_bootstrap([0, 1], [0, 1], [0], accuracy)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            paired_bootstrap([], [], [], accuracy)

@@ -1,0 +1,114 @@
+"""Tests for the BPE tokenizer (repro.text.bpe)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DoduoConfig, DoduoTrainer, SerializerConfig, TableSerializer
+from repro.datasets import generate_viznet_dataset
+from repro.nn import TransformerConfig
+from repro.text import BpeTokenizer, train_bpe
+
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "the quick brown cat sleeps under the warm sun",
+    "lower lowest slower slowest",
+    "walking talking walking talking",
+] * 3
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return train_bpe(CORPUS, vocab_size=300)
+
+
+class TestTraining:
+    def test_learns_merges(self, tokenizer):
+        assert tokenizer.merges
+        assert tokenizer.vocab_size <= 300
+
+    def test_frequent_words_become_single_tokens(self, tokenizer):
+        pieces = tokenizer.tokenize_word("the")
+        assert pieces == ["the</w>"]
+
+    def test_unseen_word_still_segmentable(self, tokenizer):
+        pieces = tokenizer.tokenize_word("low")  # subword of 'lower'
+        assert pieces  # segments into learned pieces or characters
+
+    def test_min_pair_frequency_limits_merges(self):
+        few = train_bpe(["ab ab", "cd"], vocab_size=100, min_pair_frequency=10)
+        assert few.merges == []
+
+
+class TestEncodeDecode:
+    def test_roundtrip_on_corpus_words(self, tokenizer):
+        for text in ("the quick brown fox", "walking talking"):
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_special_tokens_skipped_in_decode(self, tokenizer):
+        ids = [tokenizer.vocab.cls_id] + tokenizer.encode("the dog") + [
+            tokenizer.vocab.sep_id
+        ]
+        assert tokenizer.decode(ids) == "the dog"
+
+    def test_unseen_characters_map_to_unk(self, tokenizer):
+        ids = tokenizer.encode("Ωmega")
+        assert tokenizer.vocab.unk_id in ids
+
+    @given(st.lists(
+        st.sampled_from(sorted({w for line in CORPUS for w in line.split()})),
+        min_size=1, max_size=8,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_corpus_vocabulary_roundtrips(self, tokenizer, words):
+        """Any sequence of corpus words round-trips exactly (unseen
+        character-position pairs map to [UNK] by design, so the property is
+        over the training vocabulary, as for real BPE tokenizers)."""
+        text = " ".join(words)
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tokenizer, tmp_path):
+        path = tmp_path / "bpe.json"
+        tokenizer.save(path)
+        back = BpeTokenizer.load(path)
+        for text in ("the quick fox", "slower walking"):
+            assert back.encode(text) == tokenizer.encode(text)
+        assert back.vocab.cls_id == tokenizer.vocab.cls_id
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"format": "wordpiece-v1", "tokens": [], "merges": []}')
+        with pytest.raises(ValueError, match="bpe-v1"):
+            BpeTokenizer.load(path)
+
+
+class TestDropInCompatibility:
+    """The whole pipeline must run unchanged on the BPE tokenizer."""
+
+    def test_serializer_accepts_bpe(self):
+        dataset = generate_viznet_dataset(num_tables=6, seed=1)
+        tokenizer = train_bpe(dataset.all_cell_text(), vocab_size=400)
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        encoded = serializer.serialize_table(dataset.tables[0])
+        assert encoded.num_columns == dataset.tables[0].num_columns
+        assert encoded.token_ids[0] == tokenizer.vocab.cls_id
+
+    def test_trainer_fine_tunes_with_bpe(self):
+        dataset = generate_viznet_dataset(num_tables=20, seed=2)
+        tokenizer = train_bpe(dataset.all_cell_text(), vocab_size=500)
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, hidden_dim=16, num_layers=1,
+            num_heads=2, ffn_dim=32, max_position=128, num_segments=6,
+            dropout=0.0,
+        )
+        trainer = DoduoTrainer(
+            dataset, tokenizer, config,
+            DoduoConfig(tasks=("type",), multi_label=False, epochs=2,
+                        batch_size=8, keep_best_checkpoint=False),
+        )
+        history = trainer.train()
+        losses = history.task_losses["type"]
+        assert losses[-1] < losses[0]

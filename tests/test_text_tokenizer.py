@@ -1,0 +1,161 @@
+"""Tests for WordPiece tokenization, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    CLS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+    WordPieceTokenizer,
+    basic_tokenize,
+    build_tokenizer_from_words,
+    train_wordpiece,
+)
+
+
+class TestBasicTokenize:
+    def test_lowercases_and_splits(self):
+        assert basic_tokenize("Happy Feet") == ["happy", "feet"]
+
+    def test_punctuation_separated(self):
+        assert basic_tokenize("a,b") == ["a", ",", "b"]
+
+    def test_digit_pair_splitting(self):
+        assert basic_tokenize("2925341") == ["29", "25", "34", "1"]
+        assert basic_tokenize("87") == ["87"]
+        assert basic_tokenize("5") == ["5"]
+
+    def test_mixed_alphanumeric_not_split(self):
+        assert basic_tokenize("abc123x") == ["abc123x"]
+
+    def test_empty(self):
+        assert basic_tokenize("") == []
+
+
+class TestVocabulary:
+    def test_specials_first(self):
+        vocab = Vocabulary(["hello"])
+        assert vocab.pad_id == 0
+        assert vocab.id_to_token(0) == PAD_TOKEN
+        for token in SPECIAL_TOKENS:
+            assert token in vocab
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["hello"])
+        assert vocab.token_to_id("zzz") == vocab.unk_id
+
+    def test_roundtrip(self):
+        vocab = Vocabulary(["hello", "world"])
+        for token in ["hello", "world", CLS_TOKEN, SEP_TOKEN, MASK_TOKEN]:
+            assert vocab.id_to_token(vocab.token_to_id(token)) == token
+
+    def test_duplicates_deduped(self):
+        vocab = Vocabulary(["a", "a", "b"])
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+
+    def test_bad_id_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.id_to_token(9999)
+
+    def test_tokens_ordered_by_id(self):
+        vocab = Vocabulary(["x", "y"])
+        tokens = vocab.tokens()
+        assert tokens[vocab.token_to_id("x")] == "x"
+
+
+class TestWordPiece:
+    @pytest.fixture
+    def tokenizer(self):
+        return build_tokenizer_from_words(["happy", "feet", "george", "miller"])
+
+    def test_whole_word(self, tokenizer):
+        assert tokenizer.tokenize_word("happy") == ["happy"]
+
+    def test_char_fallback(self, tokenizer):
+        pieces = tokenizer.tokenize_word("hap")
+        assert pieces[0] == "h"
+        assert all(p.startswith("##") for p in pieces[1:])
+
+    def test_unknown_chars_map_to_unk(self):
+        tokenizer = build_tokenizer_from_words(["abc"])
+        assert tokenizer.tokenize_word("xyz") == [UNK_TOKEN]
+
+    def test_long_word_is_unk(self, tokenizer):
+        assert tokenizer.tokenize_word("a" * 100) == [UNK_TOKEN]
+
+    def test_encode_decode_roundtrip(self, tokenizer):
+        text = "happy feet george miller"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_decode_skips_specials(self, tokenizer):
+        vocab = tokenizer.vocab
+        ids = [vocab.cls_id] + tokenizer.encode("happy") + [vocab.sep_id]
+        assert tokenizer.decode(ids) == "happy"
+
+    def test_greedy_longest_match(self):
+        vocab = Vocabulary(["ab", "a", "b", "##b", "##c", "c"])
+        tokenizer = WordPieceTokenizer(vocab)
+        assert tokenizer.tokenize_word("abc") == ["ab", "##c"]
+
+
+class TestTrainer:
+    def test_trained_tokenizer_covers_corpus(self):
+        corpus = ["the happy dog runs", "the sad dog sleeps", "dogs run happily"] * 5
+        tokenizer = train_wordpiece(corpus, vocab_size=500)
+        for sentence in corpus:
+            ids = tokenizer.encode(sentence)
+            assert tokenizer.vocab.unk_id not in ids
+
+    def test_frequent_words_kept_whole(self):
+        corpus = ["zebra stripes"] * 20
+        tokenizer = train_wordpiece(corpus, vocab_size=500)
+        assert tokenizer.tokenize_word("zebra") == ["zebra"]
+
+    def test_vocab_size_respected(self):
+        corpus = [f"word{i} text" for i in range(100)]
+        tokenizer = train_wordpiece(corpus, vocab_size=300)
+        assert tokenizer.vocab_size <= 300
+
+    def test_digit_pairs_always_in_vocab(self):
+        tokenizer = train_wordpiece(["hello world"], vocab_size=600)
+        for pair in ("00", "42", "99"):
+            assert pair in tokenizer.vocab
+
+    def test_unseen_words_segmentable_via_chars(self):
+        corpus = ["alpha beta gamma"] * 3
+        tokenizer = train_wordpiece(corpus, vocab_size=500)
+        pieces = tokenizer.tokenize_word("gab")  # chars all seen
+        assert UNK_TOKEN not in pieces
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet="abcdefghij0123456789 ", min_size=0, max_size=40))
+def test_property_encode_always_valid_ids(text):
+    tokenizer = train_wordpiece(
+        ["abcdefghij 0123456789 aa bb cc"], vocab_size=600
+    )
+    ids = tokenizer.encode(text)
+    assert all(0 <= i < tokenizer.vocab_size for i in ids)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["happy", "feet", "cars", "away", "usa"]), min_size=1, max_size=8))
+def test_property_roundtrip_on_vocab_words(words):
+    tokenizer = build_tokenizer_from_words(["happy", "feet", "cars", "away", "usa"])
+    text = " ".join(words)
+    assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10 ** 12))
+def test_property_digit_split_reassembles(number):
+    pieces = basic_tokenize(str(number))
+    assert "".join(pieces) == str(number)

@@ -1,0 +1,176 @@
+"""Tests for wide-table splitting and annotation (repro.core.wide)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wide import (
+    annotate_wide,
+    column_similarity,
+    split_columns_by_similarity,
+    split_columns_contiguous,
+    split_wide_table,
+    subtable,
+    validate_partition,
+)
+from repro.datasets import Column, Table
+
+
+def make_wide_table(num_cols=8, num_rows=4) -> Table:
+    return Table(
+        columns=[
+            Column(values=[f"c{c}v{r}" for r in range(num_rows)], header=f"h{c}")
+            for c in range(num_cols)
+        ],
+        table_id="wide",
+        relation_labels={(0, 1): ["r01"], (0, 5): ["r05"]},
+    )
+
+
+class TestContiguous:
+    def test_exact_partition(self):
+        groups = split_columns_contiguous(7, 3)
+        assert groups == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_single_group_when_it_fits(self):
+        assert split_columns_contiguous(3, 10) == [[0, 1, 2]]
+
+    def test_zero_columns(self):
+        assert split_columns_contiguous(0, 4) == []
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            split_columns_contiguous(5, 0)
+
+    @given(n=st.integers(0, 40), cap=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_partition_under_cap(self, n, cap):
+        groups = split_columns_contiguous(n, cap)
+        validate_partition(groups, n)
+        assert all(len(g) <= cap for g in groups)
+
+
+class TestSimilarity:
+    def test_identical_columns_grouped(self):
+        table = Table(columns=[
+            Column(values=["alpha beta", "gamma delta"]),
+            Column(values=["1423", "9041"]),
+            Column(values=["alpha beta", "gamma delta"]),
+            Column(values=["1429", "9043"]),
+        ])
+        groups = split_columns_by_similarity(table, max_columns=2)
+        as_sets = {frozenset(g) for g in groups}
+        assert frozenset({0, 2}) in as_sets
+        assert frozenset({1, 3}) in as_sets
+
+    def test_cap_respected(self):
+        table = make_wide_table(num_cols=9)
+        groups = split_columns_by_similarity(table, max_columns=4)
+        validate_partition(groups, 9)
+        assert all(len(g) <= 4 for g in groups)
+
+    def test_similarity_symmetric_and_bounded(self):
+        a = Column(values=["san francisco", "new york"])
+        b = Column(values=["san diego", "new orleans"])
+        s_ab = column_similarity(a, b)
+        s_ba = column_similarity(b, a)
+        assert s_ab == s_ba
+        assert 0.0 <= s_ab <= 1.0
+
+    def test_identical_columns_have_similarity_one(self):
+        col = Column(values=["same text", "more text"])
+        assert column_similarity(col, col) == 1.0
+
+    def test_empty_table(self):
+        assert split_columns_by_similarity(Table(columns=[]), 3) == []
+
+    def test_deterministic(self):
+        table = make_wide_table(num_cols=6)
+        a = split_columns_by_similarity(table, 3)
+        b = split_columns_by_similarity(table, 3)
+        assert a == b
+
+
+class TestSplitWideTable:
+    def test_rules_strategy(self):
+        table = make_wide_table(num_cols=4)
+        groups = split_wide_table(table, 2, strategy="rules", rules=[[0, 3], [1, 2]])
+        assert groups == [[0, 3], [1, 2]]
+
+    def test_rules_must_partition(self):
+        table = make_wide_table(num_cols=4)
+        with pytest.raises(ValueError, match="partition"):
+            split_wide_table(table, 2, strategy="rules", rules=[[0, 1]])
+
+    def test_rules_cap_enforced(self):
+        table = make_wide_table(num_cols=4)
+        with pytest.raises(ValueError, match="exceeds"):
+            split_wide_table(table, 2, strategy="rules", rules=[[0, 1, 2], [3]])
+
+    def test_rules_requires_rules(self):
+        with pytest.raises(ValueError, match="requires"):
+            split_wide_table(make_wide_table(), 2, strategy="rules")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            split_wide_table(make_wide_table(), 2, strategy="zigzag")
+
+
+class TestSubtable:
+    def test_projection_keeps_relations_with_remapped_indices(self):
+        table = make_wide_table()
+        piece = subtable(table, [0, 5, 6], suffix="#a")
+        assert piece.table_id == "wide#a"
+        assert piece.num_columns == 3
+        assert piece.relation_labels == {(0, 1): ["r05"]}
+        assert piece.columns[1].header == "h5"
+
+    def test_relations_crossing_groups_dropped(self):
+        table = make_wide_table()
+        piece = subtable(table, [1, 2])
+        assert piece.relation_labels == {}
+
+
+class TestAnnotateWide:
+    @pytest.fixture(scope="class")
+    def annotator(self, shared_tiny_annotator):
+        return shared_tiny_annotator
+
+    def test_annotates_all_columns_in_order(self, annotator):
+        # Build a table wider than the trained substrate usually sees.
+        table = make_wide_table(num_cols=10)
+        result = annotate_wide(annotator, table, max_columns=4)
+        assert len(result.coltypes) == 10
+        assert all(types for types in result.coltypes)
+
+    def test_matches_groupwise_annotation(self, annotator):
+        table = make_wide_table(num_cols=6)
+        wide = annotate_wide(annotator, table, max_columns=3,
+                             strategy="contiguous")
+        left = annotator.annotate(subtable(table, [0, 1, 2], suffix="#g0"))
+        assert wide.coltypes[:3] == left.coltypes
+
+    def test_embeddings_cover_every_column(self, annotator):
+        table = make_wide_table(num_cols=7)
+        result = annotate_wide(annotator, table, max_columns=3)
+        assert result.colemb is not None
+        assert result.colemb.shape[0] == 7
+        assert not np.allclose(result.colemb, 0.0)
+
+    def test_without_embeddings(self, annotator):
+        table = make_wide_table(num_cols=5)
+        result = annotate_wide(annotator, table, max_columns=2,
+                               with_embeddings=False)
+        assert result.colemb is None
+
+    def test_relations_confined_to_groups(self, annotator):
+        table = make_wide_table(num_cols=6)
+        result = annotate_wide(annotator, table, max_columns=3)
+        for (i, j) in result.colrels:
+            assert i // 3 == j // 3  # contiguous groups of 3
+
+    def test_default_budget_from_serializer(self, annotator):
+        table = make_wide_table(num_cols=6)
+        result = annotate_wide(annotator, table)
+        assert len(result.coltypes) == 6
