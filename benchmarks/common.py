@@ -36,6 +36,7 @@ from repro.core import (
     build_pretrained_lm,
     make_trainer,
 )
+from repro.serving import AnnotationEngine, EngineConfig
 from repro.core.trainer import RELATION_TASK, TYPE_TASK
 from repro.datasets import (
     DatasetSplits,
@@ -239,6 +240,19 @@ def fraction_trainer(fraction: float, tasks: Tuple[str, ...]) -> DoduoTrainer:
         return _CACHE[key]
     splits = training_fraction(wikitable_splits(), fraction, seed=0)
     return _train(key, splits, _wikitable_config(tasks=tasks))
+
+
+def annotation_engine(trainer: DoduoTrainer, batch_size: int = 8,
+                      cache_size: int = 256) -> AnnotationEngine:
+    """A serving engine over a benchmark-trained model.
+
+    Engines are intentionally *not* cached: each caller gets fresh stats and
+    an empty serialization cache, so throughput measurements stay honest.
+    """
+    return AnnotationEngine(
+        trainer,
+        EngineConfig(batch_size=batch_size, cache_size=cache_size),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ The same steps are available from the shell via the CLI::
     repro generate viznet --num-tables 400 --out corpus.jsonl
     repro train corpus.jsonl --out model/ --epochs 10
     repro annotate model/ table.csv
+    repro annotate model/ corpus.jsonl --batch-size 16 --out results.jsonl
 
 Run:  python examples/csv_workflow.py
 """
@@ -19,7 +20,7 @@ Run:  python examples/csv_workflow.py
 import tempfile
 from pathlib import Path
 
-from repro import Doduo, DoduoConfig
+from repro import AnnotationEngine, AnnotationOptions, Doduo, DoduoConfig
 from repro.core import PipelineConfig, build_pretrained_lm, load_annotator, save_annotator
 from repro.datasets import generate_viznet_dataset, split_dataset
 from repro.io import (
@@ -66,14 +67,23 @@ def main() -> None:
         write_table_csv(table, csv_dir / f"{table.table_id}.csv",
                         include_header=False)
 
-    for csv_path in sorted(csv_dir.glob("*.csv")):
-        table = read_table_csv(csv_path, has_header=False)
-        annotated = annotator.annotate(table, with_embeddings=False)
-        predicted = [types[0] for types in annotated.coltypes]
-        print(f"\n{csv_path.name}:")
-        for c, name in enumerate(predicted):
+    # Batch all CSVs through the serving engine: one padded encoder pass
+    # per batch instead of one (or four, historically) per table.
+    engine = AnnotationEngine(annotator)
+    tables = [
+        read_table_csv(csv_path, has_header=False)
+        for csv_path in sorted(csv_dir.glob("*.csv"))
+    ]
+    options = AnnotationOptions(with_embeddings=False, top_k=3)
+    for result in engine.annotate_stream(tables, options):
+        table = result.table
+        print(f"\n{table.table_id}.csv:")
+        for c, names in enumerate(result.coltypes):
             sample = table.columns[c].values[0] if table.columns[c].values else ""
-            print(f"  col {c} ({sample[:24]!r}...) -> {name}")
+            print(f"  col {c} ({sample[:24]!r}...) -> {names[0]}")
+    stats = engine.stats
+    print(f"\nengine: {stats.requests} tables, {stats.encoder_passes} encoder "
+          f"passes, {stats.cache_hits} serialization cache hits")
 
 
 if __name__ == "__main__":

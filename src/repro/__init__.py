@@ -21,11 +21,13 @@ full system on a pure-numpy substrate:
 * :mod:`repro.evaluation` — micro/macro F1, multi-label PRF, V-measure,
   classification reports, k-fold cross-validation, ASCII figure rendering
 * :mod:`repro.io` — CSV tables and JSONL dataset round-trips
+* :mod:`repro.serving` — the batched ``AnnotationEngine``: single-pass
+  inference, length-bucketed batching, LRU serialization cache, streaming
 * :mod:`repro.cli` — the ``repro`` command-line toolbox
 
 Quickstart::
 
-    from repro import Doduo, DoduoConfig, PipelineConfig
+    from repro import AnnotationEngine, Doduo, DoduoConfig, PipelineConfig
     from repro.core import build_pretrained_lm
     from repro.datasets import generate_wikitable_dataset, split_dataset
 
@@ -34,7 +36,16 @@ Quickstart::
     tokenizer, pretrained = build_pretrained_lm(PipelineConfig())
     model = Doduo.train_on(splits.train, tokenizer,
                            pretrained_encoder_state=pretrained.encoder.state_dict())
+
+    # One table (types, relations, embeddings from one encoder pass):
     annotated = model.annotate(splits.test.tables[0])
+
+    # Many tables: the engine batches whole tables into padded forward
+    # passes and streams results for unbounded workloads.
+    engine = AnnotationEngine(model)
+    results = engine.annotate_batch(splits.test.tables)
+    for result in engine.annotate_stream(table_generator()):
+        print(result.coltypes, result.top_types(0))
 """
 
 from .core import (
@@ -59,12 +70,24 @@ from .datasets import (
     generate_wikitable_dataset,
     split_dataset,
 )
+from .serving import (
+    AnnotationEngine,
+    AnnotationOptions,
+    AnnotationRequest,
+    AnnotationResult,
+    EngineConfig,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnnotatedTable",
+    "AnnotationEngine",
+    "AnnotationOptions",
+    "AnnotationRequest",
+    "AnnotationResult",
     "Column",
+    "EngineConfig",
     "Doduo",
     "DoduoConfig",
     "DoduoModel",

@@ -6,7 +6,13 @@ lines of Python code"; this module is the zero-lines-of-Python counterpart::
     repro generate wikitable --num-tables 200 --out corpus.jsonl
     repro train corpus.jsonl --out model/ --epochs 10
     repro annotate model/ table.csv
+    repro annotate model/ corpus.jsonl --batch-size 16 --out results.jsonl
     repro evaluate model/ corpus.jsonl
+
+``annotate`` has two modes: a CSV table is annotated one-off and printed; a
+``.jsonl`` corpus is streamed through the batched
+:class:`~repro.serving.AnnotationEngine` (one padded encoder pass per batch)
+and emitted as one JSON record per table — the serving entry point.
 
 All subcommands are pure functions of their arguments (deterministic under
 ``--seed``), and :func:`main` takes an ``argv`` list so the tests can drive
@@ -17,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -31,7 +38,12 @@ from .datasets import (
     split_dataset,
 )
 from .evaluation import render_table
-from .io import load_dataset_jsonl, read_table_csv, save_dataset_jsonl
+from .io import (
+    iter_tables_jsonl,
+    load_dataset_jsonl,
+    read_table_csv,
+    save_dataset_jsonl,
+)
 from .nn import TransformerConfig
 from .text import train_wordpiece
 
@@ -101,11 +113,48 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_annotate(args: argparse.Namespace) -> int:
     annotator = load_annotator(args.model)
+    if args.table.endswith(".jsonl"):
+        csv_only = [
+            name
+            for name, used in (
+                ("--json", args.json),
+                ("--no-header", args.no_header),
+                ("--max-columns", bool(args.max_columns)),
+                ("--wide-strategy", args.wide_strategy is not None),
+            )
+            if used
+        ]
+        if csv_only:
+            print(
+                f"error: {', '.join(csv_only)} only apply to CSV input, "
+                "not .jsonl serving mode",
+                file=sys.stderr,
+            )
+            return 1
+        return _annotate_jsonl_batch(annotator, args)
+    jsonl_only = [
+        name
+        for name, used in (
+            ("--out", args.out is not None),
+            ("--batch-size", args.batch_size is not None),
+            ("--top-k", args.top_k is not None),
+            ("--threshold", args.threshold is not None),
+            ("--embeddings", args.embeddings),
+        )
+        if used
+    ]
+    if jsonl_only:
+        print(
+            f"error: {', '.join(jsonl_only)} only apply to .jsonl serving "
+            "mode, not CSV input",
+            file=sys.stderr,
+        )
+        return 1
     table = read_table_csv(args.table, has_header=not args.no_header)
     if args.max_columns and table.num_columns > args.max_columns:
         annotated = annotate_wide(
             annotator, table, max_columns=args.max_columns,
-            strategy=args.wide_strategy,
+            strategy=args.wide_strategy or "contiguous",
         )
     else:
         annotated = annotator.annotate(table)
@@ -139,6 +188,54 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         ]
         print(render_table(("pair", "predicted relations"), rel_rows,
                            title="column relations"))
+    return 0
+
+
+def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
+    """Batch-serve a .jsonl corpus through the AnnotationEngine.
+
+    Tables are streamed lazily from the file (one chunk in memory at a
+    time), so arbitrarily large corpora can be served.
+    """
+    from .serving import AnnotationEngine, AnnotationOptions, EngineConfig
+
+    engine = AnnotationEngine(
+        annotator.trainer,
+        EngineConfig(batch_size=8 if args.batch_size is None else args.batch_size),
+    )
+    options = AnnotationOptions(
+        with_embeddings=args.embeddings,
+        top_k=3 if args.top_k is None else args.top_k,
+        score_threshold=args.threshold,
+    )
+    out_handle = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    count = 0
+    try:
+        for result in engine.annotate_stream(iter_tables_jsonl(args.table), options):
+            record = result.to_dict(with_embeddings=args.embeddings)
+            out_handle.write(json.dumps(record) + "\n")
+            count += 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe: stop
+        # streaming quietly.  Redirect stdout to devnull so the interpreter's
+        # shutdown flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        if args.out:
+            out_handle.close()
+    if count == 0:
+        print("error: corpus contains no tables", file=sys.stderr)
+        return 1
+    stats = engine.stats
+    print(
+        f"annotated {count} tables in {stats.batches} batches "
+        f"({stats.encoder_passes} encoder passes, "
+        f"{stats.cache_hits} cache hits)"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr if not args.out else sys.stdout,
+    )
     return 0
 
 
@@ -207,17 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--verbose", action="store_true")
     train.set_defaults(func=_cmd_train)
 
-    annotate = sub.add_parser("annotate", help="annotate a CSV table")
+    annotate = sub.add_parser(
+        "annotate", help="annotate a CSV table or batch-serve a .jsonl corpus"
+    )
     annotate.add_argument("model", help="model bundle directory")
-    annotate.add_argument("table", help="CSV file to annotate")
+    annotate.add_argument("table", help="CSV table or .jsonl corpus to annotate")
     annotate.add_argument("--no-header", action="store_true",
                           help="the CSV has no header row")
     annotate.add_argument("--json", action="store_true",
                           help="emit JSON instead of a text table")
     annotate.add_argument("--max-columns", type=int, default=0,
                           help="split tables wider than this before annotating")
-    annotate.add_argument("--wide-strategy", default="contiguous",
+    annotate.add_argument("--wide-strategy", default=None,
                           choices=("contiguous", "similarity"))
+    annotate.add_argument("--batch-size", type=int, default=None,
+                          help="tables per forward pass (.jsonl mode, default 8)")
+    annotate.add_argument("--out", default=None,
+                          help="write .jsonl results here instead of stdout")
+    annotate.add_argument("--top-k", type=int, default=None,
+                          help="type scores kept per column (.jsonl mode, default 3)")
+    annotate.add_argument("--threshold", type=float, default=None,
+                          help="multi-label decision threshold (.jsonl mode)")
+    annotate.add_argument("--embeddings", action="store_true",
+                          help="include column embeddings in .jsonl records")
     annotate.set_defaults(func=_cmd_annotate)
 
     evaluate = sub.add_parser("evaluate", help="score a model on a .jsonl corpus")

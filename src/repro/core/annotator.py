@@ -7,7 +7,12 @@ The paper ships a toolbox usable "with just a few lines of Python code":
     >>> annotated = model.annotate(table)    # doctest: +SKIP
     >>> annotated.coltypes, annotated.colrels, annotated.colemb  # doctest: +SKIP
 
-This module provides that interface on top of :class:`DoduoTrainer`.
+This module provides that interface as a thin compatibility layer over the
+batched :class:`~repro.serving.AnnotationEngine`: every ``annotate*`` call
+runs **one** encoder forward pass per table (the legacy implementation ran
+up to four — types, scores, a relation probe, embeddings) and produces
+bitwise-identical outputs.  For cross-table batching, streaming, and
+per-request options, use the engine directly.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ class AnnotatedTable:
         Predicted type names per column (a list of names per column in
         multi-label mode, a single-element list otherwise).
     colrels:
-        Predicted relation names per annotated column pair.
+        Predicted relation names per probed column pair.
     colemb:
         Contextualized column embeddings ``(num_cols, d)``.
     type_scores:
@@ -41,6 +46,11 @@ class AnnotatedTable:
         sigmoid scores in multi-label mode, a softmax distribution otherwise.
         Lets callers threshold or rank predictions instead of trusting the
         argmax.
+    requested_pairs:
+        The column pairs the relation head actually probed (gold pairs when
+        the table carries relation annotations, else the subject-column
+        fallback ``(0, j)``), so callers can tell probed-but-unlabeled pairs
+        from annotated ones.
     """
 
     table: Table
@@ -48,9 +58,16 @@ class AnnotatedTable:
     colrels: Dict[Tuple[int, int], List[str]] = field(default_factory=dict)
     colemb: Optional[np.ndarray] = None
     type_scores: List[Dict[str, float]] = field(default_factory=list)
+    requested_pairs: List[Tuple[int, int]] = field(default_factory=list)
 
     def top_types(self, column: int, k: int = 3) -> List[Tuple[str, float]]:
         """The ``k`` highest-scoring type names for one column."""
+        if not 0 <= column < len(self.type_scores):
+            raise IndexError(
+                f"column {column} out of range: table "
+                f"{self.table.table_id!r} has scores for "
+                f"{len(self.type_scores)} columns"
+            )
         scores = self.type_scores[column]
         ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:k]
@@ -62,6 +79,7 @@ class Doduo:
     def __init__(self, trainer: DoduoTrainer) -> None:
         self._trainer = trainer
         self._dataset = trainer.dataset
+        self._engine = None
 
     @classmethod
     def train_on(
@@ -97,93 +115,38 @@ class Doduo:
     def trainer(self) -> DoduoTrainer:
         return self._trainer
 
+    @property
+    def engine(self):
+        """The :class:`~repro.serving.AnnotationEngine` backing this annotator.
+
+        Created lazily with default configuration; callers who need custom
+        batch sizes or cache limits should construct their own engine.
+        """
+        if self._engine is None:
+            from ..serving import AnnotationEngine  # deferred: serving imports core
+
+            self._engine = AnnotationEngine(self._trainer)
+        return self._engine
+
     def annotate(self, table: Table, with_embeddings: bool = True) -> AnnotatedTable:
-        """Predict column types, relations, and embeddings for ``table``."""
-        trainer = self._trainer
-        type_predictions = trainer.predict_types([table])[0]
-        coltypes: List[List[str]] = []
-        if trainer.config.multi_label:
-            for row in type_predictions:
-                names = [
-                    self._dataset.type_vocab[k] for k in np.flatnonzero(row)
-                ]
-                coltypes.append(names)
-        else:
-            coltypes = [
-                [self._dataset.type_vocab[int(k)]] for k in type_predictions
-            ]
+        """Predict column types, relations, and embeddings for ``table``.
 
-        # Raw per-type scores, so callers can threshold or rank.
-        if trainer.config.single_column:
-            encoded = [
-                trainer.serializer.serialize_column(table, c)
-                for c in range(table.num_columns)
-            ]
-        else:
-            encoded = [trainer.serializer.serialize_table(table)]
-        probs = trainer.model.predict_type_probs(
-            encoded, trainer.config.multi_label
-        )
-        type_scores = [
-            {
-                name: float(probs[c, k])
-                for k, name in enumerate(self._dataset.type_vocab)
-            }
-            for c in range(table.num_columns)
-        ]
-
-        colrels: Dict[Tuple[int, int], List[str]] = {}
-        has_rel_head = self._trainer.model.relation_head is not None
-        if has_rel_head and table.num_columns > 1:
-            pairs = sorted(table.relation_labels) or [
-                (0, j) for j in range(1, table.num_columns)
-            ]
-            probe = Table(
-                columns=table.columns,
-                table_id=table.table_id,
-                relation_labels={p: ["?"] for p in pairs},
-            )
-            rel_predictions = self._predict_relations_for(probe, pairs)
-            colrels = rel_predictions
-
-        embeddings = self._trainer.column_embeddings(table) if with_embeddings else None
-        return AnnotatedTable(
-            table=table, coltypes=coltypes, colrels=colrels, colemb=embeddings,
-            type_scores=type_scores,
-        )
-
-    def _predict_relations_for(
-        self, table: Table, pairs: Sequence[Tuple[int, int]]
-    ) -> Dict[Tuple[int, int], List[str]]:
-        trainer = self._trainer
-        if trainer.config.single_column:
-            encoded = [
-                trainer.serializer.serialize_column_pair(table, i, j) for i, j in pairs
-            ]
-            index_pairs = [(b, 0, 1) for b in range(len(pairs))]
-        else:
-            encoded = [trainer.serializer.serialize_table(table)]
-            index_pairs = [(0, i, j) for i, j in pairs]
-        probs = trainer.model.predict_relation_probs(
-            encoded, index_pairs, trainer.config.multi_label
-        )
-        result: Dict[Tuple[int, int], List[str]] = {}
-        for row, pair in enumerate(pairs):
-            if trainer.config.multi_label:
-                mask = probs[row] >= 0.5
-                if not mask.any():
-                    mask[probs[row].argmax()] = True
-                result[pair] = [
-                    self._dataset.relation_vocab[k] for k in np.flatnonzero(mask)
-                ]
-            else:
-                result[pair] = [self._dataset.relation_vocab[int(probs[row].argmax())]]
-        return result
+        Runs as a single-table engine batch, which is bitwise identical to
+        the historical multi-pass implementation while encoding the table
+        only once.
+        """
+        return self.engine.annotate(table, with_embeddings=with_embeddings).annotated
 
     def annotate_many(
         self, tables: Sequence[Table], with_embeddings: bool = True
     ) -> List[AnnotatedTable]:
-        """Annotate several tables (convenience wrapper over :meth:`annotate`)."""
+        """Annotate several tables, preserving per-table exactness.
+
+        Each table is its own engine batch so outputs stay bitwise identical
+        to :meth:`annotate`; for cross-table padded batching (faster, but
+        float-associativity perturbs scores at ~1e-7), use
+        ``self.engine.annotate_batch(tables)``.
+        """
         return [self.annotate(t, with_embeddings=with_embeddings) for t in tables]
 
     def annotate_dataframe(

@@ -8,6 +8,7 @@ the same encoder — the hard parameter sharing of the multi-task setup.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,6 +51,37 @@ class ColumnRelationHead(Module):
         return self.out(F.gelu(self.dense(pair_embeddings)))
 
 
+def activation_probs(logits: np.ndarray, multi_label: bool) -> np.ndarray:
+    """Turn raw logits into probabilities: sigmoid scores in multi-label
+    mode, a softmax distribution otherwise.
+
+    Shared by every inference entry point so that single-pass and legacy
+    multi-pass paths produce bitwise-identical probabilities from the same
+    logits.
+    """
+    if multi_label:
+        return 1.0 / (1.0 + np.exp(-logits))
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class FullForward:
+    """Everything one encoder pass yields for a batch of encoded inputs.
+
+    ``type_logits`` and ``embeddings`` are row-aligned with the flattened
+    column order (item 0 col 0, item 0 col 1, ..., item 1 col 0, ...);
+    ``relation_logits`` is row-aligned with the ``pairs`` argument of
+    :meth:`DoduoModel.forward_full`.
+    """
+
+    type_logits: Optional[np.ndarray]
+    relation_logits: Optional[np.ndarray]
+    embeddings: Optional[np.ndarray]
+    columns_per_item: Tuple[int, ...]
+
+
 class DoduoModel(Module):
     """Shared Transformer encoder with type and relation heads.
 
@@ -87,6 +119,10 @@ class DoduoModel(Module):
             self.relation_head = None
         self.use_visibility_matrix = use_visibility_matrix
         self.use_column_segments = use_column_segments
+        # Forward-pass odometer: every encode_batch call increments it, so
+        # serving code and tests can measure how many encoder passes an
+        # inference path really costs.
+        self.encode_calls = 0
 
     # -- encoding ----------------------------------------------------------------
     def encode_batch(self, encoded: Sequence[EncodedTable]) -> Tuple[Tensor, np.ndarray]:
@@ -101,6 +137,7 @@ class DoduoModel(Module):
         at mini scale the segment signal substitutes for that depth (see
         DESIGN.md).
         """
+        self.encode_calls += 1
         pad_id = 0  # PAD is always id 0 in our vocabulary
         token_ids, attention = pad_batch(encoded, pad_id)
         width = token_ids.shape[1]
@@ -180,16 +217,59 @@ class DoduoModel(Module):
         pair_embedding = concatenate([emb_i, emb_j], axis=-1)
         return self.relation_head(pair_embedding)
 
+    # -- single-pass inference ---------------------------------------------------
+    def forward_full(
+        self,
+        encoded: Sequence[EncodedTable],
+        pairs: Optional[Sequence[Tuple[int, int, int]]] = None,
+        with_types: bool = True,
+        with_embeddings: bool = True,
+    ) -> FullForward:
+        """Run the encoder **once** and derive every inference product.
+
+        The legacy ``predict_types`` → ``predict_type_probs`` → relation probe
+        → ``column_embeddings`` path re-encodes the same serialized tables up
+        to four times; this method reads type logits, relation logits for
+        ``pairs`` (``(batch_index, col_i, col_j)`` triples), and the ``[CLS]``
+        column embeddings from one set of hidden states.  Each product is
+        computed with exactly the same operations as its dedicated entry
+        point, so the outputs are bitwise identical to the multi-pass path
+        for the same batch composition.
+        """
+        hidden, locations = self.encode_batch(encoded)
+        column_embeddings = hidden[(locations[:, 0], locations[:, 1])]
+        type_logits = (
+            self.type_head(column_embeddings).data if with_types else None
+        )
+        relation_logits: Optional[np.ndarray] = None
+        if pairs:
+            if self.relation_head is None:
+                raise RuntimeError("model was built without a relation head")
+            rows, pos_i, pos_j = [], [], []
+            for batch_index, i, j in pairs:
+                cls = encoded[batch_index].cls_positions
+                rows.append(batch_index)
+                pos_i.append(cls[i])
+                pos_j.append(cls[j])
+            rows_arr = np.asarray(rows)
+            emb_i = hidden[(rows_arr, np.asarray(pos_i))]
+            emb_j = hidden[(rows_arr, np.asarray(pos_j))]
+            pair_embedding = concatenate([emb_i, emb_j], axis=-1)
+            relation_logits = self.relation_head(pair_embedding).data
+        return FullForward(
+            type_logits=type_logits,
+            relation_logits=relation_logits,
+            # Fancy indexing already allocated a fresh array; the per-table
+            # slices are copied by the consumer, so no copy is needed here.
+            embeddings=column_embeddings.data if with_embeddings else None,
+            columns_per_item=tuple(e.num_columns for e in encoded),
+        )
+
     # -- inference helpers ------------------------------------------------------
     def predict_type_probs(
         self, encoded: Sequence[EncodedTable], multi_label: bool
     ) -> np.ndarray:
-        logits = self.type_logits(encoded).data
-        if multi_label:
-            return 1.0 / (1.0 + np.exp(-logits))
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=-1, keepdims=True)
+        return activation_probs(self.type_logits(encoded).data, multi_label)
 
     def predict_relation_probs(
         self,
@@ -197,9 +277,4 @@ class DoduoModel(Module):
         pairs: Sequence[Tuple[int, int, int]],
         multi_label: bool,
     ) -> np.ndarray:
-        logits = self.relation_logits(encoded, pairs).data
-        if multi_label:
-            return 1.0 / (1.0 + np.exp(-logits))
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=-1, keepdims=True)
+        return activation_probs(self.relation_logits(encoded, pairs).data, multi_label)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,11 +34,42 @@ from ..evaluation.metrics import PRF, multiclass_micro_f1, multilabel_micro_prf
 from ..nn import Adam, LinearDecayScheduler, TransformerConfig
 from ..nn import functional as F
 from ..text import WordPieceTokenizer
-from .model import DoduoModel
+from .model import DoduoModel, activation_probs
 from .serialization import EncodedTable, SerializerConfig, TableSerializer
 
 TYPE_TASK = "type"
 RELATION_TASK = "relation"
+
+
+def default_relation_pairs(table: Table) -> List[Tuple[int, int]]:
+    """Column pairs the relation head probes when none are requested.
+
+    Annotated tables keep their gold pairs (sorted); unannotated tables fall
+    back to TURL's subject-column convention and probe ``(0, j)`` for every
+    non-subject column ``j``.  Single-column tables have nothing to probe.
+    """
+    if table.num_columns < 2:
+        return []
+    return sorted(table.relation_labels) or [
+        (0, j) for j in range(1, table.num_columns)
+    ]
+
+
+def validate_relation_pairs(
+    table: Table, pairs: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Check that every requested pair indexes real columns of ``table``."""
+    checked: List[Tuple[int, int]] = []
+    for pair in pairs:
+        i, j = pair
+        for index in (i, j):
+            if not 0 <= index < table.num_columns:
+                raise ValueError(
+                    f"relation pair {pair!r} is out of range for table "
+                    f"{table.table_id!r} with {table.num_columns} columns"
+                )
+        checked.append((int(i), int(j)))
+    return checked
 
 
 @dataclass
@@ -88,6 +119,27 @@ class _RelationExample:
     encoded: EncodedTable
     pairs: List[Tuple[int, int]]          # local column index pairs
     labels: np.ndarray                    # multi-hot (num_pairs, R) or int (num_pairs,)
+
+
+@dataclass
+class RawTableAnnotation:
+    """Model outputs for one table from a single-pass annotation batch.
+
+    ``type_probs`` is ``(num_cols, num_types)``; ``relation_probs`` maps each
+    probed column pair to its ``(num_relations,)`` probability vector;
+    ``embeddings`` is ``(num_cols, hidden_dim)`` or ``None`` when not
+    requested.
+    """
+
+    type_probs: np.ndarray
+    relation_probs: Dict[Tuple[int, int], np.ndarray]
+    probed_pairs: List[Tuple[int, int]]
+    embeddings: Optional[np.ndarray] = None
+
+
+# Table-wise mode serializes a table to one sequence; single-column mode to
+# one sequence per column.
+EncodedAnnotationInput = Union[EncodedTable, List[EncodedTable]]
 
 
 @dataclass
@@ -390,6 +442,159 @@ class DoduoTrainer:
                 else:
                     table_result[pair] = np.asarray(probs[row].argmax())
             results.append(table_result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Single-pass batched annotation (the serving path)
+    # ------------------------------------------------------------------
+    def encode_for_annotation(self, table: Table) -> EncodedAnnotationInput:
+        """Serialize ``table`` the way :meth:`annotate_batch` consumes it."""
+        if self.config.single_column:
+            return [
+                self.serializer.serialize_column(table, c)
+                for c in range(table.num_columns)
+            ]
+        return self.serializer.serialize_table(table)
+
+    def annotate_batch(
+        self,
+        tables: Sequence[Table],
+        encoded: Optional[Sequence[EncodedAnnotationInput]] = None,
+        pair_requests: Optional[Sequence[Optional[Sequence[Tuple[int, int]]]]] = None,
+        with_embeddings: bool = True,
+        with_relations: bool = True,
+    ) -> List[RawTableAnnotation]:
+        """Annotate a batch of tables with one encoder pass.
+
+        Types, per-type probabilities, relation probabilities, and column
+        embeddings are all derived from a single padded forward pass over the
+        whole batch (:meth:`DoduoModel.forward_full`) — the legacy
+        ``predict_*`` entry points re-encode the same tables once per
+        product.  Single-column mode needs a second pass for column-pair
+        sequences (they are serialized differently from single columns), but
+        both passes remain batched across all tables.
+
+        ``encoded`` lets callers (the serving engine's LRU cache) supply
+        pre-serialized inputs; ``pair_requests`` overrides the probed column
+        pairs per table (``None`` entries fall back to
+        :func:`default_relation_pairs`).
+        """
+        if encoded is not None and len(encoded) != len(tables):
+            raise ValueError(
+                f"encoded has {len(encoded)} entries for {len(tables)} tables"
+            )
+        if pair_requests is not None and len(pair_requests) != len(tables):
+            raise ValueError(
+                f"pair_requests has {len(pair_requests)} entries "
+                f"for {len(tables)} tables"
+            )
+        if not tables:
+            return []
+        self.model.eval()
+        if encoded is None:
+            encoded = [self.encode_for_annotation(t) for t in tables]
+        can_relate = with_relations and self.model.relation_head is not None
+        pairs_per_table: List[List[Tuple[int, int]]] = []
+        for index, table in enumerate(tables):
+            requested = pair_requests[index] if pair_requests else None
+            if not can_relate:
+                if with_relations and requested:
+                    # An explicit relation question on a model that cannot
+                    # answer it must fail loudly, not return an empty dict.
+                    raise RuntimeError(
+                        f"relation pairs {list(requested)!r} were requested for "
+                        f"table {table.table_id!r} but the model was built "
+                        "without a relation head"
+                    )
+                pairs_per_table.append([])
+            elif requested is None:
+                pairs_per_table.append(default_relation_pairs(table))
+            else:
+                pairs_per_table.append(validate_relation_pairs(table, requested))
+        if self.config.single_column:
+            return self._annotate_batch_single_column(
+                tables, encoded, pairs_per_table, with_embeddings
+            )
+        flat_pairs = [
+            (b, i, j)
+            for b, pairs in enumerate(pairs_per_table)
+            for (i, j) in pairs
+        ]
+        out = self.model.forward_full(
+            list(encoded), pairs=flat_pairs or None, with_embeddings=with_embeddings
+        )
+        type_probs = activation_probs(out.type_logits, self.config.multi_label)
+        relation_probs = (
+            activation_probs(out.relation_logits, self.config.multi_label)
+            if out.relation_logits is not None
+            else None
+        )
+        return self._assemble_annotations(
+            tables, pairs_per_table, type_probs, relation_probs, out.embeddings
+        )
+
+    def _annotate_batch_single_column(
+        self,
+        tables: Sequence[Table],
+        encoded: Sequence[EncodedAnnotationInput],
+        pairs_per_table: Sequence[List[Tuple[int, int]]],
+        with_embeddings: bool,
+    ) -> List[RawTableAnnotation]:
+        """Single-column mode: one pass over columns, one over column pairs."""
+        flat_columns: List[EncodedTable] = []
+        for item in encoded:
+            flat_columns.extend(item)
+        out = self.model.forward_full(flat_columns, with_embeddings=with_embeddings)
+        type_probs = activation_probs(out.type_logits, self.config.multi_label)
+        pair_encoded: List[EncodedTable] = []
+        for table, pairs in zip(tables, pairs_per_table):
+            for i, j in pairs:
+                pair_encoded.append(self.serializer.serialize_column_pair(table, i, j))
+        relation_probs = None
+        if pair_encoded:
+            pair_out = self.model.forward_full(
+                pair_encoded,
+                pairs=[(k, 0, 1) for k in range(len(pair_encoded))],
+                with_types=False,
+                with_embeddings=False,
+            )
+            relation_probs = activation_probs(
+                pair_out.relation_logits, self.config.multi_label
+            )
+        return self._assemble_annotations(
+            tables, pairs_per_table, type_probs, relation_probs, out.embeddings
+        )
+
+    @staticmethod
+    def _assemble_annotations(
+        tables: Sequence[Table],
+        pairs_per_table: Sequence[List[Tuple[int, int]]],
+        type_probs: np.ndarray,
+        relation_probs: Optional[np.ndarray],
+        embeddings: Optional[np.ndarray],
+    ) -> List[RawTableAnnotation]:
+        """Split flat batch outputs back into per-table annotations."""
+        results: List[RawTableAnnotation] = []
+        col_offset = pair_offset = 0
+        for table, pairs in zip(tables, pairs_per_table):
+            num_cols = table.num_columns
+            table_relations: Dict[Tuple[int, int], np.ndarray] = {}
+            for pair in pairs:
+                table_relations[pair] = relation_probs[pair_offset]
+                pair_offset += 1
+            results.append(
+                RawTableAnnotation(
+                    type_probs=type_probs[col_offset:col_offset + num_cols],
+                    relation_probs=table_relations,
+                    probed_pairs=list(pairs),
+                    embeddings=(
+                        embeddings[col_offset:col_offset + num_cols].copy()
+                        if embeddings is not None
+                        else None
+                    ),
+                )
+            )
+            col_offset += num_cols
         return results
 
     def evaluate(self, dataset: TableDataset) -> Dict[str, PRF]:

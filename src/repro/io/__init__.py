@@ -19,6 +19,7 @@ from .csvio import (
     write_table_csv,
 )
 from .jsonlio import (
+    iter_tables_jsonl,
     load_dataset_jsonl,
     load_table_json,
     save_dataset_jsonl,
@@ -27,6 +28,7 @@ from .jsonlio import (
 )
 
 __all__ = [
+    "iter_tables_jsonl",
     "load_dataset_jsonl",
     "load_table_json",
     "read_table_csv",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterator, List, Union
 
 from ..datasets.tables import Column, Table, TableDataset
 
@@ -95,6 +95,37 @@ def save_dataset_jsonl(dataset: TableDataset, path: PathLike) -> None:
             handle.write(json.dumps(table_to_dict(table)) + "\n")
 
 
+def _validate_header(header: Dict, path: Path) -> None:
+    if header.get("kind") != "dataset":
+        raise ValueError(f"{path}: first line must be a dataset header")
+    version = header.get("version", 0)
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+
+
+def iter_tables_jsonl(path: PathLike) -> Iterator[Table]:
+    """Lazily yield the tables of a dataset ``.jsonl``, one line at a time.
+
+    The streaming counterpart of :func:`load_dataset_jsonl` for corpora that
+    should not be materialized in memory (the ``repro annotate`` serving
+    mode): the header line is validated, then each table line is parsed and
+    yielded as it is read.  The dataset-level vocabularies are skipped —
+    use :func:`load_dataset_jsonl` when you need them.
+    """
+    path = Path(path)
+    with open(path, encoding="utf-8") as handle:
+        header_line = next((line for line in handle if line.strip()), None)
+        if header_line is None:
+            raise ValueError(f"{path} is empty")
+        _validate_header(json.loads(header_line), path)
+        for line in handle:
+            if line.strip():
+                yield table_from_dict(json.loads(line))
+
+
 def load_dataset_jsonl(path: PathLike) -> TableDataset:
     """Load a dataset written by :func:`save_dataset_jsonl`.
 
@@ -110,14 +141,7 @@ def load_dataset_jsonl(path: PathLike) -> TableDataset:
     if not lines:
         raise ValueError(f"{path} is empty")
     header = json.loads(lines[0])
-    if header.get("kind") != "dataset":
-        raise ValueError(f"{path}: first line must be a dataset header")
-    version = header.get("version", 0)
-    if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"{path}: unsupported format version {version} "
-            f"(this build reads version {_FORMAT_VERSION})"
-        )
+    _validate_header(header, path)
     tables: List[Table] = [json.loads(line) for line in lines[1:]]
     return TableDataset(
         tables=[table_from_dict(t) for t in tables],

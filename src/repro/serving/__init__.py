@@ -1,0 +1,34 @@
+"""Serving front-end: batched single-pass annotation over trained models.
+
+The triad:
+
+* :class:`AnnotationRequest` — one table + per-request options,
+* :class:`AnnotationEngine` — length-bucketed batching, an LRU serialization
+  cache, one padded encoder forward pass per batch,
+* :class:`AnnotationResult` — the toolbox-compatible payload plus serving
+  metadata.
+
+Quickstart::
+
+    from repro.serving import AnnotationEngine, EngineConfig
+
+    engine = AnnotationEngine(model, EngineConfig(batch_size=16))
+    results = engine.annotate_batch(tables)            # one pass per chunk
+    for result in engine.annotate_stream(table_iter):  # unbounded workloads
+        print(result.coltypes)
+"""
+
+from .cache import LRUCache, table_fingerprint
+from .engine import AnnotationEngine, EngineConfig, EngineStats
+from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
+
+__all__ = [
+    "AnnotationEngine",
+    "AnnotationOptions",
+    "AnnotationRequest",
+    "AnnotationResult",
+    "EngineConfig",
+    "EngineStats",
+    "LRUCache",
+    "table_fingerprint",
+]

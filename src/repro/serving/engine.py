@@ -1,0 +1,346 @@
+"""The batched annotation engine (serving front-end).
+
+:class:`AnnotationEngine` is the single-pass replacement for the legacy
+``predict_types`` → ``predict_type_probs`` → relation probe →
+``column_embeddings`` cascade: a whole batch of tables is serialized once
+(through an LRU cache), run through **one** padded encoder forward pass, and
+types, per-type score dictionaries, relation predictions, and column
+embeddings are all derived from that pass's hidden states.
+
+Batching policy: requests are length-bucketed (sorted by serialized length)
+before being chunked into forward batches, so a batch pads to its own bucket's
+maximum rather than the global one.  Results always come back in request
+order.
+
+Exactness: a single-request batch is bitwise identical to the legacy
+multi-pass path (the compatibility wrappers in
+:class:`~repro.core.annotator.Doduo` rely on this); multi-table batches pad
+sequences jointly, which perturbs float32 BLAS reductions at the ~1e-7
+level — equivalent predictions, not bitwise-equal scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.annotator import AnnotatedTable
+from ..core.trainer import DoduoTrainer, RawTableAnnotation
+from ..datasets.tables import Table
+from .cache import LRUCache, table_fingerprint
+from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
+
+RequestLike = Union[Table, AnnotationRequest]
+
+DEFAULT_DECISION_THRESHOLD = 0.5  # the paper's multi-label cutoff
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs.
+
+    ``batch_size`` caps tables per forward pass; ``cache_size`` is the LRU
+    serialization-cache capacity in tables (0 disables caching);
+    ``length_bucketing`` sorts requests by serialized length before chunking
+    so similar-length tables share a padded batch.
+    """
+
+    batch_size: int = 8
+    cache_size: int = 256
+    length_bucketing: bool = True
+    default_options: AnnotationOptions = field(default_factory=AnnotationOptions)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0: {self.cache_size}")
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    encoder_passes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class AnnotationEngine:
+    """Single-pass batched inference over a fine-tuned DODUO model."""
+
+    def __init__(
+        self,
+        trainer: DoduoTrainer,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        # Accept a Doduo annotator as well (duck-typed to avoid a circular
+        # import with repro.core.annotator).
+        if not isinstance(trainer, DoduoTrainer) and hasattr(trainer, "trainer"):
+            trainer = trainer.trainer
+        if not isinstance(trainer, DoduoTrainer):
+            raise TypeError(
+                f"expected a DoduoTrainer or Doduo annotator, got {type(trainer)!r}"
+            )
+        self.trainer = trainer
+        self.config = config or EngineConfig()
+        self._cache: LRUCache = LRUCache(self.config.cache_size)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def annotate(
+        self,
+        table: RequestLike,
+        with_embeddings: Optional[bool] = None,
+        with_relations: Optional[bool] = None,
+        top_k: Optional[int] = None,
+        score_threshold: Optional[float] = None,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> AnnotationResult:
+        """Annotate one table (a single-table batch).
+
+        Single-table batches reproduce the legacy multi-pass outputs
+        bitwise, so this is the strict-compatibility entry point; use
+        :meth:`annotate_batch`/:meth:`annotate_stream` for throughput.
+        """
+        request = self._as_request(table)
+        overrides = {}
+        if with_embeddings is not None:
+            overrides["with_embeddings"] = with_embeddings
+        if with_relations is not None:
+            overrides["with_relations"] = with_relations
+        if top_k is not None:
+            overrides["top_k"] = top_k
+        if score_threshold is not None:
+            overrides["score_threshold"] = score_threshold
+        if overrides or pairs is not None:
+            # Never mutate a caller-supplied request: overrides apply to a copy.
+            request = AnnotationRequest(
+                table=request.table,
+                options=replace(request.options, **overrides),
+                pairs=(
+                    tuple((int(i), int(j)) for i, j in pairs)
+                    if pairs is not None
+                    else request.pairs
+                ),
+            )
+        return self.annotate_batch([request])[0]
+
+    def annotate_batch(
+        self,
+        items: Sequence[RequestLike],
+        options: Optional[AnnotationOptions] = None,
+    ) -> List[AnnotationResult]:
+        """Annotate many tables, one padded forward pass per chunk.
+
+        ``options`` applies to plain :class:`Table` items; explicit
+        :class:`AnnotationRequest` items keep their own options.  Results are
+        returned in input order regardless of length bucketing.
+        """
+        requests = [self._as_request(item, options) for item in items]
+        if not requests:
+            return []
+        if not self.trainer.config.multi_label:
+            for request in requests:
+                if request.options.score_threshold is not None:
+                    raise ValueError(
+                        "score_threshold applies to multi-label models only; "
+                        "this model is single-label (argmax decision)"
+                    )
+        encoded: List[object] = []
+        cached_flags: List[bool] = []
+        for request in requests:
+            item, hit = self._encode_cached(request.table)
+            encoded.append(item)
+            cached_flags.append(hit)
+        order = list(range(len(requests)))
+        if self.config.length_bucketing and len(requests) > 1:
+            order.sort(key=lambda i: self._encoded_length(encoded[i]))
+        results: List[Optional[AnnotationResult]] = [None] * len(requests)
+        for start in range(0, len(order), self.config.batch_size):
+            chunk = order[start:start + self.config.batch_size]
+            self._run_chunk(chunk, requests, encoded, cached_flags, results)
+        self.stats.requests += len(requests)
+        return [result for result in results if result is not None]
+
+    def annotate_stream(
+        self,
+        tables: Iterable[RequestLike],
+        options: Optional[AnnotationOptions] = None,
+        batch_size: Optional[int] = None,
+    ) -> Iterator[AnnotationResult]:
+        """Lazily annotate an unbounded iterable of tables.
+
+        Pulls up to ``batch_size`` tables at a time (engine default when
+        omitted), annotates each chunk with one padded pass, and yields
+        results in input order — memory stays bounded by the chunk size, so
+        this works over generators and files that never fit in RAM.
+        """
+        size = self.config.batch_size if batch_size is None else batch_size
+        if size < 1:
+            raise ValueError(f"batch_size must be >= 1: {size}")
+        pending: List[RequestLike] = []
+        for item in tables:
+            pending.append(item)
+            if len(pending) >= size:
+                yield from self.annotate_batch(pending, options)
+                pending = []
+        if pending:
+            yield from self.annotate_batch(pending, options)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.stats.cache_hits = 0
+        self.stats.cache_misses = 0
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _as_request(
+        self, item: RequestLike, options: Optional[AnnotationOptions] = None
+    ) -> AnnotationRequest:
+        if isinstance(item, AnnotationRequest):
+            return item
+        if isinstance(item, Table):
+            return AnnotationRequest(
+                table=item, options=options or self.config.default_options
+            )
+        raise TypeError(f"expected a Table or AnnotationRequest, got {type(item)!r}")
+
+    def _encode_cached(self, table: Table) -> Tuple[object, bool]:
+        """Serialize ``table`` through the LRU cache; returns (encoded, hit).
+
+        With the cache disabled (``cache_size=0``) nothing is counted — there
+        is no cache to hit or miss.  The LRU owns the hit/miss counters; the
+        engine stats mirror them so the two can never drift.
+        """
+        if self.config.cache_size == 0:
+            return self.trainer.encode_for_annotation(table), False
+        key = table_fingerprint(table)
+        cached = self._cache.get(key)
+        hit = cached is not None
+        if not hit:
+            cached = self.trainer.encode_for_annotation(table)
+            self._cache.put(key, cached)
+        self.stats.cache_hits = self._cache.hits
+        self.stats.cache_misses = self._cache.misses
+        return cached, hit
+
+    @staticmethod
+    def _encoded_length(encoded: object) -> int:
+        """Padding-width driver of one encoded item (bucket sort key)."""
+        if isinstance(encoded, list):  # single-column mode: one seq per column
+            return max(e.length for e in encoded)
+        return encoded.length  # type: ignore[attr-defined]
+
+    def _run_chunk(
+        self,
+        chunk: Sequence[int],
+        requests: Sequence[AnnotationRequest],
+        encoded: Sequence[object],
+        cached_flags: Sequence[bool],
+        results: List[Optional[AnnotationResult]],
+    ) -> None:
+        tables = [requests[i].table for i in chunk]
+        pair_requests: List[Optional[Sequence[Tuple[int, int]]]] = []
+        for i in chunk:
+            request = requests[i]
+            if not request.options.with_relations:
+                pair_requests.append(())  # probe nothing
+            else:
+                pair_requests.append(request.pairs)
+        any_embeddings = any(requests[i].options.with_embeddings for i in chunk)
+        model = self.trainer.model
+        passes_before = model.encode_calls
+        batch_index = self.stats.batches
+        raw = self.trainer.annotate_batch(
+            tables,
+            encoded=[encoded[i] for i in chunk],
+            pair_requests=pair_requests,
+            with_embeddings=any_embeddings,
+        )
+        self.stats.batches += 1
+        self.stats.encoder_passes += model.encode_calls - passes_before
+        for i, raw_item in zip(chunk, raw):
+            results[i] = self._build_result(
+                requests[i], raw_item, cached_flags[i], batch_index
+            )
+
+    def _build_result(
+        self,
+        request: AnnotationRequest,
+        raw: RawTableAnnotation,
+        from_cache: bool,
+        batch_index: int,
+    ) -> AnnotationResult:
+        options = request.options
+        dataset = self.trainer.dataset
+        multi_label = self.trainer.config.multi_label
+        threshold = (
+            options.score_threshold
+            if options.score_threshold is not None
+            else DEFAULT_DECISION_THRESHOLD
+        )
+        coltypes: List[List[str]] = []
+        if multi_label:
+            # The trainer owns the multi-label decision rule
+            # (threshold-or-argmax); reusing it keeps the legacy-parity
+            # guarantee in one place.
+            mask = self.trainer._predict_multilabel(raw.type_probs, threshold)
+            for row in mask:
+                coltypes.append([dataset.type_vocab[k] for k in np.flatnonzero(row)])
+        else:
+            coltypes = [
+                [dataset.type_vocab[int(row.argmax())]] for row in raw.type_probs
+            ]
+        type_scores = [
+            self._score_dict(raw.type_probs[c], dataset.type_vocab, options.top_k)
+            for c in range(len(raw.type_probs))
+        ]
+        colrels: Dict[Tuple[int, int], List[str]] = {}
+        for pair, probs in raw.relation_probs.items():
+            if multi_label:
+                rel_mask = self.trainer._predict_multilabel(probs[None], threshold)[0]
+                colrels[pair] = [
+                    dataset.relation_vocab[k] for k in np.flatnonzero(rel_mask)
+                ]
+            else:
+                colrels[pair] = [dataset.relation_vocab[int(probs.argmax())]]
+        embeddings = raw.embeddings if options.with_embeddings else None
+        annotated = AnnotatedTable(
+            table=request.table,
+            coltypes=coltypes,
+            colrels=colrels,
+            colemb=embeddings,
+            type_scores=type_scores,
+            requested_pairs=list(raw.probed_pairs),
+        )
+        return AnnotationResult(
+            request=request,
+            annotated=annotated,
+            from_cache=from_cache,
+            batch_index=batch_index,
+        )
+
+    @staticmethod
+    def _score_dict(
+        probs: np.ndarray, vocab: Sequence[str], top_k: Optional[int]
+    ) -> Dict[str, float]:
+        if top_k is None:
+            # Full distribution in vocabulary order — the legacy layout.
+            return {name: float(probs[k]) for k, name in enumerate(vocab)}
+        ranked = sorted(
+            ((name, float(probs[k])) for k, name in enumerate(vocab)),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return dict(ranked[:top_k])

@@ -1,0 +1,136 @@
+"""Request/response types of the annotation serving API.
+
+An :class:`AnnotationRequest` pairs one table with per-request options the
+legacy ``Doduo.annotate`` signature could not express (score thresholds,
+top-k score truncation, explicit relation pairs); an
+:class:`AnnotationResult` wraps the :class:`~repro.core.annotator.AnnotatedTable`
+produced for it plus serving metadata (cache hit, batch id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.annotator import AnnotatedTable
+from ..datasets.tables import Table
+
+
+@dataclass(frozen=True)
+class AnnotationOptions:
+    """Per-request knobs.
+
+    ``with_embeddings``/``with_relations`` switch whole products off;
+    ``score_threshold`` overrides the multi-label decision threshold
+    (default 0.5 — the paper's protocol); ``top_k`` truncates each column's
+    ``type_scores`` dictionary to its ``k`` best entries so results stay
+    small on wide label vocabularies.
+    """
+
+    with_embeddings: bool = True
+    with_relations: bool = True
+    top_k: Optional[int] = None
+    score_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1: {self.top_k}")
+        if self.score_threshold is not None and not 0.0 <= self.score_threshold <= 1.0:
+            raise ValueError(
+                f"score_threshold must be in [0, 1]: {self.score_threshold}"
+            )
+
+
+@dataclass
+class AnnotationRequest:
+    """One table to annotate, plus options and optional explicit pairs.
+
+    ``pairs`` fixes which column pairs the relation head probes; ``None``
+    falls back to the default policy (gold pairs when the table carries
+    relation labels, else subject-column pairs ``(0, j)``).
+    """
+
+    table: Table
+    options: AnnotationOptions = field(default_factory=AnnotationOptions)
+    pairs: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.table.num_columns == 0:
+            raise ValueError(
+                f"table {self.table.table_id!r} has no columns to annotate"
+            )
+        if self.pairs is not None:
+            self.pairs = tuple((int(i), int(j)) for i, j in self.pairs)
+
+
+@dataclass
+class AnnotationResult:
+    """The engine's answer for one request.
+
+    ``annotated`` carries the toolbox-compatible payload (types, scores,
+    relations, embeddings, probed pairs); ``from_cache`` records whether the
+    table's serialization was an LRU hit; ``batch_index`` says which forward
+    batch produced it.
+    """
+
+    request: AnnotationRequest
+    annotated: AnnotatedTable
+    from_cache: bool = False
+    batch_index: int = -1
+
+    # -- convenience passthroughs -------------------------------------------
+    @property
+    def table(self) -> Table:
+        return self.annotated.table
+
+    @property
+    def coltypes(self) -> List[List[str]]:
+        return self.annotated.coltypes
+
+    @property
+    def colrels(self) -> Dict[Tuple[int, int], List[str]]:
+        return self.annotated.colrels
+
+    @property
+    def colemb(self):
+        return self.annotated.colemb
+
+    @property
+    def type_scores(self) -> List[Dict[str, float]]:
+        return self.annotated.type_scores
+
+    def top_types(self, column: int, k: int = 3) -> List[Tuple[str, float]]:
+        return self.annotated.top_types(column, k=k)
+
+    def to_dict(self, with_scores: bool = True, with_embeddings: bool = False) -> Dict:
+        """JSON-serializable summary (the ``repro annotate`` JSONL record)."""
+        payload: Dict = {
+            "table_id": self.table.table_id,
+            "columns": [
+                {
+                    "header": col.header,
+                    "predicted_types": self.coltypes[c],
+                }
+                for c, col in enumerate(self.table.columns)
+            ],
+            "relations": [
+                {"columns": list(pair), "predicted_relations": labels}
+                for pair, labels in sorted(self.colrels.items())
+            ],
+        }
+        if with_scores:
+            for c, column_payload in enumerate(payload["columns"]):
+                ranked = sorted(
+                    self.type_scores[c].items(), key=lambda item: (-item[1], item[0])
+                )
+                column_payload["type_scores"] = {
+                    name: round(float(score), 6) for name, score in ranked
+                }
+        if self.colemb is not None:
+            payload["embedding_dim"] = int(self.colemb.shape[1])
+            if with_embeddings:
+                for c, column_payload in enumerate(payload["columns"]):
+                    column_payload["embedding"] = [
+                        round(float(v), 6) for v in self.colemb[c]
+                    ]
+        return payload

@@ -104,6 +104,89 @@ class TestTrainAnnotateEvaluate:
         assert "type vocabulary" in out
 
 
+@pytest.mark.smoke
+class TestAnnotateJsonlBatch:
+    """The serving mode: `repro annotate model corpus.jsonl --batch-size N`."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, shared_tiny_annotator, tmp_path_factory):
+        from repro.datasets import TableDataset
+
+        dataset = shared_tiny_annotator.trainer.dataset
+        subset = TableDataset(
+            tables=dataset.tables[:6],
+            type_vocab=list(dataset.type_vocab),
+            relation_vocab=list(dataset.relation_vocab),
+            name="serve-me",
+        )
+        path = tmp_path_factory.mktemp("serve") / "corpus.jsonl"
+        save_dataset_jsonl(subset, path)
+        return path
+
+    def test_batch_annotate_to_file(self, bundle_dir, corpus, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        code = main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--batch-size", "4", "--out", str(out),
+        ])
+        assert code == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == 6
+        for record in records:
+            assert record["columns"]
+            assert all(c["predicted_types"] for c in record["columns"])
+            # default --top-k is 3
+            assert all(len(c["type_scores"]) <= 3 for c in record["columns"])
+        assert "annotated 6 tables" in capsys.readouterr().out
+
+    def test_batch_annotate_to_stdout(self, bundle_dir, corpus, capsys):
+        assert main(["annotate", str(bundle_dir), str(corpus)]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 6
+        assert "annotated 6 tables" in captured.err
+
+    def test_batch_annotate_with_embeddings(self, bundle_dir, corpus, tmp_path):
+        out = tmp_path / "emb.jsonl"
+        code = main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--embeddings", "--out", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text().splitlines()[0])
+        assert record["embedding_dim"] > 0
+        assert len(record["columns"][0]["embedding"]) == record["embedding_dim"]
+
+    def test_empty_corpus_errors(self, bundle_dir, tmp_path, capsys):
+        from repro.datasets import TableDataset
+
+        empty = tmp_path / "empty.jsonl"
+        save_dataset_jsonl(TableDataset(tables=[], type_vocab=["t"]), empty)
+        assert main(["annotate", str(bundle_dir), str(empty)]) == 1
+        assert "no tables" in capsys.readouterr().err
+
+    def test_csv_only_flags_rejected(self, bundle_dir, corpus, capsys):
+        code = main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--max-columns", "2", "--json",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--json" in err and "--max-columns" in err
+        assert "CSV input" in err
+
+    def test_jsonl_only_flags_rejected_for_csv(self, bundle_dir, sample_csv,
+                                               tmp_path, capsys):
+        code = main([
+            "annotate", str(bundle_dir), str(sample_csv),
+            "--out", str(tmp_path / "r.jsonl"), "--embeddings",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--out" in err and "--embeddings" in err
+        assert ".jsonl serving mode" in err
+
+
 class TestAnnotateWideAndErrors:
     def test_wide_annotation_path(self, bundle_dir, sample_csv, capsys):
         code = main([
