@@ -7,12 +7,21 @@ a few lines of Python code"):
     2. fine-tune DODUO on a WikiTable-style training set,
     3. annotate an unseen table: column types, column relations, embeddings,
     4. serve a whole workload through the batched AnnotationEngine — one
-       padded encoder pass per batch instead of four passes per table.
+       padded encoder pass per batch instead of four passes per table,
+    5. push duplicate-heavy traffic through the async AnnotationService,
+       whose queue worker dedups content-identical requests.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AnnotationEngine, Doduo, DoduoConfig, EngineConfig
+from repro import (
+    AnnotationEngine,
+    AnnotationService,
+    Doduo,
+    DoduoConfig,
+    EngineConfig,
+    QueueConfig,
+)
 from repro.core import PipelineConfig, build_knowledge_base, build_pretrained_lm
 from repro.datasets import Column, Table, generate_wikitable_dataset, split_dataset
 
@@ -71,6 +80,17 @@ def main() -> None:
     first = results[0]
     print(f"  first table {first.table.table_id!r}: "
           f"top types {first.top_types(0, k=2)}")
+
+    # 5. Heavy concurrent traffic: the async queue front-end dedups
+    #    content-identical requests onto one forward pass and fans the same
+    #    result out to every waiter (see docs/serving.md for the tiers).
+    with AnnotationService(engine, QueueConfig(max_latency=0.05)) as service:
+        popular = splits.test.tables[0]
+        futures = [service.submit(popular) for _ in range(10)]
+        answers = [future.result() for future in futures]
+    print(f"\nservice: {len(answers)} waiters, "
+          f"{service.stats.dedup_hits} dedup hits, "
+          f"{service.stats.unique_annotated} annotation(s) computed")
 
     scores = model.trainer.evaluate(splits.test)
     print("\nheld-out micro-F1:",

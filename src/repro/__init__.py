@@ -21,8 +21,10 @@ full system on a pure-numpy substrate:
 * :mod:`repro.evaluation` — micro/macro F1, multi-label PRF, V-measure,
   classification reports, k-fold cross-validation, ASCII figure rendering
 * :mod:`repro.io` — CSV tables and JSONL dataset round-trips
-* :mod:`repro.serving` — the batched ``AnnotationEngine``: single-pass
-  inference, length-bucketed batching, LRU serialization cache, streaming
+* :mod:`repro.serving` — the serving stack: the batched ``AnnotationEngine``
+  (single-pass inference, length-bucketed batching, LRU serialization
+  cache, streaming), the async dedup-aware ``AnnotationService`` request
+  queue, and the persistent ``DiskCache`` result tier
 * :mod:`repro.cli` — the ``repro`` command-line toolbox
 
 Quickstart::
@@ -75,10 +77,13 @@ from .serving import (
     AnnotationOptions,
     AnnotationRequest,
     AnnotationResult,
+    AnnotationService,
+    DiskCache,
     EngineConfig,
+    QueueConfig,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnnotatedTable",
@@ -86,8 +91,11 @@ __all__ = [
     "AnnotationOptions",
     "AnnotationRequest",
     "AnnotationResult",
+    "AnnotationService",
     "Column",
+    "DiskCache",
     "EngineConfig",
+    "QueueConfig",
     "Doduo",
     "DoduoConfig",
     "DoduoModel",

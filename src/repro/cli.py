@@ -7,12 +7,21 @@ lines of Python code"; this module is the zero-lines-of-Python counterpart::
     repro train corpus.jsonl --out model/ --epochs 10
     repro annotate model/ table.csv
     repro annotate model/ corpus.jsonl --batch-size 16 --out results.jsonl
+    repro serve model/ corpus.jsonl --cache-dir anno-cache/
     repro evaluate model/ corpus.jsonl
 
 ``annotate`` has two modes: a CSV table is annotated one-off and printed; a
 ``.jsonl`` corpus is streamed through the batched
 :class:`~repro.serving.AnnotationEngine` (one padded encoder pass per batch)
 and emitted as one JSON record per table — the serving entry point.
+``--cache-dir`` adds the persistent result-cache tier, so re-annotating the
+same corpus later performs zero encoder passes.
+
+``serve`` is the queue-mode front-end: tables flow through an
+:class:`~repro.serving.AnnotationService` (bounded queue, batching worker,
+cross-request dedup), either from a ``.jsonl`` corpus or — with ``-`` — as a
+long-running loop reading one table record per stdin line and answering on
+stdout as each arrives.
 
 All subcommands are pure functions of their arguments (deterministic under
 ``--seed``), and :func:`main` takes an ``argv`` list so the tests can drive
@@ -43,6 +52,7 @@ from .io import (
     load_dataset_jsonl,
     read_table_csv,
     save_dataset_jsonl,
+    table_from_dict,
 )
 from .nn import TransformerConfig
 from .text import train_wordpiece
@@ -140,6 +150,7 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             ("--top-k", args.top_k is not None),
             ("--threshold", args.threshold is not None),
             ("--embeddings", args.embeddings),
+            ("--cache-dir", args.cache_dir is not None),
         )
         if used
     ]
@@ -201,7 +212,10 @@ def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
 
     engine = AnnotationEngine(
         annotator.trainer,
-        EngineConfig(batch_size=8 if args.batch_size is None else args.batch_size),
+        EngineConfig(
+            batch_size=8 if args.batch_size is None else args.batch_size,
+            cache_dir=args.cache_dir,
+        ),
     )
     options = AnnotationOptions(
         with_embeddings=args.embeddings,
@@ -229,10 +243,98 @@ def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
         print("error: corpus contains no tables", file=sys.stderr)
         return 1
     stats = engine.stats
+    disk = (
+        f", {stats.disk_hits} disk hits" if args.cache_dir is not None else ""
+    )
     print(
         f"annotated {count} tables in {stats.batches} batches "
         f"({stats.encoder_passes} encoder passes, "
-        f"{stats.cache_hits} cache hits)"
+        f"{stats.cache_hits} cache hits{disk})"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr if not args.out else sys.stdout,
+    )
+    return 0
+
+
+def _iter_stdin_tables():
+    """Yield tables from stdin, one JSON table record per line (loop mode).
+
+    Dataset-header records are skipped so a whole corpus file can be piped
+    in unchanged; blank lines are ignored so interactive sessions can
+    breathe.
+    """
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if payload.get("kind") == "dataset":
+            continue
+        yield table_from_dict(payload)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Queue-mode serving: bounded queue + batching worker + dedup."""
+    from .serving import (
+        AnnotationEngine,
+        AnnotationOptions,
+        AnnotationService,
+        EngineConfig,
+        QueueConfig,
+    )
+
+    annotator = load_annotator(args.model)
+    batch_size = 8 if args.batch_size is None else args.batch_size
+    engine = AnnotationEngine(
+        annotator.trainer,
+        EngineConfig(batch_size=batch_size, cache_dir=args.cache_dir),
+    )
+    service = AnnotationService(
+        engine,
+        QueueConfig(
+            max_batch=batch_size,
+            max_latency=args.max_latency_ms / 1000.0,
+            exact=not args.no_exact,
+        ),
+    )
+    options = AnnotationOptions(
+        with_embeddings=args.embeddings,
+        top_k=3 if args.top_k is None else args.top_k,
+        score_threshold=args.threshold,
+    )
+    loop_mode = args.corpus == "-"
+    tables = _iter_stdin_tables() if loop_mode else iter_tables_jsonl(args.corpus)
+    out_handle = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    count = 0
+    try:
+        with service:
+            # Loop mode answers each record as it arrives (window=1 —
+            # stdin is serial anyway); corpus mode keeps a batch-sized
+            # window in flight so the worker can dedup and batch.
+            stream = service.annotate_stream(
+                tables, options, window=1 if loop_mode else None
+            )
+            for result in stream:
+                record = result.to_dict(with_embeddings=args.embeddings)
+                out_handle.write(json.dumps(record) + "\n")
+                out_handle.flush()
+                count += 1
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        if args.out:
+            out_handle.close()
+    if count == 0:
+        print("error: no tables were served", file=sys.stderr)
+        return 1
+    stats = engine.stats
+    disk = f", {stats.disk_hits} disk hits" if args.cache_dir is not None else ""
+    print(
+        f"served {count} tables in {service.stats.batches} queue batches "
+        f"({service.stats.dedup_hits} dedup hits, "
+        f"{stats.encoder_passes} encoder passes{disk})"
         + (f" -> {args.out}" if args.out else ""),
         file=sys.stderr if not args.out else sys.stdout,
     )
@@ -327,7 +429,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="multi-label decision threshold (.jsonl mode)")
     annotate.add_argument("--embeddings", action="store_true",
                           help="include column embeddings in .jsonl records")
+    annotate.add_argument("--cache-dir", default=None,
+                          help="persistent result-cache directory (.jsonl mode)")
     annotate.set_defaults(func=_cmd_annotate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a corpus (or stdin with '-') through the request queue",
+    )
+    serve.add_argument("model", help="model bundle directory")
+    serve.add_argument("corpus",
+                       help=".jsonl corpus, or '-' to loop over stdin records")
+    serve.add_argument("--batch-size", type=int, default=None,
+                       help="max requests per queue drain (default 8); note "
+                            "the default exact mode runs one forward pass "
+                            "per unique table — combine with --no-exact for "
+                            "cross-table padded batching")
+    serve.add_argument("--max-latency-ms", type=float, default=10.0,
+                       help="how long a batch waits to fill before serving")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory")
+    serve.add_argument("--out", default=None,
+                       help="write .jsonl results here instead of stdout")
+    serve.add_argument("--top-k", type=int, default=None,
+                       help="type scores kept per column (default 3)")
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="multi-label decision threshold")
+    serve.add_argument("--embeddings", action="store_true",
+                       help="include column embeddings in records")
+    serve.add_argument("--no-exact", action="store_true",
+                       help="pad unique requests jointly for throughput "
+                            "(scores may drift ~1e-7 vs single-table passes)")
+    serve.set_defaults(func=_cmd_serve)
 
     evaluate = sub.add_parser("evaluate", help="score a model on a .jsonl corpus")
     evaluate.add_argument("model", help="model bundle directory")

@@ -8,6 +8,7 @@ the same encoder — the hard parameter sharing of the multi-task setup.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -123,6 +124,41 @@ class DoduoModel(Module):
         # serving code and tests can measure how many encoder passes an
         # inference path really costs.
         self.encode_calls = 0
+
+    # -- identity ----------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of this model: architecture + every weight.
+
+        Two models fingerprint identically iff they have the same
+        architecture flags and bitwise-equal parameters, independent of
+        object identity or load path (a freshly trained model and its
+        save/load round-trip share one fingerprint).  The persistent result
+        cache (:mod:`repro.serving.diskcache`) keys entries on this hash so
+        cached annotations are invalidated the moment any weight changes —
+        e.g. after further fine-tuning.
+
+        Hashing walks ``named_parameters`` in sorted-name order and digests
+        each parameter's name, shape, dtype, and raw bytes, so the cost is
+        one pass over the weights; callers that need it repeatedly should
+        cache the string (the serving engine does).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            repr(
+                (
+                    self.config,
+                    self.use_visibility_matrix,
+                    self.use_column_segments,
+                    self.numeric_embedding is not None,
+                    self.relation_head is not None,
+                )
+            ).encode("utf-8")
+        )
+        for name, param in sorted(self.named_parameters()):
+            digest.update(name.encode("utf-8"))
+            digest.update(repr((param.data.shape, str(param.data.dtype))).encode("utf-8"))
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        return digest.hexdigest()
 
     # -- encoding ----------------------------------------------------------------
     def encode_batch(self, encoded: Sequence[EncodedTable]) -> Tuple[Tensor, np.ndarray]:

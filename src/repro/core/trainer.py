@@ -24,6 +24,7 @@ and ``early_stopping_patience`` (stop when validation F1 plateaus).
 from __future__ import annotations
 
 import copy
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -447,6 +448,40 @@ class DoduoTrainer:
     # ------------------------------------------------------------------
     # Single-pass batched annotation (the serving path)
     # ------------------------------------------------------------------
+    def annotation_fingerprint(self) -> str:
+        """Stable hash of everything that determines an annotation output.
+
+        Combines :meth:`DoduoModel.fingerprint` (architecture + weights) with
+        the serialization recipe (token budget, value ordering, headers), the
+        tokenizer vocabulary, the decision regime (``multi_label``,
+        ``single_column``), and the label vocabularies.  Two trainers with
+        equal fingerprints produce bitwise-identical annotations for the same
+        request, so this is the model component of the persistent result
+        cache key (:mod:`repro.serving.diskcache`): changing any weight,
+        serializer knob, or vocabulary invalidates every cached entry.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.model.fingerprint().encode("utf-8"))
+        digest.update(repr(self.serializer.config).encode("utf-8"))
+        digest.update(
+            repr(
+                (
+                    self.config.multi_label,
+                    self.config.single_column,
+                    tuple(self.config.tasks),
+                )
+            ).encode("utf-8")
+        )
+        for word in self.tokenizer.vocab.tokens():
+            digest.update(b"\x1f")
+            digest.update(word.encode("utf-8"))
+        for vocab in (self.dataset.type_vocab, self.dataset.relation_vocab):
+            digest.update(b"\x1d")
+            for label in vocab:
+                digest.update(b"\x1f")
+                digest.update(label.encode("utf-8"))
+        return digest.hexdigest()
+
     def encode_for_annotation(self, table: Table) -> EncodedAnnotationInput:
         """Serialize ``table`` the way :meth:`annotate_batch` consumes it."""
         if self.config.single_column:

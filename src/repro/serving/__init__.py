@@ -1,25 +1,45 @@
 """Serving front-end: batched single-pass annotation over trained models.
 
-The triad:
+The stack, bottom-up:
 
-* :class:`AnnotationRequest` — one table + per-request options,
-* :class:`AnnotationEngine` — length-bucketed batching, an LRU serialization
-  cache, one padded encoder forward pass per batch,
-* :class:`AnnotationResult` — the toolbox-compatible payload plus serving
-  metadata.
+* :class:`AnnotationRequest` / :class:`AnnotationOptions` — one table plus
+  per-request knobs; :class:`AnnotationResult` wraps the toolbox-compatible
+  payload plus serving metadata.
+* :class:`AnnotationEngine` — length-bucketed batching, an in-memory LRU
+  serialization cache, one padded encoder forward pass per batch, and an
+  optional persistent result-cache tier (:class:`DiskCache`) so repeated
+  corpora never re-encode across process restarts.
+* :class:`AnnotationService` — an asynchronous bounded request queue whose
+  worker drains submissions into batches under a max-batch/max-latency
+  policy and dedups concurrent content-identical requests onto one forward
+  pass.
 
 Quickstart::
 
-    from repro.serving import AnnotationEngine, EngineConfig
+    from repro.serving import (
+        AnnotationEngine, AnnotationService, EngineConfig, QueueConfig,
+    )
 
-    engine = AnnotationEngine(model, EngineConfig(batch_size=16))
+    engine = AnnotationEngine(model, EngineConfig(batch_size=16,
+                                                  cache_dir="anno-cache/"))
     results = engine.annotate_batch(tables)            # one pass per chunk
     for result in engine.annotate_stream(table_iter):  # unbounded workloads
         print(result.coltypes)
+
+    with AnnotationService(engine, QueueConfig(max_latency=0.005)) as service:
+        futures = [service.submit(t) for t in tables]  # any thread, any time
+        answers = [f.result() for f in futures]
+
+Every tier preserves the engine's equivalence contract: dedup and caching
+change what a request *costs*, never what it *returns* (see
+:mod:`repro.serving.queue` and :mod:`repro.serving.diskcache` for the exact
+byte-identity guarantees).
 """
 
 from .cache import LRUCache, table_fingerprint
+from .diskcache import DiskCache, DiskCacheStats, result_cache_key
 from .engine import AnnotationEngine, EngineConfig, EngineStats
+from .queue import AnnotationService, QueueConfig, ServiceStats
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
 
 __all__ = [
@@ -27,8 +47,14 @@ __all__ = [
     "AnnotationOptions",
     "AnnotationRequest",
     "AnnotationResult",
+    "AnnotationService",
+    "DiskCache",
+    "DiskCacheStats",
     "EngineConfig",
     "EngineStats",
     "LRUCache",
+    "QueueConfig",
+    "ServiceStats",
+    "result_cache_key",
     "table_fingerprint",
 ]

@@ -1,0 +1,342 @@
+"""Persistent on-disk result cache for the annotation serving stack.
+
+The in-memory LRU in :mod:`repro.serving.cache` saves re-*serializing* a
+table within one process; this module saves re-*annotating* it across
+processes.  Finished annotation products (types, scores, relations,
+embeddings) are appended to JSONL segment files keyed by a composite hash of
+
+* the table's content fingerprint (:func:`~repro.serving.cache.table_fingerprint`),
+* the model's annotation fingerprint
+  (:meth:`~repro.core.trainer.DoduoTrainer.annotation_fingerprint` —
+  weights, serializer recipe, vocabularies), and
+* the request options (embeddings/relations switches, top-k, threshold,
+  explicit pairs).
+
+so a repeated corpus served after a process restart performs **zero**
+encoder passes, while any change to the model, its serialization recipe, or
+the request options misses cleanly and re-computes.
+
+Equivalence contract
+--------------------
+A cache hit reproduces the producing pass **byte-identically**: floats
+survive the JSON round trip exactly (``json`` emits shortest round-trip
+``repr`` strings, exact for float64 and for float64-widened float32), and
+embedding arrays record their dtype/shape so they are rebuilt bit-for-bit.
+What is stored is the output of whichever pass first answered the request —
+for single-table passes (``engine.annotate``, the queue's exact mode) that
+is also byte-identical to a fresh direct ``engine.annotate`` call.
+
+Durability
+----------
+Entries are immutable (a key is a content hash of everything that determines
+the value, so there is nothing to update) and appended with per-record
+flush.  On open, every ``segment-*.jsonl`` is scanned to rebuild the key →
+(segment, offset) index; lines that fail to parse — a torn write from a
+crash, manual truncation — are counted in ``stats.corrupt_records`` and
+skipped, never fatal.  Values stay on disk and are read back on demand, so
+resident memory is one index entry per cached table, not the payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.annotator import AnnotatedTable
+from .cache import table_fingerprint
+from .request import AnnotationRequest, AnnotationResult
+
+PathLike = Union[str, Path]
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def result_cache_key(model_fingerprint: str, request: AnnotationRequest) -> str:
+    """The composite disk-cache key for one annotation request.
+
+    Hashes the model fingerprint, the table's content fingerprint, and every
+    option that changes the annotation output.  Requests that differ in any
+    of those never share an entry (the invalidation guarantee); requests
+    that differ only in ``table_id``/metadata or object identity do (the
+    dedup guarantee).
+    """
+    options = request.options
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(model_fingerprint.encode("utf-8"))
+    digest.update(table_fingerprint(request.table).encode("utf-8"))
+    digest.update(
+        repr(
+            (
+                options.with_embeddings,
+                options.with_relations,
+                options.top_k,
+                options.score_threshold,
+                request.pairs,
+            )
+        ).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def encode_annotation(result: AnnotationResult) -> Dict:
+    """Serialize one result's annotation products to a JSON-safe dict.
+
+    Captures everything :func:`decode_annotation` needs to rebuild the
+    :class:`~repro.core.annotator.AnnotatedTable` byte-identically; serving
+    metadata (``from_cache``, ``batch_index``) is deliberately excluded —
+    it describes the producing pass, not the annotation.
+    """
+    annotated = result.annotated
+    payload: Dict = {
+        "coltypes": annotated.coltypes,
+        "type_scores": annotated.type_scores,
+        "colrels": [
+            [i, j, labels] for (i, j), labels in sorted(annotated.colrels.items())
+        ],
+        "requested_pairs": [list(pair) for pair in annotated.requested_pairs],
+        "colemb": None,
+    }
+    if annotated.colemb is not None:
+        emb = np.asarray(annotated.colemb)
+        payload["colemb"] = {
+            "dtype": str(emb.dtype),
+            "shape": list(emb.shape),
+            "data": emb.ravel().tolist(),
+        }
+    return payload
+
+
+def decode_annotation(request: AnnotationRequest, payload: Dict) -> AnnotatedTable:
+    """Rebuild the :class:`AnnotatedTable` stored by :func:`encode_annotation`.
+
+    The table object comes from ``request`` (only content-equal tables can
+    reach the same key, and the caller wants *their* table back, preserving
+    its ``table_id``/metadata).
+    """
+    colemb = None
+    if payload["colemb"] is not None:
+        emb = payload["colemb"]
+        colemb = np.asarray(emb["data"], dtype=emb["dtype"]).reshape(emb["shape"])
+    return AnnotatedTable(
+        table=request.table,
+        coltypes=[list(names) for names in payload["coltypes"]],
+        colrels={
+            (int(i), int(j)): list(labels) for i, j, labels in payload["colrels"]
+        },
+        colemb=colemb,
+        type_scores=[dict(scores) for scores in payload["type_scores"]],
+        requested_pairs=[(int(i), int(j)) for i, j in payload["requested_pairs"]],
+    )
+
+
+@dataclass
+class DiskCacheStats:
+    """Counters for one :class:`DiskCache` handle's lifetime.
+
+    ``corrupt_records`` counts unparseable lines skipped while scanning
+    existing segments at open — evidence of a torn write, not an error.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_records: int = 0
+
+
+class DiskCache:
+    """Append-only JSONL-segment store with an in-memory key index.
+
+    Layout: ``directory/segment-NNNNNN.jsonl``, one ``{"key": ...,
+    "payload": ...}`` object per line.  A new segment starts whenever the
+    current one reaches ``max_segment_records`` lines, so a long-lived
+    service produces bounded, individually-scannable files instead of one
+    unbounded log.  Keys are opaque strings (the engine uses
+    :func:`result_cache_key`); payloads are any JSON-serializable value.
+
+    Concurrency: one writing handle per directory is assumed (the serving
+    queue funnels all annotation through a single worker, which preserves
+    this).  Multiple read-only openers of a quiescent directory are safe.
+    """
+
+    def __init__(self, directory: PathLike, max_segment_records: int = 1024) -> None:
+        if max_segment_records < 1:
+            raise ValueError(
+                f"max_segment_records must be >= 1: {max_segment_records}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_segment_records = max_segment_records
+        self.stats = DiskCacheStats()
+        # key -> (segment path, byte offset of its record line)
+        self._index: Dict[str, Tuple[Path, int]] = {}
+        self._segment_records = 0
+        self._segment_index = -1
+        self._segment_path: Optional[Path] = None
+        self._tail_needs_newline = False
+        self._handle = None
+        self._scan_segments()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _segments(self) -> Iterator[Path]:
+        return iter(
+            sorted(self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+        )
+
+    def _scan_segments(self) -> None:
+        """Rebuild the index from disk, skipping corrupt lines."""
+        for path in self._segments():
+            try:
+                self._segment_index = max(
+                    self._segment_index,
+                    int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]),
+                )
+            except ValueError:
+                continue  # foreign file matching the glob; leave it alone
+            offset = 0
+            records = 0
+            line = b"\n"
+            with open(path, "rb") as handle:
+                for line in handle:
+                    records += 1
+                    try:
+                        record = json.loads(line.decode("utf-8"))
+                        key = record["key"]
+                        record["payload"]  # presence check
+                    except (ValueError, KeyError, TypeError):
+                        self.stats.corrupt_records += 1
+                    else:
+                        # Later segments win, though duplicates only arise
+                        # from two writers racing (unsupported but benign).
+                        self._index[str(key)] = (path, offset)
+                    offset += len(line)
+            self._segment_records = records
+            self._segment_path = path
+            # A crash can tear the final record mid-line with no trailing
+            # newline; appending straight after it would merge the next
+            # record into the torn bytes and lose it at the following scan.
+            self._tail_needs_newline = not line.endswith(b"\n")
+        if self._segment_index < 0:
+            self._segment_records = 0
+
+    # ------------------------------------------------------------------
+    # Read/write
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> Optional[Dict]:
+        """Return the payload stored for ``key``, or ``None`` (a miss).
+
+        Reads the record back from its segment on every call — the index
+        keeps only (path, offset) — so cached corpora far larger than RAM
+        stay serveable.
+        """
+        location = self._index.get(key)
+        if location is None:
+            self.stats.misses += 1
+            return None
+        path, offset = location
+        if self._handle is not None:
+            self._handle.flush()
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                record = json.loads(handle.readline().decode("utf-8"))
+        except (OSError, ValueError):
+            # The segment vanished or rotted after indexing: treat as a
+            # miss and drop the entry so the next put can re-fill it.
+            del self._index[key]
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record["payload"]
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Persist ``payload`` under ``key`` (first write wins).
+
+        Entries are immutable: the key hashes everything that determines
+        the payload, so a repeat put stores nothing and keeps the original
+        record authoritative.
+        """
+        if key in self._index:
+            return
+        self._ensure_segment()
+        line = (
+            json.dumps({"key": key, "payload": payload}, ensure_ascii=False) + "\n"
+        ).encode("utf-8")
+        offset = self._handle.tell()
+        self._handle.write(line)
+        self._handle.flush()
+        self._index[key] = (self._segment_path, offset)
+        self._segment_records += 1
+        self.stats.writes += 1
+
+    def _ensure_segment(self) -> None:
+        """Make ``_handle`` point at a segment with room for one record."""
+        if self._handle is None and (
+            self._segment_index >= 0
+            and self._segment_records < self.max_segment_records
+        ):
+            # Re-opening a directory whose newest segment still has room:
+            # continue it instead of starting a new file.
+            self._handle = open(self._segment_path, "ab")
+            self._handle.seek(0, os.SEEK_END)
+            if self._tail_needs_newline:
+                # Terminate a torn final record so the next append starts
+                # on its own line (the torn line stays counted as corrupt).
+                self._handle.write(b"\n")
+                self._tail_needs_newline = False
+            return
+        if (
+            self._handle is not None
+            and self._segment_records < self.max_segment_records
+        ):
+            return
+        if self._handle is not None:
+            self._handle.close()
+        self._segment_index += 1
+        self._segment_path = self.directory / (
+            f"{_SEGMENT_PREFIX}{self._segment_index:06d}{_SEGMENT_SUFFIX}"
+        )
+        self._handle = open(self._segment_path, "ab")
+        self._handle.seek(0, os.SEEK_END)
+        self._segment_records = 0
+        self._tail_needs_newline = False
+
+    def clear(self) -> None:
+        """Delete every segment and reset the index and counters."""
+        self.close()
+        for path in self._segments():
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._index.clear()
+        self._segment_records = 0
+        self._segment_index = -1
+        self._segment_path = None
+        self._tail_needs_newline = False
+        self.stats = DiskCacheStats()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DiskCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -22,7 +22,17 @@ level — equivalent predictions, not bitwise-equal scores.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -31,6 +41,9 @@ from ..core.trainer import DoduoTrainer, RawTableAnnotation
 from ..datasets.tables import Table
 from .cache import LRUCache, table_fingerprint
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .diskcache import DiskCache
 
 RequestLike = Union[Table, AnnotationRequest]
 
@@ -44,13 +57,16 @@ class EngineConfig:
     ``batch_size`` caps tables per forward pass; ``cache_size`` is the LRU
     serialization-cache capacity in tables (0 disables caching);
     ``length_bucketing`` sorts requests by serialized length before chunking
-    so similar-length tables share a padded batch.
+    so similar-length tables share a padded batch; ``cache_dir`` turns on
+    the persistent result-cache tier (:class:`~repro.serving.diskcache.DiskCache`
+    rooted there) so finished annotations survive process restarts.
     """
 
     batch_size: int = 8
     cache_size: int = 256
     length_bucketing: bool = True
     default_options: AnnotationOptions = field(default_factory=AnnotationOptions)
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -61,13 +77,21 @@ class EngineConfig:
 
 @dataclass
 class EngineStats:
-    """Counters for one engine's lifetime."""
+    """Counters for one engine's lifetime.
+
+    ``cache_hits``/``cache_misses`` mirror the in-memory serialization LRU;
+    ``disk_hits``/``disk_misses`` count persistent result-cache lookups
+    (only when a :class:`~repro.serving.diskcache.DiskCache` is attached —
+    a disk hit skips serialization *and* the forward pass entirely).
+    """
 
     requests: int = 0
     batches: int = 0
     encoder_passes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
 
 class AnnotationEngine:
@@ -77,6 +101,7 @@ class AnnotationEngine:
         self,
         trainer: DoduoTrainer,
         config: Optional[EngineConfig] = None,
+        result_cache: Optional["DiskCache"] = None,
     ) -> None:
         # Accept a Doduo annotator as well (duck-typed to avoid a circular
         # import with repro.core.annotator).
@@ -89,6 +114,12 @@ class AnnotationEngine:
         self.trainer = trainer
         self.config = config or EngineConfig()
         self._cache: LRUCache = LRUCache(self.config.cache_size)
+        if result_cache is None and self.config.cache_dir is not None:
+            from .diskcache import DiskCache  # deferred: only needed with the tier on
+
+            result_cache = DiskCache(self.config.cache_dir)
+        self.result_cache = result_cache
+        self._model_fingerprint: Optional[str] = None
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -142,6 +173,13 @@ class AnnotationEngine:
         ``options`` applies to plain :class:`Table` items; explicit
         :class:`AnnotationRequest` items keep their own options.  Results are
         returned in input order regardless of length bucketing.
+
+        With a persistent result cache attached (``EngineConfig.cache_dir``
+        or the ``result_cache`` constructor argument), each request is first
+        looked up by (table content, model fingerprint, options); hits are
+        rebuilt byte-identically from disk without serializing or encoding
+        anything, and only the misses proceed to the forward pass — whose
+        results are then persisted for the next process.
         """
         requests = [self._as_request(item, options) for item in items]
         if not requests:
@@ -153,19 +191,43 @@ class AnnotationEngine:
                         "score_threshold applies to multi-label models only; "
                         "this model is single-label (argmax decision)"
                     )
-        encoded: List[object] = []
-        cached_flags: List[bool] = []
-        for request in requests:
-            item, hit = self._encode_cached(request.table)
-            encoded.append(item)
-            cached_flags.append(hit)
-        order = list(range(len(requests)))
-        if self.config.length_bucketing and len(requests) > 1:
-            order.sort(key=lambda i: self._encoded_length(encoded[i]))
         results: List[Optional[AnnotationResult]] = [None] * len(requests)
+        pending = list(range(len(requests)))
+        cache_keys: List[Optional[str]] = [None] * len(requests)
+        if self.result_cache is not None:
+            from .diskcache import decode_annotation, result_cache_key
+
+            pending = []
+            fingerprint = self.model_fingerprint
+            for i, request in enumerate(requests):
+                cache_keys[i] = result_cache_key(fingerprint, request)
+                payload = self.result_cache.get(cache_keys[i])
+                if payload is None:
+                    self.stats.disk_misses += 1
+                    pending.append(i)
+                else:
+                    self.stats.disk_hits += 1
+                    results[i] = AnnotationResult(
+                        request=request,
+                        annotated=decode_annotation(request, payload),
+                        from_disk=True,
+                    )
+        encoded: Dict[int, object] = {}
+        cached_flags: Dict[int, bool] = {}
+        for i in pending:
+            encoded[i], cached_flags[i] = self._encode_cached(requests[i].table)
+        order = list(pending)
+        if self.config.length_bucketing and len(order) > 1:
+            order.sort(key=lambda i: self._encoded_length(encoded[i]))
         for start in range(0, len(order), self.config.batch_size):
             chunk = order[start:start + self.config.batch_size]
             self._run_chunk(chunk, requests, encoded, cached_flags, results)
+        if self.result_cache is not None:
+            from .diskcache import encode_annotation
+
+            for i in pending:
+                if results[i] is not None:
+                    self.result_cache.put(cache_keys[i], encode_annotation(results[i]))
         self.stats.requests += len(requests)
         return [result for result in results if result is not None]
 
@@ -195,6 +257,7 @@ class AnnotationEngine:
             yield from self.annotate_batch(pending, options)
 
     def clear_cache(self) -> None:
+        """Drop the in-memory serialization LRU (the disk tier is untouched)."""
         self._cache.clear()
         self.stats.cache_hits = 0
         self.stats.cache_misses = 0
@@ -202,6 +265,18 @@ class AnnotationEngine:
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    @property
+    def model_fingerprint(self) -> str:
+        """The trainer's annotation fingerprint, hashed once per engine.
+
+        Cached because hashing walks every model weight; an engine wraps an
+        immutable-by-convention trained model, so one hash per engine
+        lifetime is correct.  Build a fresh engine after mutating weights.
+        """
+        if self._model_fingerprint is None:
+            self._model_fingerprint = self.trainer.annotation_fingerprint()
+        return self._model_fingerprint
 
     # ------------------------------------------------------------------
     # Internals
@@ -247,8 +322,8 @@ class AnnotationEngine:
         self,
         chunk: Sequence[int],
         requests: Sequence[AnnotationRequest],
-        encoded: Sequence[object],
-        cached_flags: Sequence[bool],
+        encoded: Dict[int, object],
+        cached_flags: Dict[int, bool],
         results: List[Optional[AnnotationResult]],
     ) -> None:
         tables = [requests[i].table for i in chunk]

@@ -1,0 +1,384 @@
+"""Asynchronous, dedup-aware request queue over the annotation engine.
+
+:class:`AnnotationService` is the front-end the ROADMAP's "heavy traffic"
+north star asks for: callers :meth:`~AnnotationService.submit` tables from
+any thread and get back a :class:`concurrent.futures.Future`; a single
+worker thread drains the bounded queue into batches under a
+max-batch/max-latency policy and answers every waiter.
+
+Request lifecycle
+-----------------
+1. ``submit`` wraps the table in an :class:`~repro.serving.request.AnnotationRequest`,
+   enqueues it (blocking briefly when the queue is full — backpressure, not
+   unbounded memory), and returns a future.
+2. The worker takes the first pending request, then keeps gathering until
+   either ``max_batch`` requests are in hand or ``max_latency`` seconds have
+   passed since the batch opened — the classic throughput/latency dial.
+3. The drained batch is **deduplicated**: requests whose (table content,
+   options, pairs) cache key match share one annotation.  Each group's
+   representative is annotated once and the *same*
+   :class:`~repro.serving.request.AnnotationResult` object is handed to
+   every waiter in the group, so ten users asking about one popular table
+   cost one forward pass (or zero, when the engine's disk tier already
+   holds the answer).
+4. Futures resolve with the result, or with the exception the engine raised
+   (delivered per-waiter, never swallowed).
+
+Exactness
+---------
+In ``exact`` mode (the default) each unique request runs as its own
+single-table engine batch, so every result is **byte-identical** to a
+direct ``engine.annotate`` call — dedup and the cache tiers change cost,
+never bytes.  With ``exact=False`` the worker hands each drained batch of
+unique requests to ``engine.annotate_batch``, which pads them jointly: same
+predictions, but float scores can drift at the ~1e-7 level relative to a
+single-table pass (see :mod:`repro.serving.engine`).  Choose ``exact=False``
+when raw throughput matters more than bitwise reproducibility.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.annotator import AnnotatedTable
+from .diskcache import result_cache_key
+from .engine import AnnotationEngine, RequestLike
+from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Batching policy of the :class:`AnnotationService` worker.
+
+    ``max_batch`` caps how many requests one drain gathers; ``max_latency``
+    is how long (seconds) the worker waits for the batch to fill before
+    serving what it has — the knob trading per-request latency against
+    batching efficiency; ``max_queue_size`` bounds the pending queue
+    (``submit`` blocks when full, raising ``queue.Full`` after
+    ``submit_timeout`` seconds, so producers feel backpressure instead of
+    exhausting memory); ``exact`` selects byte-identical single-table passes
+    (default) over jointly-padded batching (see the module docstring).
+    """
+
+    max_batch: int = 8
+    max_latency: float = 0.01
+    max_queue_size: int = 1024
+    submit_timeout: Optional[float] = None
+    exact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {self.max_batch}")
+        if self.max_latency < 0:
+            raise ValueError(f"max_latency must be >= 0: {self.max_latency}")
+        if self.max_queue_size < 1:
+            raise ValueError(f"max_queue_size must be >= 1: {self.max_queue_size}")
+
+
+@dataclass
+class ServiceStats:
+    """Counters for one service's lifetime.
+
+    ``dedup_hits`` counts requests answered by sharing another request's
+    in-flight annotation (queue-level dedup, before any cache tier);
+    ``unique_annotated`` counts representatives actually handed to the
+    engine; ``batches`` counts worker drains, not engine forward batches.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    dedup_hits: int = 0
+    unique_annotated: int = 0
+
+
+class _Pending:
+    """One queued request plus the future its submitter holds."""
+
+    __slots__ = ("request", "future")
+
+    def __init__(self, request: AnnotationRequest, future: Future) -> None:
+        self.request = request
+        self.future = future
+
+
+_SHUTDOWN = object()
+
+
+class AnnotationService:
+    """Threaded serving front-end: bounded queue, batching worker, dedup.
+
+    Typical use::
+
+        engine = AnnotationEngine(trainer, EngineConfig(cache_dir="cache/"))
+        with AnnotationService(engine) as service:
+            futures = [service.submit(t) for t in tables]
+            results = [f.result() for f in futures]
+
+    The service owns no model state — it is a scheduling layer over the
+    engine it is given, and every equivalence guarantee of the engine's
+    cache tiers applies unchanged (see the module docstring for the exact
+    contract).  One worker thread annotates; any number of threads may
+    submit.
+    """
+
+    def __init__(
+        self,
+        engine: AnnotationEngine,
+        config: Optional[QueueConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or QueueConfig()
+        self.stats = ServiceStats()
+        self._queue: "_queue.Queue" = _queue.Queue(maxsize=self.config.max_queue_size)
+        self._lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AnnotationService":
+        """Spawn the worker thread (idempotent)."""
+        if self._worker is None:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="annotation-service", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting submissions, serve everything pending, then join.
+
+        Every future obtained before ``close`` resolves; submitting after
+        ``close`` raises ``RuntimeError``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._worker is not None:
+            self._queue.put(_SHUTDOWN)
+            self._worker.join()
+            self._worker = None
+
+    def __enter__(self) -> "AnnotationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        item: RequestLike,
+        options: Optional[AnnotationOptions] = None,
+    ) -> "Future[AnnotationResult]":
+        """Enqueue one table; returns the future holding its result.
+
+        Blocks (up to ``config.submit_timeout``) when the queue is full —
+        backpressure — and raises ``queue.Full`` on timeout.  The returned
+        future resolves to the same :class:`AnnotationResult` object for
+        every concurrent submitter of content-identical requests.
+        """
+        request = self.engine._as_request(item, options)
+        future: "Future[AnnotationResult]" = Future()
+        # The enqueue happens under the lock so close()'s shutdown sentinel
+        # can never overtake an in-flight submission (which would strand
+        # its future unresolved).
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed AnnotationService")
+            if self._worker is None:
+                # Auto-start so `service.submit(...)` works without an
+                # explicit start()/with-block.
+                self.start()
+            self._queue.put(
+                _Pending(request, future),
+                timeout=self.config.submit_timeout,
+            )
+            self.stats.submitted += 1
+        return future
+
+    def annotate(
+        self,
+        item: RequestLike,
+        options: Optional[AnnotationOptions] = None,
+    ) -> AnnotationResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(item, options).result()
+
+    def annotate_stream(
+        self,
+        items: Iterable[RequestLike],
+        options: Optional[AnnotationOptions] = None,
+        window: Optional[int] = None,
+    ) -> Iterator[AnnotationResult]:
+        """Pump an iterable through the queue, yielding results in order.
+
+        Keeps at most ``window`` submissions in flight (default
+        ``4 * max_batch``) so unbounded corpora stream with bounded memory
+        while still giving the worker full batches to dedup.
+        """
+        limit = window if window is not None else 4 * self.config.max_batch
+        if limit < 1:
+            raise ValueError(f"window must be >= 1: {limit}")
+        pending: List["Future[AnnotationResult]"] = []
+        for item in items:
+            pending.append(self.submit(item, options))
+            while len(pending) >= limit:
+                yield pending.pop(0).result()
+        for future in pending:
+            yield future.result()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        shutting_down = False
+        while not shutting_down:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                # Keep draining: submissions enqueued before close() must
+                # still be served (close() flipped _closed first, so no new
+                # work can race in behind the sentinel).
+                shutting_down = True
+                batch = self._drain_remaining()
+            else:
+                batch, shutting_down = self._gather_batch(item)
+            if not batch:
+                continue
+            try:
+                self._process(batch)
+            except Exception as error:  # noqa: BLE001 - worker must survive
+                # Backstop: nothing outside _process's own guards may kill
+                # the worker — a dead worker strands every future and
+                # deadlocks submitters against the bounded queue.
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                        self.stats.failed += 1
+
+    def _gather_batch(self, first: _Pending) -> Tuple[List[_Pending], bool]:
+        """Collect up to ``max_batch`` requests within the latency budget."""
+        batch = [first]
+        deadline = time.monotonic() + self.config.max_latency
+        shutting_down = False
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except _queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                shutting_down = True
+                batch.extend(self._drain_remaining())
+                break
+            batch.append(item)
+        return batch, shutting_down
+
+    def _drain_remaining(self) -> List[_Pending]:
+        """Pull every request still queued (used once shutdown is signalled)."""
+        drained: List[_Pending] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                return drained
+            if item is not _SHUTDOWN:
+                drained.append(item)
+
+    def _process(self, batch: Sequence[_Pending]) -> None:
+        """Dedup the batch, annotate one representative per group, fan out."""
+        self.stats.batches += 1
+        # Claim every future first; submitters may have cancelled while
+        # their request sat in the queue.
+        live = [p for p in batch if p.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        fingerprint = self.engine.model_fingerprint
+        groups: "dict[str, List[_Pending]]" = {}
+        for pending in live:
+            try:
+                key = result_cache_key(fingerprint, pending.request)
+            except Exception as error:  # noqa: BLE001 - malformed request
+                # e.g. non-string cell values break the content hash; fail
+                # that request alone, not the whole drain.
+                self._fan_out_error([pending], error)
+                continue
+            groups.setdefault(key, []).append(pending)
+        representatives = [members[0] for members in groups.values()]
+        self.stats.dedup_hits += len(live) - len(representatives)
+        self.stats.unique_annotated += len(representatives)
+        if self.config.exact:
+            # One single-table engine batch per unique request: results stay
+            # byte-identical to direct engine.annotate calls, and a failing
+            # request poisons only its own dedup group, not the whole drain.
+            for members in groups.values():
+                try:
+                    result = self.engine.annotate_batch([members[0].request])[0]
+                except Exception as error:  # noqa: BLE001 - delivered to waiters
+                    self._fan_out_error(members, error)
+                else:
+                    self._fan_out(members, result)
+            return
+        try:
+            results = self.engine.annotate_batch(
+                [rep.request for rep in representatives]
+            )
+        except Exception as error:  # noqa: BLE001 - delivered to every waiter
+            # A joint forward pass cannot attribute the failure to one
+            # request, so the whole drain shares the exception.
+            for members in groups.values():
+                self._fan_out_error(members, error)
+            return
+        for result, members in zip(results, groups.values()):
+            self._fan_out(members, result)
+
+    def _fan_out(self, members: Sequence[_Pending], result: AnnotationResult) -> None:
+        for pending in members:
+            if pending.request.table is result.request.table:
+                # Deliberately the same object for every waiter asking about
+                # the same table — the dedup contract tests rely on identity.
+                pending.future.set_result(result)
+            else:
+                # Content-equal but distinct table objects (e.g. different
+                # table_id): share every annotation product, but wrap them
+                # around the waiter's *own* table so its identity/metadata
+                # survive — same rule the disk tier applies on decode.
+                pending.future.set_result(self._rewrap(pending.request, result))
+            self.stats.completed += 1
+
+    @staticmethod
+    def _rewrap(request: AnnotationRequest, result: AnnotationResult) -> AnnotationResult:
+        source = result.annotated
+        annotated = AnnotatedTable(
+            table=request.table,
+            coltypes=source.coltypes,
+            colrels=source.colrels,
+            colemb=source.colemb,
+            type_scores=source.type_scores,
+            requested_pairs=source.requested_pairs,
+        )
+        return AnnotationResult(
+            request=request,
+            annotated=annotated,
+            from_cache=result.from_cache,
+            batch_index=result.batch_index,
+            from_disk=result.from_disk,
+        )
+
+    def _fan_out_error(self, members: Sequence[_Pending], error: Exception) -> None:
+        for pending in members:
+            pending.future.set_exception(error)
+            self.stats.failed += 1

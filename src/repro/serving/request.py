@@ -25,6 +25,11 @@ class AnnotationOptions:
     (default 0.5 — the paper's protocol); ``top_k`` truncates each column's
     ``type_scores`` dictionary to its ``k`` best entries so results stay
     small on wide label vocabularies.
+
+    Cache contract: every field participates in the persistent result-cache
+    key and the queue's dedup key (:func:`repro.serving.diskcache.result_cache_key`),
+    so requests with different options never share a cached or deduped
+    answer, and changing any option is an automatic cache invalidation.
     """
 
     with_embeddings: bool = True
@@ -48,6 +53,11 @@ class AnnotationRequest:
     ``pairs`` fixes which column pairs the relation head probes; ``None``
     falls back to the default policy (gold pairs when the table carries
     relation labels, else subject-column pairs ``(0, j)``).
+
+    Identity for caching and dedup is the table's *content* fingerprint
+    (headers + cell values — :func:`repro.serving.cache.table_fingerprint`)
+    plus the options and pairs: two requests for content-equal tables share
+    work even when ``table_id``/metadata or object identity differ.
     """
 
     table: Table
@@ -69,14 +79,23 @@ class AnnotationResult:
 
     ``annotated`` carries the toolbox-compatible payload (types, scores,
     relations, embeddings, probed pairs); ``from_cache`` records whether the
-    table's serialization was an LRU hit; ``batch_index`` says which forward
-    batch produced it.
+    table's serialization was an in-memory LRU hit; ``from_disk`` records
+    whether the whole annotation was served from the persistent result cache
+    (no encoder pass at all — see :mod:`repro.serving.diskcache`);
+    ``batch_index`` says which forward batch produced it (``-1`` for disk
+    hits, which never join a batch).
+
+    Equivalence contract: regardless of which tier answered — fresh forward
+    pass, LRU-cached serialization, or disk-cached annotation — the
+    ``annotated`` payload for a given (table content, model fingerprint,
+    options) triple is byte-identical to the pass that first produced it.
     """
 
     request: AnnotationRequest
     annotated: AnnotatedTable
     from_cache: bool = False
     batch_index: int = -1
+    from_disk: bool = False
 
     # -- convenience passthroughs -------------------------------------------
     @property

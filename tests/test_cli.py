@@ -187,6 +187,107 @@ class TestAnnotateJsonlBatch:
         assert ".jsonl serving mode" in err
 
 
+@pytest.mark.smoke
+class TestCacheDirAndServe:
+    """PR-2 serving tiers through the CLI: --cache-dir and `repro serve`."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, shared_tiny_annotator, tmp_path_factory):
+        from repro.datasets import TableDataset
+
+        dataset = shared_tiny_annotator.trainer.dataset
+        subset = TableDataset(
+            tables=dataset.tables[:5],
+            type_vocab=list(dataset.type_vocab),
+            relation_vocab=list(dataset.relation_vocab),
+            name="serve-queue",
+        )
+        path = tmp_path_factory.mktemp("serve-queue") / "corpus.jsonl"
+        save_dataset_jsonl(subset, path)
+        return path
+
+    def test_cache_dir_warm_run_zero_passes(self, bundle_dir, corpus,
+                                            tmp_path, capsys):
+        cache_dir = tmp_path / "anno-cache"
+        cold = tmp_path / "cold.jsonl"
+        warm = tmp_path / "warm.jsonl"
+        assert main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir), "--out", str(cold),
+        ]) == 0
+        assert "0 disk hits" in capsys.readouterr().out
+        assert main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir), "--out", str(warm),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 encoder passes" in out and "5 disk hits" in out
+        assert cold.read_text() == warm.read_text()  # byte-identical records
+
+    def test_cache_dir_rejected_for_csv(self, bundle_dir, sample_csv,
+                                        tmp_path, capsys):
+        code = main([
+            "annotate", str(bundle_dir), str(sample_csv),
+            "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 1
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_serve_corpus_matches_annotate(self, bundle_dir, corpus,
+                                           tmp_path, capsys):
+        annotate_out = tmp_path / "annotate.jsonl"
+        serve_out = tmp_path / "serve.jsonl"
+        assert main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--batch-size", "1", "--out", str(annotate_out),
+        ]) == 0
+        assert main([
+            "serve", str(bundle_dir), str(corpus), "--out", str(serve_out),
+        ]) == 0
+        # Exact mode: queue-served records match single-table annotate runs.
+        assert serve_out.read_text() == annotate_out.read_text()
+        assert "served 5 tables" in capsys.readouterr().out
+
+    def test_serve_with_cache_dir(self, bundle_dir, corpus, tmp_path, capsys):
+        cache_dir = tmp_path / "serve-cache"
+        assert main([
+            "serve", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir),
+            "--out", str(tmp_path / "a.jsonl"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir),
+            "--out", str(tmp_path / "b.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 encoder passes" in out and "5 disk hits" in out
+
+    def test_serve_stdin_loop_mode(self, bundle_dir, corpus, capsys,
+                                   monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO(corpus.read_text())
+        )
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 5
+        assert all(r["columns"] for r in records)
+        assert "served 5 tables" in captured.err
+
+    def test_serve_empty_input_errors(self, bundle_dir, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(""))
+        assert main(["serve", str(bundle_dir), "-"]) == 1
+        assert "no tables" in capsys.readouterr().err
+
+
 class TestAnnotateWideAndErrors:
     def test_wide_annotation_path(self, bundle_dir, sample_csv, capsys):
         code = main([

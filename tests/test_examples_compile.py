@@ -1,18 +1,50 @@
-"""Guard: every example script must at least parse and import-check.
+"""Guard: examples and documentation code must at least parse and import-check.
 
-Examples are documentation that executes; a stale API reference in one of
-them is a bug.  Full runs are exercised manually (they train models); here
-we compile each file and verify that every ``from repro...`` import it
-declares resolves against the installed package.
+Examples are documentation that executes, and the markdown docs
+(``README.md``, ``docs/*.md``) carry Python code fences that readers will
+paste; a stale API reference in either is a bug.  Full runs are exercised
+manually (they train models); here we compile each example file and every
+```python fence, and verify that every ``from repro...`` import they
+declare resolves against the installed package — so docs cannot silently
+rot as the API evolves.
 """
 
 import ast
 import importlib
+import re
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+ROOT = Path(__file__).parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+DOCS = sorted(
+    [ROOT / "README.md", ROOT / "benchmarks" / "README.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _python_fences(path):
+    """Every ```python code fence in a markdown file, with its offset."""
+    text = path.read_text()
+    return [
+        (text[: match.start()].count("\n") + 2, match.group(1))
+        for match in _FENCE.finditer(text)
+    ]
+
+
+def _assert_repro_imports_resolve(tree, origin):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{origin}: {node.module} has no attribute {alias.name}"
+                )
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
@@ -23,19 +55,40 @@ def test_example_compiles(path):
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
 def test_example_imports_resolve(path):
-    tree = ast.parse(path.read_text())
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module and (
-            node.module == "repro" or node.module.startswith("repro.")
-        ):
-            module = importlib.import_module(node.module)
-            for alias in node.names:
-                assert hasattr(module, alias.name), (
-                    f"{path.name}: {node.module} has no attribute {alias.name}"
-                )
+    _assert_repro_imports_resolve(ast.parse(path.read_text()), path.name)
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: str(p.relative_to(ROOT)))
+def test_doc_fences_compile(path):
+    for line, code in _python_fences(path):
+        try:
+            compile(code, f"{path}:{line}", "exec")
+        except SyntaxError as error:
+            raise AssertionError(
+                f"{path.relative_to(ROOT)} line {line}: code fence does not "
+                f"compile: {error}"
+            ) from error
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: str(p.relative_to(ROOT)))
+def test_doc_fence_imports_resolve(path):
+    for line, code in _python_fences(path):
+        _assert_repro_imports_resolve(
+            ast.parse(code), f"{path.relative_to(ROOT)} line {line}"
+        )
 
 
 def test_examples_exist_and_include_quickstart():
     names = {p.name for p in EXAMPLES}
     assert "quickstart.py" in names
     assert len(names) >= 3
+
+
+def test_docs_surface_exists():
+    """The repo must keep its documentation surface: README + docs/."""
+    assert (ROOT / "README.md").exists()
+    assert (ROOT / "docs" / "architecture.md").exists()
+    assert (ROOT / "docs" / "serving.md").exists()
+    # The README and the serving guide must carry runnable-looking code.
+    assert _python_fences(ROOT / "README.md")
+    assert _python_fences(ROOT / "docs" / "serving.md")

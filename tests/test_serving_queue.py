@@ -1,0 +1,290 @@
+"""The async request-queue front-end: batching, dedup, equivalence.
+
+The load-bearing guarantees:
+
+* queued + deduped + disk-cached annotation is **byte-identical** to a
+  direct ``engine.annotate`` call (the ISSUE-2 acceptance criterion);
+* concurrent content-identical requests share one annotation and every
+  waiter receives the *same* result object;
+* the worker respects the max-batch/max-latency policy, serves everything
+  pending at close, and delivers engine exceptions to each waiter.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DoduoConfig, DoduoTrainer
+from repro.datasets import Column, Table, generate_wikitable_dataset
+from repro.nn import TransformerConfig
+from repro.serving import (
+    AnnotationEngine,
+    AnnotationOptions,
+    AnnotationService,
+    EngineConfig,
+    QueueConfig,
+)
+from repro.text import train_wordpiece
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    dataset = generate_wikitable_dataset(num_tables=20, seed=13, max_rows=4)
+    tokenizer = train_wordpiece(dataset.all_cell_text(), vocab_size=600)
+    encoder_config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        hidden_dim=32,
+        num_layers=2,
+        num_heads=2,
+        ffn_dim=64,
+        max_position=160,
+        num_segments=8,
+        dropout=0.0,
+    )
+    config = DoduoConfig(epochs=1, batch_size=8, keep_best_checkpoint=False)
+    t = DoduoTrainer(dataset, tokenizer, encoder_config, config)
+    t.train()
+    return t
+
+
+def _service(trainer, queue_config=None, engine_config=None, result_cache=None):
+    engine = AnnotationEngine(
+        trainer, engine_config or EngineConfig(), result_cache=result_cache
+    )
+    return AnnotationService(engine, queue_config or QueueConfig(max_latency=0.05))
+
+
+@pytest.mark.smoke
+class TestQueueEquivalence:
+    def test_queued_byte_identical_to_direct(self, trainer, tmp_path):
+        """The acceptance regression: queue + dedup + disk cache, three ways
+        of answering, all byte-identical to direct engine.annotate."""
+        tables = trainer.dataset.tables[:6]
+        direct_engine = AnnotationEngine(trainer)
+        direct = [direct_engine.annotate(t) for t in tables]
+
+        cache_dir = str(tmp_path / "cache")
+        workload = tables * 3  # duplicates exercise dedup fan-out
+        with _service(
+            trainer, engine_config=EngineConfig(cache_dir=cache_dir)
+        ) as service:
+            futures = [service.submit(t) for t in workload]
+            queued = [f.result() for f in futures]
+        # Second service over the same directory: every answer from disk.
+        with _service(
+            trainer, engine_config=EngineConfig(cache_dir=cache_dir)
+        ) as restarted:
+            passes_before = trainer.model.encode_calls
+            from_disk = [restarted.annotate(t) for t in tables]
+            assert trainer.model.encode_calls == passes_before
+
+        for i, want in enumerate(direct):
+            for got in (queued[i], queued[i + 6], queued[i + 12], from_disk[i]):
+                assert got.coltypes == want.coltypes
+                assert got.type_scores == want.type_scores  # exact floats
+                assert got.colrels == want.colrels
+                assert (
+                    got.annotated.requested_pairs == want.annotated.requested_pairs
+                )
+                assert np.array_equal(got.colemb, want.colemb)
+        assert all(r.from_disk for r in from_disk)
+
+    def test_inexact_mode_still_equivalent_predictions(self, trainer):
+        tables = trainer.dataset.tables[:8]
+        direct = [AnnotationEngine(trainer).annotate(t) for t in tables]
+        with _service(
+            trainer, QueueConfig(max_batch=8, max_latency=0.2, exact=False)
+        ) as service:
+            futures = [service.submit(t) for t in tables]
+            results = [f.result() for f in futures]
+        for got, want in zip(results, direct):
+            assert got.coltypes == want.coltypes
+            assert got.colrels == want.colrels
+            np.testing.assert_allclose(got.colemb, want.colemb, atol=1e-5)
+
+
+@pytest.mark.smoke
+class TestDedup:
+    def test_waiters_share_one_result_object(self, trainer):
+        table = trainer.dataset.tables[0]
+        with _service(
+            trainer, QueueConfig(max_batch=16, max_latency=0.2)
+        ) as service:
+            futures = [service.submit(table) for _ in range(8)]
+            results = [f.result() for f in futures]
+        assert all(r is results[0] for r in results)
+        assert service.stats.dedup_hits == 7
+        assert service.stats.unique_annotated == 1
+        assert service.stats.completed == 8
+
+    def test_dedup_is_content_based(self, trainer):
+        source = trainer.dataset.tables[0]
+        twin = Table(columns=source.columns, table_id="different-id")
+        with _service(
+            trainer, QueueConfig(max_batch=8, max_latency=0.2)
+        ) as service:
+            futures = [service.submit(source), service.submit(twin)]
+            a, b = [f.result() for f in futures]
+        # Content-identical tables share the annotation work...
+        assert service.stats.unique_annotated == 1
+        assert a.type_scores == b.type_scores
+        # ...but every waiter keeps its *own* table identity: the twin's
+        # answer must carry the twin's table_id, not the representative's.
+        assert a.table.table_id == source.table_id
+        assert b.table.table_id == "different-id"
+        assert b.to_dict()["table_id"] == "different-id"
+
+    def test_different_options_not_deduped(self, trainer):
+        table = trainer.dataset.tables[0]
+        with _service(
+            trainer, QueueConfig(max_batch=8, max_latency=0.2)
+        ) as service:
+            full = service.submit(table)
+            trimmed = service.submit(table, AnnotationOptions(top_k=1))
+            assert len(full.result().type_scores[0]) > 1
+            assert len(trimmed.result().type_scores[0]) == 1
+        assert service.stats.dedup_hits == 0
+        assert service.stats.unique_annotated == 2
+
+    def test_dedup_collapses_encoder_passes(self, trainer):
+        table = trainer.dataset.tables[0]
+        engine = AnnotationEngine(trainer, EngineConfig(cache_size=0))
+        with AnnotationService(
+            engine, QueueConfig(max_batch=16, max_latency=0.2)
+        ) as service:
+            futures = [service.submit(table) for _ in range(10)]
+            [f.result() for f in futures]
+        assert engine.stats.encoder_passes == 1
+
+
+@pytest.mark.smoke
+class TestQueuePolicy:
+    def test_max_batch_splits_drains(self, trainer):
+        tables = trainer.dataset.tables[:6]
+        with _service(
+            trainer, QueueConfig(max_batch=2, max_latency=0.2)
+        ) as service:
+            futures = [service.submit(t) for t in tables]
+            [f.result() for f in futures]
+        assert service.stats.batches >= 3  # never more than 2 per drain
+
+    def test_zero_latency_serves_immediately(self, trainer):
+        with _service(
+            trainer, QueueConfig(max_batch=64, max_latency=0.0)
+        ) as service:
+            assert service.annotate(trainer.dataset.tables[0]).coltypes
+
+    def test_close_serves_pending_then_rejects(self, trainer):
+        service = _service(trainer)
+        future = service.submit(trainer.dataset.tables[0])
+        service.close()
+        assert future.result(timeout=5).coltypes  # resolved before shutdown
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(trainer.dataset.tables[0])
+        service.close()  # idempotent
+
+    def test_submit_from_many_threads(self, trainer):
+        tables = trainer.dataset.tables[:10]
+        results = {}
+        with _service(
+            trainer, QueueConfig(max_batch=4, max_latency=0.02)
+        ) as service:
+
+            def client(index):
+                results[index] = service.submit(tables[index]).result(timeout=30)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(tables))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        reference = AnnotationEngine(trainer)
+        for i, table in enumerate(tables):
+            assert results[i].type_scores == reference.annotate(table).type_scores
+
+    def test_backpressure_raises_when_full(self, trainer):
+        # An unstarted service never drains, so the bounded queue fills.
+        service = AnnotationService(
+            AnnotationEngine(trainer),
+            QueueConfig(max_queue_size=2, submit_timeout=0.01),
+        )
+        service._worker = threading.Thread(target=lambda: None)  # block auto-start
+        table = trainer.dataset.tables[0]
+        service.submit(table)
+        service.submit(table)
+        with pytest.raises(_queue.Full):
+            service.submit(table)
+
+    def test_annotate_stream_preserves_order(self, trainer):
+        tables = trainer.dataset.tables[:9]
+        with _service(
+            trainer, QueueConfig(max_batch=4, max_latency=0.02)
+        ) as service:
+            streamed = list(service.annotate_stream(iter(tables), window=3))
+        assert [r.table.table_id for r in streamed] == [
+            t.table_id for t in tables
+        ]
+
+    def test_engine_errors_reach_every_waiter(self, trainer):
+        bad = Table(
+            columns=[Column(values=["x"], header="h")] * 2, table_id="bad-pair"
+        )
+        with _service(
+            trainer, QueueConfig(max_batch=4, max_latency=0.2)
+        ) as service:
+            futures = [
+                service.submit(
+                    bad, AnnotationOptions(score_threshold=None)
+                )
+                for _ in range(2)
+            ]
+            # Out-of-range explicit pairs make the engine raise.
+            from repro.serving import AnnotationRequest
+
+            broken = AnnotationRequest(table=bad, pairs=((0, 5),))
+            failing = [service.submit(broken) for _ in range(2)]
+            for future in futures:
+                assert future.result(timeout=10)
+            for future in failing:
+                with pytest.raises(ValueError, match="out of range"):
+                    future.result(timeout=10)
+        assert service.stats.failed >= 2
+
+    def test_malformed_request_fails_alone_and_worker_survives(self, trainer):
+        """A request that breaks the content hash (non-string cells) must
+        fail its own future — and only its own — without killing the
+        worker thread (a dead worker strands every later future)."""
+        poison = Table(
+            columns=[Column(values=["3.14", "2.71"], header="nums")],
+            table_id="poison",
+        )
+        # Column coerces constructor values to str; simulate malformed data
+        # sneaking in post-construction (the hash hits it first).
+        poison.columns[0].values[0] = 3.14
+        good = trainer.dataset.tables[0]
+        with _service(
+            trainer, QueueConfig(max_batch=4, max_latency=0.1)
+        ) as service:
+            bad_future = service.submit(poison)
+            good_future = service.submit(good)
+            assert good_future.result(timeout=10).coltypes
+            with pytest.raises(AttributeError):
+                bad_future.result(timeout=10)
+            # The worker is still alive and serving.
+            assert service.annotate(good).coltypes
+        assert service.stats.failed == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            QueueConfig(max_batch=0)
+        with pytest.raises(ValueError, match="max_latency"):
+            QueueConfig(max_latency=-1)
+        with pytest.raises(ValueError, match="max_queue_size"):
+            QueueConfig(max_queue_size=0)
