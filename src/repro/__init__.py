@@ -14,6 +14,10 @@ full system on a pure-numpy substrate:
 * :mod:`repro.core` — DODUO: serialization, model, multi-task trainer,
   toolbox API, wide-table splitting, numeric-magnitude embeddings, model
   bundles (save/load)
+* :mod:`repro.encoding` — the unified encoding layer: one serialization
+  pipeline (content-hash cache shared by training, serving, and analysis)
+  and the exact width-bucket batch planner (zero padding waste, batched
+  inference byte-identical to sequential)
 * :mod:`repro.baselines` — Sherlock, Sato (LDA + CRF), TURL visibility model
 * :mod:`repro.matching` — fastText-like embeddings, COMA, DistributionBased,
   k-means (case-study substrate)
@@ -22,9 +26,9 @@ full system on a pure-numpy substrate:
   classification reports, k-fold cross-validation, ASCII figure rendering
 * :mod:`repro.io` — CSV tables and JSONL dataset round-trips
 * :mod:`repro.serving` — the serving stack: the batched ``AnnotationEngine``
-  (single-pass inference, length-bucketed batching, LRU serialization
-  cache, streaming), the async dedup-aware ``AnnotationService`` request
-  queue, and the persistent ``DiskCache`` result tier
+  (single-pass inference, exact width-bucketed batching, streaming), the
+  async dedup-aware ``AnnotationService`` request queue, and the
+  persistent ``DiskCache`` result tier (boundable and compactable)
 * :mod:`repro.cli` — the ``repro`` command-line toolbox
 
 Quickstart::
@@ -83,7 +87,7 @@ from .serving import (
     QueueConfig,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnnotatedTable",

@@ -18,9 +18,9 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..core.serialization import TableSerializer
 from ..core.trainer import DoduoTrainer
 from ..datasets.tables import Table
+from ..encoding import EncodingPipeline
 
 
 @dataclass
@@ -59,7 +59,7 @@ def compute_attention_dependency(
     column.
     """
     model = trainer.model
-    serializer: TableSerializer = trainer.serializer
+    encoding: EncodingPipeline = trainer.encoding
     model.eval()
 
     type_names = sorted(
@@ -78,7 +78,9 @@ def compute_attention_dependency(
     for table in tables:
         if table.num_columns < 2:
             continue
-        encoded = serializer.serialize_table(table)
+        # Read through the shared encoding cache: analysis over a corpus the
+        # trainer has already served or evaluated re-serializes nothing.
+        encoded = encoding.encode_table(table)
         model.encode_batch([encoded])
         maps = model.encoder.attention_maps()
         if not maps:

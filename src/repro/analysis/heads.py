@@ -33,7 +33,9 @@ def _collect_attention(trainer: DoduoTrainer, tables: Sequence[Table]) -> List[L
     collected: List[List[np.ndarray]] = []
     trainer.model.eval()
     for table in tables:
-        encoded = [trainer.serializer.serialize_table(table)]
+        # One table per pass so no position is padding; serializations read
+        # through the trainer's shared encoding cache.
+        encoded = [trainer.encoding.encode_table(table)]
         trainer.model.column_embeddings(encoded)
         collected.append(trainer.model.encoder.attention_maps())
     if not collected:

@@ -8,6 +8,7 @@ lines of Python code"; this module is the zero-lines-of-Python counterpart::
     repro annotate model/ table.csv
     repro annotate model/ corpus.jsonl --batch-size 16 --out results.jsonl
     repro serve model/ corpus.jsonl --cache-dir anno-cache/
+    repro cache compact anno-cache/ --max-bytes 100000000
     repro evaluate model/ corpus.jsonl
 
 ``annotate`` has two modes: a CSV table is annotated one-off and printed; a
@@ -341,6 +342,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    """Compact a persistent result-cache directory (drop dead space)."""
+    from .serving import DiskCache
+
+    if not os.path.isdir(args.directory):
+        print(f"error: {args.directory} is not a directory", file=sys.stderr)
+        return 1
+    with DiskCache(args.directory, max_bytes=args.max_bytes) as cache:
+        corrupt = cache.stats.corrupt_records
+        evicted = cache.stats.evicted_records
+        result = cache.compact()
+    notes = []
+    if corrupt:
+        notes.append(f"{corrupt} corrupt records dropped")
+    if evicted:
+        notes.append(f"{evicted} records evicted by --max-bytes")
+    suffix = f" ({', '.join(notes)})" if notes else ""
+    print(
+        f"compacted {args.directory}: {result.records} live records, "
+        f"{result.bytes_before} -> {result.bytes_after} bytes "
+        f"({result.reclaimed_bytes} reclaimed){suffix}"
+    )
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     annotator = load_annotator(args.model)
     dataset = load_dataset_jsonl(args.dataset)
@@ -441,10 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("corpus",
                        help=".jsonl corpus, or '-' to loop over stdin records")
     serve.add_argument("--batch-size", type=int, default=None,
-                       help="max requests per queue drain (default 8); note "
-                            "the default exact mode runs one forward pass "
-                            "per unique table — combine with --no-exact for "
-                            "cross-table padded batching")
+                       help="max requests per queue drain (default 8); "
+                            "drains are batched on exact serialized-length "
+                            "boundaries, byte-identical to one-at-a-time "
+                            "serving")
     serve.add_argument("--max-latency-ms", type=float, default=10.0,
                        help="how long a batch waits to fill before serving")
     serve.add_argument("--cache-dir", default=None,
@@ -458,9 +484,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--embeddings", action="store_true",
                        help="include column embeddings in records")
     serve.add_argument("--no-exact", action="store_true",
-                       help="pad unique requests jointly for throughput "
-                            "(scores may drift ~1e-7 vs single-table passes)")
+                       help="on a failed drain, share the exception across "
+                            "the whole drain instead of isolating the "
+                            "failing request (results are byte-identical "
+                            "either way)")
     serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser("cache", help="manage persistent result caches")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite a cache directory keeping only live records",
+    )
+    compact.add_argument("directory", help="result-cache directory (--cache-dir)")
+    compact.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest segments past this size before compacting",
+    )
+    compact.set_defaults(func=_cmd_cache_compact)
 
     evaluate = sub.add_parser("evaluate", help="score a model on a .jsonl corpus")
     evaluate.add_argument("model", help="model bundle directory")

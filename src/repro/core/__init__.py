@@ -22,6 +22,7 @@ from .serialization import (
     TableSerializer,
     column_visibility,
     pad_batch,
+    pad_token_lists,
 )
 from .trainer import (
     RELATION_TASK,
@@ -67,6 +68,7 @@ __all__ = [
     "load_annotator",
     "make_trainer",
     "pad_batch",
+    "pad_token_lists",
     "save_annotator",
     "split_columns_by_similarity",
     "split_columns_contiguous",

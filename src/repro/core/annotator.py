@@ -140,14 +140,18 @@ class Doduo:
     def annotate_many(
         self, tables: Sequence[Table], with_embeddings: bool = True
     ) -> List[AnnotatedTable]:
-        """Annotate several tables, preserving per-table exactness.
+        """Annotate several tables as one engine batch.
 
-        Each table is its own engine batch so outputs stay bitwise identical
-        to :meth:`annotate`; for cross-table padded batching (faster, but
-        float-associativity perturbs scores at ~1e-7), use
-        ``self.engine.annotate_batch(tables)``.
+        The engine composes exact width buckets (:mod:`repro.encoding`), so
+        batched outputs are bitwise identical to per-table :meth:`annotate`
+        calls while same-width tables share forward passes.
         """
-        return [self.annotate(t, with_embeddings=with_embeddings) for t in tables]
+        from ..serving import AnnotationOptions  # deferred: serving imports core
+
+        results = self.engine.annotate_batch(
+            tables, options=AnnotationOptions(with_embeddings=with_embeddings)
+        )
+        return [result.annotated for result in results]
 
     def annotate_dataframe(
         self, rows: Sequence[Sequence[str]], headers: Optional[Sequence[str]] = None

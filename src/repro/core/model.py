@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -120,10 +120,14 @@ class DoduoModel(Module):
             self.relation_head = None
         self.use_visibility_matrix = use_visibility_matrix
         self.use_column_segments = use_column_segments
-        # Forward-pass odometer: every encode_batch call increments it, so
-        # serving code and tests can measure how many encoder passes an
-        # inference path really costs.
+        # Forward-pass odometers: every encode_batch call increments
+        # ``encode_calls``, and the token counters record how many sequence
+        # slots the pass allocated (``padded_tokens``) versus how many held
+        # real tokens (``real_tokens``) — the padding-waste accounting that
+        # ``EngineStats`` and ``TrainingHistory`` surface.
         self.encode_calls = 0
+        self.real_tokens = 0
+        self.padded_tokens = 0
 
     # -- identity ----------------------------------------------------------------
     def fingerprint(self) -> str:
@@ -177,6 +181,8 @@ class DoduoModel(Module):
         pad_id = 0  # PAD is always id 0 in our vocabulary
         token_ids, attention = pad_batch(encoded, pad_id)
         width = token_ids.shape[1]
+        self.real_tokens += int(sum(e.length for e in encoded))
+        self.padded_tokens += int(token_ids.size)
         segments = np.zeros_like(token_ids)
         if self.use_column_segments:
             for row, item in enumerate(encoded):
@@ -260,6 +266,7 @@ class DoduoModel(Module):
         pairs: Optional[Sequence[Tuple[int, int, int]]] = None,
         with_types: bool = True,
         with_embeddings: bool = True,
+        head_groups: Optional[Sequence[Sequence[int]]] = None,
     ) -> FullForward:
         """Run the encoder **once** and derive every inference product.
 
@@ -271,34 +278,84 @@ class DoduoModel(Module):
         computed with exactly the same operations as its dedicated entry
         point, so the outputs are bitwise identical to the multi-pass path
         for the same batch composition.
+
+        ``head_groups`` partitions the items into head-application units
+        (default: one unit spanning the whole batch).  BLAS kernels select
+        differently blocked code paths by matrix row count, so the *number
+        of rows* fed to a head GEMM perturbs float32 results at the ulp
+        level even though each row's math is independent.  The trainer
+        passes one group per table, making every head GEMM's row count a
+        function of that table alone — this is the second half of the
+        batched==sequential byte-identity contract (exact width bucketing
+        in :mod:`repro.encoding` is the first).
         """
         hidden, locations = self.encode_batch(encoded)
         column_embeddings = hidden[(locations[:, 0], locations[:, 1])]
-        type_logits = (
-            self.type_head(column_embeddings).data if with_types else None
-        )
+        counts = [e.num_columns for e in encoded]
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        if head_groups is None:
+            head_groups = [list(range(len(encoded)))]
+        type_logits: Optional[np.ndarray] = None
+        if with_types:
+            embeddings_data = column_embeddings.data
+            parts: list = [None] * len(head_groups)
+            row_sets: list = [None] * len(head_groups)
+            for g, group in enumerate(head_groups):
+                rows = np.concatenate(
+                    [np.arange(offsets[i], offsets[i] + counts[i]) for i in group]
+                ) if group else np.empty(0, dtype=np.int64)
+                row_sets[g] = rows
+                parts[g] = (
+                    self.type_head(Tensor(embeddings_data[rows])).data
+                    if len(rows)
+                    else None
+                )
+            num_types = self.type_head.out.out_features
+            type_logits = np.empty(
+                (int(offsets[-1]), num_types), dtype=embeddings_data.dtype
+            )
+            for rows, part in zip(row_sets, parts):
+                if part is not None:
+                    type_logits[rows] = part
         relation_logits: Optional[np.ndarray] = None
         if pairs:
             if self.relation_head is None:
                 raise RuntimeError("model was built without a relation head")
-            rows, pos_i, pos_j = [], [], []
-            for batch_index, i, j in pairs:
-                cls = encoded[batch_index].cls_positions
-                rows.append(batch_index)
-                pos_i.append(cls[i])
-                pos_j.append(cls[j])
-            rows_arr = np.asarray(rows)
-            emb_i = hidden[(rows_arr, np.asarray(pos_i))]
-            emb_j = hidden[(rows_arr, np.asarray(pos_j))]
-            pair_embedding = concatenate([emb_i, emb_j], axis=-1)
-            relation_logits = self.relation_head(pair_embedding).data
+            item_to_group = {}
+            for g, group in enumerate(head_groups):
+                for i in group:
+                    item_to_group[i] = g
+            positions_by_group: Dict[int, list] = {}
+            for position, (batch_index, _i, _j) in enumerate(pairs):
+                positions_by_group.setdefault(
+                    item_to_group[batch_index], []
+                ).append(position)
+            num_relations = self.relation_head.out.out_features
+            relation_logits = np.empty(
+                (len(pairs), num_relations), dtype=hidden.data.dtype
+            )
+            for positions in positions_by_group.values():
+                rows, pos_i, pos_j = [], [], []
+                for position in positions:
+                    batch_index, i, j = pairs[position]
+                    cls = encoded[batch_index].cls_positions
+                    rows.append(batch_index)
+                    pos_i.append(cls[i])
+                    pos_j.append(cls[j])
+                rows_arr = np.asarray(rows)
+                emb_i = hidden[(rows_arr, np.asarray(pos_i))]
+                emb_j = hidden[(rows_arr, np.asarray(pos_j))]
+                pair_embedding = concatenate([emb_i, emb_j], axis=-1)
+                relation_logits[positions] = self.relation_head(
+                    pair_embedding
+                ).data
         return FullForward(
             type_logits=type_logits,
             relation_logits=relation_logits,
             # Fancy indexing already allocated a fresh array; the per-table
             # slices are copied by the consumer, so no copy is needed here.
             embeddings=column_embeddings.data if with_embeddings else None,
-            columns_per_item=tuple(e.num_columns for e in encoded),
+            columns_per_item=tuple(counts),
         )
 
     # -- inference helpers ------------------------------------------------------

@@ -230,18 +230,50 @@ class TableSerializer:
         return max(0, (sequence_budget - 1) // per_column)
 
 
+def pad_token_lists(
+    sequences: Sequence[Sequence[int]],
+    pad_id: int,
+    width: Optional[int] = None,
+    dtype: np.dtype = np.int64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack raw token-id sequences into ``(token_ids, attention_mask)``.
+
+    The single padding implementation shared by every layer (the encoder's
+    table batches, the pre-trainer's sentence batches, the batch planner's
+    bucket composition).  ``width`` fixes the padded width explicitly — a
+    planner that already knows its bucket's width composes batches without
+    re-measuring, and a caller aligning two related passes can force a
+    common width; it must cover the longest sequence.  ``dtype`` follows the
+    token-id arrays (``int64`` everywhere in this codebase).
+    """
+    longest = max((len(ids) for ids in sequences), default=0)
+    if width is None:
+        width = longest
+    elif width < longest:
+        raise ValueError(
+            f"width {width} cannot hold a sequence of length {longest}"
+        )
+    token_ids = np.full((len(sequences), width), pad_id, dtype=dtype)
+    mask = np.zeros((len(sequences), width), dtype=bool)
+    for row, ids in enumerate(sequences):
+        token_ids[row, : len(ids)] = ids
+        mask[row, : len(ids)] = True
+    return token_ids, mask
+
+
 def pad_batch(
     encoded: Sequence[EncodedTable],
     pad_id: int,
+    width: Optional[int] = None,
+    dtype: np.dtype = np.int64,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Stack variable-length sequences into ``(token_ids, attention_mask)``."""
-    width = max(e.length for e in encoded)
-    token_ids = np.full((len(encoded), width), pad_id, dtype=np.int64)
-    mask = np.zeros((len(encoded), width), dtype=bool)
-    for row, item in enumerate(encoded):
-        token_ids[row, : item.length] = item.token_ids
-        mask[row, : item.length] = True
-    return token_ids, mask
+    """Stack encoded sequences into ``(token_ids, attention_mask)``.
+
+    ``width``/``dtype`` pass through to :func:`pad_token_lists`.
+    """
+    return pad_token_lists(
+        [e.token_ids for e in encoded], pad_id, width=width, dtype=dtype
+    )
 
 
 def column_visibility(

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..datasets.tables import Table, TableDataset
+from ..encoding import BatchPlanner, EncodingPipeline
 from ..evaluation.metrics import PRF, multiclass_micro_f1, multilabel_micro_prf
 from ..nn import Adam, LinearDecayScheduler, TransformerConfig
 from ..nn import functional as F
@@ -145,12 +146,27 @@ EncodedAnnotationInput = Union[EncodedTable, List[EncodedTable]]
 
 @dataclass
 class TrainingHistory:
-    """Loss / validation-F1 trajectory of a training run."""
+    """Loss / validation-F1 trajectory of a training run.
+
+    ``real_tokens``/``padded_tokens`` total the encoder passes of the run
+    (training batches plus per-epoch validation): how many sequence slots
+    were allocated versus how many carried real tokens.  ``padding_waste``
+    is the fraction of allocated slots that were padding — the quantity
+    :mod:`benchmarks.bench_padding_waste` tracks across encoding policies.
+    """
 
     task_losses: Dict[str, List[float]] = field(default_factory=dict)
     valid_f1: List[float] = field(default_factory=list)
     best_epoch: int = -1
     stopped_early: bool = False
+    real_tokens: int = 0
+    padded_tokens: int = 0
+
+    @property
+    def padding_waste(self) -> float:
+        if self.padded_tokens == 0:
+            return 0.0
+        return (self.padded_tokens - self.real_tokens) / self.padded_tokens
 
 
 class DoduoTrainer:
@@ -167,14 +183,21 @@ class DoduoTrainer:
         self.config = config
         self.dataset = dataset
         self.tokenizer = tokenizer
-        self.serializer = TableSerializer(
-            tokenizer,
-            SerializerConfig(
-                max_tokens_per_column=config.max_tokens_per_column,
-                max_sequence_length=encoder_config.max_position,
-                include_headers=config.include_headers,
-                value_order=config.value_order,
+        # The unified encoding layer: one serializer + one content-hash
+        # cache shared by example preparation, evaluation, the ``predict_*``
+        # entry points, serving (the engine reuses this pipeline by
+        # default), and the analysis modules.
+        self.encoding = EncodingPipeline(
+            TableSerializer(
+                tokenizer,
+                SerializerConfig(
+                    max_tokens_per_column=config.max_tokens_per_column,
+                    max_sequence_length=encoder_config.max_position,
+                    include_headers=config.include_headers,
+                    value_order=config.value_order,
+                ),
             ),
+            single_column=config.single_column,
         )
         rng = np.random.default_rng(config.seed)
         num_relations = dataset.num_relations if RELATION_TASK in config.tasks else 0
@@ -193,6 +216,11 @@ class DoduoTrainer:
         self.history = TrainingHistory(
             task_losses={task: [] for task in config.tasks}
         )
+
+    @property
+    def serializer(self) -> TableSerializer:
+        """The pipeline's serializer (kept for API compatibility)."""
+        return self.encoding.serializer
 
     # ------------------------------------------------------------------
     # Example preparation
@@ -228,11 +256,10 @@ class DoduoTrainer:
         for table in tables:
             label_array = self._type_label_array(table)
             if self.config.single_column:
-                for c in range(table.num_columns):
-                    encoded = self.serializer.serialize_column(table, c)
+                for c, encoded in enumerate(self.encoding.encode_columns(table)):
                     examples.append(_TypeExample(encoded, label_array[c:c + 1]))
             else:
-                encoded = self.serializer.serialize_table(table)
+                encoded = self.encoding.encode_table(table)
                 examples.append(_TypeExample(encoded, label_array))
         return examples
 
@@ -245,12 +272,12 @@ class DoduoTrainer:
             labels = self._relation_label_array(table, pairs)
             if self.config.single_column:
                 for row, (i, j) in enumerate(pairs):
-                    encoded = self.serializer.serialize_column_pair(table, i, j)
+                    encoded = self.encoding.encode_pair(table, i, j)
                     examples.append(
                         _RelationExample(encoded, [(0, 1)], labels[row:row + 1])
                     )
             else:
-                encoded = self.serializer.serialize_table(table)
+                encoded = self.encoding.encode_table(table)
                 examples.append(_RelationExample(encoded, pairs, labels))
         return examples
 
@@ -301,6 +328,8 @@ class DoduoTrainer:
             )
             return type_examples, relation_examples
 
+        real_tokens_before = self.model.real_tokens
+        padded_tokens_before = self.model.padded_tokens
         type_examples, relation_examples = prepare(self.dataset.tables)
 
         # One optimizer + scheduler per task (hard parameter sharing: both
@@ -372,6 +401,10 @@ class DoduoTrainer:
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
+        self.history.real_tokens = self.model.real_tokens - real_tokens_before
+        self.history.padded_tokens = (
+            self.model.padded_tokens - padded_tokens_before
+        )
         return self.history
 
     # ------------------------------------------------------------------
@@ -389,30 +422,43 @@ class DoduoTrainer:
 
         Multi-label mode returns boolean indicator matrices
         ``(num_cols, num_types)``; single-label mode returns int arrays.
+
+        Batches are composed on exact serialized-width boundaries (see
+        :class:`~repro.encoding.BatchPlanner`): tables only share a forward
+        pass when they dictate the same padded width, so batch predictions
+        are byte-identical to per-table calls and no token slot is wasted
+        on cross-table padding.
         """
         self.model.eval()
-        results: List[np.ndarray] = []
-        batch_size = max(1, self.config.batch_size)
-        for start in range(0, len(tables), batch_size):
-            chunk = tables[start:start + batch_size]
+        items = [self.encoding.encode(t) for t in tables]
+        planner = BatchPlanner(batch_size=max(1, self.config.batch_size))
+        signatures = [(self.encoding.annotation_width(item),) for item in items]
+        results: List[Optional[np.ndarray]] = [None] * len(tables)
+        for group in planner.plan(signatures):
             if self.config.single_column:
-                encoded = [
-                    self.serializer.serialize_column(t, c)
-                    for t in chunk
-                    for c in range(t.num_columns)
-                ]
+                encoded: List[EncodedTable] = []
+                head_groups: List[List[int]] = []
+                for i in group:
+                    start = len(encoded)
+                    encoded.extend(items[i])
+                    head_groups.append(list(range(start, len(encoded))))
             else:
-                encoded = [self.serializer.serialize_table(t) for t in chunk]
-            probs = self.model.predict_type_probs(encoded, self.config.multi_label)
+                encoded = [items[i] for i in group]
+                head_groups = [[k] for k in range(len(group))]
+            out = self.model.forward_full(
+                encoded, with_embeddings=False, head_groups=head_groups
+            )
+            probs = activation_probs(out.type_logits, self.config.multi_label)
             offset = 0
-            for table in chunk:
-                rows = probs[offset:offset + table.num_columns]
-                offset += table.num_columns
+            for i in group:
+                num_cols = tables[i].num_columns
+                rows = probs[offset:offset + num_cols]
+                offset += num_cols
                 if self.config.multi_label:
-                    results.append(self._predict_multilabel(rows))
+                    results[i] = self._predict_multilabel(rows)
                 else:
-                    results.append(rows.argmax(axis=-1))
-        return results
+                    results[i] = rows.argmax(axis=-1)
+        return results  # type: ignore[return-value]
 
     def predict_relations(
         self, tables: Sequence[Table]
@@ -426,12 +472,10 @@ class DoduoTrainer:
                 results.append({})
                 continue
             if self.config.single_column:
-                encoded = [
-                    self.serializer.serialize_column_pair(table, i, j) for i, j in pairs
-                ]
+                encoded = [self.encoding.encode_pair(table, i, j) for i, j in pairs]
                 index_pairs = [(b, 0, 1) for b in range(len(pairs))]
             else:
-                encoded = [self.serializer.serialize_table(table)]
+                encoded = [self.encoding.encode_table(table)]
                 index_pairs = [(0, i, j) for i, j in pairs]
             probs = self.model.predict_relation_probs(
                 encoded, index_pairs, self.config.multi_label
@@ -483,13 +527,12 @@ class DoduoTrainer:
         return digest.hexdigest()
 
     def encode_for_annotation(self, table: Table) -> EncodedAnnotationInput:
-        """Serialize ``table`` the way :meth:`annotate_batch` consumes it."""
-        if self.config.single_column:
-            return [
-                self.serializer.serialize_column(table, c)
-                for c in range(table.num_columns)
-            ]
-        return self.serializer.serialize_table(table)
+        """Serialize ``table`` the way :meth:`annotate_batch` consumes it.
+
+        Reads through the shared encoding pipeline, so repeated annotation
+        of the same content never re-serializes.
+        """
+        return self.encoding.encode(table)
 
     def annotate_batch(
         self,
@@ -499,17 +542,22 @@ class DoduoTrainer:
         with_embeddings: bool = True,
         with_relations: bool = True,
     ) -> List[RawTableAnnotation]:
-        """Annotate a batch of tables with one encoder pass.
+        """Annotate a batch of tables, one encoder pass per width bucket.
 
         Types, per-type probabilities, relation probabilities, and column
-        embeddings are all derived from a single padded forward pass over the
-        whole batch (:meth:`DoduoModel.forward_full`) — the legacy
-        ``predict_*`` entry points re-encode the same tables once per
-        product.  Single-column mode needs a second pass for column-pair
-        sequences (they are serialized differently from single columns), but
-        both passes remain batched across all tables.
+        embeddings are all derived from one padded forward pass per bucket
+        (:meth:`DoduoModel.forward_full`) — the legacy ``predict_*`` entry
+        points re-encode the same tables once per product.  Single-column
+        mode needs a second pass for column-pair sequences (they are
+        serialized differently from single columns), but both passes remain
+        batched across the bucket's tables.
 
-        ``encoded`` lets callers (the serving engine's LRU cache) supply
+        Buckets are exact (:class:`~repro.encoding.BatchPlanner`): tables
+        share a pass only when they dictate identical padded widths, so
+        every result is **byte-identical** to annotating its table alone —
+        batching changes cost, never bytes.
+
+        ``encoded`` lets callers (the serving engine's cache) supply
         pre-serialized inputs; ``pair_requests`` overrides the probed column
         pairs per table (``None`` entries fall back to
         :func:`default_relation_pairs`).
@@ -546,6 +594,37 @@ class DoduoTrainer:
                 pairs_per_table.append(default_relation_pairs(table))
             else:
                 pairs_per_table.append(validate_relation_pairs(table, requested))
+        # Exact width bucketing: only tables whose forward passes would use
+        # identical padded widths share a bucket, so batch results stay
+        # byte-identical to per-table annotation.  Callers that pre-plan
+        # (the serving engine) hand over homogeneous batches, making this a
+        # single-group no-op.
+        signatures = [
+            self.encoding.annotation_signature(item, pairs)
+            for item, pairs in zip(encoded, pairs_per_table)
+        ]
+        planner = BatchPlanner(batch_size=len(tables))
+        results: List[Optional[RawTableAnnotation]] = [None] * len(tables)
+        for group in planner.plan(signatures):
+            group_results = self._annotate_bucket(
+                [tables[i] for i in group],
+                [encoded[i] for i in group],
+                [pairs_per_table[i] for i in group],
+                with_embeddings,
+            )
+            for i, annotation in zip(group, group_results):
+                results[i] = annotation
+        return results  # type: ignore[return-value]
+
+    def _annotate_bucket(
+        self,
+        tables: Sequence[Table],
+        encoded: Sequence[EncodedAnnotationInput],
+        pairs_per_table: Sequence[List[Tuple[int, int]]],
+        with_embeddings: bool,
+    ) -> List[RawTableAnnotation]:
+        """Annotate one width-homogeneous bucket with one pass (or two in
+        single-column mode: columns, then column pairs)."""
         if self.config.single_column:
             return self._annotate_batch_single_column(
                 tables, encoded, pairs_per_table, with_embeddings
@@ -556,7 +635,13 @@ class DoduoTrainer:
             for (i, j) in pairs
         ]
         out = self.model.forward_full(
-            list(encoded), pairs=flat_pairs or None, with_embeddings=with_embeddings
+            list(encoded),
+            pairs=flat_pairs or None,
+            with_embeddings=with_embeddings,
+            # One head group per table: every head GEMM's row count depends
+            # on that table alone, keeping batched outputs byte-identical
+            # to single-table passes (see DoduoModel.forward_full).
+            head_groups=[[b] for b in range(len(tables))],
         )
         type_probs = activation_probs(out.type_logits, self.config.multi_label)
         relation_probs = (
@@ -577,14 +662,28 @@ class DoduoTrainer:
     ) -> List[RawTableAnnotation]:
         """Single-column mode: one pass over columns, one over column pairs."""
         flat_columns: List[EncodedTable] = []
+        column_groups: List[List[int]] = []
         for item in encoded:
+            start = len(flat_columns)
             flat_columns.extend(item)
-        out = self.model.forward_full(flat_columns, with_embeddings=with_embeddings)
+            column_groups.append(list(range(start, len(flat_columns))))
+        out = self.model.forward_full(
+            flat_columns,
+            with_embeddings=with_embeddings,
+            # Heads run per table (its columns / its pairs), so their GEMM
+            # row counts — and therefore their bytes — never depend on
+            # which other tables share the batch.
+            head_groups=column_groups,
+        )
         type_probs = activation_probs(out.type_logits, self.config.multi_label)
         pair_encoded: List[EncodedTable] = []
+        pair_groups: List[List[int]] = []
         for table, pairs in zip(tables, pairs_per_table):
+            start = len(pair_encoded)
             for i, j in pairs:
-                pair_encoded.append(self.serializer.serialize_column_pair(table, i, j))
+                pair_encoded.append(self.encoding.encode_pair(table, i, j))
+            if len(pair_encoded) > start:
+                pair_groups.append(list(range(start, len(pair_encoded))))
         relation_probs = None
         if pair_encoded:
             pair_out = self.model.forward_full(
@@ -592,6 +691,7 @@ class DoduoTrainer:
                 pairs=[(k, 0, 1) for k in range(len(pair_encoded))],
                 with_types=False,
                 with_embeddings=False,
+                head_groups=pair_groups,
             )
             relation_probs = activation_probs(
                 pair_out.relation_logits, self.config.multi_label
@@ -699,19 +799,26 @@ class DoduoTrainer:
         read (see :meth:`DoduoModel.column_embeddings`).
         """
         self.model.eval()
-        serializer = self.serializer
-        if max_tokens_per_column is not None:
-            limits = serializer.config
-            serializer = TableSerializer(
-                self.tokenizer,
-                SerializerConfig(
-                    max_tokens_per_column=max_tokens_per_column,
-                    max_sequence_length=limits.max_sequence_length,
-                    include_headers=limits.include_headers,
-                    value_order=limits.value_order,
-                    sample_seed=limits.sample_seed,
-                ),
-            )
+        if max_tokens_per_column is None:
+            # The standard recipe reads through the shared encoding cache.
+            if self.config.single_column:
+                encoded = self.encoding.encode_columns(table)
+            else:
+                encoded = [self.encoding.encode_table(table)]
+            return self.model.column_embeddings(encoded, layer=layer).data.copy()
+        # A widened/narrowed budget is a different serialization recipe, so
+        # it must bypass the cache (entries are keyed by content only).
+        limits = self.serializer.config
+        serializer = TableSerializer(
+            self.tokenizer,
+            SerializerConfig(
+                max_tokens_per_column=max_tokens_per_column,
+                max_sequence_length=limits.max_sequence_length,
+                include_headers=limits.include_headers,
+                value_order=limits.value_order,
+                sample_seed=limits.sample_seed,
+            ),
+        )
         if self.config.single_column:
             encoded = [
                 serializer.serialize_column(table, c)

@@ -1,0 +1,85 @@
+"""Content-addressed serialization cache (promoted from ``repro.serving``).
+
+Serializing a table (value ordering, tokenization, numeric binning) is pure
+CPU work repeated verbatim whenever the same table is encoded twice.  That
+used to be a serving-only concern; with the unified encoding layer the same
+cache also serves training epochs (column-shuffle augmentation aside, every
+epoch would re-serialize the validation set) and the analysis modules.  The
+cache stores :class:`~repro.core.serialization.EncodedTable` artifacts keyed
+by a stable content hash of the table, independent of ``table_id`` or object
+identity.
+
+``repro.serving.cache`` re-exports these names for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+from ..datasets.tables import Table
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+def table_fingerprint(table: Table) -> str:
+    """Stable content hash of a table: headers + cell values.
+
+    Deliberately excludes ``table_id`` and ``metadata`` so two requests for
+    the same content share one cache entry, and uses explicit separators so
+    value boundaries cannot collide (``["ab", "c"]`` vs ``["a", "bc"]``).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(table.num_columns).encode("utf-8"))
+    for column in table.columns:
+        digest.update(b"\x1d")  # group separator: next column
+        digest.update((column.header or "").encode("utf-8"))
+        for value in column.values:
+            digest.update(b"\x1f")  # unit separator: next cell
+            digest.update(value.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class LRUCache(Generic[V]):
+    """A small ordered-dict LRU with hit/miss counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[V]:
+        """Return the cached value or ``None``, updating recency and stats."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: Hashable, value: V) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

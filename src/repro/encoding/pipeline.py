@@ -1,0 +1,209 @@
+"""The shared encoding pipeline: serialize → cache → width signatures.
+
+Before this layer existed, the serialize→tokenize→pad→forward recipe was
+re-implemented independently by the trainer (example preparation and the
+``predict_*`` entry points), the serving engine (``_encode_cached``), the
+pre-trainer, and the analysis modules — with the serialization cache living
+only in serving.  :class:`EncodingPipeline` is the single owner of that
+recipe: one :class:`~repro.core.serialization.TableSerializer`, one
+content-hash LRU shared by every consumer (training epochs and repeated
+evaluations stop re-serializing the same tables), and the width bookkeeping
+that :class:`~repro.encoding.planner.BatchPlanner` needs to compose exact,
+zero-padding-waste batches.
+
+Cache keys combine the table's content fingerprint with the encoding kind
+(table-wise sequence / per-column sequences / a specific column pair), so
+the three serializations of one table never collide.  The serializer recipe
+itself is fixed per pipeline — consumers that need a different recipe (e.g.
+:meth:`DoduoTrainer.column_embeddings` with a widened token budget) build a
+throwaway serializer and bypass the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple, Union
+
+from ..datasets.tables import Table
+from .cache import LRUCache, table_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core<->encoding
+    # import cycle: repro.core.trainer imports this module at load time)
+    from ..core.serialization import EncodedTable, TableSerializer
+
+    # Table-wise mode encodes a table to one sequence; single-column mode to
+    # one sequence per column.
+    EncodedInput = Union[EncodedTable, List[EncodedTable]]
+
+DEFAULT_CACHE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class EncodingStats:
+    """Snapshot of one pipeline's counters.
+
+    ``hits``/``misses`` mirror the content-hash LRU; ``serializations``
+    counts actual serializer invocations, so ``hits / (hits + misses)`` is
+    the fraction of encode requests answered without re-tokenizing anything.
+    """
+
+    serializations: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+class EncodingPipeline:
+    """Serialization + caching + batch-width bookkeeping, shared by all layers.
+
+    ``single_column`` mirrors the trainer's Dosolo-SCol flag and decides
+    what :meth:`encode` produces: one table-wise sequence, or one sequence
+    per column.  ``cache_size`` bounds the content-hash LRU in entries
+    (0 disables caching entirely).
+    """
+
+    def __init__(
+        self,
+        serializer: TableSerializer,
+        single_column: bool = False,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.serializer = serializer
+        self.single_column = single_column
+        self._cache: LRUCache = LRUCache(cache_size)
+        self._serializations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        """Number of entries currently cached."""
+        return len(self._cache)
+
+    @property
+    def cache_capacity(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def stats(self) -> EncodingStats:
+        return EncodingStats(
+            serializations=self._serializations,
+            hits=self._cache.hits,
+            misses=self._cache.misses,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached serialization and reset the hit/miss counters."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Cached encodes
+    # ------------------------------------------------------------------
+    def _cached(self, key, build):
+        if self._cache.capacity == 0:
+            self._serializations += 1
+            return build(), False
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached, True
+        self._serializations += 1
+        value = build()
+        self._cache.put(key, value)
+        return value, False
+
+    def _encode_table_cached(self, table: Table) -> Tuple[EncodedTable, bool]:
+        return self._cached(
+            ("table", table_fingerprint(table)),
+            lambda: self.serializer.serialize_table(table),
+        )
+
+    def _encode_columns_cached(
+        self, table: Table
+    ) -> Tuple[List[EncodedTable], bool]:
+        return self._cached(
+            ("columns", table_fingerprint(table)),
+            lambda: [
+                self.serializer.serialize_column(table, c)
+                for c in range(table.num_columns)
+            ],
+        )
+
+    def encode_table(self, table: Table) -> EncodedTable:
+        """Table-wise serialization ``[CLS] col1 [CLS] col2 ... [SEP]``."""
+        return self._encode_table_cached(table)[0]
+
+    def encode_columns(self, table: Table) -> List[EncodedTable]:
+        """One single-column sequence per column of ``table``."""
+        return self._encode_columns_cached(table)[0]
+
+    def encode_column(self, table: Table, col_index: int) -> EncodedTable:
+        """One column's sequence (reads through the per-table column cache)."""
+        return self.encode_columns(table)[col_index]
+
+    def encode_pair(self, table: Table, i: int, j: int) -> EncodedTable:
+        """A column-pair sequence ``[CLS] vi [SEP] [CLS] vj [SEP]``."""
+        encoded, _ = self._cached(
+            ("pair", table_fingerprint(table), int(i), int(j)),
+            lambda: self.serializer.serialize_column_pair(table, i, j),
+        )
+        return encoded
+
+    def encode(self, table: Table) -> EncodedInput:
+        """Serialize ``table`` the way annotation consumes it (mode-aware)."""
+        if self.single_column:
+            return self.encode_columns(table)
+        return self.encode_table(table)
+
+    def encode_cached(self, table: Table) -> Tuple[EncodedInput, bool]:
+        """Like :meth:`encode` but also reports whether it was a cache hit."""
+        if self.single_column:
+            return self._encode_columns_cached(table)
+        return self._encode_table_cached(table)
+
+    # ------------------------------------------------------------------
+    # Width signatures (exact-batching keys)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def annotation_width(encoded: EncodedInput) -> int:
+        """The padded width one item dictates for its column forward pass."""
+        if isinstance(encoded, list):
+            return max((e.length for e in encoded), default=0)
+        return encoded.length
+
+    def annotation_signature(
+        self,
+        encoded: EncodedInput,
+        pairs: Sequence[Tuple[int, int]] = (),
+    ) -> Tuple[int, int]:
+        """Exact-batching key for one annotation item.
+
+        Two items may share a forward batch iff their signatures are equal;
+        then every pass over the batch pads each member to exactly the width
+        it would have used alone, which is what keeps batched annotation
+        byte-identical to sequential annotation.
+
+        * Table-wise items run one pass — the signature is the serialized
+          length (pair logits are read from the same hidden states, so
+          ``pairs`` cost nothing extra).
+        * Single-column items run a column pass padded to the table's widest
+          column, plus (when relations are probed) a pair pass padded to the
+          widest pair sequence.  A pair sequence over columns ``i, j`` is
+          exactly ``len_i + len_j`` tokens (each column keeps its ``[CLS]``
+          and ``[SEP]``), so the pair width falls out of the column lengths
+          without serializing anything.
+        """
+        if not isinstance(encoded, list):
+            return (encoded.length, 0)
+        column_width = max((e.length for e in encoded), default=0)
+        pair_width = 0
+        for i, j in pairs:
+            pair_width = max(pair_width, encoded[i].length + encoded[j].length)
+        return (column_width, pair_width)

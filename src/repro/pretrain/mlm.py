@@ -12,11 +12,13 @@ about the entities that appear in tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.serialization import pad_token_lists
+from ..encoding.planner import BatchPlanner, PaddingReport
 from ..nn import Adam, Linear, Module, Tensor, TransformerConfig, TransformerEncoder
 from ..nn import functional as F
 from ..text import WordPieceTokenizer
@@ -104,25 +106,14 @@ def pack_sentences(
     return examples
 
 
-def _stack_examples(
-    examples: Sequence[Sequence[int]],
-    pad_id: int,
-) -> Tuple[np.ndarray, np.ndarray]:
-    width = max(len(ids) for ids in examples)
-    batch = np.full((len(examples), width), pad_id, dtype=np.int64)
-    mask = np.zeros((len(examples), width), dtype=bool)
-    for i, ids in enumerate(examples):
-        batch[i, : len(ids)] = ids
-        mask[i, : len(ids)] = True
-    return batch, mask
-
-
 @dataclass
 class PretrainResult:
-    """Output of :func:`pretrain_mlm`: the model and its loss trajectory."""
+    """Output of :func:`pretrain_mlm`: the model, its loss trajectory, and
+    the padding accounting of the run's forward batches."""
 
     model: MaskedLanguageModel
     losses: List[float]
+    padding: PaddingReport = field(default_factory=PaddingReport)
 
     @property
     def encoder(self) -> TransformerEncoder:
@@ -142,12 +133,22 @@ def pretrain_mlm(
     lr: float = 1e-3,
     max_len: int = 64,
     seed: int = 0,
+    exact_batching: bool = False,
 ) -> PretrainResult:
     """Pre-train a masked LM on ``corpus`` and return it.
 
     Sentences are packed to ``max_len`` (see :func:`pack_sentences`).  The
     loss trajectory is recorded per epoch so tests can assert that
     pre-training actually reduces the MLM loss.
+
+    Padding follows the shared implementation in
+    :func:`repro.core.serialization.pad_token_lists`.  ``exact_batching``
+    composes each epoch's batches on exact length boundaries via
+    :class:`~repro.encoding.BatchPlanner` — zero padded slots per batch, at
+    the cost of a fixed (non-shuffled) batch composition; the default keeps
+    the historical shuffled batches so existing pre-training runs stay
+    bit-reproducible.  Either way ``PretrainResult.padding`` reports the
+    run's real vs allocated token slots.
     """
     rng = np.random.default_rng(seed)
     model = MaskedLanguageModel(config, rng)
@@ -155,12 +156,32 @@ def pretrain_mlm(
     examples = pack_sentences(list(corpus), tokenizer, max_len)
 
     losses: List[float] = []
+    padding = PaddingReport()
     for _ in range(epochs):
-        order = rng.permutation(len(examples))
+        if exact_batching:
+            # Exact buckets: batches never mix lengths, so no slot is
+            # wasted.  The permutation is re-drawn per epoch to keep the
+            # masking stream and bucket-internal order varied.
+            order = rng.permutation(len(examples))
+            planner = BatchPlanner(batch_size=batch_size, ordered=True)
+            plan = planner.plan([(len(examples[i]),) for i in order])
+            batches_indices = [[order[k] for k in bucket] for bucket in plan]
+        else:
+            order = rng.permutation(len(examples))
+            batches_indices = [
+                list(order[start:start + batch_size])
+                for start in range(0, len(order), batch_size)
+            ]
         epoch_loss, batches = 0.0, 0
-        for start in range(0, len(order), batch_size):
-            chunk = [examples[i] for i in order[start:start + batch_size]]
-            token_ids, attention = _stack_examples(chunk, tokenizer.vocab.pad_id)
+        for indices in batches_indices:
+            chunk = [examples[i] for i in indices]
+            token_ids, attention = pad_token_lists(chunk, tokenizer.vocab.pad_id)
+            padding = padding + PaddingReport(
+                sequences=len(chunk),
+                batches=1,
+                real_tokens=sum(len(ids) for ids in chunk),
+                padded_tokens=int(token_ids.size),
+            )
             masked, labels = mask_tokens(token_ids, tokenizer, rng)
             logits = model(masked, attention_mask=attention)
             loss = F.cross_entropy_logits(logits, labels, ignore_index=IGNORE_INDEX)
@@ -171,7 +192,7 @@ def pretrain_mlm(
             batches += 1
         losses.append(epoch_loss / max(batches, 1))
     model.eval()
-    return PretrainResult(model=model, losses=losses)
+    return PretrainResult(model=model, losses=losses, padding=padding)
 
 
 def sentence_pseudo_perplexity(

@@ -5,10 +5,12 @@ The stack, bottom-up:
 * :class:`AnnotationRequest` / :class:`AnnotationOptions` — one table plus
   per-request knobs; :class:`AnnotationResult` wraps the toolbox-compatible
   payload plus serving metadata.
-* :class:`AnnotationEngine` — length-bucketed batching, an in-memory LRU
-  serialization cache, one padded encoder forward pass per batch, and an
-  optional persistent result-cache tier (:class:`DiskCache`) so repeated
-  corpora never re-encode across process restarts.
+* :class:`AnnotationEngine` — exact width-bucketed batching over the shared
+  :class:`~repro.encoding.EncodingPipeline` (zero cross-request padding,
+  batched results byte-identical to sequential ones), one encoder forward
+  pass per bucket, and an optional persistent result-cache tier
+  (:class:`DiskCache`, boundable via ``max_bytes`` and compactable) so
+  repeated corpora never re-encode across process restarts.
 * :class:`AnnotationService` — an asynchronous bounded request queue whose
   worker drains submissions into batches under a max-batch/max-latency
   policy and dedups concurrent content-identical requests onto one forward
@@ -37,7 +39,12 @@ byte-identity guarantees).
 """
 
 from .cache import LRUCache, table_fingerprint
-from .diskcache import DiskCache, DiskCacheStats, result_cache_key
+from .diskcache import (
+    CompactionResult,
+    DiskCache,
+    DiskCacheStats,
+    result_cache_key,
+)
 from .engine import AnnotationEngine, EngineConfig, EngineStats
 from .queue import AnnotationService, QueueConfig, ServiceStats
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
@@ -48,6 +55,7 @@ __all__ = [
     "AnnotationRequest",
     "AnnotationResult",
     "AnnotationService",
+    "CompactionResult",
     "DiskCache",
     "DiskCacheStats",
     "EngineConfig",

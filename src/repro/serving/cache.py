@@ -1,81 +1,15 @@
-"""LRU serialization cache for the annotation engine.
+"""Backward-compatibility shim: the serialization cache moved.
 
-Serializing a table (value ordering, tokenization, numeric binning) is pure
-CPU work repeated verbatim whenever the same table is annotated twice — a
-common pattern for serving workloads (retries, overlapping requests, the
-same popular table hit by many users).  The engine therefore caches
-:class:`~repro.core.serialization.EncodedTable` artifacts keyed by a stable
-content hash of the table, independent of ``table_id`` or object identity.
+The content-hash LRU started life as a serving-only optimization; the
+unified encoding layer (:mod:`repro.encoding`) promoted it so training
+epochs, repeated evaluations, and analysis share the same cache as serving.
+Import :class:`~repro.encoding.LRUCache` and
+:func:`~repro.encoding.table_fingerprint` from :mod:`repro.encoding`
+directly in new code; this module keeps the historical import path alive.
 """
 
 from __future__ import annotations
 
-import hashlib
-from collections import OrderedDict
-from typing import Generic, Hashable, Optional, TypeVar
+from ..encoding.cache import LRUCache, table_fingerprint
 
-from ..datasets.tables import Table
-
-V = TypeVar("V")
-
-_MISSING = object()
-
-
-def table_fingerprint(table: Table) -> str:
-    """Stable content hash of a table: headers + cell values.
-
-    Deliberately excludes ``table_id`` and ``metadata`` so two requests for
-    the same content share one cache entry, and uses explicit separators so
-    value boundaries cannot collide (``["ab", "c"]`` vs ``["a", "bc"]``).
-    """
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(str(table.num_columns).encode("utf-8"))
-    for column in table.columns:
-        digest.update(b"\x1d")  # group separator: next column
-        digest.update((column.header or "").encode("utf-8"))
-        for value in column.values:
-            digest.update(b"\x1f")  # unit separator: next cell
-            digest.update(value.encode("utf-8"))
-    return digest.hexdigest()
-
-
-class LRUCache(Generic[V]):
-    """A small ordered-dict LRU with hit/miss counters."""
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 0:
-            raise ValueError(f"capacity must be >= 0: {capacity}")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
-
-    def get(self, key: Hashable) -> Optional[V]:
-        """Return the cached value or ``None``, updating recency and stats."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value  # type: ignore[return-value]
-
-    def put(self, key: Hashable, value: V) -> None:
-        if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+__all__ = ["LRUCache", "table_fingerprint"]

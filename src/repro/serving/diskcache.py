@@ -44,7 +44,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -142,12 +142,28 @@ class DiskCacheStats:
 
     ``corrupt_records`` counts unparseable lines skipped while scanning
     existing segments at open — evidence of a torn write, not an error.
+    ``evicted_records`` counts index entries dropped by ``max_bytes``
+    segment eviction (their values are deleted with the segment).
     """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     corrupt_records: int = 0
+    evicted_records: int = 0
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of one :meth:`DiskCache.compact` run."""
+
+    records: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.bytes_before - self.bytes_after
 
 
 class DiskCache:
@@ -163,16 +179,32 @@ class DiskCache:
     Concurrency: one writing handle per directory is assumed (the serving
     queue funnels all annotation through a single worker, which preserves
     this).  Multiple read-only openers of a quiescent directory are safe.
+
+    Growth control: ``max_bytes`` bounds the directory — when total segment
+    bytes exceed it, whole oldest segments are deleted (log-structured
+    eviction: the entries lost are the oldest ever written, never the ones
+    being served right now).  The active segment is never evicted, so the
+    bound can be overshot by at most one segment.  :meth:`compact` rewrites
+    the directory keeping only live records, dropping corrupt lines,
+    shadowed duplicates, and dead space.
     """
 
-    def __init__(self, directory: PathLike, max_segment_records: int = 1024) -> None:
+    def __init__(
+        self,
+        directory: PathLike,
+        max_segment_records: int = 1024,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if max_segment_records < 1:
             raise ValueError(
                 f"max_segment_records must be >= 1: {max_segment_records}"
             )
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0: {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_segment_records = max_segment_records
+        self.max_bytes = max_bytes
         self.stats = DiskCacheStats()
         # key -> (segment path, byte offset of its record line)
         self._index: Dict[str, Tuple[Path, int]] = {}
@@ -180,8 +212,10 @@ class DiskCache:
         self._segment_index = -1
         self._segment_path: Optional[Path] = None
         self._tail_needs_newline = False
+        self._total_bytes = 0
         self._handle = None
         self._scan_segments()
+        self._enforce_max_bytes()
 
     # ------------------------------------------------------------------
     # Loading
@@ -191,16 +225,29 @@ class DiskCache:
             sorted(self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
         )
 
+    @staticmethod
+    def _segment_number(path: Path) -> Optional[int]:
+        """The segment's index, or ``None`` for a foreign file that merely
+        matches the glob (those are never touched — not scanned, not
+        counted, not evicted, not compacted away)."""
+        try:
+            return int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+        except ValueError:
+            return None
+
+    def _owned_segments(self) -> List[Path]:
+        return [
+            path for path in self._segments()
+            if self._segment_number(path) is not None
+        ]
+
     def _scan_segments(self) -> None:
         """Rebuild the index from disk, skipping corrupt lines."""
         for path in self._segments():
-            try:
-                self._segment_index = max(
-                    self._segment_index,
-                    int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]),
-                )
-            except ValueError:
+            number = self._segment_number(path)
+            if number is None:
                 continue  # foreign file matching the glob; leave it alone
+            self._segment_index = max(self._segment_index, number)
             offset = 0
             records = 0
             line = b"\n"
@@ -218,6 +265,7 @@ class DiskCache:
                         # from two writers racing (unsupported but benign).
                         self._index[str(key)] = (path, offset)
                     offset += len(line)
+            self._total_bytes += offset
             self._segment_records = records
             self._segment_path = path
             # A crash can tear the final record mid-line with no trailing
@@ -281,7 +329,9 @@ class DiskCache:
         self._handle.flush()
         self._index[key] = (self._segment_path, offset)
         self._segment_records += 1
+        self._total_bytes += len(line)
         self.stats.writes += 1
+        self._enforce_max_bytes()
 
     def _ensure_segment(self) -> None:
         """Make ``_handle`` point at a segment with room for one record."""
@@ -315,10 +365,143 @@ class DiskCache:
         self._segment_records = 0
         self._tail_needs_newline = False
 
-    def clear(self) -> None:
-        """Delete every segment and reset the index and counters."""
+    # ------------------------------------------------------------------
+    # Growth control
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held by the directory's segments."""
+        return self._total_bytes
+
+    def _enforce_max_bytes(self) -> None:
+        """Drop whole oldest segments until the directory fits ``max_bytes``.
+
+        The active (newest) segment is never dropped — the bound may be
+        overshot by at most one segment, and a cache smaller than one
+        segment's worth of records keeps serving its freshest entries.
+        """
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes:
+            victims = [
+                path for path in self._owned_segments()
+                if path != self._segment_path
+            ]
+            if not victims:
+                return
+            oldest = victims[0]
+            evicted = [
+                key for key, (path, _) in self._index.items() if path == oldest
+            ]
+            for key in evicted:
+                del self._index[key]
+            try:
+                size = oldest.stat().st_size
+                os.remove(oldest)
+            except OSError:
+                return  # cannot measure/remove: stop rather than loop
+            self._total_bytes -= size
+            self.stats.evicted_records += len(evicted)
+
+    def compact(self) -> CompactionResult:
+        """Rewrite the directory keeping only live records.
+
+        An append-only log accumulates dead space: lines corrupted by torn
+        writes, duplicates shadowed by a later segment, and records whose
+        index entries were dropped by eviction or read-time rot.  Compaction
+        streams every *live* record (in index order: oldest segment first)
+        into freshly numbered segments, swaps them in, and rebuilds the
+        in-memory index.  Keys, payload bytes, and lookup results are
+        unchanged — only dead space disappears.  The write handle is
+        reopened lazily by the next :meth:`put`.
+        """
         self.close()
-        for path in self._segments():
+        bytes_before = self._total_bytes
+        live = sorted(self._index.items(), key=lambda item: (item[1][0].name, item[1][1]))
+        tmp_paths: list = []
+        new_index: Dict[str, Tuple[Path, int]] = {}
+        handle = None
+        reader = None
+        reader_path: Optional[Path] = None
+        records_in_segment = 0
+        segment_index = -1
+        segment_path: Optional[Path] = None
+        offset = 0
+        total = 0
+        try:
+            for key, (path, old_offset) in live:
+                # live is sorted oldest-segment-first by ascending offset,
+                # so one read handle per source segment suffices.
+                if reader_path != path:
+                    if reader is not None:
+                        reader.close()
+                    reader = open(path, "rb")
+                    reader_path = path
+                reader.seek(old_offset)
+                line = reader.readline()
+                if not line.endswith(b"\n"):
+                    # A valid final record can lack its newline (torn write
+                    # that still parsed); terminate it or it would merge
+                    # with the record written after it.
+                    line += b"\n"
+                if handle is None or records_in_segment >= self.max_segment_records:
+                    if handle is not None:
+                        handle.close()
+                    segment_index += 1
+                    segment_path = self.directory / (
+                        f"{_SEGMENT_PREFIX}{segment_index:06d}{_SEGMENT_SUFFIX}.tmp"
+                    )
+                    tmp_paths.append(segment_path)
+                    handle = open(segment_path, "wb")
+                    records_in_segment = 0
+                    offset = 0
+                handle.write(line)
+                new_index[key] = (segment_path, offset)
+                offset += len(line)
+                total += len(line)
+                records_in_segment += 1
+        finally:
+            if reader is not None:
+                reader.close()
+            if handle is not None:
+                handle.close()
+        # Swap: delete the old log, promote the temporaries.  Foreign files
+        # that merely match the segment glob are left untouched.
+        for path in self._owned_segments():
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        final_by_tmp: Dict[Path, Path] = {}
+        for tmp in tmp_paths:
+            final = tmp.with_suffix("")  # strip ".tmp" -> segment-N.jsonl
+            os.replace(tmp, final)
+            final_by_tmp[tmp] = final
+        final_index: Dict[str, Tuple[Path, int]] = {
+            key: (final_by_tmp[path], key_offset)
+            for key, (path, key_offset) in new_index.items()
+        }
+        self._index = final_index
+        self._segment_index = segment_index
+        self._segment_path = (
+            self.directory
+            / f"{_SEGMENT_PREFIX}{segment_index:06d}{_SEGMENT_SUFFIX}"
+            if segment_index >= 0
+            else None
+        )
+        self._segment_records = records_in_segment if segment_index >= 0 else 0
+        self._tail_needs_newline = False
+        self._total_bytes = total
+        return CompactionResult(
+            records=len(final_index),
+            bytes_before=bytes_before,
+            bytes_after=total,
+        )
+
+    def clear(self) -> None:
+        """Delete every owned segment and reset the index and counters."""
+        self.close()
+        for path in self._owned_segments():
             try:
                 os.remove(path)
             except OSError:
@@ -328,6 +511,7 @@ class DiskCache:
         self._segment_index = -1
         self._segment_path = None
         self._tail_needs_newline = False
+        self._total_bytes = 0
         self.stats = DiskCacheStats()
 
     def close(self) -> None:

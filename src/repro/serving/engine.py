@@ -3,20 +3,25 @@
 :class:`AnnotationEngine` is the single-pass replacement for the legacy
 ``predict_types`` → ``predict_type_probs`` → relation probe →
 ``column_embeddings`` cascade: a whole batch of tables is serialized once
-(through an LRU cache), run through **one** padded encoder forward pass, and
-types, per-type score dictionaries, relation predictions, and column
-embeddings are all derived from that pass's hidden states.
+(through the shared :class:`~repro.encoding.EncodingPipeline` cache), run
+through one padded encoder forward pass per bucket, and types, per-type
+score dictionaries, relation predictions, and column embeddings are all
+derived from those hidden states.
 
-Batching policy: requests are length-bucketed (sorted by serialized length)
-before being chunked into forward batches, so a batch pads to its own bucket's
-maximum rather than the global one.  Results always come back in request
-order.
+Batching policy: requests are composed into **exact length buckets**
+(:class:`~repro.encoding.BatchPlanner`) — only requests whose forward
+passes would use identical padded widths share a batch.  Identical-width
+batches carry zero cross-request padding (``EngineStats`` reports the
+waste ratio) and, because no sequence is ever padded beyond the width it
+would use alone, batched results are **byte-identical** to sequential
+ones.  The pre-encoding-layer policy padded sorted chunks jointly, which
+perturbed float32 BLAS reductions at the ~1e-7 level; that tolerance is
+gone.  Results always come back in request order.
 
-Exactness: a single-request batch is bitwise identical to the legacy
+Exactness: any batch composition is bitwise identical to the legacy
 multi-pass path (the compatibility wrappers in
-:class:`~repro.core.annotator.Doduo` rely on this); multi-table batches pad
-sequences jointly, which perturbs float32 BLAS reductions at the ~1e-7
-level — equivalent predictions, not bitwise-equal scores.
+:class:`~repro.core.annotator.Doduo` rely on the single-request case;
+the serving equivalence tests pin the batched one).
 """
 
 from __future__ import annotations
@@ -37,9 +42,9 @@ from typing import (
 import numpy as np
 
 from ..core.annotator import AnnotatedTable
-from ..core.trainer import DoduoTrainer, RawTableAnnotation
+from ..core.trainer import DoduoTrainer, RawTableAnnotation, default_relation_pairs
 from ..datasets.tables import Table
-from .cache import LRUCache, table_fingerprint
+from ..encoding import BatchPlanner, EncodingPipeline
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,16 +59,20 @@ DEFAULT_DECISION_THRESHOLD = 0.5  # the paper's multi-label cutoff
 class EngineConfig:
     """Engine-level knobs.
 
-    ``batch_size`` caps tables per forward pass; ``cache_size`` is the LRU
-    serialization-cache capacity in tables (0 disables caching);
-    ``length_bucketing`` sorts requests by serialized length before chunking
-    so similar-length tables share a padded batch; ``cache_dir`` turns on
-    the persistent result-cache tier (:class:`~repro.serving.diskcache.DiskCache`
-    rooted there) so finished annotations survive process restarts.
+    ``batch_size`` caps tables per forward pass.  ``cache_size`` controls
+    the serialization cache: ``None`` (default) shares the trainer's
+    :class:`~repro.encoding.EncodingPipeline` — serving requests, training
+    epochs, and evaluations then reuse each other's serializations — while
+    an explicit capacity builds a private pipeline of that size (0 disables
+    caching).  ``length_bucketing`` orders the exact width buckets by
+    ascending width (``False`` keeps first-seen bucket order; composition
+    is exact either way).  ``cache_dir`` turns on the persistent
+    result-cache tier (:class:`~repro.serving.diskcache.DiskCache` rooted
+    there) so finished annotations survive process restarts.
     """
 
     batch_size: int = 8
-    cache_size: int = 256
+    cache_size: Optional[int] = None
     length_bucketing: bool = True
     default_options: AnnotationOptions = field(default_factory=AnnotationOptions)
     cache_dir: Optional[str] = None
@@ -71,7 +80,7 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
-        if self.cache_size < 0:
+        if self.cache_size is not None and self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0: {self.cache_size}")
 
 
@@ -79,10 +88,15 @@ class EngineConfig:
 class EngineStats:
     """Counters for one engine's lifetime.
 
-    ``cache_hits``/``cache_misses`` mirror the in-memory serialization LRU;
-    ``disk_hits``/``disk_misses`` count persistent result-cache lookups
-    (only when a :class:`~repro.serving.diskcache.DiskCache` is attached —
-    a disk hit skips serialization *and* the forward pass entirely).
+    ``cache_hits``/``cache_misses`` mirror this engine's share of the
+    serialization-cache traffic; ``disk_hits``/``disk_misses`` count
+    persistent result-cache lookups (only when a
+    :class:`~repro.serving.diskcache.DiskCache` is attached — a disk hit
+    skips serialization *and* the forward pass entirely).
+    ``real_tokens``/``padded_tokens`` account every encoder pass this
+    engine ran: with exact width bucketing ``padding_waste`` stays at the
+    intra-table floor (single-column tables pad short columns to their own
+    table's widest), with zero cross-request padding on top.
     """
 
     requests: int = 0
@@ -92,6 +106,15 @@ class EngineStats:
     cache_misses: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    real_tokens: int = 0
+    padded_tokens: int = 0
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of allocated token slots that carried padding."""
+        if self.padded_tokens == 0:
+            return 0.0
+        return (self.padded_tokens - self.real_tokens) / self.padded_tokens
 
 
 class AnnotationEngine:
@@ -113,7 +136,16 @@ class AnnotationEngine:
             )
         self.trainer = trainer
         self.config = config or EngineConfig()
-        self._cache: LRUCache = LRUCache(self.config.cache_size)
+        if self.config.cache_size is None:
+            # Share the trainer's pipeline: serving, training epochs, and
+            # evaluation reuse one serialization cache.
+            self.encoding: EncodingPipeline = trainer.encoding
+        else:
+            self.encoding = EncodingPipeline(
+                trainer.serializer,
+                single_column=trainer.config.single_column,
+                cache_size=self.config.cache_size,
+            )
         if result_cache is None and self.config.cache_dir is not None:
             from .diskcache import DiskCache  # deferred: only needed with the tier on
 
@@ -168,11 +200,12 @@ class AnnotationEngine:
         items: Sequence[RequestLike],
         options: Optional[AnnotationOptions] = None,
     ) -> List[AnnotationResult]:
-        """Annotate many tables, one padded forward pass per chunk.
+        """Annotate many tables, one forward pass per exact width bucket.
 
         ``options`` applies to plain :class:`Table` items; explicit
         :class:`AnnotationRequest` items keep their own options.  Results are
-        returned in input order regardless of length bucketing.
+        returned in input order regardless of bucket composition, and each
+        one is byte-identical to what :meth:`annotate` would return alone.
 
         With a persistent result cache attached (``EngineConfig.cache_dir``
         or the ``result_cache`` constructor argument), each request is first
@@ -214,13 +247,25 @@ class AnnotationEngine:
                     )
         encoded: Dict[int, object] = {}
         cached_flags: Dict[int, bool] = {}
+        # The pipeline may be shared (trainer, other engines), so engine
+        # stats accumulate only this call's slice of the cache traffic.
+        hits_before = self.encoding.cache_hits
+        misses_before = self.encoding.cache_misses
         for i in pending:
-            encoded[i], cached_flags[i] = self._encode_cached(requests[i].table)
-        order = list(pending)
-        if self.config.length_bucketing and len(order) > 1:
-            order.sort(key=lambda i: self._encoded_length(encoded[i]))
-        for start in range(0, len(order), self.config.batch_size):
-            chunk = order[start:start + self.config.batch_size]
+            encoded[i], cached_flags[i] = self.encoding.encode_cached(
+                requests[i].table
+            )
+        self.stats.cache_hits += self.encoding.cache_hits - hits_before
+        self.stats.cache_misses += self.encoding.cache_misses - misses_before
+        # Exact bucket plan: only requests dictating identical padded widths
+        # share a forward batch (the byte-identity contract).
+        planner = BatchPlanner(
+            batch_size=self.config.batch_size,
+            ordered=self.config.length_bucketing,
+        )
+        signatures = [self._signature(requests[i], encoded[i]) for i in pending]
+        for bucket in planner.plan(signatures):
+            chunk = [pending[k] for k in bucket]
             self._run_chunk(chunk, requests, encoded, cached_flags, results)
         if self.result_cache is not None:
             from .diskcache import encode_annotation
@@ -257,14 +302,18 @@ class AnnotationEngine:
             yield from self.annotate_batch(pending, options)
 
     def clear_cache(self) -> None:
-        """Drop the in-memory serialization LRU (the disk tier is untouched)."""
-        self._cache.clear()
+        """Drop the serialization cache (the disk tier is untouched).
+
+        With the default shared pipeline this clears the trainer's cache
+        too — the cache is one object by design.
+        """
+        self.encoding.clear_cache()
         self.stats.cache_hits = 0
         self.stats.cache_misses = 0
 
     @property
     def cache_size(self) -> int:
-        return len(self._cache)
+        return self.encoding.cache_size
 
     @property
     def model_fingerprint(self) -> str:
@@ -292,31 +341,33 @@ class AnnotationEngine:
             )
         raise TypeError(f"expected a Table or AnnotationRequest, got {type(item)!r}")
 
-    def _encode_cached(self, table: Table) -> Tuple[object, bool]:
-        """Serialize ``table`` through the LRU cache; returns (encoded, hit).
+    def _signature(
+        self, request: AnnotationRequest, encoded: object
+    ) -> Tuple[int, int]:
+        """Exact-batching key of one request (see
+        :meth:`~repro.encoding.EncodingPipeline.annotation_signature`).
 
-        With the cache disabled (``cache_size=0``) nothing is counted — there
-        is no cache to hit or miss.  The LRU owns the hit/miss counters; the
-        engine stats mirror them so the two can never drift.
+        Out-of-range explicit pairs are skipped here — the trainer validates
+        them with a proper error message; a slightly loose signature only
+        affects which requests *could* have shared a batch, never bytes.
         """
-        if self.config.cache_size == 0:
-            return self.trainer.encode_for_annotation(table), False
-        key = table_fingerprint(table)
-        cached = self._cache.get(key)
-        hit = cached is not None
-        if not hit:
-            cached = self.trainer.encode_for_annotation(table)
-            self._cache.put(key, cached)
-        self.stats.cache_hits = self._cache.hits
-        self.stats.cache_misses = self._cache.misses
-        return cached, hit
-
-    @staticmethod
-    def _encoded_length(encoded: object) -> int:
-        """Padding-width driver of one encoded item (bucket sort key)."""
-        if isinstance(encoded, list):  # single-column mode: one seq per column
-            return max(e.length for e in encoded)
-        return encoded.length  # type: ignore[attr-defined]
+        if not isinstance(encoded, list):
+            return (encoded.length, 0)  # type: ignore[attr-defined]
+        num_columns = len(encoded)
+        if (
+            not request.options.with_relations
+            or self.trainer.model.relation_head is None
+        ):
+            pairs: Sequence[Tuple[int, int]] = ()
+        elif request.pairs is not None:
+            pairs = [
+                (i, j)
+                for i, j in request.pairs
+                if 0 <= i < num_columns and 0 <= j < num_columns
+            ]
+        else:
+            pairs = default_relation_pairs(request.table)
+        return self.encoding.annotation_signature(encoded, pairs)
 
     def _run_chunk(
         self,
@@ -337,6 +388,8 @@ class AnnotationEngine:
         any_embeddings = any(requests[i].options.with_embeddings for i in chunk)
         model = self.trainer.model
         passes_before = model.encode_calls
+        real_before = model.real_tokens
+        padded_before = model.padded_tokens
         batch_index = self.stats.batches
         raw = self.trainer.annotate_batch(
             tables,
@@ -346,6 +399,8 @@ class AnnotationEngine:
         )
         self.stats.batches += 1
         self.stats.encoder_passes += model.encode_calls - passes_before
+        self.stats.real_tokens += model.real_tokens - real_before
+        self.stats.padded_tokens += model.padded_tokens - padded_before
         for i, raw_item in zip(chunk, raw):
             results[i] = self._build_result(
                 requests[i], raw_item, cached_flags[i], batch_index

@@ -24,16 +24,21 @@ Request lifecycle
 4. Futures resolve with the result, or with the exception the engine raised
    (delivered per-waiter, never swallowed).
 
-Exactness
----------
-In ``exact`` mode (the default) each unique request runs as its own
-single-table engine batch, so every result is **byte-identical** to a
-direct ``engine.annotate`` call — dedup and the cache tiers change cost,
-never bytes.  With ``exact=False`` the worker hands each drained batch of
-unique requests to ``engine.annotate_batch``, which pads them jointly: same
-predictions, but float scores can drift at the ~1e-7 level relative to a
-single-table pass (see :mod:`repro.serving.engine`).  Choose ``exact=False``
-when raw throughput matters more than bitwise reproducibility.
+Exactness and drain planning
+----------------------------
+Every drain of unique requests is handed to ``engine.annotate_batch``,
+which splits it on serialized-length boundaries into **exact width
+buckets** (:mod:`repro.encoding`): no sequence is ever padded beyond the
+width it would use alone, so queued results are **byte-identical** to
+direct ``engine.annotate`` calls in *both* modes — dedup, batching, and
+the cache tiers change cost, never bytes.  (Historically ``exact`` mode
+bought byte-identity by running one single-table pass per unique request;
+the encoding layer made that trade obsolete.)
+
+The ``exact`` flag now selects the *failure-isolation* policy: ``True``
+(default) retries a failed drain one request at a time so an invalid
+request poisons only its own dedup group; ``False`` lets the whole drain
+share the exception — marginally cheaper when failures are impossible.
 """
 
 from __future__ import annotations
@@ -61,8 +66,11 @@ class QueueConfig:
     batching efficiency; ``max_queue_size`` bounds the pending queue
     (``submit`` blocks when full, raising ``queue.Full`` after
     ``submit_timeout`` seconds, so producers feel backpressure instead of
-    exhausting memory); ``exact`` selects byte-identical single-table passes
-    (default) over jointly-padded batching (see the module docstring).
+    exhausting memory); ``exact`` keeps per-request failure isolation (a
+    failed drain is retried request-by-request) — results are
+    byte-identical to direct engine calls either way, because the engine
+    batches drains on exact serialized-length boundaries (see the module
+    docstring).
     """
 
     max_batch: int = 8
@@ -320,27 +328,30 @@ class AnnotationService:
         representatives = [members[0] for members in groups.values()]
         self.stats.dedup_hits += len(live) - len(representatives)
         self.stats.unique_annotated += len(representatives)
-        if self.config.exact:
-            # One single-table engine batch per unique request: results stay
-            # byte-identical to direct engine.annotate calls, and a failing
-            # request poisons only its own dedup group, not the whole drain.
-            for members in groups.values():
-                try:
-                    result = self.engine.annotate_batch([members[0].request])[0]
-                except Exception as error:  # noqa: BLE001 - delivered to waiters
-                    self._fan_out_error(members, error)
-                else:
-                    self._fan_out(members, result)
-            return
+        # One engine call per drain: the engine plans the unique requests
+        # into exact width buckets, so results are byte-identical to
+        # single-table passes while the drain still batches.
         try:
             results = self.engine.annotate_batch(
                 [rep.request for rep in representatives]
             )
-        except Exception as error:  # noqa: BLE001 - delivered to every waiter
-            # A joint forward pass cannot attribute the failure to one
-            # request, so the whole drain shares the exception.
+        except Exception as error:  # noqa: BLE001 - delivered to waiters
+            if not self.config.exact:
+                # The drain shares its fate: every waiter sees the error.
+                for members in groups.values():
+                    self._fan_out_error(members, error)
+                return
+            # Exact mode isolates failures: retry request-by-request so a
+            # poisoned request fails alone.  Retried requests cost nothing
+            # extra beyond their own pass — serializations are cached, and
+            # single-request results are byte-identical to batched ones.
             for members in groups.values():
-                self._fan_out_error(members, error)
+                try:
+                    result = self.engine.annotate_batch([members[0].request])[0]
+                except Exception as retry_error:  # noqa: BLE001
+                    self._fan_out_error(members, retry_error)
+                else:
+                    self._fan_out(members, result)
             return
         for result, members in zip(results, groups.values()):
             self._fan_out(members, result)

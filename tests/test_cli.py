@@ -335,6 +335,40 @@ class TestAnnotateWideAndErrors:
 
 
 class TestParser:
+    def test_cache_compact(self, tmp_path, capsys):
+        from repro.serving import DiskCache
+
+        cache_dir = tmp_path / "cache"
+        with DiskCache(cache_dir) as cache:
+            for i in range(4):
+                cache.put(f"k{i}", {"i": i})
+        assert main(["cache", "compact", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 live records" in out
+        assert DiskCache(cache_dir).get("k2") == {"i": 2}
+
+    def test_cache_compact_with_max_bytes(self, tmp_path, capsys):
+        from repro.serving import DiskCache
+
+        cache_dir = tmp_path / "cache"
+        with DiskCache(cache_dir, max_segment_records=1) as cache:
+            for i in range(6):
+                cache.put(f"k{i}", {"i": i})
+            total = cache.total_bytes
+        code = main(
+            ["cache", "compact", str(cache_dir), "--max-bytes", str(total // 2)]
+        )
+        assert code == 0
+        assert "evicted" in capsys.readouterr().out
+        survivor = DiskCache(cache_dir)
+        assert len(survivor) < 6
+        assert survivor.get("k5") == {"i": 5}
+
+    def test_cache_compact_missing_directory(self, tmp_path, capsys):
+        code = main(["cache", "compact", str(tmp_path / "nope")])
+        assert code == 1
+        assert "not a directory" in capsys.readouterr().err
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -157,6 +157,99 @@ class TestDiskCacheStore:
         with pytest.raises(ValueError, match="max_segment_records"):
             DiskCache(tmp_path, max_segment_records=0)
 
+    def test_invalid_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(tmp_path, max_bytes=-1)
+
+
+@pytest.mark.smoke
+class TestDiskCacheGrowthControl:
+    """compact() and the max_bytes bound: the tier no longer grows forever."""
+
+    def test_compact_preserves_every_live_record(self, tmp_path):
+        with DiskCache(tmp_path, max_segment_records=3) as cache:
+            for i in range(10):
+                cache.put(f"k{i}", {"i": i})
+            result = cache.compact()
+            assert result.records == 10
+            assert result.bytes_after <= result.bytes_before
+            for i in range(10):
+                assert cache.get(f"k{i}") == {"i": i}
+            # Still writable after the swap, and everything survives reopen.
+            cache.put("post", {"ok": True})
+        reopened = DiskCache(tmp_path, max_segment_records=3)
+        assert len(reopened) == 11
+        assert reopened.get("post") == {"ok": True}
+
+    def test_compact_drops_corrupt_lines(self, tmp_path):
+        with DiskCache(tmp_path) as cache:
+            cache.put("a", {"v": 1})
+            cache.put("b", {"v": 2})
+        segment = next(tmp_path.glob("segment-*.jsonl"))
+        lines = segment.read_bytes().splitlines(keepends=True)
+        segment.write_bytes(lines[0] + b"{torn garbage\n" + lines[1])
+        cache = DiskCache(tmp_path)
+        assert cache.stats.corrupt_records == 1
+        bytes_with_garbage = cache.total_bytes
+        result = cache.compact()
+        assert result.records == 2
+        assert result.bytes_after < bytes_with_garbage
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("b") == {"v": 2}
+        # The rewritten log scans clean.
+        assert DiskCache(tmp_path).stats.corrupt_records == 0
+
+    def test_compact_empty_cache(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = cache.compact()
+        assert result.records == 0
+        assert result.reclaimed_bytes == 0
+        cache.put("k", {})  # usable afterwards
+        assert cache.get("k") == {}
+
+    def test_max_bytes_evicts_oldest_segments(self, tmp_path):
+        with DiskCache(tmp_path, max_segment_records=2) as cache:
+            for i in range(8):
+                cache.put(f"k{i}", {"i": i})
+            full_bytes = cache.total_bytes
+        bounded = DiskCache(
+            tmp_path, max_segment_records=2, max_bytes=full_bytes // 2
+        )
+        assert bounded.total_bytes <= full_bytes // 2
+        assert bounded.stats.evicted_records > 0
+        # Oldest entries went first; the newest survive.
+        assert bounded.get("k0") is None
+        assert bounded.get("k7") == {"i": 7}
+
+    def test_max_bytes_enforced_during_writes(self, tmp_path):
+        cache = DiskCache(tmp_path, max_segment_records=2, max_bytes=120)
+        for i in range(20):
+            cache.put(f"k{i}", {"i": i})
+        # The bound may be overshot by at most the active segment.
+        assert cache.total_bytes <= 120 + 2 * 40
+        assert len(cache) < 20
+        assert cache.get("k19") == {"i": 19}  # newest always served
+
+    def test_active_segment_never_evicted(self, tmp_path):
+        cache = DiskCache(tmp_path, max_segment_records=100, max_bytes=1)
+        cache.put("only", {"v": 1})
+        # One active segment holding more than max_bytes: kept anyway.
+        assert cache.get("only") == {"v": 1}
+        assert cache.stats.evicted_records == 0
+
+    def test_foreign_glob_matches_never_deleted(self, tmp_path):
+        """A foreign file matching the segment glob is skipped by the scan;
+        eviction, compaction, and clear must leave it alone too."""
+        foreign = tmp_path / "segment-old.jsonl"
+        foreign.write_text("user data, not ours\n")
+        cache = DiskCache(tmp_path, max_segment_records=2, max_bytes=1)
+        for i in range(6):
+            cache.put(f"k{i}", {"i": i})  # forces eviction of old segments
+        cache.compact()
+        cache.clear()
+        assert foreign.read_text() == "user data, not ours\n"
+        assert cache.total_bytes == 0  # foreign bytes never entered accounting
+
 
 @pytest.mark.smoke
 class TestEngineDiskTier:

@@ -120,6 +120,29 @@ class TestPretraining:
         result = pretrain_mlm(CORPUS, tokenizer, config, epochs=1, seed=0)
         assert result.encoder is result.model.encoder
 
+    def test_padding_report_populated(self, tokenizer, config):
+        result = pretrain_mlm(CORPUS, tokenizer, config, epochs=1, seed=0)
+        padding = result.padding
+        assert padding.padded_tokens >= padding.real_tokens > 0
+        assert padding.batches > 0
+
+    def test_exact_batching_has_zero_waste_and_still_learns(
+        self, tokenizer, config
+    ):
+        result = pretrain_mlm(
+            CORPUS, tokenizer, config, epochs=4, batch_size=8, lr=2e-3,
+            seed=0, exact_batching=True,
+        )
+        assert result.padding.wasted_tokens == 0
+        assert result.padding.waste_ratio == 0.0
+        assert result.losses[-1] < result.losses[0]
+        # The default policy on the same corpus does waste slots, so the
+        # exact planner is measurably tighter.
+        default = pretrain_mlm(
+            CORPUS, tokenizer, config, epochs=1, batch_size=8, seed=0
+        )
+        assert default.padding.wasted_tokens > 0
+
 
 class TestPseudoPerplexity:
     def test_positive_and_finite(self, tokenizer, config):

@@ -227,10 +227,12 @@ class TestLegacyParity:
 
 @pytest.mark.smoke
 class TestBatchedEquivalence:
-    """annotate_batch == sequential annotate across modes and label regimes."""
+    """annotate_batch is BYTE-IDENTICAL to sequential annotate across modes
+    and label regimes: exact width bucketing means no sequence is ever
+    padded beyond the width it would use alone, so there is no tolerance."""
 
     @pytest.mark.parametrize("trainer_fixture", ALL_TRAINERS)
-    def test_batched_vs_sequential(self, trainer_fixture, request):
+    def test_batched_vs_sequential_byte_identical(self, trainer_fixture, request):
         trainer = request.getfixturevalue(trainer_fixture)
         engine = AnnotationEngine(trainer, EngineConfig(batch_size=4))
         tables = trainer.dataset.tables[:10]
@@ -243,22 +245,23 @@ class TestBatchedEquivalence:
             assert result.annotated.requested_pairs == (
                 sequential.annotated.requested_pairs
             )
-            for got, want in zip(result.type_scores, sequential.type_scores):
-                assert got.keys() == want.keys()
-                np.testing.assert_allclose(
-                    list(got.values()), list(want.values()), atol=1e-5
-                )
-            np.testing.assert_allclose(
-                result.colemb, sequential.colemb, atol=1e-5
-            )
+            assert result.type_scores == sequential.type_scores  # exact floats
+            assert np.array_equal(result.colemb, sequential.colemb)
 
-    def test_one_pass_per_batch(self, wikitable_trainer):
+    def test_one_pass_per_width_bucket(self, wikitable_trainer):
         engine = AnnotationEngine(wikitable_trainer, EngineConfig(batch_size=8))
         tables = wikitable_trainer.dataset.tables[:8]
+        widths = {
+            wikitable_trainer.serializer.serialize_table(t).length for t in tables
+        }
         before = wikitable_trainer.model.encode_calls
         engine.annotate_batch(tables)
-        assert wikitable_trainer.model.encode_calls - before == 1
-        assert engine.stats.batches == 1
+        # One forward pass per distinct serialized width — and with exact
+        # buckets, zero cross-table padding: every allocated slot is real.
+        assert wikitable_trainer.model.encode_calls - before == len(widths)
+        assert engine.stats.batches == len(widths)
+        assert engine.stats.padded_tokens == engine.stats.real_tokens
+        assert engine.stats.padding_waste == 0.0
 
     def test_length_bucketing_preserves_order(self, wikitable_trainer):
         engine = AnnotationEngine(
@@ -463,7 +466,14 @@ class TestStreaming:
         tables = viznet_trainer.dataset.tables[:5]
         results = list(engine.annotate_stream(tables))
         assert len(results) == 5
-        assert engine.stats.batches == 2
+        # Two drains (4 + 1 tables), each planned into one exact width
+        # bucket per distinct serialized length.
+        lengths = [
+            viznet_trainer.serializer.serialize_table(t).length for t in tables
+        ]
+        expected = len(set(lengths[:4])) + len(set(lengths[4:]))
+        assert engine.stats.batches == expected
+        assert engine.stats.padding_waste == 0.0
 
 
 @pytest.mark.smoke
