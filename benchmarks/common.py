@@ -13,6 +13,7 @@ paper's format, not the wall-clock time.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -51,13 +52,21 @@ from repro.datasets import (
 # Shared experiment constants (one substrate for the whole suite)
 # ---------------------------------------------------------------------------
 
-PIPELINE = PipelineConfig(pretrain_epochs=4)
+# Smoke mode (REPRO_BENCH_SMOKE=1): shrink the substrate so serving/perf
+# benchmarks finish in CI minutes.  The *structure* of every experiment is
+# unchanged — same workloads, same assertions — only corpus sizes and
+# training budgets drop, so paper-accuracy numbers are NOT comparable in
+# this mode (CI runs it to keep the scripts from rotting, not to
+# regenerate tables).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").lower() not in ("", "0", "false")
 
-WIKITABLE_TABLES = 320
+PIPELINE = PipelineConfig(pretrain_epochs=1 if SMOKE else 4)
+
+WIKITABLE_TABLES = 80 if SMOKE else 320
 WIKITABLE_SEED = 7
-VIZNET_TABLES = 900
+VIZNET_TABLES = 150 if SMOKE else 900
 VIZNET_SEED = 3
-EPOCHS = 14
+EPOCHS = 2 if SMOKE else 14
 BATCH_SIZE = 8
 MAX_TOKENS = 16
 

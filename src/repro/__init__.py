@@ -27,8 +27,11 @@ full system on a pure-numpy substrate:
 * :mod:`repro.io` — CSV tables and JSONL dataset round-trips
 * :mod:`repro.serving` — the serving stack: the batched ``AnnotationEngine``
   (single-pass inference, exact width-bucketed batching, streaming), the
-  async dedup-aware ``AnnotationService`` request queue, and the
-  persistent ``DiskCache`` result tier (boundable and compactable)
+  multi-model ``ModelRegistry`` + ``AnnotationGateway`` front door
+  (fingerprint-keyed routing, per-model dedup queues, thread and
+  asyncio-native client APIs), the single-model ``AnnotationService``
+  compatibility wrapper, and the persistent ``DiskCache`` result tier
+  (boundable, compactable, partitioned per model fingerprint)
 * :mod:`repro.cli` — the ``repro`` command-line toolbox
 
 Quickstart::
@@ -78,20 +81,23 @@ from .datasets import (
 )
 from .serving import (
     AnnotationEngine,
+    AnnotationGateway,
     AnnotationOptions,
     AnnotationRequest,
     AnnotationResult,
     AnnotationService,
     DiskCache,
     EngineConfig,
+    ModelRegistry,
     QueueConfig,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnnotatedTable",
     "AnnotationEngine",
+    "AnnotationGateway",
     "AnnotationOptions",
     "AnnotationRequest",
     "AnnotationResult",
@@ -99,6 +105,7 @@ __all__ = [
     "Column",
     "DiskCache",
     "EngineConfig",
+    "ModelRegistry",
     "QueueConfig",
     "Doduo",
     "DoduoConfig",

@@ -8,6 +8,7 @@ lines of Python code"; this module is the zero-lines-of-Python counterpart::
     repro annotate model/ table.csv
     repro annotate model/ corpus.jsonl --batch-size 16 --out results.jsonl
     repro serve model/ corpus.jsonl --cache-dir anno-cache/
+    repro serve --model stable=model/ --model canary=model-v2/ corpus.jsonl
     repro cache compact anno-cache/ --max-bytes 100000000
     repro evaluate model/ corpus.jsonl
 
@@ -18,11 +19,15 @@ and emitted as one JSON record per table — the serving entry point.
 ``--cache-dir`` adds the persistent result-cache tier, so re-annotating the
 same corpus later performs zero encoder passes.
 
-``serve`` is the queue-mode front-end: tables flow through an
-:class:`~repro.serving.AnnotationService` (bounded queue, batching worker,
-cross-request dedup), either from a ``.jsonl`` corpus or — with ``-`` — as a
-long-running loop reading one table record per stdin line and answering on
-stdout as each arrives.
+``serve`` is the gateway front-end: tables flow through an
+:class:`~repro.serving.AnnotationGateway` (per-model bounded queues,
+batching workers, cross-request dedup), either from a ``.jsonl`` corpus or
+— with ``-`` — as a long-running loop reading one table record per stdin
+line and answering on stdout as each arrives.  ``--model NAME=PATH``
+(repeatable) registers several models behind the one front door; records
+(corpus or stdin) route per-record via a ``{"model": NAME}`` field, and
+``--cache-dir`` is partitioned into one subdirectory per model
+fingerprint (a pre-existing flat single-model cache keeps its layout).
 
 All subcommands are pure functions of their arguments (deterministic under
 ``--seed``), and :func:`main` takes an ``argv`` list so the tests can drive
@@ -32,6 +37,7 @@ the CLI in-process.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import sys
@@ -257,41 +263,155 @@ def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
     return 0
 
 
-def _iter_stdin_tables():
-    """Yield tables from stdin, one JSON table record per line (loop mode).
+def _request_from_record(payload, options):
+    """One serve request from one JSON table record.
 
-    Dataset-header records are skipped so a whole corpus file can be piped
-    in unchanged; blank lines are ignored so interactive sessions can
-    breathe.
+    A ``"model"`` field on the record names the registered model (or
+    fingerprint) that should answer it; returns ``None`` for
+    dataset-header records.
+    """
+    from .serving import AnnotationRequest
+
+    if payload.get("kind") == "dataset":
+        return None
+    model = payload.pop("model", None)
+    return AnnotationRequest(
+        table=table_from_dict(payload), options=options, model=model
+    )
+
+
+def _iter_stdin_requests(options):
+    """Yield annotation requests from stdin, one JSON record per line.
+
+    The loop-mode face of gateway routing: each line may carry a
+    ``"model"`` route.  Dataset-header records are skipped so a whole
+    corpus file can be piped in unchanged; blank lines are ignored so
+    interactive sessions can breathe.
+
+    A line that cannot become a request — broken JSON, a record missing
+    table fields, a zero-column table — yields an ``{"error": ...}`` dict
+    instead of raising: a long-running loop server must outlive its worst
+    client line (exceptions would end the generator for good).
     """
     for line in sys.stdin:
         line = line.strip()
         if not line:
             continue
-        payload = json.loads(line)
-        if payload.get("kind") == "dataset":
+        try:
+            request = _request_from_record(json.loads(line), options)
+        except (ValueError, KeyError, TypeError, AttributeError) as error:
+            yield {"error": str(error).strip("'\"")}
             continue
-        yield table_from_dict(payload)
+        if request is not None:
+            yield request
+
+
+def _iter_corpus_requests(path, options):
+    """Yield annotation requests from a ``.jsonl`` corpus file.
+
+    Same record shape as loop mode — including per-record ``"model"``
+    routes — but strict: a malformed record raises (a static corpus with a
+    broken line is an input error, not traffic to survive).
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            request = _request_from_record(json.loads(line), options)
+            if request is not None:
+                yield request
+
+
+def _parse_serve_routes(args: argparse.Namespace):
+    """Resolve `repro serve`'s model routes and corpus from its arguments.
+
+    Three accepted shapes::
+
+        repro serve BUNDLE CORPUS                  # classic single model
+        repro serve --model a=B1 --model b=B2 CORPUS
+        repro serve BUNDLE --model canary=B2 CORPUS
+
+    A positional bundle registers as ``default`` and is the default route;
+    ``--model NAME=PATH`` adds named routes.  With only ``--model`` routes
+    the first one is the default and the remaining positional is the
+    corpus.  Returns ``(specs, corpus)`` where ``specs`` is a list of
+    ``(name, path)``.
+    """
+    specs = []
+    for raw in args.models or []:
+        name, sep, path = raw.partition("=")
+        name, path = name.strip(), path.strip()
+        if not sep or not name or not path:
+            raise ValueError(f"--model expects NAME=PATH, got {raw!r}")
+        specs.append((name, path))
+    if args.model is not None and args.corpus is not None:
+        specs.insert(0, ("default", args.model))
+        corpus = args.corpus
+    elif args.model is not None:
+        # Only one positional was given: it is the corpus — unless it is
+        # actually a bundle directory, in which case the user forgot the
+        # corpus, not the model.
+        if os.path.exists(os.path.join(args.model, "bundle.json")):
+            raise ValueError("no corpus: pass a .jsonl path, or '-' for stdin")
+        corpus = args.model
+    else:
+        corpus = args.corpus
+    if not specs:
+        raise ValueError(
+            "no model: pass a bundle directory or --model NAME=PATH"
+        )
+    if corpus is None:
+        raise ValueError("no corpus: pass a .jsonl path, or '-' for stdin")
+    names = [name for name, _ in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate model names: {', '.join(names)}")
+    return specs, corpus
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Queue-mode serving: bounded queue + batching worker + dedup."""
+    """Gateway serving: per-model queues + batching workers + dedup.
+
+    One registered model keeps the historical single-model behaviour;
+    several (``--model NAME=PATH``, repeatable) serve behind one front
+    door, with stdin records routed per-line by their ``"model"`` field.
+    """
     from .serving import (
-        AnnotationEngine,
+        AnnotationGateway,
         AnnotationOptions,
-        AnnotationService,
         EngineConfig,
+        ModelRegistry,
         QueueConfig,
     )
 
-    annotator = load_annotator(args.model)
+    specs, corpus = _parse_serve_routes(args)
     batch_size = 8 if args.batch_size is None else args.batch_size
-    engine = AnnotationEngine(
-        annotator.trainer,
-        EngineConfig(batch_size=batch_size, cache_dir=args.cache_dir),
+    # Single-model serving over a cache directory that already holds FLAT
+    # segment files (written by `repro annotate --cache-dir` or a
+    # pre-gateway `repro serve`) keeps using that layout, so existing warm
+    # caches stay warm.  Everything else gets the registry layout: one
+    # subdirectory per model fingerprint, so models never share segment
+    # files.  (Keys embed the fingerprint either way — layouts differ,
+    # correctness does not.)
+    from .serving.diskcache import SEGMENT_GLOB
+
+    flat_cache = (
+        args.cache_dir is not None
+        and len(specs) == 1
+        and bool(glob.glob(os.path.join(args.cache_dir, SEGMENT_GLOB)))
     )
-    service = AnnotationService(
-        engine,
+    registry = ModelRegistry(
+        max_live=args.max_live,
+        engine_config=EngineConfig(
+            batch_size=batch_size,
+            cache_dir=args.cache_dir if flat_cache else None,
+        ),
+        cache_dir=None if flat_cache else args.cache_dir,
+    )
+    for name, path in specs:
+        registry.register(name, path)
+    gateway = AnnotationGateway(
+        registry,
         QueueConfig(
             max_batch=batch_size,
             max_latency=args.max_latency_ms / 1000.0,
@@ -303,23 +423,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         top_k=3 if args.top_k is None else args.top_k,
         score_threshold=args.threshold,
     )
-    loop_mode = args.corpus == "-"
-    tables = _iter_stdin_tables() if loop_mode else iter_tables_jsonl(args.corpus)
+    loop_mode = corpus == "-"
+    records = (
+        _iter_stdin_requests(options)
+        if loop_mode
+        else _iter_corpus_requests(corpus, options)
+    )
     out_handle = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
     count = 0
+
+    def emit(record) -> None:
+        out_handle.write(json.dumps(record) + "\n")
+        out_handle.flush()
+
     try:
-        with service:
-            # Loop mode answers each record as it arrives (window=1 —
-            # stdin is serial anyway); corpus mode keeps a batch-sized
-            # window in flight so the worker can dedup and batch.
-            stream = service.annotate_stream(
-                tables, options, window=1 if loop_mode else None
-            )
-            for result in stream:
-                record = result.to_dict(with_embeddings=args.embeddings)
-                out_handle.write(json.dumps(record) + "\n")
-                out_handle.flush()
-                count += 1
+        with gateway:
+            if loop_mode:
+                # Loop mode answers each record as it arrives (stdin is
+                # serial anyway) and must survive bad records: malformed
+                # lines (already turned into error dicts by the record
+                # iterator), an unregistered model route, or a per-request
+                # annotation failure each get an error record on stdout —
+                # never a dead server.
+                for request in records:
+                    if isinstance(request, dict):  # un-parseable line
+                        emit(request)
+                        continue
+                    try:
+                        result = gateway.annotate(request, options)
+                    except Exception as error:  # noqa: BLE001 - server survives
+                        # Whatever one request's annotation raised — bad
+                        # route, invalid pairs, a pathological table deep
+                        # in the forward pass — belongs to that request.
+                        emit({
+                            "table_id": request.table.table_id,
+                            "error": str(error).strip("'\""),
+                        })
+                        continue
+                    emit(result.to_dict(with_embeddings=args.embeddings))
+                    count += 1
+            else:
+                # Corpus mode keeps a batch-sized window in flight so the
+                # workers can dedup and batch.
+                for result in gateway.annotate_stream(records, options):
+                    emit(result.to_dict(with_embeddings=args.embeddings))
+                    count += 1
     except BrokenPipeError:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
@@ -330,40 +478,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if count == 0:
         print("error: no tables were served", file=sys.stderr)
         return 1
-    stats = engine.stats
+    stats = gateway.stats
     disk = f", {stats.disk_hits} disk hits" if args.cache_dir is not None else ""
+    models = f" across {len(specs)} models" if len(specs) > 1 else ""
     print(
-        f"served {count} tables in {service.stats.batches} queue batches "
-        f"({service.stats.dedup_hits} dedup hits, "
-        f"{stats.encoder_passes} encoder passes{disk})"
+        f"served {count} tables in {stats.batches} queue batches "
+        f"({stats.dedup_hits} dedup hits, "
+        f"{stats.encoder_passes} encoder passes{disk}){models}"
         + (f" -> {args.out}" if args.out else ""),
         file=sys.stderr if not args.out else sys.stdout,
     )
     return 0
 
 
+def _cache_directories(root):
+    """The cache directories under ``root``: itself (flat layout — `repro
+    annotate --cache-dir`) plus any per-model-fingerprint subdirectory the
+    serving registry created (`repro serve --cache-dir`)."""
+    from pathlib import Path
+
+    from .serving.diskcache import SEGMENT_GLOB
+
+    root = Path(root)
+    found = [root] if any(root.glob(SEGMENT_GLOB)) else []
+    found += sorted(
+        child
+        for child in root.iterdir()
+        if child.is_dir() and any(child.glob(SEGMENT_GLOB))
+    )
+    return found or [root]
+
+
 def _cmd_cache_compact(args: argparse.Namespace) -> int:
-    """Compact a persistent result-cache directory (drop dead space)."""
+    """Compact persistent result-cache directories (drop dead space)."""
     from .serving import DiskCache
 
     if not os.path.isdir(args.directory):
         print(f"error: {args.directory} is not a directory", file=sys.stderr)
         return 1
-    with DiskCache(args.directory, max_bytes=args.max_bytes) as cache:
-        corrupt = cache.stats.corrupt_records
-        evicted = cache.stats.evicted_records
-        result = cache.compact()
-    notes = []
-    if corrupt:
-        notes.append(f"{corrupt} corrupt records dropped")
-    if evicted:
-        notes.append(f"{evicted} records evicted by --max-bytes")
-    suffix = f" ({', '.join(notes)})" if notes else ""
-    print(
-        f"compacted {args.directory}: {result.records} live records, "
-        f"{result.bytes_before} -> {result.bytes_after} bytes "
-        f"({result.reclaimed_bytes} reclaimed){suffix}"
-    )
+    for directory in _cache_directories(args.directory):
+        with DiskCache(directory, max_bytes=args.max_bytes) as cache:
+            corrupt = cache.stats.corrupt_records
+            evicted = cache.stats.evicted_records
+            result = cache.compact()
+        notes = []
+        if corrupt:
+            notes.append(f"{corrupt} corrupt records dropped")
+        if evicted:
+            notes.append(f"{evicted} records evicted by --max-bytes")
+        suffix = f" ({', '.join(notes)})" if notes else ""
+        print(
+            f"compacted {directory}: {result.records} live records, "
+            f"{result.bytes_before} -> {result.bytes_after} bytes "
+            f"({result.reclaimed_bytes} reclaimed){suffix}"
+        )
     return 0
 
 
@@ -461,11 +629,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve a corpus (or stdin with '-') through the request queue",
+        help="serve a corpus (or stdin with '-') through the routed gateway",
     )
-    serve.add_argument("model", help="model bundle directory")
-    serve.add_argument("corpus",
-                       help=".jsonl corpus, or '-' to loop over stdin records")
+    serve.add_argument("model", nargs="?", default=None,
+                       help="model bundle directory (registered as "
+                            "'default'; optional when --model is used)")
+    serve.add_argument("corpus", nargs="?", default=None,
+                       help=".jsonl corpus, or '-' to loop over stdin "
+                            "records (which may carry a per-line "
+                            '{"model": NAME} route)')
+    serve.add_argument("--model", action="append", dest="models",
+                       metavar="NAME=PATH", default=None,
+                       help="register a named model from a bundle PATH "
+                            "(repeatable); requests route to it by NAME "
+                            "or model fingerprint")
+    serve.add_argument("--max-live", type=int, default=None,
+                       help="cap concurrently loaded models; idle ones are "
+                            "LRU-evicted and transparently reloaded")
     serve.add_argument("--batch-size", type=int, default=None,
                        help="max requests per queue drain (default 8); "
                             "drains are batched on exact serialized-length "
@@ -474,7 +654,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-latency-ms", type=float, default=10.0,
                        help="how long a batch waits to fill before serving")
     serve.add_argument("--cache-dir", default=None,
-                       help="persistent result-cache directory")
+                       help="persistent result-cache root (one subdirectory "
+                            "per model fingerprint)")
     serve.add_argument("--out", default=None,
                        help="write .jsonl results here instead of stdout")
     serve.add_argument("--top-k", type=int, default=None,
@@ -499,7 +680,9 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("directory", help="result-cache directory (--cache-dir)")
     compact.add_argument(
         "--max-bytes", type=int, default=None,
-        help="evict oldest segments past this size before compacting",
+        help="evict oldest segments past this size before compacting; "
+             "applies to EACH cache directory found (a multi-model root "
+             "with N fingerprint subdirectories is bounded at N x this)",
     )
     compact.set_defaults(func=_cmd_cache_compact)
 
@@ -521,7 +704,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
         return args.func(args)
-    except (ValueError, FileNotFoundError, KeyError) as error:
+    except (ValueError, FileNotFoundError, IsADirectoryError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

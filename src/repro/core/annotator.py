@@ -7,12 +7,15 @@ The paper ships a toolbox usable "with just a few lines of Python code":
     >>> annotated = model.annotate(table)    # doctest: +SKIP
     >>> annotated.coltypes, annotated.colrels, annotated.colemb  # doctest: +SKIP
 
-This module provides that interface as a thin compatibility layer over the
-batched :class:`~repro.serving.AnnotationEngine`: every ``annotate*`` call
-runs **one** encoder forward pass per table (the legacy implementation ran
-up to four — types, scores, a relation probe, embeddings) and produces
-bitwise-identical outputs.  For cross-table batching, streaming, and
-per-request options, use the engine directly.
+This module provides that interface as a thin compatibility layer over a
+single-entry :class:`~repro.serving.AnnotationGateway`: the annotator's
+model is registered as the gateway's only entry, and every ``annotate*``
+call runs through its :class:`~repro.serving.AnnotationEngine` — **one**
+encoder forward pass per table (the legacy implementation ran up to four:
+types, scores, a relation probe, embeddings) with bitwise-identical
+outputs.  For cross-table batching, streaming, and per-request options use
+the engine directly; for queued, deduped, multi-model, or asyncio serving
+use the ``gateway`` property (or build your own registry + gateway).
 """
 
 from __future__ import annotations
@@ -79,6 +82,7 @@ class Doduo:
     def __init__(self, trainer: DoduoTrainer) -> None:
         self._trainer = trainer
         self._dataset = trainer.dataset
+        self._gateway = None
         self._engine = None
 
     @classmethod
@@ -116,16 +120,39 @@ class Doduo:
         return self._trainer
 
     @property
-    def engine(self):
-        """The :class:`~repro.serving.AnnotationEngine` backing this annotator.
+    def gateway(self):
+        """The single-entry :class:`~repro.serving.AnnotationGateway` backing
+        this annotator.
 
-        Created lazily with default configuration; callers who need custom
-        batch sizes or cache limits should construct their own engine.
+        Created lazily with default configuration, holding this trainer
+        registered (pinned) as its only model.  Gives toolbox users the
+        queued/asyncio serving APIs (``gateway.submit`` /
+        ``await gateway.asubmit``) without further setup; callers who need
+        custom batch sizes, cache tiers, or several models should build
+        their own registry + gateway.
+        """
+        if self._gateway is None:
+            # Deferred import: serving imports core.
+            from ..serving import AnnotationEngine, AnnotationGateway
+
+            self._gateway = AnnotationGateway.for_engine(
+                AnnotationEngine(self._trainer)
+            )
+        return self._gateway
+
+    @property
+    def engine(self):
+        """The :class:`~repro.serving.AnnotationEngine` the gateway routes
+        this annotator's requests to.
+
+        The synchronous ``annotate*`` wrappers below call it directly —
+        same engine, same bytes, no worker thread in the way.  Memoized:
+        the gateway's single entry is registered in-memory (pinned, never
+        evicted), so one registry resolution suffices for the annotator's
+        lifetime.
         """
         if self._engine is None:
-            from ..serving import AnnotationEngine  # deferred: serving imports core
-
-            self._engine = AnnotationEngine(self._trainer)
+            self._engine = self.gateway.registry.get()
         return self._engine
 
     def annotate(self, table: Table, with_embeddings: bool = True) -> AnnotatedTable:

@@ -216,6 +216,12 @@ class DoduoTrainer:
         self.history = TrainingHistory(
             task_losses={task: [] for task in config.tasks}
         )
+        # Memoized annotation fingerprint: hashing walks every weight, and
+        # the serving registry/gateway key routing and cache partitions on
+        # it, so it must not cost a weight walk per lookup.  Invalidated by
+        # train() — external weight mutation must call
+        # invalidate_fingerprint() (or hand the registry a fresh trainer).
+        self._annotation_fingerprint: Optional[str] = None
 
     @property
     def serializer(self) -> TableSerializer:
@@ -401,6 +407,7 @@ class DoduoTrainer:
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
+        self.invalidate_fingerprint()  # the weights just changed
         self.history.real_tokens = self.model.real_tokens - real_tokens_before
         self.history.padded_tokens = (
             self.model.padded_tokens - padded_tokens_before
@@ -463,35 +470,109 @@ class DoduoTrainer:
     def predict_relations(
         self, tables: Sequence[Table]
     ) -> List[Dict[Tuple[int, int], np.ndarray]]:
-        """Per-table relation predictions for each annotated column pair."""
+        """Per-table relation predictions for each annotated column pair.
+
+        Batched like :meth:`predict_types`: tables are composed into exact
+        width buckets (:class:`~repro.encoding.BatchPlanner`) and run
+        through :meth:`DoduoModel.forward_full` with one head group per
+        table, so same-width tables share encoder passes while every
+        prediction stays byte-identical to a per-table call — the
+        evaluation path carries the same batched-vs-sequential stability
+        contract as serving.
+        """
         self.model.eval()
-        results: List[Dict[Tuple[int, int], np.ndarray]] = []
-        for table in tables:
-            pairs = sorted(table.relation_labels)
-            if not pairs:
-                results.append({})
-                continue
-            if self.config.single_column:
-                encoded = [self.encoding.encode_pair(table, i, j) for i, j in pairs]
-                index_pairs = [(b, 0, 1) for b in range(len(pairs))]
-            else:
-                encoded = [self.encoding.encode_table(table)]
-                index_pairs = [(0, i, j) for i, j in pairs]
-            probs = self.model.predict_relation_probs(
-                encoded, index_pairs, self.config.multi_label
-            )
-            table_result = {}
-            for row, pair in enumerate(pairs):
-                if self.config.multi_label:
-                    table_result[pair] = self._predict_multilabel(probs[row:row + 1])[0]
-                else:
-                    table_result[pair] = np.asarray(probs[row].argmax())
-            results.append(table_result)
+        results: List[Dict[Tuple[int, int], np.ndarray]] = [
+            {} for _ in tables
+        ]
+        pairs_per_table = [sorted(t.relation_labels) for t in tables]
+        active = [i for i, pairs in enumerate(pairs_per_table) if pairs]
+        if not active:
+            return results
+        planner = BatchPlanner(batch_size=max(1, self.config.batch_size))
+        if self.config.single_column:
+            encoded_pairs = {
+                i: [
+                    self.encoding.encode_pair(tables[i], a, b)
+                    for a, b in pairs_per_table[i]
+                ]
+                for i in active
+            }
+            # The pass over one table's pair sequences pads to that table's
+            # widest pair — the width its solo pass would use.
+            signatures = [
+                (max(e.length for e in encoded_pairs[i]),) for i in active
+            ]
+            for group in planner.plan(signatures):
+                chunk = [active[k] for k in group]
+                flat: List[EncodedTable] = []
+                head_groups: List[List[int]] = []
+                for i in chunk:
+                    start = len(flat)
+                    flat.extend(encoded_pairs[i])
+                    head_groups.append(list(range(start, len(flat))))
+                out = self.model.forward_full(
+                    flat,
+                    pairs=[(k, 0, 1) for k in range(len(flat))],
+                    with_types=False,
+                    with_embeddings=False,
+                    head_groups=head_groups,
+                )
+                probs = activation_probs(
+                    out.relation_logits, self.config.multi_label
+                )
+                offset = 0
+                for i in chunk:
+                    for pair in pairs_per_table[i]:
+                        results[i][pair] = self._decide_relation(probs[offset])
+                        offset += 1
+        else:
+            encoded = {i: self.encoding.encode_table(tables[i]) for i in active}
+            signatures = [(encoded[i].length,) for i in active]
+            for group in planner.plan(signatures):
+                chunk = [active[k] for k in group]
+                flat_pairs = [
+                    (b, col_i, col_j)
+                    for b, i in enumerate(chunk)
+                    for (col_i, col_j) in pairs_per_table[i]
+                ]
+                out = self.model.forward_full(
+                    [encoded[i] for i in chunk],
+                    pairs=flat_pairs,
+                    with_types=False,
+                    with_embeddings=False,
+                    # One head group per table: relation-head GEMM row
+                    # counts depend on that table alone (byte identity).
+                    head_groups=[[b] for b in range(len(chunk))],
+                )
+                probs = activation_probs(
+                    out.relation_logits, self.config.multi_label
+                )
+                offset = 0
+                for i in chunk:
+                    for pair in pairs_per_table[i]:
+                        results[i][pair] = self._decide_relation(probs[offset])
+                        offset += 1
         return results
+
+    def _decide_relation(self, probs_row: np.ndarray) -> np.ndarray:
+        """The per-pair decision rule (threshold-or-argmax vs argmax)."""
+        if self.config.multi_label:
+            return self._predict_multilabel(probs_row[None])[0]
+        return np.asarray(probs_row.argmax())
 
     # ------------------------------------------------------------------
     # Single-pass batched annotation (the serving path)
     # ------------------------------------------------------------------
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized annotation fingerprint.
+
+        :meth:`train` calls this automatically; code that mutates model
+        weights behind the trainer's back (manual ``load_state_dict``,
+        parameter surgery) must call it too, or stale fingerprints would
+        alias cached annotations across different weights.
+        """
+        self._annotation_fingerprint = None
+
     def annotation_fingerprint(self) -> str:
         """Stable hash of everything that determines an annotation output.
 
@@ -501,9 +582,17 @@ class DoduoTrainer:
         ``single_column``), and the label vocabularies.  Two trainers with
         equal fingerprints produce bitwise-identical annotations for the same
         request, so this is the model component of the persistent result
-        cache key (:mod:`repro.serving.diskcache`): changing any weight,
-        serializer knob, or vocabulary invalidates every cached entry.
+        cache key (:mod:`repro.serving.diskcache`) **and** the routing key
+        of the multi-model registry (:mod:`repro.serving.registry`):
+        changing any weight, serializer knob, or vocabulary invalidates
+        every cached entry and re-keys the route.
+
+        Memoized (hashing walks every weight); :meth:`train` invalidates the
+        memo, and :meth:`invalidate_fingerprint` does so for out-of-band
+        weight mutation.
         """
+        if self._annotation_fingerprint is not None:
+            return self._annotation_fingerprint
         digest = hashlib.blake2b(digest_size=16)
         digest.update(self.model.fingerprint().encode("utf-8"))
         digest.update(repr(self.serializer.config).encode("utf-8"))
@@ -524,7 +613,8 @@ class DoduoTrainer:
             for label in vocab:
                 digest.update(b"\x1f")
                 digest.update(label.encode("utf-8"))
-        return digest.hexdigest()
+        self._annotation_fingerprint = digest.hexdigest()
+        return self._annotation_fingerprint
 
     def encode_for_annotation(self, table: Table) -> EncodedAnnotationInput:
         """Serialize ``table`` the way :meth:`annotate_batch` consumes it.
@@ -541,6 +631,7 @@ class DoduoTrainer:
         pair_requests: Optional[Sequence[Optional[Sequence[Tuple[int, int]]]]] = None,
         with_embeddings: bool = True,
         with_relations: bool = True,
+        waste_budget: int = 0,
     ) -> List[RawTableAnnotation]:
         """Annotate a batch of tables, one encoder pass per width bucket.
 
@@ -560,7 +651,11 @@ class DoduoTrainer:
         ``encoded`` lets callers (the serving engine's cache) supply
         pre-serialized inputs; ``pair_requests`` overrides the probed column
         pairs per table (``None`` entries fall back to
-        :func:`default_relation_pairs`).
+        :func:`default_relation_pairs`); ``waste_budget`` forwards the
+        planner's opt-in near-width packing (merged buckets trade the
+        byte-identity contract for fewer passes — see
+        :class:`~repro.encoding.BatchPlanner`; 0, the default, keeps exact
+        buckets).
         """
         if encoded is not None and len(encoded) != len(tables):
             raise ValueError(
@@ -603,7 +698,7 @@ class DoduoTrainer:
             self.encoding.annotation_signature(item, pairs)
             for item, pairs in zip(encoded, pairs_per_table)
         ]
-        planner = BatchPlanner(batch_size=len(tables))
+        planner = BatchPlanner(batch_size=len(tables), waste_budget=waste_budget)
         results: List[Optional[RawTableAnnotation]] = [None] * len(tables)
         for group in planner.plan(signatures):
             group_results = self._annotate_bucket(

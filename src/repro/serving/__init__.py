@@ -1,25 +1,37 @@
-"""Serving front-end: batched single-pass annotation over trained models.
+"""Serving front-end: batched single-pass annotation behind a routed gateway.
 
 The stack, bottom-up:
 
 * :class:`AnnotationRequest` / :class:`AnnotationOptions` — one table plus
-  per-request knobs; :class:`AnnotationResult` wraps the toolbox-compatible
-  payload plus serving metadata.
+  per-request knobs and an optional ``model`` route;
+  :class:`AnnotationResult` wraps the toolbox-compatible payload plus
+  serving metadata.
 * :class:`AnnotationEngine` — exact width-bucketed batching over the shared
   :class:`~repro.encoding.EncodingPipeline` (zero cross-request padding,
-  batched results byte-identical to sequential ones), one encoder forward
-  pass per bucket, and an optional persistent result-cache tier
+  batched results byte-identical to sequential ones — or opt-in near-width
+  packing via ``EngineConfig.waste_budget``), one encoder forward pass per
+  bucket, and an optional persistent result-cache tier
   (:class:`DiskCache`, boundable via ``max_bytes`` and compactable) so
   repeated corpora never re-encode across process restarts.
-* :class:`AnnotationService` — an asynchronous bounded request queue whose
-  worker drains submissions into batches under a max-batch/max-latency
+* :class:`EngineWorker` — the per-engine bounded request queue whose worker
+  thread drains submissions into batches under a max-batch/max-latency
   policy and dedups concurrent content-identical requests onto one forward
   pass.
+* :class:`ModelRegistry` — named models (lazy checkpoint loading, routing
+  by name *or* model fingerprint, LRU eviction of idle engines above
+  ``max_live`` with a pinned floor, per-fingerprint disk-cache
+  partitioning).
+* :class:`AnnotationGateway` — the single front door: routes every request
+  to its model's worker and exposes both the thread-based ``submit()`` and
+  the asyncio-native ``asubmit()``/``astream()`` client APIs.
+* :class:`AnnotationService` — the historical single-model front-end, now
+  a thin compatibility wrapper over a one-entry gateway.
 
 Quickstart::
 
     from repro.serving import (
-        AnnotationEngine, AnnotationService, EngineConfig, QueueConfig,
+        AnnotationEngine, AnnotationGateway, AnnotationService,
+        EngineConfig, ModelRegistry, QueueConfig,
     )
 
     engine = AnnotationEngine(model, EngineConfig(batch_size=16,
@@ -32,13 +44,22 @@ Quickstart::
         futures = [service.submit(t) for t in tables]  # any thread, any time
         answers = [f.result() for f in futures]
 
-Every tier preserves the engine's equivalence contract: dedup and caching
-change what a request *costs*, never what it *returns* (see
-:mod:`repro.serving.queue` and :mod:`repro.serving.diskcache` for the exact
-byte-identity guarantees).
+    registry = ModelRegistry(max_live=2, cache_dir="anno-cache/")
+    registry.register("stable", "models/stable/")
+    registry.register("canary", "models/canary/")
+    with AnnotationGateway(registry) as gateway:
+        future = gateway.submit(table, model="canary")  # thread API
+        # ...or, inside a coroutine:
+        #     result = await gateway.asubmit(table, model="canary")
+
+Every tier preserves the engine's equivalence contract: routing, dedup,
+and caching change what a request *costs* and *which model answers*, never
+what that model returns (see :mod:`repro.serving.gateway`,
+:mod:`repro.serving.queue`, and :mod:`repro.serving.diskcache` for the
+exact byte-identity guarantees).
 """
 
-from .cache import LRUCache, table_fingerprint
+from ..encoding.cache import LRUCache, table_fingerprint
 from .diskcache import (
     CompactionResult,
     DiskCache,
@@ -46,11 +67,14 @@ from .diskcache import (
     result_cache_key,
 )
 from .engine import AnnotationEngine, EngineConfig, EngineStats
-from .queue import AnnotationService, QueueConfig, ServiceStats
+from .gateway import AnnotationGateway, GatewayStats
+from .queue import AnnotationService, EngineWorker, QueueConfig, ServiceStats
+from .registry import ModelRegistry, RegisteredModel, RegistryStats
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
 
 __all__ = [
     "AnnotationEngine",
+    "AnnotationGateway",
     "AnnotationOptions",
     "AnnotationRequest",
     "AnnotationResult",
@@ -60,8 +84,13 @@ __all__ = [
     "DiskCacheStats",
     "EngineConfig",
     "EngineStats",
+    "EngineWorker",
+    "GatewayStats",
     "LRUCache",
+    "ModelRegistry",
     "QueueConfig",
+    "RegisteredModel",
+    "RegistryStats",
     "ServiceStats",
     "result_cache_key",
     "table_fingerprint",

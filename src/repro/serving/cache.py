@@ -1,15 +1,27 @@
-"""Backward-compatibility shim: the serialization cache moved.
+"""Deprecated backward-compatibility shim: the serialization cache moved.
 
 The content-hash LRU started life as a serving-only optimization; the
 unified encoding layer (:mod:`repro.encoding`) promoted it so training
 epochs, repeated evaluations, and analysis share the same cache as serving.
 Import :class:`~repro.encoding.LRUCache` and
 :func:`~repro.encoding.table_fingerprint` from :mod:`repro.encoding`
-directly in new code; this module keeps the historical import path alive.
+(or :mod:`repro.encoding.cache`) directly; this module keeps the
+historical import path alive for external code and warns on import.
+No in-repo module imports it (a test enforces that).
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..encoding.cache import LRUCache, table_fingerprint
+
+warnings.warn(
+    "repro.serving.cache is deprecated: import LRUCache and "
+    "table_fingerprint from repro.encoding (the unified encoding layer) "
+    "instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["LRUCache", "table_fingerprint"]

@@ -1,11 +1,11 @@
 """Persistent on-disk result cache for the annotation serving stack.
 
-The in-memory LRU in :mod:`repro.serving.cache` saves re-*serializing* a
+The in-memory LRU in :mod:`repro.encoding.cache` saves re-*serializing* a
 table within one process; this module saves re-*annotating* it across
 processes.  Finished annotation products (types, scores, relations,
 embeddings) are appended to JSONL segment files keyed by a composite hash of
 
-* the table's content fingerprint (:func:`~repro.serving.cache.table_fingerprint`),
+* the table's content fingerprint (:func:`~repro.encoding.cache.table_fingerprint`),
 * the model's annotation fingerprint
   (:meth:`~repro.core.trainer.DoduoTrainer.annotation_fingerprint` —
   weights, serializer recipe, vocabularies), and
@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -49,13 +50,18 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..core.annotator import AnnotatedTable
-from .cache import table_fingerprint
+from ..encoding.cache import table_fingerprint
 from .request import AnnotationRequest, AnnotationResult
 
 PathLike = Union[str, Path]
 
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".jsonl"
+
+#: Glob matching a cache directory's segment files — the single source of
+#: truth for the layout, reused by the CLI (warm flat-layout detection,
+#: `repro cache compact` directory discovery).
+SEGMENT_GLOB = f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"
 
 
 def result_cache_key(model_fingerprint: str, request: AnnotationRequest) -> str:
@@ -176,9 +182,14 @@ class DiskCache:
     unbounded log.  Keys are opaque strings (the engine uses
     :func:`result_cache_key`); payloads are any JSON-serializable value.
 
-    Concurrency: one writing handle per directory is assumed (the serving
-    queue funnels all annotation through a single worker, which preserves
-    this).  Multiple read-only openers of a quiescent directory are safe.
+    Concurrency: one writing *handle* per directory is assumed — never
+    open two DiskCache objects on one live directory (the serving registry
+    shares a single handle per model fingerprint for exactly this reason).
+    The handle itself is safe to share across threads: every public
+    operation runs under an internal lock, so e.g. two worker threads
+    serving two registered names of the same model may interleave
+    ``get``/``put`` calls freely.  Multiple read-only openers of a
+    quiescent directory are safe.
 
     Growth control: ``max_bytes`` bounds the directory — when total segment
     bytes exceed it, whole oldest segments are deleted (log-structured
@@ -206,6 +217,11 @@ class DiskCache:
         self.max_segment_records = max_segment_records
         self.max_bytes = max_bytes
         self.stats = DiskCacheStats()
+        # Serializes every public operation: the handle may be shared by
+        # several threads (e.g. two serving workers over one fingerprint),
+        # and close() must never land in the middle of a put().  Reentrant
+        # because compact() closes the write handle itself.
+        self._io_lock = threading.RLock()
         # key -> (segment path, byte offset of its record line)
         self._index: Dict[str, Tuple[Path, int]] = {}
         self._segment_records = 0
@@ -221,9 +237,7 @@ class DiskCache:
     # Loading
     # ------------------------------------------------------------------
     def _segments(self) -> Iterator[Path]:
-        return iter(
-            sorted(self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
-        )
+        return iter(sorted(self.directory.glob(SEGMENT_GLOB)))
 
     @staticmethod
     def _segment_number(path: Path) -> Optional[int]:
@@ -291,25 +305,26 @@ class DiskCache:
         keeps only (path, offset) — so cached corpora far larger than RAM
         stay serveable.
         """
-        location = self._index.get(key)
-        if location is None:
-            self.stats.misses += 1
-            return None
-        path, offset = location
-        if self._handle is not None:
-            self._handle.flush()
-        try:
-            with open(path, "rb") as handle:
-                handle.seek(offset)
-                record = json.loads(handle.readline().decode("utf-8"))
-        except (OSError, ValueError):
-            # The segment vanished or rotted after indexing: treat as a
-            # miss and drop the entry so the next put can re-fill it.
-            del self._index[key]
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return record["payload"]
+        with self._io_lock:
+            location = self._index.get(key)
+            if location is None:
+                self.stats.misses += 1
+                return None
+            path, offset = location
+            if self._handle is not None:
+                self._handle.flush()
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    record = json.loads(handle.readline().decode("utf-8"))
+            except (OSError, ValueError):
+                # The segment vanished or rotted after indexing: treat as a
+                # miss and drop the entry so the next put can re-fill it.
+                del self._index[key]
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return record["payload"]
 
     def put(self, key: str, payload: Dict) -> None:
         """Persist ``payload`` under ``key`` (first write wins).
@@ -318,20 +333,21 @@ class DiskCache:
         the payload, so a repeat put stores nothing and keeps the original
         record authoritative.
         """
-        if key in self._index:
-            return
-        self._ensure_segment()
-        line = (
-            json.dumps({"key": key, "payload": payload}, ensure_ascii=False) + "\n"
-        ).encode("utf-8")
-        offset = self._handle.tell()
-        self._handle.write(line)
-        self._handle.flush()
-        self._index[key] = (self._segment_path, offset)
-        self._segment_records += 1
-        self._total_bytes += len(line)
-        self.stats.writes += 1
-        self._enforce_max_bytes()
+        with self._io_lock:
+            if key in self._index:
+                return
+            self._ensure_segment()
+            line = (
+                json.dumps({"key": key, "payload": payload}, ensure_ascii=False) + "\n"
+            ).encode("utf-8")
+            offset = self._handle.tell()
+            self._handle.write(line)
+            self._handle.flush()
+            self._index[key] = (self._segment_path, offset)
+            self._segment_records += 1
+            self._total_bytes += len(line)
+            self.stats.writes += 1
+            self._enforce_max_bytes()
 
     def _ensure_segment(self) -> None:
         """Make ``_handle`` point at a segment with room for one record."""
@@ -415,6 +431,10 @@ class DiskCache:
         unchanged — only dead space disappears.  The write handle is
         reopened lazily by the next :meth:`put`.
         """
+        with self._io_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> CompactionResult:
         self.close()
         bytes_before = self._total_bytes
         live = sorted(self._index.items(), key=lambda item: (item[1][0].name, item[1][1]))
@@ -500,24 +520,26 @@ class DiskCache:
 
     def clear(self) -> None:
         """Delete every owned segment and reset the index and counters."""
-        self.close()
-        for path in self._owned_segments():
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-        self._index.clear()
-        self._segment_records = 0
-        self._segment_index = -1
-        self._segment_path = None
-        self._tail_needs_newline = False
-        self._total_bytes = 0
-        self.stats = DiskCacheStats()
+        with self._io_lock:
+            self.close()
+            for path in self._owned_segments():
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            self._index.clear()
+            self._segment_records = 0
+            self._segment_index = -1
+            self._segment_path = None
+            self._tail_needs_newline = False
+            self._total_bytes = 0
+            self.stats = DiskCacheStats()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "DiskCache":
         return self

@@ -69,6 +69,11 @@ class EngineConfig:
     is exact either way).  ``cache_dir`` turns on the persistent
     result-cache tier (:class:`~repro.serving.diskcache.DiskCache` rooted
     there) so finished annotations survive process restarts.
+    ``waste_budget`` opts into the planner's near-width packing
+    (:class:`~repro.encoding.BatchPlanner`): adjacent width buckets merge
+    while the merged bucket's extra padded tokens stay under the budget —
+    fewer forward passes at the cost of the byte-identity contract.  The
+    default 0 keeps exact bucketing.
     """
 
     batch_size: int = 8
@@ -76,12 +81,15 @@ class EngineConfig:
     length_bucketing: bool = True
     default_options: AnnotationOptions = field(default_factory=AnnotationOptions)
     cache_dir: Optional[str] = None
+    waste_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
         if self.cache_size is not None and self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0: {self.cache_size}")
+        if self.waste_budget < 0:
+            raise ValueError(f"waste_budget must be >= 0: {self.waste_budget}")
 
 
 @dataclass
@@ -97,6 +105,9 @@ class EngineStats:
     engine ran: with exact width bucketing ``padding_waste`` stays at the
     intra-table floor (single-column tables pad short columns to their own
     table's widest), with zero cross-request padding on top.
+    ``planner_mode`` records the batch-composition policy this engine runs
+    (``"exact"``, or ``"packed(waste_budget=N)"`` when
+    ``EngineConfig.waste_budget`` opted into near-width packing).
     """
 
     requests: int = 0
@@ -108,6 +119,7 @@ class EngineStats:
     disk_misses: int = 0
     real_tokens: int = 0
     padded_tokens: int = 0
+    planner_mode: str = "exact"
 
     @property
     def padding_waste(self) -> float:
@@ -151,8 +163,12 @@ class AnnotationEngine:
 
             result_cache = DiskCache(self.config.cache_dir)
         self.result_cache = result_cache
-        self._model_fingerprint: Optional[str] = None
-        self.stats = EngineStats()
+        self._planner = BatchPlanner(
+            batch_size=self.config.batch_size,
+            ordered=self.config.length_bucketing,
+            waste_budget=self.config.waste_budget,
+        )
+        self.stats = EngineStats(planner_mode=self._planner.mode)
 
     # ------------------------------------------------------------------
     # Public API
@@ -192,6 +208,7 @@ class AnnotationEngine:
                     if pairs is not None
                     else request.pairs
                 ),
+                model=request.model,
             )
         return self.annotate_batch([request])[0]
 
@@ -227,14 +244,19 @@ class AnnotationEngine:
         results: List[Optional[AnnotationResult]] = [None] * len(requests)
         pending = list(range(len(requests)))
         cache_keys: List[Optional[str]] = [None] * len(requests)
-        if self.result_cache is not None:
+        # Captured once: the registry may detach the tier concurrently
+        # (eviction while a worker drains) — this call then finishes its
+        # lookups against the handle it started with, and the put block
+        # below re-reads the attribute so detached engines stop persisting.
+        result_cache = self.result_cache
+        if result_cache is not None:
             from .diskcache import decode_annotation, result_cache_key
 
             pending = []
             fingerprint = self.model_fingerprint
             for i, request in enumerate(requests):
                 cache_keys[i] = result_cache_key(fingerprint, request)
-                payload = self.result_cache.get(cache_keys[i])
+                payload = result_cache.get(cache_keys[i])
                 if payload is None:
                     self.stats.disk_misses += 1
                     pending.append(i)
@@ -258,21 +280,21 @@ class AnnotationEngine:
         self.stats.cache_hits += self.encoding.cache_hits - hits_before
         self.stats.cache_misses += self.encoding.cache_misses - misses_before
         # Exact bucket plan: only requests dictating identical padded widths
-        # share a forward batch (the byte-identity contract).
-        planner = BatchPlanner(
-            batch_size=self.config.batch_size,
-            ordered=self.config.length_bucketing,
-        )
+        # share a forward batch (the byte-identity contract) — unless
+        # ``waste_budget`` opted into near-width packing.
         signatures = [self._signature(requests[i], encoded[i]) for i in pending]
-        for bucket in planner.plan(signatures):
+        for bucket in self._planner.plan(signatures):
             chunk = [pending[k] for k in bucket]
             self._run_chunk(chunk, requests, encoded, cached_flags, results)
-        if self.result_cache is not None:
+        # Fresh read (NOT the captured handle): once the registry detaches
+        # the tier, this engine stops persisting immediately.
+        result_cache = self.result_cache
+        if result_cache is not None:
             from .diskcache import encode_annotation
 
             for i in pending:
-                if results[i] is not None:
-                    self.result_cache.put(cache_keys[i], encode_annotation(results[i]))
+                if results[i] is not None and cache_keys[i] is not None:
+                    result_cache.put(cache_keys[i], encode_annotation(results[i]))
         self.stats.requests += len(requests)
         return [result for result in results if result is not None]
 
@@ -317,15 +339,16 @@ class AnnotationEngine:
 
     @property
     def model_fingerprint(self) -> str:
-        """The trainer's annotation fingerprint, hashed once per engine.
+        """The trainer's annotation fingerprint (memoized by the trainer).
 
-        Cached because hashing walks every model weight; an engine wraps an
-        immutable-by-convention trained model, so one hash per engine
-        lifetime is correct.  Build a fresh engine after mutating weights.
+        Deliberately NOT memoized per engine: the trainer invalidates its
+        memo when :meth:`~repro.core.trainer.DoduoTrainer.train` (or
+        ``invalidate_fingerprint``) changes the weights, so a live engine's
+        cache keys and routes re-key immediately instead of aliasing stale
+        cached annotations onto new weights.  The memo makes repeated
+        access cheap (no weight walk).
         """
-        if self._model_fingerprint is None:
-            self._model_fingerprint = self.trainer.annotation_fingerprint()
-        return self._model_fingerprint
+        return self.trainer.annotation_fingerprint()
 
     # ------------------------------------------------------------------
     # Internals
@@ -396,6 +419,11 @@ class AnnotationEngine:
             encoded=[encoded[i] for i in chunk],
             pair_requests=pair_requests,
             with_embeddings=any_embeddings,
+            # Keep the trainer's internal re-plan aligned with this engine's
+            # policy: with a waste budget the chunk is a packed (possibly
+            # mixed-width) bucket that must stay one batch, not be split
+            # back into exact buckets.
+            waste_budget=self.config.waste_budget,
         )
         self.stats.batches += 1
         self.stats.encoder_passes += model.encode_calls - passes_before

@@ -1,10 +1,14 @@
-"""Asynchronous, dedup-aware request queue over the annotation engine.
+"""Asynchronous, dedup-aware request queue over one annotation engine.
 
-:class:`AnnotationService` is the front-end the ROADMAP's "heavy traffic"
-north star asks for: callers :meth:`~AnnotationService.submit` tables from
-any thread and get back a :class:`concurrent.futures.Future`; a single
-worker thread drains the bounded queue into batches under a
-max-batch/max-latency policy and answers every waiter.
+:class:`EngineWorker` is the per-engine drain loop the serving front-ends
+are built from: callers :meth:`~EngineWorker.submit` tables from any thread
+and get back a :class:`concurrent.futures.Future`; a single worker thread
+drains the bounded queue into batches under a max-batch/max-latency policy
+and answers every waiter.  The multi-model
+:class:`~repro.serving.gateway.AnnotationGateway` runs one worker per
+routed model; :class:`AnnotationService` — the historical single-model
+front-end — is now a thin compatibility wrapper over a single-entry
+gateway.
 
 Request lifecycle
 -----------------
@@ -58,7 +62,9 @@ from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
 
 @dataclass(frozen=True)
 class QueueConfig:
-    """Batching policy of the :class:`AnnotationService` worker.
+    """Batching policy of one :class:`EngineWorker` (and, by extension, of
+    every worker an :class:`~repro.serving.gateway.AnnotationGateway` or
+    :class:`AnnotationService` spawns).
 
     ``max_batch`` caps how many requests one drain gathers; ``max_latency``
     is how long (seconds) the worker waits for the batch to fill before
@@ -90,7 +96,7 @@ class QueueConfig:
 
 @dataclass
 class ServiceStats:
-    """Counters for one service's lifetime.
+    """Counters for one worker's (or single-model service's) lifetime.
 
     ``dedup_hits`` counts requests answered by sharing another request's
     in-flight annotation (queue-level dedup, before any cache tier);
@@ -119,21 +125,25 @@ class _Pending:
 _SHUTDOWN = object()
 
 
-class AnnotationService:
-    """Threaded serving front-end: bounded queue, batching worker, dedup.
+class EngineWorker:
+    """Per-engine drain loop: bounded queue, batching worker thread, dedup.
 
-    Typical use::
+    Typical direct use::
 
         engine = AnnotationEngine(trainer, EngineConfig(cache_dir="cache/"))
-        with AnnotationService(engine) as service:
-            futures = [service.submit(t) for t in tables]
+        with EngineWorker(engine) as worker:
+            futures = [worker.submit(t) for t in tables]
             results = [f.result() for f in futures]
 
-    The service owns no model state — it is a scheduling layer over the
+    The worker owns no model state — it is a scheduling layer over the
     engine it is given, and every equivalence guarantee of the engine's
     cache tiers applies unchanged (see the module docstring for the exact
     contract).  One worker thread annotates; any number of threads may
-    submit.
+    submit.  Most code reaches workers through a front-end — the
+    single-model :class:`AnnotationService` or the multi-model
+    :class:`~repro.serving.gateway.AnnotationGateway`, which runs one
+    worker per registered model so dedup windows and drain batches never
+    mix fingerprints.
     """
 
     def __init__(
@@ -146,17 +156,28 @@ class AnnotationService:
         self.stats = ServiceStats()
         self._queue: "_queue.Queue" = _queue.Queue(maxsize=self.config.max_queue_size)
         self._lock = threading.Lock()
+        # Serializes the post-shutdown leftover sweeps (close() and late
+        # blocking submitters): the engine assumes one annotating thread.
+        self._sweep_lock = threading.Lock()
         self._worker: Optional[threading.Thread] = None
         self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> "AnnotationService":
-        """Spawn the worker thread (idempotent)."""
+    def start(self) -> "EngineWorker":
+        """Spawn the worker thread (idempotent; raises once closed).
+
+        (No lock here: external callers race benignly with the `is None`
+        check, and `submit` calls this while already holding ``_lock``.)
+        """
+        if self._closed:
+            # A post-close thread would park on queue.get forever — nothing
+            # can be enqueued again and close() will not join it twice.
+            raise RuntimeError("cannot start a closed worker")
         if self._worker is None:
             self._worker = threading.Thread(
-                target=self._worker_loop, name="annotation-service", daemon=True
+                target=self._worker_loop, name="annotation-worker", daemon=True
             )
             self._worker.start()
         return self
@@ -174,9 +195,27 @@ class AnnotationService:
         if self._worker is not None:
             self._queue.put(_SHUTDOWN)
             self._worker.join()
-            self._worker = None
+            with self._lock:
+                self._worker = None
+            # Post-join sweep: a blocking submit that only won its race
+            # against the sentinel after the worker's final drain may have
+            # left items behind — serve them here so every future obtained
+            # before (or during) close still resolves.
+            self._sweep_leftovers()
 
-    def __enter__(self) -> "AnnotationService":
+    def _sweep_leftovers(self) -> None:
+        """Serve anything still queued after the worker thread is gone.
+
+        Serialized: several late submitters and close() may all reach
+        here, and the engine must only ever be driven by one thread at a
+        time (the shared encoding LRU and the stats deltas assume it).
+        """
+        with self._sweep_lock:
+            leftovers = self._drain_remaining()
+            if leftovers:
+                self._process(leftovers)
+
+    def __enter__(self) -> "EngineWorker":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -189,31 +228,47 @@ class AnnotationService:
         self,
         item: RequestLike,
         options: Optional[AnnotationOptions] = None,
+        block: bool = True,
     ) -> "Future[AnnotationResult]":
         """Enqueue one table; returns the future holding its result.
 
         Blocks (up to ``config.submit_timeout``) when the queue is full —
-        backpressure — and raises ``queue.Full`` on timeout.  The returned
-        future resolves to the same :class:`AnnotationResult` object for
-        every concurrent submitter of content-identical requests.
+        backpressure — and raises ``queue.Full`` on timeout.  With
+        ``block=False`` a full queue raises ``queue.Full`` immediately
+        instead of blocking (the gateway's asyncio path polls this way so
+        backpressure never stalls an event loop).  The returned future
+        resolves to the same :class:`AnnotationResult` object for every
+        concurrent submitter of content-identical requests.
         """
         request = self.engine._as_request(item, options)
         future: "Future[AnnotationResult]" = Future()
-        # The enqueue happens under the lock so close()'s shutdown sentinel
-        # can never overtake an in-flight submission (which would strand
-        # its future unresolved).
+        pending = _Pending(request, future)
         with self._lock:
             if self._closed:
-                raise RuntimeError("cannot submit to a closed AnnotationService")
+                raise RuntimeError("cannot submit to a closed worker")
             if self._worker is None:
-                # Auto-start so `service.submit(...)` works without an
+                # Auto-start so `worker.submit(...)` works without an
                 # explicit start()/with-block.
                 self.start()
-            self._queue.put(
-                _Pending(request, future),
-                timeout=self.config.submit_timeout,
-            )
+            if not block:
+                # Non-blocking enqueue completes under the lock: cheap, and
+                # close() can never interleave mid-submission.
+                self._queue.put_nowait(pending)
+                self.stats.submitted += 1
+                return future
+        # The BLOCKING put runs outside the lock — a submitter stuck on a
+        # full queue must not convoy other submitters (or the gateway's
+        # asyncio put_nowait path) behind the state lock for a whole
+        # drain.  The price is a shutdown race: close()'s sentinel can now
+        # overtake us, so if the worker is already gone when our item
+        # lands, we drain and serve the queue ourselves rather than
+        # strand the future (close() runs the same sweep after joining).
+        self._queue.put(pending, timeout=self.config.submit_timeout)
+        with self._lock:
             self.stats.submitted += 1
+            worker_gone = self._closed and self._worker is None
+        if worker_gone:
+            self._sweep_leftovers()
         return future
 
     def annotate(
@@ -221,31 +276,13 @@ class AnnotationService:
         item: RequestLike,
         options: Optional[AnnotationOptions] = None,
     ) -> AnnotationResult:
-        """Synchronous convenience: submit and wait for the result."""
-        return self.submit(item, options).result()
+        """Synchronous convenience: submit and wait for the result.
 
-    def annotate_stream(
-        self,
-        items: Iterable[RequestLike],
-        options: Optional[AnnotationOptions] = None,
-        window: Optional[int] = None,
-    ) -> Iterator[AnnotationResult]:
-        """Pump an iterable through the queue, yielding results in order.
-
-        Keeps at most ``window`` submissions in flight (default
-        ``4 * max_batch``) so unbounded corpora stream with bounded memory
-        while still giving the worker full batches to dedup.
+        (Windowed streaming lives on the front-ends —
+        ``AnnotationGateway.annotate_stream``/``astream`` and the
+        ``AnnotationService`` wrapper — so the policy exists in one place.)
         """
-        limit = window if window is not None else 4 * self.config.max_batch
-        if limit < 1:
-            raise ValueError(f"window must be >= 1: {limit}")
-        pending: List["Future[AnnotationResult]"] = []
-        for item in items:
-            pending.append(self.submit(item, options))
-            while len(pending) >= limit:
-                yield pending.pop(0).result()
-        for future in pending:
-            yield future.result()
+        return self.submit(item, options).result()
 
     # ------------------------------------------------------------------
     # Worker
@@ -393,3 +430,94 @@ class AnnotationService:
         for pending in members:
             pending.future.set_exception(error)
             self.stats.failed += 1
+
+
+class AnnotationService:
+    """Single-model compatibility wrapper over an
+    :class:`~repro.serving.gateway.AnnotationGateway`.
+
+    The historical PR-2 front-end: one engine, one queue, one worker.  It
+    now *delegates* to a gateway holding exactly that engine (registered
+    pinned, under the name ``"default"``), so the single-model and
+    multi-model serving paths are one code path; the thread-based API —
+    ``submit`` returning a :class:`concurrent.futures.Future`,
+    ``annotate``, ``annotate_stream``, context-manager lifecycle — is
+    unchanged.  For several models behind one front door, or for the
+    asyncio-native ``asubmit``/``astream`` API, use the gateway directly::
+
+        engine = AnnotationEngine(trainer, EngineConfig(cache_dir="cache/"))
+        with AnnotationService(engine) as service:
+            futures = [service.submit(t) for t in tables]
+            results = [f.result() for f in futures]
+    """
+
+    #: Name the wrapped engine is registered under in the backing gateway.
+    MODEL_NAME = "default"
+
+    def __init__(
+        self,
+        engine: AnnotationEngine,
+        config: Optional[QueueConfig] = None,
+    ) -> None:
+        from .gateway import AnnotationGateway  # deferred: gateway imports queue
+
+        self.engine = engine
+        self.config = config or QueueConfig()
+        self.gateway = AnnotationGateway.for_engine(
+            engine, name=self.MODEL_NAME, queue_config=self.config
+        )
+        # One pinned in-memory engine is never evicted, so the worker is
+        # stable for the service's lifetime; grab it once for stats/start.
+        self._worker = self.gateway.worker(self.MODEL_NAME)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """The underlying worker's counters (the historical attribute)."""
+        return self._worker.stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AnnotationService":
+        """Spawn the worker thread (idempotent)."""
+        self._worker.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting submissions, serve everything pending, then join."""
+        self.gateway.close()
+
+    def __enter__(self) -> "AnnotationService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission (delegated through the gateway's single route)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        item: RequestLike,
+        options: Optional[AnnotationOptions] = None,
+    ) -> "Future[AnnotationResult]":
+        """Enqueue one table; see :meth:`EngineWorker.submit`."""
+        return self.gateway.submit(item, options)
+
+    def annotate(
+        self,
+        item: RequestLike,
+        options: Optional[AnnotationOptions] = None,
+    ) -> AnnotationResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.gateway.annotate(item, options)
+
+    def annotate_stream(
+        self,
+        items: Iterable[RequestLike],
+        options: Optional[AnnotationOptions] = None,
+        window: Optional[int] = None,
+    ) -> Iterator[AnnotationResult]:
+        """Pump an iterable through the queue, yielding results in order."""
+        return self.gateway.annotate_stream(items, options, window=window)

@@ -54,15 +54,29 @@ class AnnotationRequest:
     falls back to the default policy (gold pairs when the table carries
     relation labels, else subject-column pairs ``(0, j)``).
 
+    ``model`` is a *routing* hint for the multi-model
+    :class:`~repro.serving.gateway.AnnotationGateway`: the registered model
+    name (or fingerprint) that should answer this request.  ``None`` means
+    "whatever the caller/gateway defaults to".  The
+    :class:`~repro.serving.AnnotationEngine` ignores it (an engine IS one
+    model); routed front-ends — the gateway, and therefore also the
+    single-entry :class:`~repro.serving.AnnotationService` wrapper — raise
+    ``KeyError`` when it names a route they don't hold.
+
     Identity for caching and dedup is the table's *content* fingerprint
-    (headers + cell values — :func:`repro.serving.cache.table_fingerprint`)
+    (headers + cell values — :func:`repro.encoding.cache.table_fingerprint`)
     plus the options and pairs: two requests for content-equal tables share
     work even when ``table_id``/metadata or object identity differ.
+    ``model`` deliberately does **not** participate in the cache key — the
+    serving model's own fingerprint already does, so two names routing to
+    the same weights share cached work, and one name re-pointed at new
+    weights misses cleanly.
     """
 
     table: Table
     options: AnnotationOptions = field(default_factory=AnnotationOptions)
     pairs: Optional[Tuple[Tuple[int, int], ...]] = None
+    model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.table.num_columns == 0:

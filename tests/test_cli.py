@@ -288,6 +288,241 @@ class TestCacheDirAndServe:
         assert "no tables" in capsys.readouterr().err
 
 
+@pytest.mark.smoke
+class TestServeMultiModel:
+    """The gateway CLI: `repro serve --model NAME=PATH` and stdin routing."""
+
+    @pytest.fixture(scope="class")
+    def second_bundle(self, tmp_path_factory):
+        """A second, differently-weighted model over the same label space."""
+        from repro.core import Doduo, DoduoConfig, DoduoTrainer
+        from repro.datasets import generate_wikitable_dataset
+        from repro.nn import TransformerConfig
+        from repro.text import train_wordpiece
+
+        dataset = generate_wikitable_dataset(num_tables=30, seed=17, max_rows=4)
+        tokenizer = train_wordpiece(dataset.all_cell_text(), vocab_size=800)
+        encoder_config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size,
+            hidden_dim=32,
+            num_layers=2,
+            num_heads=2,
+            ffn_dim=64,
+            max_position=160,
+            num_segments=8,
+            dropout=0.0,
+        )
+        config = DoduoConfig(epochs=1, batch_size=8, learning_rate=1e-3,
+                             seed=5, keep_best_checkpoint=False)
+        trainer = DoduoTrainer(dataset, tokenizer, encoder_config, config)
+        trainer.train()
+        directory = tmp_path_factory.mktemp("cli-second-bundle")
+        save_annotator(Doduo(trainer), directory)
+        return directory
+
+    @pytest.fixture(scope="class")
+    def corpus(self, shared_tiny_annotator, tmp_path_factory):
+        from repro.datasets import TableDataset
+
+        dataset = shared_tiny_annotator.trainer.dataset
+        subset = TableDataset(
+            tables=dataset.tables[:4],
+            type_vocab=list(dataset.type_vocab),
+            relation_vocab=list(dataset.relation_vocab),
+            name="serve-multi",
+        )
+        path = tmp_path_factory.mktemp("serve-multi") / "corpus.jsonl"
+        save_dataset_jsonl(subset, path)
+        return path
+
+    def test_named_models_default_route_matches_single_model(
+        self, bundle_dir, second_bundle, corpus, tmp_path, capsys
+    ):
+        single = tmp_path / "single.jsonl"
+        multi = tmp_path / "multi.jsonl"
+        assert main([
+            "serve", str(bundle_dir), str(corpus), "--out", str(single),
+        ]) == 0
+        # First --model route is the default; the second is along for the
+        # ride and must not perturb the default route's bytes.
+        assert main([
+            "serve",
+            "--model", f"primary={bundle_dir}",
+            "--model", f"canary={second_bundle}",
+            str(corpus), "--out", str(multi),
+        ]) == 0
+        assert multi.read_text() == single.read_text()
+        assert "across 2 models" in capsys.readouterr().out
+
+    def test_stdin_records_route_by_model_field(
+        self, bundle_dir, second_bundle, corpus, capsys, monkeypatch
+    ):
+        import io
+        import sys as _sys
+
+        # Two copies of each table record: one defaulted, one routed to the
+        # canary via a per-line {"model": ...} field.
+        lines = []
+        for line in corpus.read_text().splitlines():
+            payload = json.loads(line)
+            if payload.get("kind") == "dataset":
+                lines.append(line)
+                continue
+            lines.append(line)
+            routed = dict(payload)
+            routed["model"] = "canary"
+            lines.append(json.dumps(routed))
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main([
+            "serve",
+            "--model", f"primary={bundle_dir}",
+            "--model", f"canary={second_bundle}",
+            "-",
+        ]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 8
+        # Interleaved pairs answer the same table with different weights:
+        # at least one table must get different scores from the two models.
+        differs = [
+            records[i]["columns"] != records[i + 1]["columns"]
+            for i in range(0, len(records), 2)
+        ]
+        assert any(differs)
+        assert "served 8 tables" in captured.err
+
+    def test_corpus_records_route_by_model_field(
+        self, bundle_dir, second_bundle, corpus, tmp_path
+    ):
+        """Corpus mode honors per-record {"model": NAME} routes exactly
+        like stdin loop mode — same file, same models, same bytes."""
+        routed_corpus = tmp_path / "routed.jsonl"
+        lines = []
+        for line in corpus.read_text().splitlines():
+            payload = json.loads(line)
+            if payload.get("kind") != "dataset":
+                payload["model"] = "canary"
+            lines.append(json.dumps(payload))
+        routed_corpus.write_text("\n".join(lines) + "\n")
+        routed_out = tmp_path / "routed-out.jsonl"
+        canary_out = tmp_path / "canary-out.jsonl"
+        assert main([
+            "serve",
+            "--model", f"primary={bundle_dir}",
+            "--model", f"canary={second_bundle}",
+            str(routed_corpus), "--out", str(routed_out),
+        ]) == 0
+        # Every record asked for the canary: output must equal a dedicated
+        # canary-only serve of the unrouted corpus.
+        assert main([
+            "serve", str(second_bundle), str(corpus),
+            "--out", str(canary_out),
+        ]) == 0
+        assert routed_out.read_text() == canary_out.read_text()
+
+    def test_bad_model_spec_errors(self, corpus, capsys):
+        assert main(["serve", "--model", "broken", str(corpus)]) == 1
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_missing_model_errors(self, corpus, capsys):
+        assert main(["serve", str(corpus)]) == 1
+        err = capsys.readouterr().err
+        assert "no model" in err or "bundle" in err
+
+    def test_missing_corpus_errors_accurately(self, bundle_dir, capsys):
+        # `repro serve model/` — the user passed a bundle, not a corpus;
+        # the error must say what is actually missing.
+        assert main(["serve", str(bundle_dir)]) == 1
+        assert "no corpus" in capsys.readouterr().err
+
+    def test_missing_corpus_with_model_flag_errors_accurately(
+        self, bundle_dir, second_bundle, capsys
+    ):
+        # `repro serve --model x=P bundle/` — the positional is a bundle,
+        # not a corpus: clean error, not an IsADirectoryError traceback.
+        assert main([
+            "serve", "--model", f"canary={second_bundle}", str(bundle_dir),
+        ]) == 1
+        assert "no corpus" in capsys.readouterr().err
+
+    def test_flat_cache_layout_stays_warm_under_serve(
+        self, bundle_dir, corpus, tmp_path, capsys
+    ):
+        """A cache directory populated by `repro annotate --cache-dir`
+        (flat segment files) must keep serving hits when the same
+        directory is handed to single-model `repro serve`."""
+        cache_dir = tmp_path / "flat-cache"
+        assert main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir), "--out", str(tmp_path / "a.jsonl"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir), "--out", str(tmp_path / "b.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 encoder passes" in out and "4 disk hits" in out
+
+    def test_loop_mode_survives_malformed_records(self, bundle_dir, corpus,
+                                                  capsys, monkeypatch):
+        """Non-JSON lines and invalid tables get error records; the
+        server keeps answering subsequent lines."""
+        import io
+        import sys as _sys
+
+        good = corpus.read_text().splitlines()[1]
+        stdin = "\n".join([
+            "this is not json",
+            json.dumps({"table_id": "empty", "columns": []}),
+            good,
+        ]) + "\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 3
+        assert "error" in records[0] and "error" in records[1]
+        assert records[2]["columns"]
+        assert "served 1 tables" in captured.err
+
+    def test_unknown_stdin_route_answered_not_fatal(self, bundle_dir, corpus,
+                                                    capsys, monkeypatch):
+        """A long-running loop server must survive a record naming an
+        unknown model: that record gets an error line, the next records
+        keep being served."""
+        import io
+        import sys as _sys
+
+        lines = corpus.read_text().splitlines()
+        bad = json.loads(lines[1])
+        bad["model"] = "nope"
+        stdin = "\n".join([json.dumps(bad), lines[2]]) + "\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 2
+        assert "no model registered" in records[0]["error"]
+        assert records[1]["columns"]  # the good record was still served
+        assert "served 1 tables" in captured.err
+
+    def test_only_bad_routes_is_an_error_exit(self, bundle_dir, corpus,
+                                              capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        payload = json.loads(corpus.read_text().splitlines()[1])
+        payload["model"] = "nope"
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO(json.dumps(payload) + "\n")
+        )
+        assert main(["serve", str(bundle_dir), "-"]) == 1
+        captured = capsys.readouterr()
+        assert "no model registered" in captured.out  # the error record
+        assert "no tables" in captured.err
+
+
 class TestAnnotateWideAndErrors:
     def test_wide_annotation_path(self, bundle_dir, sample_csv, capsys):
         code = main([

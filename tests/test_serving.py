@@ -500,3 +500,50 @@ class TestAnnotatedTableContract:
         annotated = Doduo(wikitable_trainer).annotate(bare)
         expected = [(0, j) for j in range(1, bare.num_columns)]
         assert annotated.requested_pairs == expected
+
+
+@pytest.mark.smoke
+class TestCacheShimDeprecation:
+    def test_shim_import_warns_and_reexports(self):
+        """repro.serving.cache is a deprecated alias of repro.encoding.cache:
+        importing it must warn, and its names must be the promoted objects."""
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.serving.cache", None)
+        with pytest.warns(DeprecationWarning, match="repro.encoding"):
+            shim = importlib.import_module("repro.serving.cache")
+        from repro.encoding.cache import LRUCache, table_fingerprint
+
+        assert shim.LRUCache is LRUCache
+        assert shim.table_fingerprint is table_fingerprint
+
+    def test_no_in_repo_module_imports_the_shim(self):
+        """The shim exists for external code only; nothing in repro may
+        import it (and so nothing in-tree triggers its DeprecationWarning)."""
+        import re
+        from pathlib import Path
+
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        shim = package_root / "serving" / "cache.py"
+        offender_patterns = (
+            re.compile(r"^\s*from\s+repro\.serving\.cache\s+import", re.M),
+            re.compile(r"^\s*from\s+\.cache\s+import", re.M),
+            re.compile(r"^\s*from\s+\.\.serving\.cache\s+import", re.M),
+            re.compile(r"^\s*import\s+repro\.serving\.cache", re.M),
+        )
+        offenders = []
+        for path in package_root.rglob("*.py"):
+            if path == shim:
+                continue
+            # `from .cache import` is only the shim when it sits in serving/.
+            text = path.read_text()
+            for pattern in offender_patterns:
+                if pattern is offender_patterns[1] and path.parent.name != "serving":
+                    continue
+                if pattern.search(text):
+                    offenders.append(str(path.relative_to(package_root)))
+                    break
+        assert offenders == []

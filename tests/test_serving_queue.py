@@ -210,12 +210,13 @@ class TestQueuePolicy:
             assert results[i].type_scores == reference.annotate(table).type_scores
 
     def test_backpressure_raises_when_full(self, trainer):
-        # An unstarted service never drains, so the bounded queue fills.
+        # An unstarted worker never drains, so the bounded queue fills.
         service = AnnotationService(
             AnnotationEngine(trainer),
             QueueConfig(max_queue_size=2, submit_timeout=0.01),
         )
-        service._worker = threading.Thread(target=lambda: None)  # block auto-start
+        # Block the underlying EngineWorker's auto-start.
+        service._worker._worker = threading.Thread(target=lambda: None)
         table = trainer.dataset.tables[0]
         service.submit(table)
         service.submit(table)
