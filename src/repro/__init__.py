@@ -28,10 +28,13 @@ full system on a pure-numpy substrate:
 * :mod:`repro.serving` — the serving stack: the batched ``AnnotationEngine``
   (single-pass inference, exact width-bucketed batching, streaming), the
   multi-model ``ModelRegistry`` + ``AnnotationGateway`` front door
-  (fingerprint-keyed routing, per-model dedup queues, thread and
-  asyncio-native client APIs), the single-model ``AnnotationService``
-  compatibility wrapper, and the persistent ``DiskCache`` result tier
-  (boundable, compactable, partitioned per model fingerprint)
+  (fingerprint-keyed routing, per-model dedup queues, hot
+  register/repoint/unregister, thread and asyncio-native client APIs),
+  the transport-agnostic wire ``protocol`` and the asyncio TCP
+  ``AnnotationServer`` (per-connection FIFO answers, admin plane,
+  graceful drain), the single-model ``AnnotationService`` compatibility
+  wrapper, and the persistent ``DiskCache`` result tier (boundable,
+  compactable, partitioned per model fingerprint)
 * :mod:`repro.cli` — the ``repro`` command-line toolbox
 
 Quickstart::
@@ -85,6 +88,7 @@ from .serving import (
     AnnotationOptions,
     AnnotationRequest,
     AnnotationResult,
+    AnnotationServer,
     AnnotationService,
     DiskCache,
     EngineConfig,
@@ -92,7 +96,7 @@ from .serving import (
     QueueConfig,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnnotatedTable",
@@ -101,6 +105,7 @@ __all__ = [
     "AnnotationOptions",
     "AnnotationRequest",
     "AnnotationResult",
+    "AnnotationServer",
     "AnnotationService",
     "Column",
     "DiskCache",

@@ -9,6 +9,8 @@ lines of Python code"; this module is the zero-lines-of-Python counterpart::
     repro annotate model/ corpus.jsonl --batch-size 16 --out results.jsonl
     repro serve model/ corpus.jsonl --cache-dir anno-cache/
     repro serve --model stable=model/ --model canary=model-v2/ corpus.jsonl
+    repro serve --model stable=model/ --listen 127.0.0.1:9000
+    repro stats 127.0.0.1:9000
     repro cache compact anno-cache/ --max-bytes 100000000
     repro evaluate model/ corpus.jsonl
 
@@ -21,13 +23,20 @@ same corpus later performs zero encoder passes.
 
 ``serve`` is the gateway front-end: tables flow through an
 :class:`~repro.serving.AnnotationGateway` (per-model bounded queues,
-batching workers, cross-request dedup), either from a ``.jsonl`` corpus or
-— with ``-`` — as a long-running loop reading one table record per stdin
-line and answering on stdout as each arrives.  ``--model NAME=PATH``
-(repeatable) registers several models behind the one front door; records
-(corpus or stdin) route per-record via a ``{"model": NAME}`` field, and
-``--cache-dir`` is partitioned into one subdirectory per model
-fingerprint (a pre-existing flat single-model cache keeps its layout).
+batching workers, cross-request dedup), from a ``.jsonl`` corpus, from a
+stdin loop (``-``), or — with ``--listen HOST:PORT`` — over TCP via the
+asyncio :class:`~repro.serving.AnnotationServer`.  All three faces speak
+the one wire protocol of :mod:`repro.serving.protocol` (same records,
+same ``{"error": ...}`` answers, same optional ``"id"`` correlation
+echo), and the live faces (loop, socket) also carry the admin plane:
+``{"op": "stats"}``, ``{"op": "health"}``, hot ``register`` / ``repoint``
+/ ``unregister``, and ``{"op": "shutdown"}``.  ``repro stats HOST:PORT``
+is the one-shot admin client.  ``--model NAME=PATH`` (repeatable)
+registers several models behind the one front door; records route
+per-record via a ``{"model": NAME}`` field, and ``--cache-dir`` is
+partitioned into one subdirectory per model fingerprint (a pre-existing
+flat single-model cache keeps its layout).  SIGINT/SIGTERM drain
+in-flight requests and flush the disk cache before exiting.
 
 All subcommands are pure functions of their arguments (deterministic under
 ``--seed``), and :func:`main` takes an ``argv`` list so the tests can drive
@@ -37,6 +46,7 @@ the CLI in-process.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import glob
 import json
 import os
@@ -59,7 +69,6 @@ from .io import (
     load_dataset_jsonl,
     read_table_csv,
     save_dataset_jsonl,
-    table_from_dict,
 )
 from .nn import TransformerConfig
 from .text import train_wordpiece
@@ -263,64 +272,50 @@ def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
     return 0
 
 
-def _request_from_record(payload, options):
-    """One serve request from one JSON table record.
+def _iter_stdin_records(options, admin=True):
+    """Yield decoded records from stdin, one JSON record per line.
 
-    A ``"model"`` field on the record names the registered model (or
-    fingerprint) that should answer it; returns ``None`` for
-    dataset-header records.
+    The loop-mode face of the serving protocol
+    (:mod:`repro.serving.protocol`): each line may carry a ``"model"``
+    route, an ``"id"`` correlation token, or — unless the operator
+    disabled the admin plane (``--no-admin``) — an admin ``{"op": ...}``.
+    Dataset-header records are skipped so a whole corpus file can be
+    piped in unchanged; blank lines are ignored so interactive sessions
+    can breathe.
+
+    A line that cannot become a record — broken JSON, a record missing
+    table fields, a zero-column table, a refused admin op — yields its
+    ``{"error": ...}`` answer dict instead of raising: a long-running
+    loop server must outlive its worst client line (exceptions would end
+    the generator for good).
     """
-    from .serving import AnnotationRequest
+    from .serving import protocol
 
-    if payload.get("kind") == "dataset":
-        return None
-    model = payload.pop("model", None)
-    return AnnotationRequest(
-        table=table_from_dict(payload), options=options, model=model
-    )
-
-
-def _iter_stdin_requests(options):
-    """Yield annotation requests from stdin, one JSON record per line.
-
-    The loop-mode face of gateway routing: each line may carry a
-    ``"model"`` route.  Dataset-header records are skipped so a whole
-    corpus file can be piped in unchanged; blank lines are ignored so
-    interactive sessions can breathe.
-
-    A line that cannot become a request — broken JSON, a record missing
-    table fields, a zero-column table — yields an ``{"error": ...}`` dict
-    instead of raising: a long-running loop server must outlive its worst
-    client line (exceptions would end the generator for good).
-    """
     for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
         try:
-            request = _request_from_record(json.loads(line), options)
-        except (ValueError, KeyError, TypeError, AttributeError) as error:
-            yield {"error": str(error).strip("'\"")}
+            record = protocol.decode_record(line, options, admin=admin)
+        except protocol.ProtocolError as error:
+            yield error.answer()
             continue
-        if request is not None:
-            yield request
+        if record is not None:
+            yield record
 
 
-def _iter_corpus_requests(path, options):
-    """Yield annotation requests from a ``.jsonl`` corpus file.
+def _iter_corpus_records(path, options):
+    """Yield decoded request records from a ``.jsonl`` corpus file.
 
     Same record shape as loop mode — including per-record ``"model"``
-    routes — but strict: a malformed record raises (a static corpus with a
-    broken line is an input error, not traffic to survive).
+    routes and ``"id"`` tokens — but strict: a malformed record (or an
+    admin op, which is live traffic, not a corpus row) raises — a static
+    corpus with a broken line is an input error, not traffic to survive.
     """
+    from .serving import protocol
+
     with open(path, encoding="utf-8") as handle:
         for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            request = _request_from_record(json.loads(line), options)
-            if request is not None:
-                yield request
+            record = protocol.decode_record(line, options, admin=False)
+            if record is not None:
+                yield record
 
 
 def _parse_serve_routes(args: argparse.Namespace):
@@ -337,6 +332,9 @@ def _parse_serve_routes(args: argparse.Namespace):
     the first one is the default and the remaining positional is the
     corpus.  Returns ``(specs, corpus)`` where ``specs`` is a list of
     ``(name, path)``.
+
+    With ``--listen`` there is no corpus: the one positional (if any) is
+    the default bundle, and ``corpus`` comes back ``None``.
     """
     specs = []
     for raw in args.models or []:
@@ -345,7 +343,21 @@ def _parse_serve_routes(args: argparse.Namespace):
         if not sep or not name or not path:
             raise ValueError(f"--model expects NAME=PATH, got {raw!r}")
         specs.append((name, path))
-    if args.model is not None and args.corpus is not None:
+    listen = getattr(args, "listen", None) is not None
+    if listen:
+        if args.corpus is not None:
+            raise ValueError(
+                "--listen runs a socket server: drop the corpus argument "
+                f"({args.corpus!r})"
+            )
+        if args.out is not None:
+            raise ValueError(
+                "--out does not apply to --listen (answers go to clients)"
+            )
+        if args.model is not None:
+            specs.insert(0, ("default", args.model))
+        corpus = None
+    elif args.model is not None and args.corpus is not None:
         specs.insert(0, ("default", args.model))
         corpus = args.corpus
     elif args.model is not None:
@@ -361,12 +373,51 @@ def _parse_serve_routes(args: argparse.Namespace):
         raise ValueError(
             "no model: pass a bundle directory or --model NAME=PATH"
         )
-    if corpus is None:
+    if corpus is None and not listen:
         raise ValueError("no corpus: pass a .jsonl path, or '-' for stdin")
     names = [name for name, _ in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate model names: {', '.join(names)}")
     return specs, corpus
+
+
+def _parse_listen(spec: str):
+    """``HOST:PORT`` → ``(host, port)`` (an empty host means loopback)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise ValueError(f"--listen expects HOST:PORT, got {spec!r}")
+    port = int(port_text)
+    if port > 65535:
+        raise ValueError(f"port must be 0-65535, got {port}")
+    return host or "127.0.0.1", port
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Translate SIGINT/SIGTERM into ``KeyboardInterrupt`` for the scope.
+
+    `repro serve` uses it so a Ctrl-C or a supervisor's TERM lands as an
+    exception at a record boundary: the gateway context then drains
+    in-flight requests and flushes/closes the persistent disk cache
+    instead of the process dying mid-batch.  Off the main thread (where
+    signals cannot be installed) this is a no-op.
+    """
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _raise)
+        except ValueError:  # not the main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -375,6 +426,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     One registered model keeps the historical single-model behaviour;
     several (``--model NAME=PATH``, repeatable) serve behind one front
     door, with stdin records routed per-line by their ``"model"`` field.
+    ``--listen HOST:PORT`` swaps the stdin/stdout transport for the
+    asyncio TCP server — same protocol, same answers.
     """
     from .serving import (
         AnnotationGateway,
@@ -382,6 +435,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         EngineConfig,
         ModelRegistry,
         QueueConfig,
+        protocol,
     )
 
     specs, corpus = _parse_serve_routes(args)
@@ -392,7 +446,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # caches stay warm.  Everything else gets the registry layout: one
     # subdirectory per model fingerprint, so models never share segment
     # files.  (Keys embed the fingerprint either way — layouts differ,
-    # correctness does not.)
+    # correctness does not.)  The flat config is pinned to the initial
+    # registration only — NOT the registry default — so a model
+    # hot-registered later ({"op": "register"}) roots its cache in its
+    # own fingerprint subdirectory instead of opening a second writer on
+    # the flat directory.
     from .serving.diskcache import SEGMENT_GLOB
 
     flat_cache = (
@@ -402,14 +460,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     registry = ModelRegistry(
         max_live=args.max_live,
-        engine_config=EngineConfig(
-            batch_size=batch_size,
-            cache_dir=args.cache_dir if flat_cache else None,
-        ),
-        cache_dir=None if flat_cache else args.cache_dir,
+        engine_config=EngineConfig(batch_size=batch_size),
+        cache_dir=args.cache_dir,
+    )
+    flat_config = (
+        EngineConfig(batch_size=batch_size, cache_dir=args.cache_dir)
+        if flat_cache
+        else None
     )
     for name, path in specs:
-        registry.register(name, path)
+        registry.register(name, path, engine_config=flat_config)
     gateway = AnnotationGateway(
         registry,
         QueueConfig(
@@ -423,51 +483,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         top_k=3 if args.top_k is None else args.top_k,
         score_threshold=args.threshold,
     )
+    if args.listen is not None:
+        return _serve_listen(args, gateway, options, specs)
     loop_mode = corpus == "-"
     records = (
-        _iter_stdin_requests(options)
+        _iter_stdin_records(options, admin=not args.no_admin)
         if loop_mode
-        else _iter_corpus_requests(corpus, options)
+        else _iter_corpus_records(corpus, options)
     )
     out_handle = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
     count = 0
+    admin_answers = 0
+    interrupted = False
 
     def emit(record) -> None:
-        out_handle.write(json.dumps(record) + "\n")
+        out_handle.write(protocol.encode_line(record))
         out_handle.flush()
 
     try:
-        with gateway:
+        with gateway, _graceful_signals():
             if loop_mode:
                 # Loop mode answers each record as it arrives (stdin is
                 # serial anyway) and must survive bad records: malformed
-                # lines (already turned into error dicts by the record
+                # lines (already turned into error answers by the record
                 # iterator), an unregistered model route, or a per-request
                 # annotation failure each get an error record on stdout —
-                # never a dead server.
-                for request in records:
-                    if isinstance(request, dict):  # un-parseable line
-                        emit(request)
+                # never a dead server.  Admin records ({"op": ...}) are
+                # the same plane the socket server exposes: stats/health
+                # introspection and hot registry mutation without a
+                # restart; {"op": "shutdown"} ends the loop gracefully.
+                for record in records:
+                    if isinstance(record, dict):  # un-parseable line
+                        emit(record)
                         continue
+                    if isinstance(record, protocol.AdminRecord):
+                        answer = protocol.handle_admin(record, gateway)
+                        emit(answer)
+                        if answer.get("ok"):
+                            # Only successful ops count as session work —
+                            # an all-errors session must still exit 1.
+                            admin_answers += 1
+                        if record.op == "shutdown" and answer.get("ok"):
+                            break
+                        continue
+                    request = record.request
                     try:
                         result = gateway.annotate(request, options)
                     except Exception as error:  # noqa: BLE001 - server survives
                         # Whatever one request's annotation raised — bad
                         # route, invalid pairs, a pathological table deep
                         # in the forward pass — belongs to that request.
-                        emit({
-                            "table_id": request.table.table_id,
-                            "error": str(error).strip("'\""),
-                        })
+                        emit(protocol.error_answer(
+                            protocol.format_error(error),
+                            record_id=record.record_id,
+                            table_id=request.table.table_id,
+                        ))
                         continue
-                    emit(result.to_dict(with_embeddings=args.embeddings))
+                    emit(protocol.encode_result(
+                        result,
+                        with_embeddings=args.embeddings,
+                        record_id=record.record_id,
+                    ))
                     count += 1
             else:
                 # Corpus mode keeps a batch-sized window in flight so the
-                # workers can dedup and batch.
-                for result in gateway.annotate_stream(records, options):
-                    emit(result.to_dict(with_embeddings=args.embeddings))
+                # workers can dedup and batch; results come back in
+                # submission order, so correlation ids realign by FIFO.
+                from collections import deque
+
+                record_ids: deque = deque()
+
+                def requests():
+                    for record in records:
+                        record_ids.append(record.record_id)
+                        yield record.request
+
+                for result in gateway.annotate_stream(requests(), options):
+                    emit(protocol.encode_result(
+                        result,
+                        with_embeddings=args.embeddings,
+                        record_id=record_ids.popleft(),
+                    ))
                     count += 1
+    except KeyboardInterrupt:
+        # SIGINT/SIGTERM: the gateway context already drained in-flight
+        # requests and flushed/closed the disk cache on the way out.
+        interrupted = True
     except BrokenPipeError:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
@@ -475,20 +576,132 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.out:
             out_handle.close()
-    if count == 0:
+    # An empty (or all-errors) session is a failure; a session that did
+    # real work — tables, admin introspection, a clean remote shutdown —
+    # or was interrupted mid-drain is not.
+    if count == 0 and admin_answers == 0 and not interrupted:
         print("error: no tables were served", file=sys.stderr)
         return 1
-    stats = gateway.stats
+    note = "interrupted: drained in-flight requests; " if interrupted else ""
+    _print_serve_summary(gateway.stats, count, specs, args, note=note)
+    if interrupted and not loop_mode:
+        # Corpus (batch) mode: partial output must not look like success
+        # to a pipeline gating on the exit status.  (The interactive
+        # stdin loop exits 0 — Ctrl-C is how a session *ends*.)
+        return 130
+    return 0
+
+
+def _print_serve_summary(stats, count, specs, args, note="") -> None:
+    """The `repro serve` stats epilogue, shared by every transport."""
+    out = getattr(args, "out", None)
     disk = f", {stats.disk_hits} disk hits" if args.cache_dir is not None else ""
     models = f" across {len(specs)} models" if len(specs) > 1 else ""
     print(
-        f"served {count} tables in {stats.batches} queue batches "
+        f"{note}served {count} tables in {stats.batches} queue batches "
         f"({stats.dedup_hits} dedup hits, "
         f"{stats.encoder_passes} encoder passes{disk}){models}"
-        + (f" -> {args.out}" if args.out else ""),
-        file=sys.stderr if not args.out else sys.stdout,
+        + (f" -> {out}" if out else ""),
+        file=sys.stderr if not out else sys.stdout,
     )
+
+
+def _serve_listen(args, gateway, options, specs) -> int:
+    """`repro serve --listen HOST:PORT`: the asyncio TCP front door.
+
+    Runs until SIGINT/SIGTERM or a client's ``{"op": "shutdown"}``; both
+    paths drain accepted requests to their clients, then close the
+    gateway — which drains the per-model workers and flushes/closes the
+    persistent disk cache — before exiting.
+    """
+    import asyncio
+    import signal
+
+    from .serving.server import AnnotationServer
+
+    host, port = _parse_listen(args.listen)
+
+    async def _run() -> None:
+        server = AnnotationServer(
+            gateway,
+            options,
+            host=host,
+            port=port,
+            with_embeddings=args.embeddings,
+            admin=not args.no_admin,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        interrupt = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, interrupt.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platform or thread without signal support
+        bound_host, bound_port = server.address
+        print(f"listening on {bound_host}:{bound_port}",
+              file=sys.stderr, flush=True)
+        waiters = [
+            asyncio.ensure_future(interrupt.wait()),
+            asyncio.ensure_future(server.shutdown_requested.wait()),
+        ]
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except OSError as error:
+        # Bind failures (port in use, unresolvable host) are input
+        # errors, not tracebacks.
+        print(f"error: cannot listen on {host}:{port}: {error}",
+              file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # Platforms without add_signal_handler deliver Ctrl-C here after
+        # asyncio.run has cancelled _run (whose finally stopped the
+        # server); fall through to the drained-and-flushed exit.
+        pass
+    finally:
+        gateway.close()  # drain workers, flush/close disk caches
+    stats = gateway.stats
+    _print_serve_summary(stats, stats.completed, specs, args)
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """One-shot admin client: ask a running server for its stats."""
+    import socket as _socket
+
+    host, port = _parse_listen(args.address)
+    record = {"op": "stats"}
+    try:
+        with _socket.create_connection((host, port), timeout=args.timeout) as sock:
+            with sock.makefile("rw", encoding="utf-8", newline="\n") as stream:
+                stream.write(json.dumps(record) + "\n")
+                stream.flush()
+                line = stream.readline()
+    except OSError as error:
+        print(f"error: cannot reach {host}:{port}: {error}", file=sys.stderr)
+        return 1
+    if not line:
+        print("error: the server closed the connection without answering",
+              file=sys.stderr)
+        return 1
+    try:
+        answer = json.loads(line)
+    except ValueError:
+        print(
+            f"error: {host}:{port} answered a non-JSON line "
+            "(is it a repro serve --listen server?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(answer, indent=2, sort_keys=True))
+    return 0 if "error" not in answer else 1
 
 
 def _cache_directories(root):
@@ -629,7 +842,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve a corpus (or stdin with '-') through the routed gateway",
+        help="serve a corpus, stdin ('-'), or a TCP socket (--listen) "
+             "through the routed gateway",
     )
     serve.add_argument("model", nargs="?", default=None,
                        help="model bundle directory (registered as "
@@ -669,7 +883,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "the whole drain instead of isolating the "
                             "failing request (results are byte-identical "
                             "either way)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve the same protocol over TCP instead of "
+                            "a corpus/stdin (port 0 binds an ephemeral "
+                            "port, printed to stderr)")
+    serve.add_argument("--no-admin", action="store_true",
+                       help="refuse admin records ({\"op\": ...}) on the "
+                            "live transports (socket and stdin loop): no "
+                            "stats/health introspection, no hot "
+                            "register/repoint/unregister, no remote "
+                            "shutdown")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="print a running `repro serve --listen` server's stats as JSON",
+    )
+    stats.add_argument("address", metavar="HOST:PORT",
+                       help="where the server is listening")
+    stats.add_argument("--timeout", type=float, default=10.0,
+                       help="connect/read timeout in seconds")
+    stats.set_defaults(func=_cmd_stats)
 
     cache = sub.add_parser("cache", help="manage persistent result caches")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

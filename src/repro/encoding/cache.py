@@ -9,7 +9,7 @@ cache stores :class:`~repro.core.serialization.EncodedTable` artifacts keyed
 by a stable content hash of the table, independent of ``table_id`` or object
 identity.
 
-``repro.serving.cache`` re-exports these names for backward compatibility.
+``repro.serving`` re-exports these names for serving-side convenience.
 """
 
 from __future__ import annotations

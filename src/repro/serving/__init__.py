@@ -26,6 +26,15 @@ The stack, bottom-up:
   the asyncio-native ``asubmit()``/``astream()`` client APIs.
 * :class:`AnnotationService` — the historical single-model front-end, now
   a thin compatibility wrapper over a one-entry gateway.
+* :mod:`repro.serving.protocol` — the transport-agnostic wire protocol
+  (newline-delimited JSON records, ``{"error": ...}`` answers, ``"id"``
+  correlation echo, admin operations) shared by corpus serving, the stdin
+  loop, and the socket server.
+* :class:`AnnotationServer` — the asyncio TCP front door speaking that
+  protocol over the gateway's native ``asubmit()``, with per-connection
+  ordering, backpressure, an admin plane (``stats``/``health``/hot
+  ``register``/``repoint``/``unregister``/``shutdown``), and graceful
+  drain; :class:`ServerThread` embeds it in synchronous code.
 
 Quickstart::
 
@@ -52,6 +61,10 @@ Quickstart::
         # ...or, inside a coroutine:
         #     result = await gateway.asubmit(table, model="canary")
 
+    from repro.serving.server import ServerThread
+    with ServerThread(gateway, port=9000) as (host, port):
+        ...  # newline-delimited JSON clients connect to (host, port)
+
 Every tier preserves the engine's equivalence contract: routing, dedup,
 and caching change what a request *costs* and *which model answers*, never
 what that model returns (see :mod:`repro.serving.gateway`,
@@ -60,6 +73,7 @@ exact byte-identity guarantees).
 """
 
 from ..encoding.cache import LRUCache, table_fingerprint
+from . import protocol
 from .diskcache import (
     CompactionResult,
     DiskCache,
@@ -71,6 +85,7 @@ from .gateway import AnnotationGateway, GatewayStats
 from .queue import AnnotationService, EngineWorker, QueueConfig, ServiceStats
 from .registry import ModelRegistry, RegisteredModel, RegistryStats
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
+from .server import AnnotationServer, ServerStats, ServerThread
 
 __all__ = [
     "AnnotationEngine",
@@ -78,6 +93,7 @@ __all__ = [
     "AnnotationOptions",
     "AnnotationRequest",
     "AnnotationResult",
+    "AnnotationServer",
     "AnnotationService",
     "CompactionResult",
     "DiskCache",
@@ -91,7 +107,10 @@ __all__ = [
     "QueueConfig",
     "RegisteredModel",
     "RegistryStats",
+    "ServerStats",
+    "ServerThread",
     "ServiceStats",
+    "protocol",
     "result_cache_key",
     "table_fingerprint",
 ]

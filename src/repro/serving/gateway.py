@@ -45,7 +45,13 @@ import asyncio
 import queue as _queue
 import threading
 from concurrent.futures import Future
-from dataclasses import dataclass, field, fields as _dataclass_fields, replace
+from dataclasses import (
+    asdict,
+    dataclass,
+    field,
+    fields as _dataclass_fields,
+    replace,
+)
 from typing import (
     AsyncIterator,
     Dict,
@@ -70,7 +76,10 @@ class GatewayStats:
     :class:`~repro.serving.queue.ServiceStats` (summed over retired
     workers too, when eviction re-created one); ``engines`` maps names to
     the live engine's :class:`~repro.serving.engine.EngineStats`.  The
-    scalar fields are totals over ``models``/``engines``.
+    scalar fields are totals over ``models``/``engines`` — plus the
+    folded history of *unregistered* routes, which leave the per-name
+    maps (so admin register/unregister churn over unique names cannot
+    grow this snapshot without bound) but never deflate the totals.
     """
 
     submitted: int = 0
@@ -84,6 +93,18 @@ class GatewayStats:
     disk_misses: int = 0
     models: Dict[str, ServiceStats] = field(default_factory=dict)
     engines: Dict[str, EngineStats] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot — the wire shape served by the
+        ``{"op": "stats"}`` admin answer and ``repro stats``.  Nested
+        per-model/per-engine counters serialize recursively; each engine
+        additionally reports its derived ``padding_waste`` fraction."""
+        payload = asdict(self)
+        for name, engine_stats in self.engines.items():
+            payload["engines"][name]["padding_waste"] = round(
+                engine_stats.padding_waste, 6
+            )
+        return payload
 
 
 class AnnotationGateway:
@@ -116,9 +137,15 @@ class AnnotationGateway:
         self.queue_config = queue_config or QueueConfig()
         self._workers: Dict[str, EngineWorker] = {}
         # Stats of workers (and their engines) retired by eviction/reload,
-        # so gateway totals never go backwards.
+        # so gateway totals never go backwards.  Unregistering a name
+        # folds its per-name entries into the two aggregate buckets below
+        # — totals stay monotone while the per-name maps (and the admin
+        # stats payload) stay bounded by the *registered* roster, not by
+        # every name ever deployed.
         self._retired: Dict[str, ServiceStats] = {}
         self._retired_engines: Dict[str, EngineStats] = {}
+        self._unregistered = ServiceStats()
+        self._unregistered_engine = EngineStats()
         # _lock guards the dicts (cheap, held briefly).  _creation_locks
         # serializes each route's worker retire/create cycle END TO END —
         # a stale worker is fully drained and closed before its
@@ -149,6 +176,43 @@ class AnnotationGateway:
     def register(self, name: str, source: ModelSource, **kwargs) -> None:
         """Register a model (see :meth:`ModelRegistry.register`)."""
         self.registry.register(name, source, **kwargs)
+
+    def repoint(self, name: str, source: ModelSource, **kwargs) -> None:
+        """Rebind ``name`` to new weights without a restart (see
+        :meth:`ModelRegistry.repoint`), then retire the route's stale
+        worker.  The retire drains in-flight requests against the old
+        engine first — nothing queued is lost, and the next request to
+        the name is served by the new weights."""
+        self.registry.repoint(name, source, **kwargs)
+        self.reap()
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` entirely (see :meth:`ModelRegistry.unregister`),
+        then retire its worker — draining queued requests against the old
+        engine first, so futures obtained before the unregister still
+        resolve.  Subsequent requests routed to the name raise
+        ``KeyError``.  The name's retired counters fold into the
+        aggregate history (``stats`` scalar totals keep them; the
+        per-name maps drop them), so admin-plane register/unregister
+        churn cannot grow the *stats payload* without bound.  (A
+        per-name creation lock — a few dozen bytes — is deliberately
+        retained: popping it could race a concurrent submission into
+        two workers for a re-registered name.)"""
+        self.registry.unregister(name)
+        self.reap()
+        with self._lock:
+            retired = self._retired.pop(name, None)
+            if retired is not None:
+                self._merge_stats(self._unregistered, retired)
+            retired_engine = self._retired_engines.pop(name, None)
+            if retired_engine is not None:
+                for counter in self._ENGINE_TOTALS:
+                    setattr(
+                        self._unregistered_engine,
+                        counter,
+                        getattr(self._unregistered_engine, counter)
+                        + getattr(retired_engine, counter),
+                    )
 
     # ------------------------------------------------------------------
     # Routing
@@ -445,8 +509,13 @@ class AnnotationGateway:
             retired_engine_totals = [
                 replace(stats) for stats in self._retired_engines.values()
             ]
+            # Unregistered routes' folded history: in the scalar totals,
+            # absent from the per-name maps (see the class docstring).
+            unregistered = ServiceStats()
+            self._merge_stats(unregistered, self._unregistered)
+            retired_engine_totals.append(replace(self._unregistered_engine))
         snapshot.models = per_model
-        for model_stats in per_model.values():
+        for model_stats in list(per_model.values()) + [unregistered]:
             for name in self._SERVICE_COUNTERS:
                 setattr(
                     snapshot, name, getattr(snapshot, name) + getattr(model_stats, name)

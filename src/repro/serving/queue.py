@@ -309,8 +309,8 @@ class EngineWorker:
                 # deadlocks submitters against the bounded queue.
                 for pending in batch:
                     if not pending.future.done():
-                        pending.future.set_exception(error)
                         self.stats.failed += 1
+                        pending.future.set_exception(error)
 
     def _gather_batch(self, first: _Pending) -> Tuple[List[_Pending], bool]:
         """Collect up to ``max_batch`` requests within the latency budget."""
@@ -395,6 +395,11 @@ class EngineWorker:
 
     def _fan_out(self, members: Sequence[_Pending], result: AnnotationResult) -> None:
         for pending in members:
+            # Count BEFORE resolving: the future is the waiter's wake-up
+            # call, and a waiter that has its answer may immediately read
+            # the stats (the gateway's admin plane serves them over the
+            # wire) — the completion must already be visible then.
+            self.stats.completed += 1
             if pending.request.table is result.request.table:
                 # Deliberately the same object for every waiter asking about
                 # the same table — the dedup contract tests rely on identity.
@@ -405,7 +410,6 @@ class EngineWorker:
                 # around the waiter's *own* table so its identity/metadata
                 # survive — same rule the disk tier applies on decode.
                 pending.future.set_result(self._rewrap(pending.request, result))
-            self.stats.completed += 1
 
     @staticmethod
     def _rewrap(request: AnnotationRequest, result: AnnotationResult) -> AnnotationResult:
@@ -428,8 +432,8 @@ class EngineWorker:
 
     def _fan_out_error(self, members: Sequence[_Pending], error: Exception) -> None:
         for pending in members:
+            self.stats.failed += 1  # counted before the waiter wakes (see _fan_out)
             pending.future.set_exception(error)
-            self.stats.failed += 1
 
 
 class AnnotationService:

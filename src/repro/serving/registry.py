@@ -35,7 +35,7 @@ The registry is thread-safe; the gateway calls into it on every submit.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -52,7 +52,8 @@ class RegistryStats:
     re-loads after eviction — the latter also counted in ``reloads``);
     ``evictions`` counts live engines dropped by the ``max_live`` policy
     or :meth:`ModelRegistry.evict`; ``routed`` counts successful route
-    resolutions (the gateway's submit traffic).
+    resolutions (the gateway's submit traffic); ``repoints`` counts
+    in-place rebinds of a name to new weights.
     """
 
     registered: int = 0
@@ -60,6 +61,11 @@ class RegistryStats:
     reloads: int = 0
     evictions: int = 0
     routed: int = 0
+    repoints: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable counters (the ``{"op": "stats"}`` wire shape)."""
+        return asdict(self)
 
 
 class RegisteredModel:
@@ -176,43 +182,115 @@ class ModelRegistry:
         with self._lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
-            if isinstance(source, (str, Path)):
-                path = Path(source)
-                if not (path / "bundle.json").exists():
-                    raise ValueError(
-                        f"model {name!r}: {path} is not a bundle directory "
-                        "(no bundle.json)"
-                    )
-                entry = RegisteredModel(
-                    name, path, pinned, None, engine_config
-                )
-            else:
-                engine = self._as_engine(source, engine_config)
-                # One serving thread per route drives each engine, and an
-                # engine's trainer/pipeline is not thread-safe — the same
-                # live object must not serve under two names.  (To alias a
-                # model, register its bundle path twice: each load gets a
-                # private engine, and the disk tier is still shared per
-                # fingerprint.)
-                for other in self._entries.values():
-                    if other.engine is not None and (
-                        other.engine is engine
-                        or other.engine.trainer is engine.trainer
-                    ):
-                        raise ValueError(
-                            f"model {other.name!r} already serves this "
-                            f"trainer/engine object; register a bundle path "
-                            f"(or a separate trainer) for {name!r} instead"
-                        )
-                self._attach_result_cache(engine)
-                # In-memory sources cannot be reloaded after eviction, so
-                # they are pinned regardless of the flag.
-                entry = RegisteredModel(name, None, True, engine, engine_config)
+            entry = self._build_entry(name, source, pinned, engine_config)
             self._entries[name] = entry
             self.stats.registered += 1
             if self._default_name is None:
                 self._default_name = name
             return entry
+
+    def _build_entry(
+        self,
+        name: str,
+        source: ModelSource,
+        pinned: bool,
+        engine_config: Optional[EngineConfig],
+        replacing: Optional[RegisteredModel] = None,
+    ) -> RegisteredModel:
+        """One validated :class:`RegisteredModel` for ``source`` (caller
+        holds the registry lock; ``replacing`` exempts the entry a repoint
+        is about to retire from the duplicate-object check)."""
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            if not (path / "bundle.json").exists():
+                raise ValueError(
+                    f"model {name!r}: {path} is not a bundle directory "
+                    "(no bundle.json)"
+                )
+            return RegisteredModel(name, path, pinned, None, engine_config)
+        engine = self._as_engine(source, engine_config)
+        # One serving thread per route drives each engine, and an
+        # engine's trainer/pipeline is not thread-safe — the same
+        # live object must not serve under two names.  (To alias a
+        # model, register its bundle path twice: each load gets a
+        # private engine, and the disk tier is still shared per
+        # fingerprint.)
+        for other in self._entries.values():
+            if other is replacing:
+                continue
+            if other.engine is not None and (
+                other.engine is engine
+                or other.engine.trainer is engine.trainer
+            ):
+                raise ValueError(
+                    f"model {other.name!r} already serves this "
+                    f"trainer/engine object; register a bundle path "
+                    f"(or a separate trainer) for {name!r} instead"
+                )
+        self._attach_result_cache(engine)
+        # In-memory sources cannot be reloaded after eviction, so
+        # they are pinned regardless of the flag.
+        return RegisteredModel(name, None, True, engine, engine_config)
+
+    def repoint(
+        self,
+        name: str,
+        source: ModelSource,
+        pinned: bool = False,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> RegisteredModel:
+        """Atomically rebind ``name`` to a new model source.
+
+        The hot-deployment primitive: a serving name (``"stable"``,
+        ``"canary"``) is pointed at new weights without restarting the
+        process or disturbing the other routes.  Under the registry lock,
+        the old engine (if live) is dropped — its shared per-fingerprint
+        disk-cache handle detaches exactly as in eviction — and the name's
+        slot is replaced in place: registration order, default status, and
+        LRU recency carry over, so fingerprint resolution and eviction
+        order stay consistent throughout.  The replacement loads lazily
+        (bundle-path sources) on the next request routed to it.
+
+        The *old* fingerprint stops resolving through this name: clients
+        pinned to exact weights by fingerprint keep resolving only while
+        some name still serves those weights — which is precisely the
+        content-addressing contract.  Raises ``KeyError`` for unknown
+        names; validation failures (not a bundle directory, a live object
+        already serving elsewhere) leave the old binding untouched.
+        """
+        if not name or name != name.strip():
+            raise ValueError(f"model name must be non-empty, got {name!r}")
+        with self._lock:
+            old = self._entries.get(name)
+            if old is None:
+                raise KeyError(f"no model registered as {name!r}")
+            entry = self._build_entry(
+                name, source, pinned, engine_config, replacing=old
+            )
+            self._drop_engine(old)
+            entry.last_used = old.last_used
+            self._entries[name] = entry
+            self._release_unreferenced_handle(old.fingerprint)
+            self.stats.repoints += 1
+            return entry
+
+    def _release_unreferenced_handle(self, fingerprint: Optional[str]) -> None:
+        """Close and drop the per-fingerprint disk-cache handle once no
+        registration references ``fingerprint`` anymore (caller holds the
+        registry lock).  Repoint/unregister churn over unique models must
+        not accumulate dead handles and their in-memory indexes; the
+        directory stays on disk, warm for a future registration of the
+        same weights."""
+        if fingerprint is None:
+            return
+        if any(
+            entry.fingerprint == fingerprint
+            for entry in self._entries.values()
+        ):
+            return
+        cache = self._disk_caches.pop(fingerprint, None)
+        if cache is not None:
+            cache.close()
 
     def _as_engine(
         self, source: ModelSource, engine_config: Optional[EngineConfig]
@@ -247,12 +325,21 @@ class ModelRegistry:
         engine.result_cache = cache
 
     def unregister(self, name: str) -> None:
-        """Remove ``name`` entirely (its engine, if live, is dropped)."""
+        """Remove ``name`` entirely (its engine, if live, is dropped).
+
+        If no other registration shares the entry's fingerprint, its
+        per-fingerprint disk-cache handle is closed and released too —
+        register/unregister churn over unique models must not accumulate
+        dead handles (and their in-memory indexes) for the process
+        lifetime.  The directory itself stays on disk, warm for any
+        future registration of the same weights.
+        """
         with self._lock:
             entry = self._entries.pop(name, None)
             if entry is None:
                 raise KeyError(f"no model registered as {name!r}")
             self._drop_engine(entry)
+            self._release_unreferenced_handle(entry.fingerprint)
             if self._default_name == name:
                 self._default_name = next(iter(self._entries), None)
 

@@ -135,8 +135,20 @@ class AnnotationResult:
     def top_types(self, column: int, k: int = 3) -> List[Tuple[str, float]]:
         return self.annotated.top_types(column, k=k)
 
-    def to_dict(self, with_scores: bool = True, with_embeddings: bool = False) -> Dict:
-        """JSON-serializable summary (the ``repro annotate`` JSONL record)."""
+    def to_dict(
+        self,
+        with_scores: bool = True,
+        with_embeddings: bool = False,
+        record_id: Optional[object] = None,
+    ) -> Dict:
+        """JSON-serializable summary (the ``repro annotate`` JSONL record).
+
+        ``record_id`` is the serving protocol's client correlation token
+        (:mod:`repro.serving.protocol`): when the wire record carried an
+        ``"id"`` field it is echoed here as the answer's last key, so
+        clients can match out-of-order answers.  ``None`` (no token)
+        leaves the record byte-identical to the historical shape.
+        """
         payload: Dict = {
             "table_id": self.table.table_id,
             "columns": [
@@ -166,4 +178,6 @@ class AnnotationResult:
                     column_payload["embedding"] = [
                         round(float(v), 6) for v in self.colemb[c]
                     ]
+        if record_id is not None:
+            payload["id"] = record_id
         return payload

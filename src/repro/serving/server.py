@@ -1,0 +1,576 @@
+"""Asyncio TCP front door for the annotation gateway.
+
+:class:`AnnotationServer` puts a real network face on the
+:class:`~repro.serving.gateway.AnnotationGateway`: clients connect over
+TCP and speak the newline-delimited JSON protocol of
+:mod:`repro.serving.protocol` — the *same* protocol as ``repro serve``'s
+stdin loop, implemented by the same module, so a socket answer is
+byte-identical to the loop-mode answer (and therefore to a direct
+``engine.annotate`` call) for the same record.
+
+Concurrency model
+-----------------
+One event loop serves every connection; annotation work happens on the
+gateway's per-model worker threads, bridged with the asyncio-native
+``asubmit()`` — a thousand concurrent in-flight requests cost one thread
+per *model*, not per request or per connection.
+
+* **Per-connection ordering** — answers on one connection come back in
+  the order its records arrived.  Each connection keeps a FIFO of pending
+  answers; a writer coroutine awaits and emits them in order, so results
+  stream out as each completes, with at most one window of head-of-line
+  wait — never buffered behind the slowest batch of another connection.
+* **Backpressure, never blocking** — each connection bounds its in-flight
+  window (default ``4 * max_batch``); a full window suspends that
+  connection's reader (TCP pushes back to the client), and a full gateway
+  queue is retried with ``asyncio.sleep`` backoff inside ``asubmit`` —
+  the event loop never blocks, so hot connections keep streaming while a
+  slow model's queue fills.
+* **Errors are answers** — broken JSON, zero-column tables, unknown
+  routes, and per-request annotation failures produce ``{"error": ...}``
+  records on the offending connection; the server and every other
+  connection keep serving.
+
+Admin plane
+-----------
+With ``admin=True`` (default) the same wire protocol carries operations:
+``{"op": "health"}``, ``{"op": "stats"}``, hot registry mutation
+(``register`` / ``repoint`` / ``unregister`` — drained worker retirement
+included, see the gateway), and ``{"op": "shutdown"}``, which answers
+``{"ok": true}`` and then gracefully drains the whole server.  Admin
+operations run in the default executor: a registry mutation may drain a
+worker (annotation passes), which must not stall the event loop.  Note
+that ``register``/``repoint`` name *server-side* bundle paths — expose an
+admin-enabled server only to clients you would let touch the model
+directory.
+
+Shutdown
+--------
+:meth:`AnnotationServer.stop` (triggered by ``{"op": "shutdown"}``, by
+SIGINT/SIGTERM in the CLI, or programmatically) closes the listener,
+stops reading new records, drains every accepted answer to its client,
+and closes the connections.  Closing the *gateway* afterwards (the CLI
+does) drains the per-model workers and flushes/closes the persistent
+:class:`~repro.serving.diskcache.DiskCache` tiers — no answer accepted
+before the shutdown is lost, and no cache write is torn.
+
+:class:`ServerThread` runs the whole thing on a private event loop in a
+daemon thread — the harness for embedding a socket server in synchronous
+code (and for the test suite and benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+from . import protocol
+from .gateway import AnnotationGateway
+from .request import AnnotationOptions
+
+#: Default asyncio stream limit is 64 KiB — too small for wide tables.
+DEFAULT_MAX_LINE_BYTES = 10 * 1024 * 1024
+
+_DONE = object()
+
+
+def _transfer_to(slot: "asyncio.Future", stats: "ServerStats"):
+    """Done-callback copying an answer task's outcome into its reserved
+    FIFO slot (a task cancelled at loop teardown cancels the slot).
+    Counts the answer as ``ready``.  Answer coroutines catch their own
+    failures, but an exception escaping anyway (an executor refusing
+    work at teardown, an encoding bug) becomes an error *answer* here —
+    an unresolved slot would block the connection's writer, and with it
+    graceful shutdown, forever."""
+
+    def transfer(task: "asyncio.Task") -> None:
+        if slot.done():
+            return
+        if task.cancelled():
+            slot.cancel()
+            return
+        stats.ready += 1
+        error = task.exception()
+        if error is not None:
+            stats.errors += 1
+            slot.set_result(
+                protocol.error_answer(protocol.format_error(error))
+            )
+        else:
+            slot.set_result(task.result())
+
+    return transfer
+
+
+@dataclass
+class ServerStats:
+    """Counters for one server's lifetime.
+
+    ``requests`` counts accepted table records; ``admin_ops`` counts
+    accepted admin records; ``errors`` counts error answers emitted
+    (including per-request annotation failures); ``ready`` counts
+    answers produced and queued for their connection (annotation done or
+    error built — written or not yet); ``answered`` counts every answer
+    line actually written.  ``ready - answered`` approximates the
+    write-blocked backlog (answers retired unwritten on a torn
+    connection also leave the gap; the graceful stop's stall detection
+    therefore tracks progress per connection, not from these totals).
+    """
+
+    connections: int = 0
+    requests: int = 0
+    admin_ops: int = 0
+    errors: int = 0
+    ready: int = 0
+    answered: int = 0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+class _Connection:
+    """Per-connection state: the answer FIFO, the cancellable reader, and
+    the drain telemetry — ``retired`` counts answers taken off the FIFO
+    (written or dropped on a broken transport), ``writing`` is True
+    exactly while the writer coroutine sits inside ``write``/``drain``.
+    ``writing`` with ``retired`` not moving for a whole grace window is
+    what marks a connection write-blocked during graceful stop (a writer
+    awaiting a still-computing answer has ``writing`` False, however
+    long it waits)."""
+
+    __slots__ = ("writer", "answers", "reader_task", "retired", "writing")
+
+    def __init__(self, writer: asyncio.StreamWriter, window: int) -> None:
+        self.writer = writer
+        self.answers: "asyncio.Queue" = asyncio.Queue(maxsize=window)
+        self.reader_task: Optional["asyncio.Task"] = None
+        self.retired = 0
+        self.writing = False
+
+
+class AnnotationServer:
+    """Serve a gateway over TCP, speaking the loop-mode JSON protocol.
+
+    Typical embedding::
+
+        registry = ModelRegistry(cache_dir="anno-cache/")
+        registry.register("stable", "models/stable/")
+        gateway = AnnotationGateway(registry)
+        server = AnnotationServer(gateway, host="127.0.0.1", port=9000)
+
+        async def main():
+            await server.start()
+            await server.shutdown_requested.wait()   # {"op": "shutdown"}
+            await server.stop()
+
+    ``options`` fixes the per-request knobs for every record this server
+    answers (like the CLI's flags fix them for a loop session);
+    ``with_embeddings`` switches embedding vectors into answer records;
+    ``window`` bounds each connection's in-flight answers (default
+    ``4 * max_batch``); ``port=0`` binds an ephemeral port — read
+    :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        gateway: AnnotationGateway,
+        options: Optional[AnnotationOptions] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        with_embeddings: bool = False,
+        admin: bool = True,
+        window: Optional[int] = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        shutdown_grace: float = 10.0,
+    ) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        if shutdown_grace < 0:
+            raise ValueError(f"shutdown_grace must be >= 0: {shutdown_grace}")
+        self.gateway = gateway
+        self.options = options or AnnotationOptions()
+        self.host = host
+        self.port = port
+        self.with_embeddings = with_embeddings
+        self.admin = admin
+        self.window = window or 4 * gateway.queue_config.max_batch
+        self.max_line_bytes = max_line_bytes
+        self.shutdown_grace = shutdown_grace
+        self.stats = ServerStats()
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._connections: Set[_Connection] = set()
+        self._handlers: Set["asyncio.Task"] = set()
+        self._stopped = False
+        #: Set when a client's ``{"op": "shutdown"}`` was acknowledged;
+        #: the embedding loop should then call :meth:`stop`.
+        self.shutdown_requested: Optional[asyncio.Event] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — meaningful after :meth:`start`
+        (with ``port=0`` this is where the ephemeral port shows up)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("the server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AnnotationServer":
+        """Bind and start accepting connections (idempotent; a *stopped*
+        server cannot rebind — create a fresh one)."""
+        if self._stopped:
+            raise RuntimeError(
+                "cannot restart a stopped AnnotationServer; create a new one"
+            )
+        if self._server is not None:
+            return self
+        self.shutdown_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes,
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, close (idempotent).
+
+        The listener closes first; then every connection's reader is
+        cancelled — records already accepted keep their place in the
+        answer FIFO and are written out before the connection closes, so
+        a client that saw its record accepted gets its answer.  (A line
+        in flight at the instant of cancellation may go unanswered; it
+        was never accepted.)  The drain is *progress*-bounded: as long
+        as answers keep going out — or the backlog is still computing
+        (slow annotation is not a reason to drop accepted work) — the
+        drain keeps going.  Only a full ``shutdown_grace`` seconds with
+        answers **ready but none written** marks the remaining
+        connections stalled (a client that stopped reading blocks our
+        ``drain()`` through its full TCP buffer forever); their
+        transports are then aborted: shutdown must not hang on the worst
+        client.  The gateway is *not* closed here — the owner closes it
+        to drain workers and flush disk caches.
+        """
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+        for connection in list(self._connections):
+            if connection.reader_task is not None:
+                connection.reader_task.cancel()
+        pending = set(self._handlers)
+        # A floor on the window keeps shutdown_grace=0 ("no patience for
+        # stalled clients") from busy-spinning while accepted work is
+        # still computing.
+        window = max(self.shutdown_grace, 0.05)
+        while pending:
+            progress = {c: c.retired for c in list(self._connections)}
+            done, pending = await asyncio.wait(pending, timeout=window)
+            if not pending:
+                break
+            # Per-connection verdicts: only a connection whose writer is
+            # INSIDE a write/drain that made no progress all window is
+            # stalled; a writer awaiting a still-computing answer (even
+            # with faster answers queued behind it), one actively
+            # writing, or a newly observed connection gets another
+            # window.
+            stalled = [
+                c
+                for c in list(self._connections)
+                if c.writing and c.retired == progress.get(c, -1)
+            ]
+            for connection in stalled:
+                try:
+                    connection.writer.transport.abort()
+                except Exception:  # noqa: BLE001 - already closing
+                    pass
+            # Aborted writers observe the broken transport and retire
+            # their remaining answers; loop until every handler exits.
+        if self._server is not None:
+            # Awaited LAST deliberately: since Python 3.12.1 wait_closed()
+            # also waits for every connection handler — awaiting it before
+            # the reader cancel above would deadlock on any open client.
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._stopped:
+            # Accepted in the same beat stop() started: this handler is
+            # in neither the cancel sweep nor the drain snapshot, so it
+            # must leave on its own — otherwise wait_closed() (which
+            # waits on every handler since Python 3.12.1) never returns.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        connection = _Connection(writer, self.window)
+        self._connections.add(connection)
+        self.stats.connections += 1
+        writer_task = asyncio.ensure_future(self._write_answers(connection))
+        connection.reader_task = asyncio.ensure_future(
+            self._read_records(reader, connection)
+        )
+        try:
+            try:
+                await connection.reader_task
+            except asyncio.CancelledError:
+                # stop() cancelled the reader: fall through to the drain.
+                pass
+            except Exception:  # noqa: BLE001 - reader bug, not fatal
+                # An unexpected reader failure closes THIS connection;
+                # the drain below still writes every accepted answer, and
+                # the server keeps serving the other connections.
+                self.stats.errors += 1
+        finally:
+            # Always drain: without the sentinel the writer task would
+            # block on the queue forever and accepted answers would be
+            # dropped.
+            await connection.answers.put(_DONE)
+            await writer_task
+            self._connections.discard(connection)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_records(
+        self, reader: asyncio.StreamReader, connection: _Connection
+    ) -> None:
+        """Accept records until EOF (or a cancel from :meth:`stop`).
+
+        Every accepted record takes one slot in the connection's answer
+        FIFO *here*, in arrival order — that single await is both the
+        ordering guarantee and the per-connection backpressure (a full
+        window suspends this coroutine, and TCP suspends the client).
+        The slot is reserved *before* the answer task is spawned, so a
+        shutdown cancel landing in the (possibly blocking) reservation
+        leaves nothing accepted: a record either never dispatched, or
+        holds a FIFO slot whose answer the drain will write.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, ConnectionError):
+                # Overlong line (stream limit) or a reset mid-line: the
+                # framing is unrecoverable, close this connection.
+                await connection.answers.put(
+                    protocol.error_answer(
+                        f"line exceeds {self.max_line_bytes} bytes or the "
+                        "connection broke mid-line"
+                    )
+                )
+                self.stats.errors += 1
+                self.stats.ready += 1
+                return
+            if not line:
+                return  # client closed its write side
+            try:
+                record = protocol.decode_record(
+                    line, self.options, admin=self.admin
+                )
+            except protocol.ProtocolError as error:
+                self.stats.errors += 1
+                await connection.answers.put(error.answer())
+                self.stats.ready += 1
+                continue
+            if record is None:
+                continue  # blank line or dataset header
+            is_admin = isinstance(record, protocol.AdminRecord)
+            answer_coro = (
+                self._admin(record) if is_admin else self._annotate(record)
+            )
+            slot: "asyncio.Future" = loop.create_future()
+            try:
+                await connection.answers.put(slot)
+            except asyncio.CancelledError:
+                answer_coro.close()  # never dispatched, never accepted
+                raise
+            if is_admin:
+                self.stats.admin_ops += 1
+            else:
+                self.stats.requests += 1
+            # No await between the reservation above and this spawn, so
+            # an accepted record always has its answer task running.
+            task = asyncio.ensure_future(answer_coro)
+            task.add_done_callback(_transfer_to(slot, self.stats))
+
+    async def _annotate(self, record: protocol.RequestRecord) -> Dict:
+        """One table record's answer (result or error, never a raise)."""
+        try:
+            result = await self.gateway.asubmit(record.request, self.options)
+            return protocol.encode_result(
+                result,
+                with_embeddings=self.with_embeddings,
+                record_id=record.record_id,
+            )
+        except Exception as error:  # noqa: BLE001 - answered, never fatal
+            self.stats.errors += 1
+            return protocol.error_answer(
+                protocol.format_error(error),
+                record_id=record.record_id,
+                table_id=record.request.table.table_id,
+            )
+
+    async def _admin(self, record: protocol.AdminRecord) -> Dict:
+        """One admin record's answer; mutations run in the executor (a
+        retire drains a worker — blocking work the loop must not hold)."""
+        loop = asyncio.get_running_loop()
+        try:
+            answer = await loop.run_in_executor(
+                None, protocol.handle_admin, record, self.gateway
+            )
+        except Exception as error:  # noqa: BLE001 - e.g. executor teardown
+            answer = protocol.error_answer(
+                protocol.format_error(error),
+                record_id=record.record_id,
+                op=record.op,
+            )
+        if "error" in answer:
+            self.stats.errors += 1
+        elif record.op == "shutdown":
+            # Acknowledged; the owner of this server observes the event
+            # and calls stop() — the answer is already queued ahead of
+            # the drain, so the requesting client sees it.
+            assert self.shutdown_requested is not None
+            self.shutdown_requested.set()
+        return answer
+
+    async def _write_answers(self, connection: _Connection) -> None:
+        """Emit one connection's answers in FIFO order as they resolve."""
+        broken = False
+        while True:
+            item = await connection.answers.get()
+            if item is _DONE:
+                return
+            record: Union[Dict, Any]
+            if isinstance(item, dict):
+                record = item
+            else:
+                record = await item  # answer coroutines never raise
+            if broken:
+                connection.retired += 1  # dropped, but off the backlog
+                continue  # keep consuming so pending futures resolve
+            connection.writing = True
+            try:
+                connection.writer.write(
+                    protocol.encode_line(record).encode("utf-8")
+                )
+                await connection.writer.drain()
+            except (ConnectionError, OSError):
+                broken = True
+                connection.retired += 1
+                continue
+            finally:
+                connection.writing = False
+            connection.retired += 1
+            self.stats.answered += 1
+
+
+class ServerThread:
+    """Run an :class:`AnnotationServer` on a private loop in a daemon thread.
+
+    The synchronous embedding (and test/benchmark) harness::
+
+        with ServerThread(gateway, options) as address:
+            sock = socket.create_connection(address)
+            ...
+
+    :meth:`start` returns the bound ``(host, port)`` once the listener is
+    up (re-raising any bind error in the caller's thread); :meth:`stop`
+    drains and joins.  A client-initiated ``{"op": "shutdown"}`` also
+    stops the server — :meth:`stop` (or the context exit) then just joins
+    the already-finished thread.  The gateway's lifetime stays with the
+    caller: close it after the server stops to flush disk caches.
+    """
+
+    def __init__(self, gateway: AnnotationGateway, *args, **kwargs) -> None:
+        self._factory = lambda: AnnotationServer(gateway, *args, **kwargs)
+        self.server: Optional[AnnotationServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is not None:
+            assert self.address is not None
+            return self.address
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="annotation-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            # Reset so the caller can retry start() (e.g. after freeing
+            # the port) instead of tripping the already-started guard.
+            self._thread.join()
+            error = self._startup_error
+            self._thread = None
+            self._startup_error = None
+            self._ready = threading.Event()
+            raise error
+        assert self.address is not None
+        return self.address
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = self._factory()
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - reraised in start()
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.server = server
+        self.address = server.address
+        self._ready.set()
+        stop_wait = asyncio.ensure_future(self._stop_event.wait())
+        shutdown_wait = asyncio.ensure_future(server.shutdown_requested.wait())
+        try:
+            await asyncio.wait(
+                {stop_wait, shutdown_wait},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for waiter in (stop_wait, shutdown_wait):
+                waiter.cancel()
+            await server.stop()
+
+    def stop(self) -> None:
+        """Drain the server and join its thread (idempotent, threadsafe)."""
+        if self._thread is None:
+            return
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already finished (client-initiated shutdown)
+        self._thread.join()
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

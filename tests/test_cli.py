@@ -523,6 +523,349 @@ class TestServeMultiModel:
         assert "no tables" in captured.err
 
 
+@pytest.mark.smoke
+class TestServeProtocolFeatures:
+    """PR-5 protocol features on the CLI transports: the "id" correlation
+    echo, loop-mode admin records, and graceful interrupt draining."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, shared_tiny_annotator, tmp_path_factory):
+        from repro.datasets import TableDataset
+
+        dataset = shared_tiny_annotator.trainer.dataset
+        subset = TableDataset(
+            tables=dataset.tables[:3],
+            type_vocab=list(dataset.type_vocab),
+            relation_vocab=list(dataset.relation_vocab),
+            name="serve-protocol",
+        )
+        path = tmp_path_factory.mktemp("serve-protocol") / "corpus.jsonl"
+        save_dataset_jsonl(subset, path)
+        return path
+
+    def test_loop_mode_echoes_ids_in_answers_and_errors(
+        self, bundle_dir, corpus, capsys, monkeypatch
+    ):
+        import io
+        import sys as _sys
+
+        table_lines = corpus.read_text().splitlines()[1:]
+        lines = []
+        for i, line in enumerate(table_lines):
+            payload = json.loads(line)
+            payload["id"] = f"req-{i}"
+            lines.append(json.dumps(payload))
+        bad = json.loads(table_lines[0])
+        bad["id"] = "bad-route"
+        bad["model"] = "nope"
+        lines.append(json.dumps(bad))
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [r["id"] for r in records[:-1]] == [
+            f"req-{i}" for i in range(len(table_lines))
+        ]
+        # The id is the LAST key of every answer, errors included.
+        assert all(list(r)[-1] == "id" for r in records)
+        assert records[-1]["id"] == "bad-route"
+        assert "no model registered" in records[-1]["error"]
+
+    def test_records_without_id_stay_byte_identical(
+        self, bundle_dir, corpus, capsys, monkeypatch
+    ):
+        """The correlation echo is strictly additive: the same corpus
+        without ids serves the exact bytes it did before the feature."""
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(corpus.read_text()))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        plain = capsys.readouterr().out
+        assert '"id"' not in plain
+
+    def test_corpus_mode_echoes_ids(self, bundle_dir, corpus, tmp_path):
+        tagged = tmp_path / "tagged.jsonl"
+        lines = []
+        for line in corpus.read_text().splitlines():
+            payload = json.loads(line)
+            if payload.get("kind") != "dataset":
+                payload["id"] = {"client": payload["table_id"]}
+            lines.append(json.dumps(payload))
+        tagged.write_text("\n".join(lines) + "\n")
+        out = tmp_path / "out.jsonl"
+        assert main([
+            "serve", str(bundle_dir), str(tagged), "--out", str(out),
+        ]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all(r["id"] == {"client": r["table_id"]} for r in records)
+
+    def test_loop_mode_admin_stats_health_and_shutdown(
+        self, bundle_dir, corpus, capsys, monkeypatch
+    ):
+        """The stdin loop carries the same admin plane as the socket:
+        introspection mid-stream, and {"op": "shutdown"} ends the loop
+        before later lines are read."""
+        import io
+        import sys as _sys
+
+        good = corpus.read_text().splitlines()[1]
+        lines = [
+            good,
+            json.dumps({"op": "health", "id": 1}),
+            json.dumps({"op": "stats"}),
+            json.dumps({"op": "shutdown"}),
+            good,  # after shutdown: must never be served
+        ]
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 4  # table + health + stats + shutdown ack
+        assert records[0]["columns"]
+        assert records[1] == {
+            "ok": True, "op": "health", "models": ["default"],
+            "live": ["default"], "default": "default", "id": 1,
+        }
+        assert records[2]["gateway"]["completed"] == 1
+        assert records[3] == {"ok": True, "op": "shutdown"}
+        assert "served 1 tables" in captured.err
+
+    def test_loop_mode_hot_register_and_unregister(
+        self, bundle_dir, corpus, capsys, monkeypatch
+    ):
+        """Hot registry mutation from the CLI loop (the ROADMAP ask):
+        register a second name, route to it, unregister, all without
+        restarting `repro serve -`."""
+        import io
+        import sys as _sys
+
+        good = json.loads(corpus.read_text().splitlines()[1])
+        routed = dict(good)
+        routed["model"] = "hot"
+        lines = [
+            json.dumps({"op": "register", "name": "hot",
+                        "path": str(bundle_dir)}),
+            json.dumps(routed),
+            json.dumps({"op": "unregister", "name": "hot"}),
+            json.dumps(routed),  # now an unknown route: error answer
+        ]
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert records[0] == {"ok": True, "op": "register", "name": "hot"}
+        assert records[1]["columns"]  # served by the hot-registered route
+        assert records[2] == {"ok": True, "op": "unregister", "name": "hot"}
+        assert "no model registered" in records[3]["error"]
+
+    def test_all_failed_admin_session_exits_1(
+        self, bundle_dir, capsys, monkeypatch
+    ):
+        """Failed admin ops are answers, not work: a session producing
+        only admin errors exits 1 like an all-errors table session."""
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO(json.dumps({"op": "register"}) + "\n"),
+        )
+        assert main(["serve", str(bundle_dir), "-"]) == 1
+        captured = capsys.readouterr()
+        assert "requires a non-empty 'name'" in captured.out
+        assert "no tables" in captured.err
+
+    def test_admin_only_loop_session_exits_cleanly(
+        self, bundle_dir, capsys, monkeypatch
+    ):
+        """A session that only introspects (or just sends a clean remote
+        shutdown) did real work: exit 0, not 'no tables were served'."""
+        import io
+        import sys as _sys
+
+        lines = [json.dumps({"op": "stats"}), json.dumps({"op": "shutdown"})]
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert records[0]["ok"] and records[1] == {"ok": True, "op": "shutdown"}
+        assert "no tables" not in captured.err
+
+    def test_listen_port_out_of_range_errors(self, bundle_dir, capsys):
+        assert main([
+            "serve", str(bundle_dir), "--listen", "127.0.0.1:99999",
+        ]) == 1
+        assert "0-65535" in capsys.readouterr().err
+
+    def test_loop_mode_no_admin_refuses_ops(
+        self, bundle_dir, corpus, capsys, monkeypatch
+    ):
+        """--no-admin disables the admin plane on the stdin loop too: ops
+        get error answers, tables keep being served, and a piped
+        {"op": "shutdown"} cannot stop the server."""
+        import io
+        import sys as _sys
+
+        good = corpus.read_text().splitlines()[1]
+        lines = [
+            json.dumps({"op": "stats"}),
+            json.dumps({"op": "shutdown"}),
+            good,  # must still be served: shutdown was refused
+        ]
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", str(bundle_dir), "-", "--no-admin"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 3
+        assert "not allowed" in records[0]["error"]
+        assert "not allowed" in records[1]["error"]
+        assert records[2]["columns"]
+        assert "served 1 tables" in captured.err
+
+    def test_flat_cache_hot_register_writes_a_subdirectory(
+        self, bundle_dir, corpus, tmp_path, capsys, monkeypatch
+    ):
+        """Hot-registering a model while serving over a FLAT legacy cache
+        layout must not open a second writer on the flat directory: the
+        hot model's disk tier roots in its own fingerprint subdirectory,
+        and the flat tier stays warm for the original route."""
+        import io
+        import sys as _sys
+
+        cache_dir = tmp_path / "flat"
+        assert main([
+            "annotate", str(bundle_dir), str(corpus),
+            "--cache-dir", str(cache_dir), "--out", str(tmp_path / "a.jsonl"),
+        ]) == 0
+        assert list(cache_dir.glob("segment-*.jsonl"))  # flat layout
+        capsys.readouterr()
+        good = corpus.read_text().splitlines()[1]
+        routed = json.loads(good)
+        routed["model"] = "hot"
+        lines = [
+            json.dumps({"op": "register", "name": "hot",
+                        "path": str(bundle_dir)}),
+            good,                  # default route: a flat-cache disk hit
+            json.dumps(routed),    # hot route: computed, cached in subdir
+        ]
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main([
+            "serve", str(bundle_dir), "-", "--cache-dir", str(cache_dir),
+        ]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert records[0]["ok"] and records[1]["columns"] and records[2]["columns"]
+        assert "1 disk hits" in captured.err  # the flat tier stayed warm
+        subdirs = [p for p in cache_dir.iterdir() if p.is_dir()]
+        assert len(subdirs) == 1
+        assert list(subdirs[0].glob("segment-*.jsonl"))
+
+    def test_interrupt_drains_and_flushes_cache(
+        self, bundle_dir, corpus, tmp_path, capsys, monkeypatch
+    ):
+        """SIGINT/SIGTERM land as KeyboardInterrupt at a record boundary:
+        the gateway drains, the DiskCache is flushed and closed, the exit
+        is clean (code 0) — not a mid-batch death."""
+        import sys as _sys
+
+        lines = corpus.read_text().splitlines()
+
+        class InterruptingStdin:
+            """One good record, then the signal arrives."""
+
+            def __iter__(self):
+                yield lines[1] + "\n"
+                raise KeyboardInterrupt
+
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setattr(_sys, "stdin", InterruptingStdin())
+        assert main([
+            "serve", str(bundle_dir), "-", "--cache-dir", str(cache_dir),
+        ]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 1 and records[0]["columns"]
+        assert "interrupted" in captured.err
+        assert "served 1 tables" in captured.err
+        # The drained annotation reached the persistent tier: a fresh
+        # serve over the same cache answers with zero encoder passes.
+        monkeypatch.setattr(
+            _sys, "stdin", __import__("io").StringIO(lines[1] + "\n")
+        )
+        assert main([
+            "serve", str(bundle_dir), "-", "--cache-dir", str(cache_dir),
+        ]) == 0
+        assert "0 encoder passes" in capsys.readouterr().err
+
+    def test_corpus_mode_interrupt_exits_130_after_draining(
+        self, bundle_dir, corpus, tmp_path, capsys, monkeypatch
+    ):
+        """Batch (corpus) serving interrupted mid-stream drains and
+        flushes like loop mode but exits 130: partial output must never
+        read as success to a pipeline gating on the exit status."""
+        import repro.cli as cli_module
+
+        real_iter = cli_module._iter_corpus_records
+
+        def interrupting_iter(path, options):
+            iterator = real_iter(path, options)
+            yield next(iterator)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_iter_corpus_records", interrupting_iter)
+        out = tmp_path / "partial.jsonl"
+        cache_dir = tmp_path / "cache"
+        code = main([
+            "serve", str(bundle_dir), str(corpus), "--out", str(out),
+            "--cache-dir", str(cache_dir),
+        ])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().out
+        # The in-flight request was drained INTO THE CACHE on the way out
+        # (output completeness is what the 130 exit code disclaims).
+        from repro.serving import DiskCache
+
+        subdirs = [p for p in cache_dir.iterdir() if p.is_dir()]
+        assert len(subdirs) == 1
+        assert len(DiskCache(subdirs[0])) == 1
+
+    def test_loop_mode_survives_deeply_nested_line(
+        self, bundle_dir, corpus, capsys, monkeypatch
+    ):
+        """A pathologically nested JSON line is answered with an error
+        record; the loop keeps serving (RecursionError must not escape)."""
+        import io
+        import sys as _sys
+
+        good = corpus.read_text().splitlines()[1]
+        stdin = "[" * 100000 + "\n" + good + "\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(stdin))
+        assert main(["serve", str(bundle_dir), "-"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert "nested too deeply" in records[0]["error"]
+        assert records[1]["columns"]
+        assert "served 1 tables" in captured.err
+
+    def test_graceful_signal_handlers_install_and_restore(self):
+        """Inside the scope SIGINT/SIGTERM raise KeyboardInterrupt; the
+        previous handlers come back afterwards."""
+        import signal
+
+        from repro.cli import _graceful_signals
+
+        before = signal.getsignal(signal.SIGTERM)
+        with _graceful_signals():
+            handler = signal.getsignal(signal.SIGTERM)
+            assert handler is not before
+            with pytest.raises(KeyboardInterrupt):
+                handler(signal.SIGTERM, None)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
 class TestAnnotateWideAndErrors:
     def test_wide_annotation_path(self, bundle_dir, sample_csv, capsys):
         code = main([

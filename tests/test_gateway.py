@@ -332,6 +332,134 @@ class TestEviction:
 
 
 @pytest.mark.smoke
+class TestHotMutation:
+    """PR-5 registry mutation: repoint/unregister on a live gateway."""
+
+    def test_repoint_swaps_weights_without_restart(
+        self, bundles, trainer_a, trainer_b
+    ):
+        registry = ModelRegistry()
+        registry.register("live", bundles["a"])
+        table = trainer_a.dataset.tables[0]
+        want_a = _direct(trainer_a, [table])[0]
+        want_b = _direct(trainer_b, [table])[0]
+        with AnnotationGateway(registry, QueueConfig(max_latency=0.02)) as gateway:
+            _assert_same_annotation(gateway.annotate(table, model="live"), want_a)
+            gateway.repoint("live", bundles["b"])
+            _assert_same_annotation(gateway.annotate(table, model="live"), want_b)
+        assert registry.stats.repoints == 1
+        # The retired worker's completions still count toward totals.
+        assert gateway.stats.completed == 2
+
+    def test_repoint_preserves_default_and_order(self, bundles):
+        registry = ModelRegistry()
+        registry.register("first", bundles["a"])
+        registry.register("second", bundles["b"])
+        registry.repoint("first", bundles["b"])
+        assert registry.default_name == "first"
+        assert registry.names() == ["first", "second"]
+
+    def test_repoint_drops_old_fingerprint_route(self, bundles, trainer_a):
+        registry = ModelRegistry()
+        registry.register("only", bundles["a"])
+        fingerprint = registry.fingerprint_of("only", load=True)
+        assert registry.resolve(fingerprint) == "only"
+        registry.repoint("only", bundles["b"])
+        # Content-addressed clients pinned to the OLD weights must miss
+        # cleanly now — nothing serves them anymore.
+        with pytest.raises(KeyError):
+            registry.resolve(fingerprint)
+        # The new weights' fingerprint resolves once loaded.
+        new_fingerprint = registry.fingerprint_of("only", load=True)
+        assert new_fingerprint != fingerprint
+        assert registry.resolve(new_fingerprint) == "only"
+
+    def test_repoint_validation_leaves_old_binding_untouched(
+        self, bundles, trainer_a, tmp_path
+    ):
+        registry = ModelRegistry()
+        registry.register("live", bundles["a"])
+        with pytest.raises(KeyError, match="no model registered"):
+            registry.repoint("ghost", bundles["b"])
+        with pytest.raises(ValueError, match="not a bundle directory"):
+            registry.repoint("live", tmp_path)
+        # Still serving the original weights.
+        engine = registry.get("live")
+        assert engine.annotate(trainer_a.dataset.tables[0]).coltypes
+        assert registry.stats.repoints == 0
+
+    def test_churn_releases_unreferenced_cache_handles(
+        self, bundles, trainer_a, trainer_b, tmp_path
+    ):
+        """Repoint/unregister over unique models must not accumulate
+        dead per-fingerprint DiskCache handles (their in-memory indexes
+        live as long as the dict entry does)."""
+        registry = ModelRegistry(cache_dir=tmp_path / "cache")
+        fp_a = trainer_a.annotation_fingerprint()
+        fp_b = trainer_b.annotation_fingerprint()
+        registry.register("live", bundles["a"])
+        registry.get("live")  # load: opens fp_a's handle
+        assert fp_a in registry._disk_caches
+        registry.repoint("live", bundles["b"])
+        assert fp_a not in registry._disk_caches  # old handle released
+        registry.get("live")
+        assert fp_b in registry._disk_caches
+        registry.unregister("live")
+        assert registry._disk_caches == {}
+        # Shared fingerprints survive: two names over one bundle keep
+        # the handle until the LAST reference goes.
+        registry.register("x", bundles["a"])
+        registry.register("y", bundles["a"])
+        registry.get("x"), registry.get("y")
+        registry.unregister("x")
+        assert fp_a in registry._disk_caches
+        registry.unregister("y")
+        assert fp_a not in registry._disk_caches
+
+    def test_repoint_to_in_memory_source_is_pinned(self, bundles, trainer_a):
+        registry = ModelRegistry()
+        registry.register("live", bundles["b"])
+        registry.repoint("live", trainer_a)
+        entry = registry._entries["live"]
+        assert entry.pinned and entry.path is None
+        assert registry.get("live").trainer is trainer_a
+
+    def test_gateway_unregister_rejects_then_keyerrors(self, trainer_a, trainer_b):
+        registry = ModelRegistry()
+        registry.register("a", trainer_a)
+        registry.register("b", trainer_b)
+        table = trainer_a.dataset.tables[0]
+        with AnnotationGateway(registry, QueueConfig(max_latency=0.02)) as gateway:
+            assert gateway.annotate(table, model="b").coltypes
+            gateway.unregister("b")
+            with pytest.raises(KeyError, match="no model registered"):
+                gateway.submit(table, model="b")
+            # The other route is untouched.
+            assert gateway.annotate(table, model="a").coltypes
+        assert registry.names() == ["a"]
+        # The unregistered route leaves the per-name stats maps (bounded
+        # under register/unregister churn) but its history stays in the
+        # scalar totals (they never deflate).
+        stats = gateway.stats
+        assert "b" not in stats.models
+        assert "b" not in stats.engines
+        assert stats.completed == 2
+        assert stats.encoder_passes >= 2
+
+    def test_stats_to_dict_round_trips_json(self, trainer_a):
+        import json as _json
+
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        with gateway:
+            gateway.annotate(trainer_a.dataset.tables[0])
+            payload = _json.loads(_json.dumps(gateway.stats.to_dict()))
+        assert payload["completed"] == 1
+        assert payload["models"]["default"]["completed"] == 1
+        assert payload["engines"]["default"]["encoder_passes"] >= 1
+        assert "padding_waste" in payload["engines"]["default"]
+
+
+@pytest.mark.smoke
 class TestAsyncio:
     def test_asubmit_byte_identical_to_submit(self, trainer_a, trainer_b):
         tables = trainer_a.dataset.tables[:4]

@@ -1,0 +1,220 @@
+"""The transport-agnostic serving protocol (repro.serving.protocol).
+
+One decode/encode codepath is shared by corpus serving, the stdin loop,
+and the socket server; these tests pin its contract transport-free:
+record shapes, error answers (with the historical loop-mode byte shapes),
+the ``"id"`` correlation echo, and the admin plane against a live
+gateway.
+"""
+
+import json
+
+import pytest
+
+from repro.io import table_to_dict
+from repro.serving import (
+    AnnotationEngine,
+    AnnotationGateway,
+    AnnotationOptions,
+    protocol,
+)
+
+
+def _table_record(table, **extra):
+    record = table_to_dict(table)
+    record.update(extra)
+    return record
+
+
+def _line(payload) -> str:
+    return json.dumps(payload) + "\n"
+
+
+@pytest.mark.smoke
+class TestDecode:
+    def test_blank_and_dataset_records_are_skipped(self):
+        assert protocol.decode_record("") is None
+        assert protocol.decode_record("   \n") is None
+        assert protocol.decode_record(_line({"kind": "dataset", "name": "x"})) is None
+
+    def test_table_record_decodes_with_route_and_id(self, shared_tiny_annotator):
+        table = shared_tiny_annotator.trainer.dataset.tables[0]
+        options = AnnotationOptions(top_k=2)
+        record = protocol.decode_record(
+            _line(_table_record(table, model="canary", id=41)), options
+        )
+        assert isinstance(record, protocol.RequestRecord)
+        assert record.record_id == 41
+        assert record.request.model == "canary"
+        assert record.request.options is options
+        assert record.request.table.table_id == table.table_id
+
+    def test_bytes_lines_decode_like_str(self, shared_tiny_annotator):
+        table = shared_tiny_annotator.trainer.dataset.tables[0]
+        record = protocol.decode_record(_line(_table_record(table)).encode("utf-8"))
+        assert record.request.table.table_id == table.table_id
+
+    def test_broken_json_raises_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError) as info:
+            protocol.decode_record("this is not json\n")
+        answer = info.value.answer()
+        assert set(answer) == {"error"}
+        assert "Expecting value" in answer["error"]
+
+    def test_non_table_payload_keeps_legacy_error_shape(self):
+        """Pre-protocol loop mode answered non-dict payloads with the raw
+        AttributeError text; the shared codepath must keep those bytes."""
+        with pytest.raises(protocol.ProtocolError) as info:
+            protocol.decode_record("5\n")
+        # (The historical rendering strips the outer quote characters the
+        # exception text happens to start/end with — bytes over beauty.)
+        assert info.value.answer() == {
+            "error": "int' object has no attribute 'get"
+        }
+
+    def test_zero_column_table_error_carries_id_and_table_id(self):
+        with pytest.raises(protocol.ProtocolError) as info:
+            protocol.decode_record(
+                _line({"kind": "table", "table_id": "t", "columns": [], "id": "c-9"})
+            )
+        answer = info.value.answer()
+        assert "no columns" in answer["error"]
+        assert answer["table_id"] == "t"  # salvaged identity
+        assert answer["id"] == "c-9"
+        # The id echoes as the LAST key of every answer.
+        assert list(answer)[-1] == "id"
+
+    def test_pathologically_nested_line_is_an_error_answer(self):
+        """'['*N blows json's recursion limit; the server must see a bad
+        record, not a RecursionError escaping the protocol layer."""
+        with pytest.raises(protocol.ProtocolError, match="nested too deeply"):
+            protocol.decode_record("[" * 100000)
+
+    def test_admin_record_requires_admin_transport(self):
+        with pytest.raises(protocol.ProtocolError, match="not allowed"):
+            protocol.decode_record(_line({"op": "stats"}), admin=False)
+        record = protocol.decode_record(_line({"op": "stats"}), admin=True)
+        assert isinstance(record, protocol.AdminRecord)
+        assert record.op == "stats"
+
+    def test_unknown_admin_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown admin op"):
+            protocol.decode_record(_line({"op": "reboot", "id": 1}), admin=True)
+
+    def test_admin_payload_and_id_survive_decode(self):
+        record = protocol.decode_record(
+            _line({"op": "register", "name": "m", "path": "/p", "id": 5}),
+            admin=True,
+        )
+        assert record.payload == {"name": "m", "path": "/p"}
+        assert record.record_id == 5
+
+
+@pytest.mark.smoke
+class TestEncode:
+    def test_error_answer_key_order(self):
+        answer = protocol.error_answer("boom", record_id=3, table_id="t", op="x")
+        assert list(answer) == ["table_id", "op", "error", "id"]
+        assert protocol.error_answer("boom") == {"error": "boom"}
+
+    def test_format_error_strips_quotes(self):
+        assert protocol.format_error(KeyError("no model")) == "no model"
+        assert protocol.format_error(ValueError("bad")) == "bad"
+
+    def test_encode_result_id_echo_is_last_key(self, shared_tiny_annotator):
+        table = shared_tiny_annotator.trainer.dataset.tables[0]
+        engine = AnnotationEngine(shared_tiny_annotator.trainer)
+        result = engine.annotate(table)
+        bare = protocol.encode_result(result)
+        assert "id" not in bare
+        tagged = protocol.encode_result(result, record_id={"k": 1})
+        assert list(tagged)[-1] == "id"
+        assert tagged["id"] == {"k": 1}
+        tagged.pop("id")
+        assert tagged == bare  # the echo adds a key, never perturbs bytes
+
+    def test_encode_line_is_one_json_line(self):
+        line = protocol.encode_line({"a": 1})
+        assert line.endswith("\n")
+        assert json.loads(line) == {"a": 1}
+
+
+@pytest.mark.smoke
+class TestAdminPlane:
+    @pytest.fixture()
+    def gateway(self, shared_tiny_annotator):
+        gateway = AnnotationGateway.for_engine(
+            AnnotationEngine(shared_tiny_annotator.trainer), name="primary"
+        )
+        with gateway:
+            yield gateway
+
+    def _admin(self, gateway, op, **payload):
+        record_id = payload.pop("id", None)
+        record = protocol.AdminRecord(op=op, payload=payload, record_id=record_id)
+        return protocol.handle_admin(record, gateway)
+
+    def test_health(self, gateway):
+        answer = self._admin(gateway, "health", id=7)
+        assert answer["ok"] is True
+        assert answer["models"] == ["primary"]
+        assert answer["live"] == ["primary"]
+        assert answer["default"] == "primary"
+        assert answer["id"] == 7
+
+    def test_stats_is_json_serializable(self, gateway, shared_tiny_annotator):
+        gateway.annotate(shared_tiny_annotator.trainer.dataset.tables[0])
+        answer = self._admin(gateway, "stats")
+        rendered = json.loads(json.dumps(answer))
+        assert rendered["gateway"]["completed"] == 1
+        assert rendered["gateway"]["models"]["primary"]["completed"] == 1
+        assert "padding_waste" in rendered["gateway"]["engines"]["primary"]
+        assert rendered["registry"]["registered"] == 1
+
+    def test_register_annotate_unregister(
+        self, gateway, shared_tiny_annotator, tmp_path
+    ):
+        from repro.core import save_annotator
+
+        bundle = tmp_path / "bundle"
+        save_annotator(shared_tiny_annotator, bundle)
+        assert self._admin(gateway, "register", name="extra", path=str(bundle)) == {
+            "ok": True, "op": "register", "name": "extra",
+        }
+        table = shared_tiny_annotator.trainer.dataset.tables[0]
+        routed = gateway.annotate(table, model="extra")
+        assert routed.coltypes  # the hot-registered model really serves
+        assert self._admin(gateway, "unregister", name="extra")["ok"] is True
+        answer = self._admin(gateway, "unregister", name="extra")
+        assert "no model registered" in answer["error"]
+        assert answer["op"] == "unregister"
+
+    def test_register_requires_name_and_path(self, gateway):
+        answer = self._admin(gateway, "register", name="x")
+        assert "requires a non-empty 'path'" in answer["error"]
+        answer = self._admin(gateway, "register", path="/p", id=9)
+        assert "requires a non-empty 'name'" in answer["error"]
+        assert answer["id"] == 9  # errors correlate too
+
+    def test_register_bad_path_is_an_answer_not_a_raise(self, gateway, tmp_path):
+        answer = self._admin(gateway, "register", name="x", path=str(tmp_path))
+        assert "not a bundle directory" in answer["error"]
+
+    def test_shutdown_is_acknowledged_only(self, gateway, shared_tiny_annotator):
+        assert self._admin(gateway, "shutdown") == {"ok": True, "op": "shutdown"}
+        # The protocol layer acknowledges; the transport performs.  The
+        # gateway must still be serving.
+        assert gateway.annotate(
+            shared_tiny_annotator.trainer.dataset.tables[0]
+        ).coltypes
+
+
+@pytest.mark.smoke
+class TestCorpusStrictness:
+    def test_admin_record_in_a_corpus_is_an_input_error(self, tmp_path):
+        from repro.cli import main
+
+        corpus = tmp_path / "corpus.jsonl"
+        corpus.write_text(_line({"op": "stats"}))
+        code = main(["serve", str(tmp_path / "missing"), str(corpus)])
+        assert code == 1  # no bundle AND strict corpus: clean CLI error

@@ -1,0 +1,615 @@
+"""The asyncio socket server (repro.serving.server) and its CLI face.
+
+The ISSUE-5 acceptance surface:
+
+* a live TCP server over a two-model gateway serves **concurrent**
+  clients routing across models with answers byte-identical to direct
+  ``engine.annotate`` output, in per-connection FIFO order;
+* the admin plane works against the live server: ``health``/``stats``
+  introspection, hot ``register`` → annotate → ``unregister`` without a
+  restart, ``repoint`` swapping a name's weights mid-session, and
+  ``{"op": "shutdown"}`` draining the server gracefully;
+* errors (broken JSON, zero-column tables, unknown routes) are answers
+  on the offending connection, never a dead server;
+* `repro serve --listen` wires the same thing up end-to-end, and
+  `repro stats` reads it back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Doduo, DoduoConfig, DoduoTrainer, save_annotator
+from repro.datasets import generate_wikitable_dataset
+from repro.io import table_to_dict
+from repro.nn import TransformerConfig
+from repro.serving import (
+    AnnotationEngine,
+    AnnotationGateway,
+    AnnotationOptions,
+    ModelRegistry,
+    QueueConfig,
+)
+from repro.serving.server import AnnotationServer, ServerThread
+from repro.text import train_wordpiece
+
+
+def _make_trainer(seed: int) -> DoduoTrainer:
+    dataset = generate_wikitable_dataset(num_tables=14, seed=seed, max_rows=3)
+    tokenizer = train_wordpiece(dataset.all_cell_text(), vocab_size=500)
+    encoder_config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        hidden_dim=16,
+        num_layers=1,
+        num_heads=2,
+        ffn_dim=32,
+        max_position=160,
+        num_segments=8,
+        dropout=0.0,
+    )
+    config = DoduoConfig(epochs=1, batch_size=4, keep_best_checkpoint=False)
+    trainer = DoduoTrainer(dataset, tokenizer, encoder_config, config)
+    trainer.train()
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def trainer_a():
+    return _make_trainer(61)
+
+
+@pytest.fixture(scope="module")
+def trainer_b():
+    return _make_trainer(73)
+
+
+@pytest.fixture(scope="module")
+def bundles(trainer_a, trainer_b, tmp_path_factory):
+    root = tmp_path_factory.mktemp("server-bundles")
+    save_annotator(Doduo(trainer_a), root / "a")
+    save_annotator(Doduo(trainer_b), root / "b")
+    return {"a": root / "a", "b": root / "b"}
+
+
+def _expected(trainer, table, options=None, with_embeddings=False):
+    """The direct single-engine answer, JSON-round-tripped like the wire."""
+    from repro.serving import AnnotationRequest
+
+    engine = AnnotationEngine(trainer)
+    if options is None:
+        result = engine.annotate(table)
+    else:
+        request = AnnotationRequest(table=table, options=options)
+        result = engine.annotate_batch([request])[0]
+    return json.loads(json.dumps(result.to_dict(with_embeddings=with_embeddings)))
+
+
+class Client:
+    """A minimal newline-delimited JSON protocol client."""
+
+    def __init__(self, address, timeout=60.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.stream = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, record) -> None:
+        if isinstance(record, str):
+            self.stream.write(record if record.endswith("\n") else record + "\n")
+        else:
+            self.stream.write(json.dumps(record) + "\n")
+        self.stream.flush()
+
+    def recv(self):
+        line = self.stream.readline()
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    def ask(self, record):
+        self.send(record)
+        return self.recv()
+
+    def close(self) -> None:
+        self.stream.close()
+        self.sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _routed_record(table, model=None, record_id=None):
+    record = table_to_dict(table)
+    if model is not None:
+        record["model"] = model
+    if record_id is not None:
+        record["id"] = record_id
+    return record
+
+
+def _two_model_gateway(trainer_a, trainer_b):
+    registry = ModelRegistry()
+    registry.register("a", trainer_a)
+    registry.register("b", trainer_b)
+    return AnnotationGateway(registry, QueueConfig(max_batch=8, max_latency=0.02))
+
+
+@pytest.mark.smoke
+class TestSocketServing:
+    def test_single_client_routes_byte_identical(self, trainer_a, trainer_b):
+        tables = trainer_a.dataset.tables[:4]
+        gateway = _two_model_gateway(trainer_a, trainer_b)
+        with gateway, ServerThread(gateway) as address, Client(address) as client:
+            for i, table in enumerate(tables):
+                client.send(_routed_record(table, model="a", record_id=2 * i))
+                client.send(_routed_record(table, model="b", record_id=2 * i + 1))
+            answers = [client.recv() for _ in range(2 * len(tables))]
+        # Per-connection FIFO: ids come back in submission order.
+        assert [a["id"] for a in answers] == list(range(2 * len(tables)))
+        for i, table in enumerate(tables):
+            want_a = _expected(trainer_a, table)
+            want_b = _expected(trainer_b, table)
+            got_a, got_b = dict(answers[2 * i]), dict(answers[2 * i + 1])
+            assert got_a.pop("id") == 2 * i
+            assert got_b.pop("id") == 2 * i + 1
+            assert got_a == want_a
+            assert got_b == want_b
+        # Different weights genuinely answered each route.
+        assert answers[0]["columns"] != answers[1]["columns"] or (
+            answers[0]["columns"][0]["type_scores"]
+            != answers[1]["columns"][0]["type_scores"]
+        )
+
+    def test_concurrent_clients_interleaved_routing(self, trainer_a, trainer_b):
+        """The acceptance bar: >= 2 concurrent clients, >= 2 models,
+        interleaved routes, every answer byte-identical and in FIFO
+        order per connection."""
+        tables = trainer_a.dataset.tables[:4]
+        gateway = _two_model_gateway(trainer_a, trainer_b)
+        outcomes = {}
+
+        def run_client(client_index, address):
+            routes = ["a", "b"] if client_index % 2 == 0 else ["b", "a"]
+            with Client(address) as client:
+                sent = []
+                for i, table in enumerate(tables):
+                    route = routes[i % 2]
+                    record_id = f"c{client_index}-{i}"
+                    client.send(_routed_record(table, model=route, record_id=record_id))
+                    sent.append((record_id, route, table))
+                answers = [client.recv() for _ in sent]
+            outcomes[client_index] = (sent, answers)
+
+        with gateway, ServerThread(gateway) as address:
+            threads = [
+                threading.Thread(target=run_client, args=(i, address))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        trainers = {"a": trainer_a, "b": trainer_b}
+        assert len(outcomes) == 3
+        for client_index, (sent, answers) in outcomes.items():
+            assert [a["id"] for a in answers] == [rid for rid, _, _ in sent]
+            for (record_id, route, table), answer in zip(sent, answers):
+                got = dict(answer)
+                got.pop("id")
+                assert got == _expected(trainers[route], table), (
+                    f"client {client_index} record {record_id} diverged"
+                )
+
+    def test_errors_are_answers_and_connection_survives(self, trainer_a):
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        table = trainer_a.dataset.tables[0]
+        with gateway, ServerThread(gateway) as address, Client(address) as client:
+            assert "error" in client.ask("this is not json")
+            bad_table = client.ask({"kind": "table", "table_id": "e",
+                                    "columns": [], "id": 1})
+            assert "no columns" in bad_table["error"]
+            assert bad_table["id"] == 1
+            unknown = client.ask(_routed_record(table, model="nope", record_id=2))
+            assert "no model registered" in unknown["error"]
+            assert unknown["table_id"] == table.table_id
+            assert unknown["id"] == 2
+            good = client.ask(_routed_record(table))
+            assert good["columns"]  # still serving after three bad records
+
+    def test_embeddings_toggle(self, trainer_a):
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        table = trainer_a.dataset.tables[0]
+        with gateway, ServerThread(gateway, with_embeddings=True) as address:
+            with Client(address) as client:
+                answer = client.ask(table_to_dict(table))
+        assert answer == _expected(trainer_a, table, with_embeddings=True)
+        assert "embedding" in answer["columns"][0]
+
+    def test_options_apply_server_side(self, trainer_a):
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        options = AnnotationOptions(top_k=1)
+        table = trainer_a.dataset.tables[0]
+        with gateway, ServerThread(gateway, options) as address:
+            with Client(address) as client:
+                answer = client.ask(table_to_dict(table))
+        assert answer == _expected(trainer_a, table, options=options)
+        assert all(len(c["type_scores"]) == 1 for c in answer["columns"])
+
+
+@pytest.mark.smoke
+class TestAdminPlaneLive:
+    def test_health_stats_register_repoint_unregister(
+        self, trainer_a, trainer_b, bundles
+    ):
+        gateway = _two_model_gateway(trainer_a, trainer_b)
+        table = trainer_a.dataset.tables[0]
+        with gateway, ServerThread(gateway) as address, Client(address) as client:
+            health = client.ask({"op": "health", "id": "h1"})
+            assert health["ok"] and health["models"] == ["a", "b"]
+            assert health["default"] == "a"
+            assert health["id"] == "h1"
+
+            # Hot-register a checkpoint under a new name and route to it,
+            # all on the live connection — no restart.
+            ok = client.ask({"op": "register", "name": "hot",
+                             "path": str(bundles["a"])})
+            assert ok == {"ok": True, "op": "register", "name": "hot"}
+            via_hot = client.ask(_routed_record(table, model="hot"))
+            assert dict(via_hot) == _expected(trainer_a, table)
+
+            # Repoint the same name at different weights: next answer is
+            # the other model's, byte-identically.
+            assert client.ask({"op": "repoint", "name": "hot",
+                               "path": str(bundles["b"])})["ok"] is True
+            via_repointed = client.ask(_routed_record(table, model="hot"))
+            assert dict(via_repointed) == _expected(trainer_b, table)
+
+            stats = client.ask({"op": "stats"})
+            assert stats["ok"] is True
+            assert stats["registry"]["repoints"] == 1
+            assert "hot" in stats["gateway"]["models"]
+
+            # Unregister: the route is gone, the server keeps serving.
+            assert client.ask({"op": "unregister", "name": "hot"})["ok"] is True
+            gone = client.ask(_routed_record(table, model="hot"))
+            assert "no model registered" in gone["error"]
+            still = client.ask(_routed_record(table, model="a"))
+            assert still["columns"]
+
+    def test_admin_disabled_server_refuses_ops(self, trainer_a):
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        table = trainer_a.dataset.tables[0]
+        with gateway, ServerThread(gateway, admin=False) as address:
+            with Client(address) as client:
+                refused = client.ask({"op": "stats"})
+                assert "not allowed" in refused["error"]
+                assert client.ask(table_to_dict(table))["columns"]
+
+    def test_shutdown_op_drains_and_stops(self, trainer_a):
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        table = trainer_a.dataset.tables[0]
+        server = ServerThread(gateway)
+        with gateway:
+            address = server.start()
+            with Client(address) as client:
+                assert client.ask(table_to_dict(table))["columns"]
+                assert client.ask({"op": "shutdown"}) == {
+                    "ok": True, "op": "shutdown",
+                }
+            server.stop()  # joins the already-stopping thread
+            with pytest.raises(OSError):
+                socket.create_connection(address, timeout=0.5)
+
+
+@pytest.mark.smoke
+class TestCliListen:
+    @staticmethod
+    def _best_effort_shutdown(address):
+        """Ask the server to stop; swallow errors (it may be down already)."""
+        try:
+            with Client(address, timeout=5.0) as client:
+                client.ask({"op": "shutdown"})
+        except OSError:
+            pass
+
+    def _start_cli(self, argv, monkeypatch):
+        """Run `repro serve --listen ...` on a thread; return (thread,
+        result holder, bound address) once the listener is up."""
+        import io
+
+        from repro.cli import main
+
+        stderr = io.StringIO()
+        monkeypatch.setattr("sys.stderr", stderr)
+        outcome = {}
+
+        def run():
+            outcome["code"] = main(argv)
+
+        # Daemon: a failing assertion must not leave a live server thread
+        # blocking interpreter exit.
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.time() + 60
+        address = None
+        while time.time() < deadline:
+            text = stderr.getvalue()
+            if "listening on " in text:
+                host, _, port = (
+                    text.split("listening on ", 1)[1].split("\n", 1)[0]
+                    .strip().rpartition(":")
+                )
+                address = (host, int(port))
+                break
+            if not thread.is_alive():
+                break
+            time.sleep(0.02)
+        assert address is not None, f"server never came up: {stderr.getvalue()}"
+        return thread, outcome, address, stderr
+
+    def test_listen_end_to_end(self, bundles, trainer_a, trainer_b, monkeypatch):
+        """`repro serve --listen` — concurrent clients, two models, hot
+        register/unregister, graceful client-initiated shutdown."""
+        thread, outcome, address, stderr = self._start_cli(
+            [
+                "serve",
+                "--model", f"a={bundles['a']}",
+                "--model", f"b={bundles['b']}",
+                "--listen", "127.0.0.1:0",
+            ],
+            monkeypatch,
+        )
+        # `repro serve` answers with the CLI's default options
+        # (embeddings off on the wire AND in the request).
+        cli_options = AnnotationOptions(with_embeddings=False, top_k=3)
+        try:
+            tables = trainer_a.dataset.tables[:3]
+            trainers = {"a": trainer_a, "b": trainer_b}
+            outcomes = {}
+
+            def run_client(index):
+                route = "a" if index % 2 == 0 else "b"
+                with Client(address) as client:
+                    answers = []
+                    for i, table in enumerate(tables):
+                        answers.append(
+                            (route, table,
+                             client.ask(_routed_record(table, model=route,
+                                                       record_id=i)))
+                        )
+                outcomes[index] = answers
+
+            clients = [
+                threading.Thread(target=run_client, args=(i,)) for i in range(2)
+            ]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+            assert len(outcomes) == 2
+            for answers in outcomes.values():
+                for expected_id, (route, table, answer) in enumerate(answers):
+                    got = dict(answer)
+                    assert got.pop("id") == expected_id
+                    assert got == _expected(trainers[route], table,
+                                            options=cli_options)
+
+            # Admin against the CLI-started server: register -> annotate
+            # -> unregister without restart.
+            with Client(address) as admin:
+                assert admin.ask({"op": "register", "name": "extra",
+                                  "path": str(bundles["a"])})["ok"] is True
+                routed = admin.ask(_routed_record(tables[0], model="extra"))
+                assert dict(routed) == _expected(trainer_a, tables[0],
+                                                 options=cli_options)
+                assert admin.ask({"op": "unregister", "name": "extra"})["ok"] is True
+                assert admin.ask({"op": "shutdown"})["ok"] is True
+        finally:
+            self._best_effort_shutdown(address)
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert outcome["code"] == 0
+        assert "served" in stderr.getvalue()
+
+    def test_repro_stats_client(self, bundles, trainer_a, monkeypatch, capsys):
+        from repro.cli import main
+
+        thread, outcome, address, _ = self._start_cli(
+            ["serve", str(bundles["a"]), "--listen", "127.0.0.1:0"],
+            monkeypatch,
+        )
+        try:
+            with Client(address) as client:
+                assert client.ask(table_to_dict(trainer_a.dataset.tables[0]))[
+                    "columns"
+                ]
+            assert main(["stats", f"{address[0]}:{address[1]}"]) == 0
+            printed = json.loads(capsys.readouterr().out)
+            assert printed["ok"] is True
+            assert printed["gateway"]["completed"] == 1
+            assert printed["registry"]["registered"] == 1
+            with Client(address) as client:
+                assert client.ask({"op": "shutdown"})["ok"] is True
+        finally:
+            self._best_effort_shutdown(address)
+            thread.join(timeout=60)
+        assert outcome["code"] == 0
+
+    def test_stats_non_json_answer_errors_cleanly(self, capsys):
+        """`repro stats` against something that is not a protocol server
+        (or a server torn mid-write) exits 1, not with a traceback."""
+        from repro.cli import main
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()[:2]
+
+        def garbage_server():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.sendall(b"HTTP/1.1 400 Bad Request\r\n")
+            conn.close()
+
+        thread = threading.Thread(target=garbage_server, daemon=True)
+        thread.start()
+        try:
+            assert main(["stats", f"{host}:{port}"]) == 1
+            assert "non-JSON" in capsys.readouterr().err
+        finally:
+            listener.close()
+            thread.join(timeout=10)
+
+    def test_stats_unreachable_address_errors(self, capsys):
+        from repro.cli import main
+
+        # A port from the ephemeral range with (almost certainly) no
+        # listener; connection is refused immediately.
+        assert main(["stats", "127.0.0.1:1", "--timeout", "2"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_listen_rejects_corpus_argument(self, bundles, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", str(bundles["a"]), "corpus.jsonl",
+            "--listen", "127.0.0.1:0",
+        ])
+        assert code == 1
+        assert "drop the corpus" in capsys.readouterr().err
+
+    def test_bad_listen_spec_errors(self, bundles, capsys):
+        from repro.cli import main
+
+        assert main(["serve", str(bundles["a"]), "--listen", "nope"]) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+@pytest.mark.smoke
+class TestGracefulStop:
+    def test_stop_drains_accepted_requests(self, trainer_a):
+        """Requests accepted before stop() still get their answers."""
+        import asyncio
+
+        gateway = AnnotationGateway.for_engine(
+            AnnotationEngine(trainer_a),
+            queue_config=QueueConfig(max_batch=4, max_latency=0.05),
+        )
+        tables = trainer_a.dataset.tables[:4]
+
+        async def run():
+            server = AnnotationServer(gateway)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            for i, table in enumerate(tables):
+                writer.write(
+                    (json.dumps(_routed_record(table, record_id=i)) + "\n")
+                    .encode()
+                )
+            await writer.drain()
+            # Give the reader a beat to ACCEPT the records, then stop
+            # while annotations are still in flight.
+            while server.stats.requests < len(tables):
+                await asyncio.sleep(0.005)
+            await server.stop()
+            lines = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                lines.append(json.loads(line))
+            writer.close()
+            return lines
+
+        with gateway:
+            answers = asyncio.run(run())
+        assert [a["id"] for a in answers] == list(range(len(tables)))
+        for table, answer in zip(tables, answers):
+            got = dict(answer)
+            got.pop("id")
+            assert got == _expected(trainer_a, table)
+
+    def test_stop_returns_with_an_idle_open_client(self, trainer_a):
+        """stop() must not wait on clients that are merely connected.
+        (Regression: Python >= 3.12.1 makes Server.wait_closed() wait for
+        every connection handler, so awaiting it before cancelling the
+        readers deadlocks on any open connection.)"""
+        import asyncio
+
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+
+        async def run():
+            server = AnnotationServer(gateway, shutdown_grace=2.0)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            await asyncio.sleep(0.05)   # connected, idle, sends nothing
+            await asyncio.wait_for(server.stop(), timeout=10)
+            writer.close()
+            # A stopped server cannot silently "restart" unbound.
+            with pytest.raises(RuntimeError, match="stopped"):
+                await server.start()
+
+        with gateway:
+            asyncio.run(run())
+
+    def test_stop_does_not_hang_on_a_stalled_client(self, trainer_a):
+        """A client that pipelines requests and never reads its socket
+        fills its TCP buffer; stop() must abort it after shutdown_grace
+        instead of hanging on the blocked drain() forever."""
+        gateway = AnnotationGateway.for_engine(
+            AnnotationEngine(trainer_a),
+            queue_config=QueueConfig(max_batch=8, max_latency=0.005),
+        )
+        tables = trainer_a.dataset.tables[:2]
+        server = ServerThread(gateway, with_embeddings=True, shutdown_grace=0.5)
+        with gateway:
+            host, port = server.start()
+            # A tiny receive buffer + a flood of duplicate records (cheap
+            # to answer: dedup + ~4 KB embedding payloads, ~6 MB total)
+            # overflows kernel TCP autotuning (tcp_wmem max 4 MB) and the
+            # transport's high-water mark, so drain() genuinely blocks.
+            stalled = socket.socket()
+            stalled.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+            stalled.connect((host, port))
+            stalled.settimeout(30)
+            payload = b"".join(
+                (json.dumps(_routed_record(t)) + "\n").encode()
+                for t in tables for _ in range(750)
+            )
+            try:
+                stalled.sendall(payload)
+            except socket.timeout:
+                pass  # every buffer is full — exactly the stall we want
+            # Wait until answers are flowing, then stop without reading.
+            deadline = time.time() + 30
+            while server.server.stats.answered == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            start = time.time()
+            server.stop()
+            elapsed = time.time() - start
+            stalled.close()
+        assert elapsed < 15, f"stop() took {elapsed:.1f}s against a stalled client"
+
+    def test_result_embeddings_identical_over_wire(self, trainer_a):
+        """Embedding floats survive the socket JSON round trip with the
+        same 6-digit rendering the corpus serving mode writes."""
+        gateway = AnnotationGateway.for_engine(AnnotationEngine(trainer_a))
+        table = trainer_a.dataset.tables[1]
+        with gateway, ServerThread(gateway, with_embeddings=True) as address:
+            with Client(address) as client:
+                answer = client.ask(table_to_dict(table))
+        direct = AnnotationEngine(trainer_a).annotate(table)
+        want = [
+            [round(float(v), 6) for v in direct.colemb[c]]
+            for c in range(direct.colemb.shape[0])
+        ]
+        got = [c["embedding"] for c in answer["columns"]]
+        assert np.array_equal(np.asarray(got), np.asarray(want))

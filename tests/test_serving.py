@@ -503,47 +503,21 @@ class TestAnnotatedTableContract:
 
 
 @pytest.mark.smoke
-class TestCacheShimDeprecation:
-    def test_shim_import_warns_and_reexports(self):
-        """repro.serving.cache is a deprecated alias of repro.encoding.cache:
-        importing it must warn, and its names must be the promoted objects."""
+class TestCacheShimRemoved:
+    def test_shim_module_is_gone(self):
+        """The deprecated repro.serving.cache shim (PR-3's compatibility
+        alias, warned since PR-4 with zero in-repo importers) is deleted;
+        the promoted objects live in repro.encoding and stay re-exported
+        from repro.serving for convenience."""
         import importlib
         import sys
 
         sys.modules.pop("repro.serving.cache", None)
-        with pytest.warns(DeprecationWarning, match="repro.encoding"):
-            shim = importlib.import_module("repro.serving.cache")
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.serving.cache")
         from repro.encoding.cache import LRUCache, table_fingerprint
+        from repro.serving import LRUCache as served_lru
+        from repro.serving import table_fingerprint as served_fingerprint
 
-        assert shim.LRUCache is LRUCache
-        assert shim.table_fingerprint is table_fingerprint
-
-    def test_no_in_repo_module_imports_the_shim(self):
-        """The shim exists for external code only; nothing in repro may
-        import it (and so nothing in-tree triggers its DeprecationWarning)."""
-        import re
-        from pathlib import Path
-
-        import repro
-
-        package_root = Path(repro.__file__).parent
-        shim = package_root / "serving" / "cache.py"
-        offender_patterns = (
-            re.compile(r"^\s*from\s+repro\.serving\.cache\s+import", re.M),
-            re.compile(r"^\s*from\s+\.cache\s+import", re.M),
-            re.compile(r"^\s*from\s+\.\.serving\.cache\s+import", re.M),
-            re.compile(r"^\s*import\s+repro\.serving\.cache", re.M),
-        )
-        offenders = []
-        for path in package_root.rglob("*.py"):
-            if path == shim:
-                continue
-            # `from .cache import` is only the shim when it sits in serving/.
-            text = path.read_text()
-            for pattern in offender_patterns:
-                if pattern is offender_patterns[1] and path.parent.name != "serving":
-                    continue
-                if pattern.search(text):
-                    offenders.append(str(path.relative_to(package_root)))
-                    break
-        assert offenders == []
+        assert served_lru is LRUCache
+        assert served_fingerprint is table_fingerprint
