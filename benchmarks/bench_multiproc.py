@@ -1,0 +1,256 @@
+"""Multi-process pool saturation: `repro serve --workers N` vs N=1.
+
+Not a paper table — this measures the ISSUE-6 serving pool: the
+multi-process front door (shared listener, per-worker gateway stacks,
+cross-process cache fabric) against the single-worker baseline, over a
+connections x workers grid.
+
+Each cell serves the same corpus of *distinct* tables through a fresh
+cold cache directory, so every request costs a real encoder pass — the
+work the extra processes are supposed to parallelize.  Clients are
+work-stealing threads over pre-serialized request bytes (write a
+pipelined batch, read the answers back), so the measuring process adds
+no JSON encode cost inside the timed region and the bottleneck stays on
+the serving side.
+
+The pool is launched through the real CLI (`repro serve --listen
+127.0.0.1:0 --workers N`) in a subprocess with BLAS threading pinned to
+one thread per worker — otherwise a multi-threaded BLAS lets the
+1-worker baseline borrow every core and the comparison measures BLAS,
+not the pool.
+
+Acceptance bar: >= 1.7x throughput at ``--workers 2`` over
+``--workers 1`` at the highest connection count (held slightly looser
+at CI smoke scale, where tables are tiny and per-request wire overhead
+weighs more).  The bar only applies where it is physically reachable:
+on a single-core host two processes time-share one CPU and the best
+possible ratio is ~1.0x, so there the bench instead asserts the pool
+does not *collapse* throughput (>= 0.75x — supervision and fabric
+overhead stay in the noise) and tags the published summary
+``cpu_limited`` so the artifact is not misread as a scaling failure.
+"""
+
+import collections
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from common import SMOKE, print_block, print_table
+
+from repro.core import Doduo, save_annotator
+from repro.datasets import generate_wikitable_dataset
+from repro.io import table_to_dict
+
+WORKERS_GRID = [1, 2] if SMOKE else [1, 2, 4]
+CONNECTIONS_GRID = [1, 2, 4] if SMOKE else [1, 2, 4, 8]
+CORPUS_TABLES = 192 if SMOKE else 512
+PIPELINE_DEPTH = 8
+MULTI_CORE = len(os.sched_getaffinity(0)) >= 2
+if MULTI_CORE:
+    SPEEDUP_FLOOR = 1.5 if SMOKE else 1.7
+else:
+    SPEEDUP_FLOOR = 0.75  # single CPU: processes time-share one core
+RESULTS_PATH = Path(__file__).parent / "multiproc_saturation.json"
+
+
+def _serving_env():
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    # One BLAS thread per worker process: the pool's parallelism must
+    # come from the workers, not from a thread pool the 1-worker
+    # baseline would share.
+    for var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+                "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS"):
+        env[var] = "1"
+    return env
+
+
+def _start_pool(bundle, cache_dir, workers, env):
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", str(bundle),
+            "--listen", "127.0.0.1:0", "--workers", str(workers),
+            "--cache-dir", str(cache_dir),
+        ],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    banner = process.stderr.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+    assert match, f"pool did not start: {banner!r}"
+    return process, (match.group(1), int(match.group(2)))
+
+
+def _ask(address, record):
+    with socket.create_connection(address, timeout=300) as sock:
+        with sock.makefile("rw", encoding="utf-8", newline="\n") as stream:
+            stream.write(json.dumps(record) + "\n")
+            stream.flush()
+            return json.loads(stream.readline())
+
+
+def _warm_workers(address, workers, warmup_record):
+    """Annotate a sacrificial table until every worker has loaded the
+    model, so the timed region measures serving, not checkpoint loads."""
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        _ask(address, warmup_record)
+        stats = _ask(address, {"op": "stats"})
+        busy = [w for w in stats["pool"]["per_worker"] if w["completed"] > 0]
+        if len(busy) >= workers:
+            return
+    raise AssertionError("not every worker came up warm")
+
+
+def _client(address, work, errors):
+    try:
+        with socket.create_connection(address, timeout=300) as sock:
+            stream = sock.makefile("rwb")
+            while True:
+                batch = []
+                try:
+                    for _ in range(PIPELINE_DEPTH):
+                        batch.append(work.popleft())
+                except IndexError:
+                    pass
+                if not batch:
+                    break
+                stream.write(b"".join(batch))
+                stream.flush()
+                for _ in batch:
+                    assert stream.readline(), "connection died mid-corpus"
+            stream.close()
+    except Exception as error:  # noqa: BLE001 - surfaced by the main thread
+        errors.append(error)
+
+
+def _run_cell(address, request_bytes, connections):
+    work = collections.deque(request_bytes)
+    errors = []
+    threads = [
+        threading.Thread(target=_client, args=(address, work, errors))
+        for _ in range(connections)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    assert not errors, errors[0]
+    assert not work
+    return seconds
+
+
+def run_experiment():
+    tmp = Path(tempfile.mkdtemp(prefix="bench-multiproc-"))
+    bundle = tmp / "bundle"
+
+    # A tiny self-contained model: the bench measures pool mechanics
+    # (socket sharding, process parallelism, fabric), which do not care
+    # about model quality — only that every request costs a forward pass.
+    # max_rows=8 keeps each encoder pass heavy enough (several ms) that
+    # a cell's drain time is dominated by serving work, not by pool
+    # startup or client scheduling noise.
+    corpus = generate_wikitable_dataset(
+        num_tables=CORPUS_TABLES + 1, seed=97, max_rows=8
+    )
+    from repro.core import DoduoConfig, DoduoTrainer
+    from repro.nn import TransformerConfig
+    from repro.text import train_wordpiece
+
+    tokenizer = train_wordpiece(corpus.all_cell_text(), vocab_size=500)
+    trainer = DoduoTrainer(
+        corpus,
+        tokenizer,
+        TransformerConfig(
+            vocab_size=tokenizer.vocab_size, hidden_dim=32, num_layers=2,
+            num_heads=2, ffn_dim=64, max_position=160, num_segments=8,
+            dropout=0.0,
+        ),
+        DoduoConfig(epochs=1, batch_size=8, keep_best_checkpoint=False),
+    )
+    trainer.train()
+    save_annotator(Doduo(trainer), bundle)
+
+    warmup_record = table_to_dict(corpus.tables[-1])
+    request_bytes = []
+    for i, table in enumerate(corpus.tables[:CORPUS_TABLES]):
+        record = table_to_dict(table)
+        record["id"] = i
+        request_bytes.append((json.dumps(record) + "\n").encode("utf-8"))
+
+    env = _serving_env()
+    grid = {}
+    rows = []
+    for workers in WORKERS_GRID:
+        for connections in CONNECTIONS_GRID:
+            cache_dir = tmp / f"cache-w{workers}-c{connections}"  # cold
+            process, address = _start_pool(bundle, cache_dir, workers, env)
+            try:
+                _warm_workers(address, workers, warmup_record)
+                seconds = _run_cell(address, request_bytes, connections)
+                stats = _ask(address, {"op": "stats"})
+            finally:
+                process.terminate()
+                process.wait(timeout=60)
+            served = stats["gateway"]["completed"]
+            assert served >= CORPUS_TABLES, (served, CORPUS_TABLES)
+            throughput = CORPUS_TABLES / seconds
+            grid[(workers, connections)] = throughput
+            rows.append((
+                str(workers), str(connections), f"{seconds:.3f}",
+                f"{throughput:.1f}",
+                f"{throughput / grid[(1, connections)]:.2f}",
+            ))
+    print_table(
+        f"Pool saturation ({CORPUS_TABLES} distinct tables, cold cache)",
+        ["Workers", "Connections", "Seconds", "Tables/s", "vs 1 worker"],
+        rows,
+    )
+
+    top = max(CONNECTIONS_GRID)
+    speedup_2w = grid[(2, top)] / grid[(1, top)]
+    summary = {
+        "smoke": SMOKE,
+        "cpus": len(os.sched_getaffinity(0)),
+        "cpu_limited": not MULTI_CORE,
+        "corpus_tables": CORPUS_TABLES,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "grid": [
+            {
+                "workers": workers,
+                "connections": connections,
+                "tables_per_second": round(throughput, 2),
+            }
+            for (workers, connections), throughput in sorted(grid.items())
+        ],
+        "speedup_2_workers_at_max_connections": round(speedup_2w, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print_block("multiproc-json: " + json.dumps(summary))
+    return summary
+
+
+def test_multiproc_saturation(benchmark):
+    summary = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # The acceptance bar: a second worker process buys real throughput
+    # on a cold cache — the pool parallelizes encoder passes, it does
+    # not just shard the socket.  On a single-core host the floor drops
+    # to a no-collapse check (see module docstring): two processes on
+    # one CPU cannot beat 1.0x no matter how good the pool is.
+    assert (
+        summary["speedup_2_workers_at_max_connections"]
+        >= summary["speedup_floor"]
+    )

@@ -32,9 +32,12 @@ full system on a pure-numpy substrate:
   register/repoint/unregister, thread and asyncio-native client APIs),
   the transport-agnostic wire ``protocol`` and the asyncio TCP
   ``AnnotationServer`` (per-connection FIFO answers, admin plane,
-  graceful drain), the single-model ``AnnotationService`` compatibility
-  wrapper, and the persistent ``DiskCache`` result tier (boundable,
-  compactable, partitioned per model fingerprint)
+  graceful drain), the supervised multi-process ``ServingPool``
+  (``repro serve --workers N``: socket sharding, crash restart, merged
+  stats, pool-wide drain), the single-model ``AnnotationService``
+  compatibility wrapper, and the persistent ``DiskCache`` result tier
+  (boundable, compactable, partitioned per model fingerprint) with its
+  concurrently-writable cross-process ``FabricCache`` variant
 * :mod:`repro.cli` — the ``repro`` command-line toolbox
 
 Quickstart::
@@ -92,11 +95,14 @@ from .serving import (
     AnnotationService,
     DiskCache,
     EngineConfig,
+    FabricCache,
     ModelRegistry,
+    PoolConfig,
     QueueConfig,
+    ServingPool,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnnotatedTable",
@@ -110,8 +116,11 @@ __all__ = [
     "Column",
     "DiskCache",
     "EngineConfig",
+    "FabricCache",
     "ModelRegistry",
+    "PoolConfig",
     "QueueConfig",
+    "ServingPool",
     "Doduo",
     "DoduoConfig",
     "DoduoModel",

@@ -439,6 +439,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     specs, corpus = _parse_serve_routes(args)
+    if args.workers is not None:
+        # Multi-process pool: the parent owns the address, each worker
+        # builds its own registry/gateway/server stack (and, with
+        # --cache-dir, its own writer id on the shared cache fabric) —
+        # nothing below this point applies to the parent process.
+        if args.listen is None:
+            raise ValueError("--workers requires --listen (the pool serves "
+                             "TCP; corpus/stdin serving is single-process)")
+        if args.workers < 1:
+            raise ValueError(f"--workers must be >= 1: {args.workers}")
+        return _serve_pool(args, specs)
     batch_size = 8 if args.batch_size is None else args.batch_size
     # Single-model serving over a cache directory that already holds FLAT
     # segment files (written by `repro annotate --cache-dir` or a
@@ -672,6 +683,69 @@ def _serve_listen(args, gateway, options, specs) -> int:
     return 0
 
 
+def _serve_pool(args: argparse.Namespace, specs) -> int:
+    """`repro serve --listen HOST:PORT --workers N`: the process pool.
+
+    The parent binds (or reserves) the address, spawns the workers, and
+    supervises until SIGINT/SIGTERM or a client's ``{"op": "shutdown"}``
+    — then every worker drains its accepted requests before exiting.
+    """
+    from .serving.pool import PoolConfig, ServingPool
+
+    host, port = _parse_listen(args.listen)
+    config = PoolConfig(
+        specs=[(name, str(path)) for name, path in specs],
+        host=host,
+        port=port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        batch_size=8 if args.batch_size is None else args.batch_size,
+        max_latency=args.max_latency_ms / 1000.0,
+        exact=not args.no_exact,
+        max_live=args.max_live,
+        with_embeddings=args.embeddings,
+        admin=not args.no_admin,
+        top_k=3 if args.top_k is None else args.top_k,
+        score_threshold=args.threshold,
+    )
+    pool = ServingPool(config)
+    try:
+        bound_host, bound_port = pool.start()
+    except OSError as error:
+        print(f"error: cannot listen on {host}:{port}: {error}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"listening on {bound_host}:{bound_port} "
+        f"({args.workers} workers, {pool.sharding} sharding)",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        with _graceful_signals():
+            pool.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.stop()
+    stats = pool.final_stats or {}
+    gateway = stats.get("gateway", {})
+    completed = gateway.get("completed", 0)
+    disk = (
+        f", {gateway.get('disk_hits', 0)} disk hits"
+        if args.cache_dir is not None
+        else ""
+    )
+    models = f" across {len(specs)} models" if len(specs) > 1 else ""
+    print(
+        f"served {completed} tables in {gateway.get('batches', 0)} queue "
+        f"batches over {args.workers} workers "
+        f"({gateway.get('dedup_hits', 0)} dedup hits, "
+        f"{gateway.get('encoder_passes', 0)} encoder passes{disk}){models}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """One-shot admin client: ask a running server for its stats."""
     import socket as _socket
@@ -707,43 +781,84 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cache_directories(root):
     """The cache directories under ``root``: itself (flat layout — `repro
     annotate --cache-dir`) plus any per-model-fingerprint subdirectory the
-    serving registry created (`repro serve --cache-dir`)."""
+    serving registry created (`repro serve --cache-dir`).  Fabric
+    directories (pool caches) count even when fully compacted — they may
+    hold no ``segment-*`` files at all, just the compacted generation."""
     from pathlib import Path
 
     from .serving.diskcache import SEGMENT_GLOB
+    from .serving.fabric import is_fabric_directory
+
+    def _is_cache(path):
+        return any(path.glob(SEGMENT_GLOB)) or is_fabric_directory(path)
 
     root = Path(root)
-    found = [root] if any(root.glob(SEGMENT_GLOB)) else []
+    found = [root] if _is_cache(root) else []
     found += sorted(
-        child
-        for child in root.iterdir()
-        if child.is_dir() and any(child.glob(SEGMENT_GLOB))
+        child for child in root.iterdir() if child.is_dir() and _is_cache(child)
     )
     return found or [root]
 
 
 def _cmd_cache_compact(args: argparse.Namespace) -> int:
-    """Compact persistent result-cache directories (drop dead space)."""
-    from .serving import DiskCache
+    """Compact persistent result-cache directories (drop dead space).
+
+    Lock-aware: a directory whose writer is live (a running `repro
+    annotate`/`repro serve`) is skipped with a notice, not corrupted and
+    not a hard failure; fabric directories (serving pools) compact
+    around live writers, merging only quiescent segments.  ``--dry-run``
+    reports what compaction *would* reclaim, byte-for-byte, touching
+    nothing.
+    """
+    from .serving import CacheLockedError, DiskCache
+    from .serving.fabric import FabricCache, is_fabric_directory
 
     if not os.path.isdir(args.directory):
         print(f"error: {args.directory} is not a directory", file=sys.stderr)
         return 1
+    verb = "would compact" if args.dry_run else "compacted"
+    skipped = 0
     for directory in _cache_directories(args.directory):
-        with DiskCache(directory, max_bytes=args.max_bytes) as cache:
-            corrupt = cache.stats.corrupt_records
-            evicted = cache.stats.evicted_records
-            result = cache.compact()
-        notes = []
-        if corrupt:
-            notes.append(f"{corrupt} corrupt records dropped")
-        if evicted:
-            notes.append(f"{evicted} records evicted by --max-bytes")
+        fabric = is_fabric_directory(directory)
+        try:
+            if fabric:
+                # A pool may be live: join the fabric as a throwaway
+                # writer (its own lock releases on close) and merge only
+                # quiescent writers' segments.
+                with FabricCache(directory, writer="cli-compact") as cache:
+                    result = cache.compact(dry_run=args.dry_run)
+                notes = []
+                if result.skipped_segments:
+                    notes.append(
+                        f"{result.skipped_segments} live-writer segments "
+                        "left in place"
+                    )
+            else:
+                with DiskCache(directory, max_bytes=args.max_bytes) as cache:
+                    corrupt = cache.stats.corrupt_records
+                    evicted = cache.stats.evicted_records
+                    result = cache.compact(dry_run=args.dry_run)
+                notes = []
+                if corrupt:
+                    notes.append(f"{corrupt} corrupt records dropped")
+                if evicted:
+                    notes.append(f"{evicted} records evicted by --max-bytes")
+        except CacheLockedError as error:
+            print(f"skipped {directory}: {error}")
+            skipped += 1
+            continue
         suffix = f" ({', '.join(notes)})" if notes else ""
         print(
-            f"compacted {directory}: {result.records} live records, "
+            f"{verb} {directory}: {result.records} live records, "
             f"{result.bytes_before} -> {result.bytes_after} bytes "
-            f"({result.reclaimed_bytes} reclaimed){suffix}"
+            f"({result.reclaimed_bytes} reclaim{'able' if args.dry_run else 'ed'})"
+            f"{suffix}"
+        )
+    if skipped:
+        print(
+            f"{skipped} director{'y' if skipped == 1 else 'ies'} skipped "
+            "(writer active; re-run after it exits, or use a fabric cache "
+            "for live compaction)"
         )
     return 0
 
@@ -887,6 +1002,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve the same protocol over TCP instead of "
                             "a corpus/stdin (port 0 binds an ephemeral "
                             "port, printed to stderr)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="with --listen: serve through N worker "
+                            "processes sharing the listening address and "
+                            "(with --cache-dir) a cross-process cache "
+                            "fabric; {\"op\": \"stats\"} then answers the "
+                            "merged pool-wide view")
     serve.add_argument("--no-admin", action="store_true",
                        help="refuse admin records ({\"op\": ...}) on the "
                             "live transports (socket and stdin loop): no "
@@ -917,6 +1038,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict oldest segments past this size before compacting; "
              "applies to EACH cache directory found (a multi-model root "
              "with N fingerprint subdirectories is bounded at N x this)",
+    )
+    compact.add_argument(
+        "--dry-run", action="store_true",
+        help="report live records and reclaimable bytes per directory "
+             "without rewriting anything (works against live writers)",
     )
     compact.set_defaults(func=_cmd_cache_compact)
 

@@ -16,13 +16,29 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Generic, Hashable, Iterable, Optional, TypeVar
 
 from ..datasets.tables import Table
 
 V = TypeVar("V")
 
 _MISSING = object()
+
+
+def content_digest(chunks: Iterable[bytes]) -> str:
+    """The toolbox's one content-hash recipe: blake2b-128 over ``chunks``.
+
+    Every content-addressed identity in the stack — table fingerprints,
+    composite result-cache keys, the fabric's shared-index checksums —
+    feeds its bytes through this single function, so the digest width and
+    algorithm can never drift apart between the tiers that must agree on
+    a key.  Chunks are hashed in order with no implicit separators; the
+    caller owns boundary bytes (see :func:`table_fingerprint`).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.hexdigest()
 
 
 def table_fingerprint(table: Table) -> str:
@@ -32,15 +48,17 @@ def table_fingerprint(table: Table) -> str:
     the same content share one cache entry, and uses explicit separators so
     value boundaries cannot collide (``["ab", "c"]`` vs ``["a", "bc"]``).
     """
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(str(table.num_columns).encode("utf-8"))
-    for column in table.columns:
-        digest.update(b"\x1d")  # group separator: next column
-        digest.update((column.header or "").encode("utf-8"))
-        for value in column.values:
-            digest.update(b"\x1f")  # unit separator: next cell
-            digest.update(value.encode("utf-8"))
-    return digest.hexdigest()
+
+    def chunks() -> Iterable[bytes]:
+        yield str(table.num_columns).encode("utf-8")
+        for column in table.columns:
+            yield b"\x1d"  # group separator: next column
+            yield (column.header or "").encode("utf-8")
+            for value in column.values:
+                yield b"\x1f"  # unit separator: next cell
+                yield value.encode("utf-8")
+
+    return content_digest(chunks())
 
 
 class LRUCache(Generic[V]):

@@ -35,6 +35,16 @@ The stack, bottom-up:
   ordering, backpressure, an admin plane (``stats``/``health``/hot
   ``register``/``repoint``/``unregister``/``shutdown``), and graceful
   drain; :class:`ServerThread` embeds it in synchronous code.
+* :class:`FabricCache` — the concurrently-writable cross-process disk
+  tier (per-writer append segments, shared compacted generations served
+  over ``mmap``) that lets sibling worker processes read each other's
+  cached results.
+* :class:`ServingPool` — the multi-process front door behind ``repro
+  serve --listen HOST:PORT --workers N``: one parent owning the address,
+  N worker processes each running a full gateway + server stack over a
+  shared listener and the shared cache fabric, with supervision,
+  bounded restart, coordinated drain, and a pool-wide merged admin
+  plane.
 
 Quickstart::
 
@@ -75,13 +85,17 @@ exact byte-identity guarantees).
 from ..encoding.cache import LRUCache, table_fingerprint
 from . import protocol
 from .diskcache import (
+    CacheLockedError,
     CompactionResult,
     DiskCache,
     DiskCacheStats,
+    FileLock,
     result_cache_key,
 )
 from .engine import AnnotationEngine, EngineConfig, EngineStats
+from .fabric import FabricCache, FabricStats, is_fabric_directory
 from .gateway import AnnotationGateway, GatewayStats
+from .pool import PoolConfig, ServingPool
 from .queue import AnnotationService, EngineWorker, QueueConfig, ServiceStats
 from .registry import ModelRegistry, RegisteredModel, RegistryStats
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
@@ -95,21 +109,28 @@ __all__ = [
     "AnnotationResult",
     "AnnotationServer",
     "AnnotationService",
+    "CacheLockedError",
     "CompactionResult",
     "DiskCache",
     "DiskCacheStats",
     "EngineConfig",
     "EngineStats",
     "EngineWorker",
+    "FabricCache",
+    "FabricStats",
+    "FileLock",
     "GatewayStats",
     "LRUCache",
     "ModelRegistry",
+    "PoolConfig",
     "QueueConfig",
     "RegisteredModel",
     "RegistryStats",
     "ServerStats",
     "ServerThread",
     "ServiceStats",
+    "ServingPool",
+    "is_fabric_directory",
     "protocol",
     "result_cache_key",
     "table_fingerprint",

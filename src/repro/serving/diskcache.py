@@ -39,7 +39,6 @@ resident memory is one index entry per cached table, not the payloads.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
@@ -50,8 +49,13 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..core.annotator import AnnotatedTable
-from ..encoding.cache import table_fingerprint
+from ..encoding.cache import content_digest, table_fingerprint
 from .request import AnnotationRequest, AnnotationResult
+
+try:  # pragma: no cover - import guard exercised only off-Linux
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - Windows
+    _fcntl = None
 
 PathLike = Union[str, Path]
 
@@ -62,6 +66,89 @@ _SEGMENT_SUFFIX = ".jsonl"
 #: truth for the layout, reused by the CLI (warm flat-layout detection,
 #: `repro cache compact` directory discovery).
 SEGMENT_GLOB = f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"
+
+#: The advisory writer-lock file a live :class:`DiskCache` handle holds on
+#: its directory; `repro cache compact` probes it to skip live caches.
+WRITER_LOCK_NAME = "writer.lock"
+
+
+class CacheLockedError(RuntimeError):
+    """Raised when a mutating cache operation needs the directory's writer
+    lock but another live handle (possibly in another process) holds it."""
+
+
+class FileLock:
+    """Advisory exclusive lock on one path (``flock``-based).
+
+    The concurrency primitive under both cache tiers: a :class:`DiskCache`
+    holds one on its directory for the lifetime of its append handle, and
+    the fabric's compactor probes those of other writers to decide which
+    segments are safe to merge.  ``acquire`` is always non-blocking — the
+    serving stack never *waits* for a lock, it observes who holds one and
+    routes around them.
+
+    Where ``fcntl`` is unavailable the lock degrades to a no-op that always
+    acquires and never observes a holder — exactly the historical
+    one-writer-by-convention behaviour, no worse.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> bool:
+        """Try to take the lock; ``True`` on success (idempotent)."""
+        if self._handle is not None:
+            return True
+        handle = open(self.path, "ab")
+        if _fcntl is not None:
+            try:
+                _fcntl.flock(handle.fileno(), _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                return False
+        self._handle = handle
+        return True
+
+    def release(self) -> None:
+        """Drop the lock (idempotent).  The lock file stays on disk — it
+        is an inode to flock, not a pidfile; a stale one is harmless."""
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        if _fcntl is not None:
+            try:
+                _fcntl.flock(handle.fileno(), _fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock cannot really fail
+                pass
+        handle.close()
+
+    @classmethod
+    def is_locked(cls, path: PathLike) -> bool:
+        """Probe: is some *other* handle holding the lock at ``path``?
+
+        False where ``fcntl`` is unavailable or the file does not exist.
+        The probe briefly takes and releases the lock, so only call it on
+        locks the caller does not hold.
+        """
+        if _fcntl is None or not Path(path).exists():
+            return False
+        probe = cls(path)
+        if probe.acquire():
+            probe.release()
+            return False
+        return True
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def result_cache_key(model_fingerprint: str, request: AnnotationRequest) -> str:
@@ -74,21 +161,21 @@ def result_cache_key(model_fingerprint: str, request: AnnotationRequest) -> str:
     dedup guarantee).
     """
     options = request.options
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(model_fingerprint.encode("utf-8"))
-    digest.update(table_fingerprint(request.table).encode("utf-8"))
-    digest.update(
-        repr(
-            (
-                options.with_embeddings,
-                options.with_relations,
-                options.top_k,
-                options.score_threshold,
-                request.pairs,
-            )
-        ).encode("utf-8")
+    return content_digest(
+        (
+            model_fingerprint.encode("utf-8"),
+            table_fingerprint(request.table).encode("utf-8"),
+            repr(
+                (
+                    options.with_embeddings,
+                    options.with_relations,
+                    options.top_k,
+                    options.score_threshold,
+                    request.pairs,
+                )
+            ).encode("utf-8"),
+        )
     )
-    return digest.hexdigest()
 
 
 def encode_annotation(result: AnnotationResult) -> Dict:
@@ -161,11 +248,20 @@ class DiskCacheStats:
 
 @dataclass(frozen=True)
 class CompactionResult:
-    """Outcome of one :meth:`DiskCache.compact` run."""
+    """Outcome of one :meth:`DiskCache.compact` run.
+
+    With ``dry_run=True`` nothing was rewritten: ``bytes_after`` is the
+    *projected* post-compaction size and ``reclaimed_bytes`` the dead
+    space a real run would drop.  ``skipped_segments`` counts segments a
+    lock-aware (fabric) compaction left alone because a live writer owns
+    them.
+    """
 
     records: int
     bytes_before: int
     bytes_after: int
+    dry_run: bool = False
+    skipped_segments: int = 0
 
     @property
     def reclaimed_bytes(self) -> int:
@@ -205,6 +301,7 @@ class DiskCache:
         directory: PathLike,
         max_segment_records: int = 1024,
         max_bytes: Optional[int] = None,
+        lock: bool = True,
     ) -> None:
         if max_segment_records < 1:
             raise ValueError(
@@ -216,6 +313,15 @@ class DiskCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_segment_records = max_segment_records
         self.max_bytes = max_bytes
+        # Advisory writer lock on the directory: held while this handle is
+        # open, so `repro cache compact` (and the fabric's compactor) can
+        # tell a live cache from a quiescent one.  Acquisition is soft —
+        # a second handle on a live directory still opens (the historical
+        # contract tolerated it), it just cannot compact or evict.
+        self._lock_enabled = lock
+        self._writer_lock = FileLock(self.directory / WRITER_LOCK_NAME)
+        if lock:
+            self._writer_lock.acquire()
         self.stats = DiskCacheStats()
         # Serializes every public operation: the handle may be shared by
         # several threads (e.g. two serving workers over one fingerprint),
@@ -351,6 +457,10 @@ class DiskCache:
 
     def _ensure_segment(self) -> None:
         """Make ``_handle`` point at a segment with room for one record."""
+        if self._lock_enabled and not self._writer_lock.held:
+            # A handle reopening after close() (registry evict/reload
+            # reuses one handle per fingerprint) takes the lock back.
+            self._writer_lock.acquire()
         if self._handle is None and (
             self._segment_index >= 0
             and self._segment_records < self.max_segment_records
@@ -395,8 +505,13 @@ class DiskCache:
         The active (newest) segment is never dropped — the bound may be
         overshot by at most one segment, and a cache smaller than one
         segment's worth of records keeps serving its freshest entries.
+        Never deletes anything while another handle holds the directory's
+        writer lock: evicting a live writer's files from a second opener
+        would corrupt its index.
         """
         if self.max_bytes is None:
+            return
+        if self._lock_enabled and not self._writer_lock.held:
             return
         while self._total_bytes > self.max_bytes:
             victims = [
@@ -419,7 +534,7 @@ class DiskCache:
             self._total_bytes -= size
             self.stats.evicted_records += len(evicted)
 
-    def compact(self) -> CompactionResult:
+    def compact(self, dry_run: bool = False) -> CompactionResult:
         """Rewrite the directory keeping only live records.
 
         An append-only log accumulates dead space: lines corrupted by torn
@@ -430,12 +545,56 @@ class DiskCache:
         in-memory index.  Keys, payload bytes, and lookup results are
         unchanged — only dead space disappears.  The write handle is
         reopened lazily by the next :meth:`put`.
+
+        Lock discipline: a real compaction needs the directory's writer
+        lock — running one under a live writer in another process would
+        delete segments out from under its index.  When another handle
+        holds the lock, :class:`CacheLockedError` is raised (the CLI turns
+        it into a "skipped" report).  ``dry_run=True`` mutates nothing and
+        needs no lock: it measures the live records and reports the bytes
+        a real run would reclaim.
         """
         with self._io_lock:
+            if dry_run:
+                return self._dry_run_locked()
+            if self._lock_enabled and not self._writer_lock.held:
+                if not self._writer_lock.acquire():
+                    raise CacheLockedError(
+                        f"cannot compact {self.directory}: another live "
+                        "writer holds its lock"
+                    )
             return self._compact_locked()
 
+    def _dry_run_locked(self) -> CompactionResult:
+        """Measure what :meth:`compact` would do, touching nothing."""
+        if self._handle is not None:
+            self._handle.flush()
+        by_path: Dict[Path, List[int]] = {}
+        for path, offset in self._index.values():
+            by_path.setdefault(path, []).append(offset)
+        live_bytes = 0
+        records = 0
+        for path, offsets in by_path.items():
+            try:
+                with open(path, "rb") as handle:
+                    for offset in sorted(offsets):
+                        handle.seek(offset)
+                        line = handle.readline()
+                        if not line.endswith(b"\n"):
+                            line += b"\n"  # compaction would terminate it
+                        live_bytes += len(line)
+                        records += 1
+            except OSError:
+                continue  # segment vanished mid-measure: not live anymore
+        return CompactionResult(
+            records=records,
+            bytes_before=self._total_bytes,
+            bytes_after=live_bytes,
+            dry_run=True,
+        )
+
     def _compact_locked(self) -> CompactionResult:
-        self.close()
+        self._close_handle()
         bytes_before = self._total_bytes
         live = sorted(self._index.items(), key=lambda item: (item[1][0].name, item[1][1]))
         tmp_paths: list = []
@@ -521,7 +680,7 @@ class DiskCache:
     def clear(self) -> None:
         """Delete every owned segment and reset the index and counters."""
         with self._io_lock:
-            self.close()
+            self._close_handle()
             for path in self._owned_segments():
                 try:
                     os.remove(path)
@@ -535,11 +694,23 @@ class DiskCache:
             self._total_bytes = 0
             self.stats = DiskCacheStats()
 
+    @property
+    def holds_writer_lock(self) -> bool:
+        """Whether this handle owns the directory's advisory writer lock
+        (always ``False`` with ``lock=False``)."""
+        return self._writer_lock.held
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
     def close(self) -> None:
+        """Close the append handle and release the writer lock.  The next
+        :meth:`put` transparently reopens (and re-locks) the directory."""
         with self._io_lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            self._close_handle()
+            self._writer_lock.release()
 
     def __enter__(self) -> "DiskCache":
         return self

@@ -1,0 +1,689 @@
+"""Cross-process cache fabric: many writers, one shared read layer.
+
+:class:`~repro.serving.diskcache.DiskCache` assumes one writing handle per
+directory — the right contract for one serving process, and exactly the
+wrong one for a multi-process pool (:mod:`repro.serving.pool`), where N
+workers serve the same model and each wants to persist (and *reuse*) the
+same fingerprint-keyed results.  :class:`FabricCache` keeps the append-only
+JSONL discipline but splits the directory three ways:
+
+* **Per-writer segments** — ``segment-<writer>-NNNNNN.jsonl``, appended by
+  exactly one handle (the writer id embeds the worker slot and PID, so two
+  writers can never collide on a filename, let alone a file).  Each live
+  writer holds an advisory :class:`~repro.serving.diskcache.FileLock` on
+  ``writer-<writer>.lock`` for the lifetime of its handle.
+* **A shared compacted layer** — ``compact-NNNNNN.jsonl``, one immutable
+  generation at a time, described by an atomically-replaced
+  ``fabric-index.json`` (generation, byte size, content checksum, and the
+  key → (offset, length) table).  Readers ``mmap`` the generation and
+  serve hits straight from the mapping — the pool's workers share one
+  page-cache copy of the warm corpus instead of N private indexes.  This
+  is the serve-from-one-compressed-representation discipline the
+  enumeration literature uses for shared immutable structures: writers
+  stay private, readers consume a single compacted artifact.
+* **Cross-writer reads** — a miss triggers a throttled :meth:`refresh`
+  that tails every *other* writer's segments from the last scanned offset
+  (consuming only newline-terminated lines, so a torn tail is re-read
+  later, never mis-indexed) and picks up any newer compacted generation.
+  A warm entry written by worker A is therefore a disk hit in worker B
+  without re-encoding — counted in ``stats.remote_hits``.
+
+Legacy interop: plain ``segment-NNNNNN.jsonl`` files written by a
+single-process :class:`DiskCache` are readable as the segments of a
+``"legacy"`` writer, so a cache warmed by ``repro serve`` stays warm when
+the operator scales out to ``--workers N``.
+
+Compaction is lock-aware: only segments whose writer is *not* live (its
+``writer-*.lock`` unheld; ``writer.lock`` for the legacy writer) are
+merged into the next generation and deleted; live writers' segments are
+skipped and reported.  Compactors exclude each other via ``compact.lock``.
+Readers whose segment files vanish under them (deleted by a compactor in
+another process) recover by refreshing: the key reappears in the new
+compacted generation, and the payload bytes are identical — keys are
+content hashes of everything that determines the value.
+
+The equivalence contract of the disk tier carries over unchanged: the
+payloads stored and returned are exactly those of
+:func:`~repro.serving.diskcache.encode_annotation` /
+:func:`~repro.serving.diskcache.decode_annotation`, so a fabric hit is
+byte-identical to the producing pass regardless of which worker wrote it.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import re
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..encoding.cache import LRUCache, content_digest
+from .diskcache import (
+    CacheLockedError,
+    CompactionResult,
+    FileLock,
+    WRITER_LOCK_NAME,
+    _SEGMENT_PREFIX,
+    _SEGMENT_SUFFIX,
+    SEGMENT_GLOB,
+)
+
+PathLike = Union[str, Path]
+
+_COMPACT_PREFIX = "compact-"
+_COMPACT_SUFFIX = ".jsonl"
+INDEX_NAME = "fabric-index.json"
+COMPACT_LOCK_NAME = "compact.lock"
+
+#: The pseudo-writer owning plain ``segment-NNNNNN.jsonl`` files written
+#: by a single-process :class:`DiskCache` (its liveness lock is the
+#: directory-level ``writer.lock``).
+LEGACY_WRITER = ""
+
+_WRITER_RE = re.compile(r"[^A-Za-z0-9_.]+")
+
+
+def sanitize_writer(writer: str) -> str:
+    """Writer ids become filename fragments; keep them boring."""
+    cleaned = _WRITER_RE.sub("_", writer).strip("_")
+    if not cleaned:
+        raise ValueError(f"writer id must be non-empty: {writer!r}")
+    return cleaned
+
+
+def split_segment_name(path: Path) -> Optional[Tuple[str, int]]:
+    """``(writer, number)`` for a segment filename, or ``None`` for a file
+    that merely matches the segment glob.  Plain DiskCache segments parse
+    as the :data:`LEGACY_WRITER`."""
+    stem = path.name
+    if not (
+        stem.startswith(_SEGMENT_PREFIX) and stem.endswith(_SEGMENT_SUFFIX)
+    ):
+        return None
+    body = stem[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    writer, dash, number = body.rpartition("-")
+    if not number.isdigit():
+        return None
+    return (writer if dash else LEGACY_WRITER), int(number)
+
+
+def is_fabric_directory(directory: PathLike) -> bool:
+    """Does ``directory`` hold fabric state (per-writer segments, a
+    compacted generation, or a shared index)?  `repro cache compact` uses
+    this to pick the right compactor for each directory."""
+    directory = Path(directory)
+    if (directory / INDEX_NAME).exists():
+        return True
+    if any(directory.glob(f"{_COMPACT_PREFIX}*{_COMPACT_SUFFIX}")):
+        return True
+    return any(
+        (parsed := split_segment_name(path)) is not None
+        and parsed[0] != LEGACY_WRITER
+        for path in directory.glob(SEGMENT_GLOB)
+    )
+
+
+def writer_lock_path(directory: Path, writer: str) -> Path:
+    """The liveness lock guarding ``writer``'s segments."""
+    if writer == LEGACY_WRITER:
+        return directory / WRITER_LOCK_NAME
+    return directory / f"writer-{writer}.lock"
+
+
+@dataclass
+class FabricStats:
+    """Counters for one :class:`FabricCache` handle's lifetime.
+
+    ``remote_hits`` counts hits served from another writer's segments or
+    from the shared compacted layer — the cross-process reuse the fabric
+    exists for.  ``refreshes`` counts directory rescans (throttled by
+    ``refresh_interval``); ``corrupt_records`` counts unparseable lines
+    skipped while scanning (torn tails re-read later are not counted).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    remote_hits: int = 0
+    refreshes: int = 0
+    corrupt_records: int = 0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+# Index-entry location tags.
+_OWN = "own"        # (tag, path, offset)   — this handle's segment
+_SEGMENT = "seg"    # (tag, path, offset)   — another writer's segment
+_COMPACT = "cmp"    # (tag, offset, length) — the mmap'd compacted layer
+
+
+class FabricCache:
+    """A concurrently-writable, cross-process drop-in for ``DiskCache``.
+
+    Same ``get``/``put``/``compact``/``close`` surface and the same
+    first-write-wins immutable-entry semantics; what changes is *who may
+    write*: any number of processes, each with its own ``writer`` id, may
+    hold a handle on one directory at once.  Reads see every writer's
+    flushed entries (after at most one ``refresh_interval``), plus the
+    shared compacted layer, served via ``mmap``.
+
+    ``writer`` defaults to ``pid<PID>`` — unique per process; a serving
+    pool passes ``w<slot>-pid<PID>`` so segment files read as operational
+    telemetry.  ``hot_entries`` bounds a small in-memory LRU of decoded
+    payloads (0 disables) that short-circuits file reads for keys this
+    handle serves repeatedly.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        writer: Optional[str] = None,
+        max_segment_records: int = 1024,
+        refresh_interval: float = 0.05,
+        hot_entries: int = 256,
+    ) -> None:
+        if max_segment_records < 1:
+            raise ValueError(
+                f"max_segment_records must be >= 1: {max_segment_records}"
+            )
+        if refresh_interval < 0:
+            raise ValueError(
+                f"refresh_interval must be >= 0: {refresh_interval}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.writer = sanitize_writer(
+            writer if writer is not None else f"pid{os.getpid()}"
+        )
+        self.max_segment_records = max_segment_records
+        self.refresh_interval = refresh_interval
+        self.stats = FabricStats()
+        self._lock = threading.RLock()
+        self._index: Dict[str, Tuple] = {}
+        self._hot: Optional[LRUCache] = (
+            LRUCache(hot_entries) if hot_entries else None
+        )
+        # Own append state.
+        self._writer_lock = FileLock(writer_lock_path(self.directory, self.writer))
+        self._handle = None
+        self._segment_path: Optional[Path] = None
+        self._segment_index = -1
+        self._segment_records = 0
+        # Cross-writer read state: how far each foreign segment has been
+        # scanned (only whole, newline-terminated lines are consumed).
+        self._scanned: Dict[Path, int] = {}
+        self._last_refresh = float("-inf")
+        # Compacted read layer.
+        self._generation = -1
+        self._mmap: Optional[mmap.mmap] = None
+        self._mmap_handle = None
+        self.refresh(force=True)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored for ``key`` by *any* writer, or ``None``.
+
+        A miss in the in-memory index triggers a (throttled) refresh —
+        tailing the other writers' segments and picking up a newer
+        compacted generation — then retries, so a warm entry written by a
+        sibling worker is a hit here without re-encoding.
+        """
+        with self._lock:
+            if self._hot is not None:
+                payload = self._hot.get(key)
+                if payload is not None:
+                    self.stats.hits += 1
+                    return payload
+            payload = self._read(key)
+            if payload is None and self.refresh():
+                payload = self._read(key)
+            if payload is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            if self._hot is not None:
+                self._hot.put(key, payload)
+            return payload
+
+    def _read(self, key: str, retried: bool = False) -> Optional[Dict]:
+        """Resolve ``key`` through the index (caller holds the lock).
+
+        A location whose backing file vanished (a compactor in another
+        process merged and deleted it) is dropped and the lookup retried
+        once after a forced refresh — the entry reappears in the compacted
+        layer with identical payload bytes.
+        """
+        location = self._index.get(key)
+        if location is None:
+            return None
+        if location[0] == _COMPACT:
+            _, offset, length = location
+            try:
+                line = self._mmap[offset:offset + length]
+                payload = json.loads(line)["payload"]
+            except (TypeError, ValueError, KeyError, IndexError):
+                return self._recover(key, retried)
+            self.stats.remote_hits += 1
+            return payload
+        _, path, offset = location
+        if location[0] == _OWN and self._handle is not None:
+            self._handle.flush()
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                record = json.loads(handle.readline().decode("utf-8"))
+        except (OSError, ValueError, KeyError):
+            return self._recover(key, retried)
+        if location[0] != _OWN:
+            self.stats.remote_hits += 1
+        return record["payload"]
+
+    def _recover(self, key: str, retried: bool) -> Optional[Dict]:
+        """One dead location: drop it, refresh, retry the lookup once."""
+        del self._index[key]
+        if retried:
+            return None
+        self.refresh(force=True)
+        return self._read(key, retried=True)
+
+    # ------------------------------------------------------------------
+    # Refresh: see the other writers
+    # ------------------------------------------------------------------
+    def refresh(self, force: bool = False) -> bool:
+        """Rescan the directory for work by other processes.
+
+        Tails every foreign segment from its last scanned offset and
+        loads a newer compacted generation if one appeared.  Throttled to
+        once per ``refresh_interval`` unless ``force``; returns whether a
+        scan actually ran.  Cheap when nothing changed: one ``glob`` plus
+        one ``stat`` per unfinished foreign segment.
+        """
+        with self._lock:
+            now = time.monotonic()
+            if not force and now - self._last_refresh < self.refresh_interval:
+                return False
+            self._last_refresh = now
+            self.stats.refreshes += 1
+            self._load_compacted()
+            for path in sorted(self.directory.glob(SEGMENT_GLOB)):
+                parsed = split_segment_name(path)
+                if parsed is None or parsed[0] == self.writer:
+                    continue
+                self._tail_segment(path)
+            return True
+
+    def _tail_segment(self, path: Path) -> None:
+        """Index any new complete lines of one foreign segment."""
+        offset = self._scanned.get(path, 0)
+        try:
+            if path.stat().st_size <= offset:
+                return
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                for line in handle:
+                    if not line.endswith(b"\n"):
+                        break  # torn tail: re-read from here next refresh
+                    try:
+                        record = json.loads(line.decode("utf-8"))
+                        key = str(record["key"])
+                        record["payload"]  # presence check
+                    except (ValueError, KeyError, TypeError):
+                        self.stats.corrupt_records += 1
+                    else:
+                        # First write wins: same-key records are identical
+                        # by construction (content-addressed keys).
+                        self._index.setdefault(key, (_SEGMENT, path, offset))
+                    offset += len(line)
+        except OSError:
+            # Deleted by a compactor mid-scan: forget it; its records are
+            # (or will be) in the compacted layer.
+            self._scanned.pop(path, None)
+            return
+        self._scanned[path] = offset
+
+    def _load_compacted(self) -> None:
+        """Map the newest compacted generation, if it moved on."""
+        meta = self._read_index_file()
+        if meta is None or meta["generation"] <= self._generation:
+            return
+        if meta["bytes"] == 0:
+            # An empty generation (everything was dead space): nothing to
+            # map, but remember it so refreshes stop re-trying.
+            self._close_mmap()
+            self._generation = meta["generation"]
+            return
+        path = self.directory / meta["file"]
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            return  # racing the next compaction; pick it up next refresh
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError):  # ValueError: empty file
+            handle.close()
+            return
+        if len(mapped) != meta["bytes"] or content_digest(
+            (mapped[:],)
+        ) != meta["checksum"]:
+            # A torn or tampered generation: serve without it (the keys
+            # that only lived there will miss and recompute — correct,
+            # just colder).
+            mapped.close()
+            handle.close()
+            return
+        self._close_mmap()
+        self._mmap, self._mmap_handle = mapped, handle
+        self._generation = meta["generation"]
+        # Stale locations into files the compactor deleted fix themselves
+        # lazily in _read(); compacted entries fill only absent keys.
+        for key, (offset, length) in meta["entries"].items():
+            self._index.setdefault(key, (_COMPACT, offset, length))
+
+    def _read_index_file(self) -> Optional[Dict]:
+        try:
+            with open(self.directory / INDEX_NAME, "rb") as handle:
+                meta = json.loads(handle.read().decode("utf-8"))
+            assert isinstance(meta["generation"], int)
+            assert isinstance(meta["entries"], dict)
+            meta["bytes"], meta["checksum"], meta["file"]
+            return meta
+        except (OSError, ValueError, KeyError, AssertionError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: str, payload: Dict) -> None:
+        """Append ``payload`` under ``key`` to this writer's own segment
+        (first write wins; flushed per record, so sibling workers see it
+        after their next refresh)."""
+        with self._lock:
+            if key in self._index:
+                return
+            self._ensure_segment()
+            line = (
+                json.dumps({"key": key, "payload": payload}, ensure_ascii=False)
+                + "\n"
+            ).encode("utf-8")
+            offset = self._handle.tell()
+            self._handle.write(line)
+            self._handle.flush()
+            self._index[key] = (_OWN, self._segment_path, offset)
+            self._segment_records += 1
+            self.stats.writes += 1
+            if self._hot is not None:
+                self._hot.put(key, payload)
+
+    def _ensure_segment(self) -> None:
+        if not self._writer_lock.held:
+            self._writer_lock.acquire()  # cannot contend: the id is ours
+        if (
+            self._handle is not None
+            and self._segment_records < self.max_segment_records
+        ):
+            return
+        if self._handle is not None:
+            self._handle.close()
+        if self._segment_index < 0:
+            self._segment_index = self._next_own_segment_number()
+        else:
+            self._segment_index += 1
+        self._segment_path = self.directory / (
+            f"{_SEGMENT_PREFIX}{self.writer}-{self._segment_index:06d}"
+            f"{_SEGMENT_SUFFIX}"
+        )
+        self._handle = open(self._segment_path, "ab")
+        self._segment_records = 0
+
+    def _next_own_segment_number(self) -> int:
+        """One past the highest existing own segment — a restarted writer
+        that reuses its id (same slot, same PID is impossible, but ids are
+        caller-chosen) must never append to a file a compactor may have
+        already decided about."""
+        highest = -1
+        for path in self.directory.glob(SEGMENT_GLOB):
+            parsed = split_segment_name(path)
+            if parsed is not None and parsed[0] == self.writer:
+                highest = max(highest, parsed[1])
+        return highest + 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, dry_run: bool = False) -> CompactionResult:
+        """Merge every *quiescent* writer's segments (and the previous
+        generation) into one fresh immutable generation.
+
+        Lock-aware: a writer whose ``writer-*.lock`` is held is live — all
+        its segments are skipped (counted in ``skipped_segments``) and
+        survive untouched; everyone else's are merged, deduplicated
+        (first occurrence wins; duplicate keys carry identical payloads by
+        construction, so "exactly one valid entry" is also "the entry"),
+        and deleted.  This handle's own segments are sealed first and
+        merged too.  Concurrent compactors exclude each other via
+        ``compact.lock`` (:class:`CacheLockedError` if contended).
+        ``dry_run=True`` measures without writing, deleting, or locking
+        out other compactors for longer than the measurement.
+        """
+        with self._lock:
+            compact_lock = FileLock(self.directory / COMPACT_LOCK_NAME)
+            if not compact_lock.acquire():
+                raise CacheLockedError(
+                    f"cannot compact {self.directory}: another compaction "
+                    "is running"
+                )
+            try:
+                return self._compact_locked(dry_run)
+            finally:
+                compact_lock.release()
+
+    def _mergeable_sources(self, seal: bool) -> Tuple[List[Path], int]:
+        """``(paths safe to merge, skipped segment count)``.
+
+        Own segments are sealed (handle closed; the next put starts a new
+        file) and always mergeable.  Foreign and legacy segments are
+        mergeable only while their writer's lock is free.  A dry run
+        measures without sealing.
+        """
+        if seal and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            # Leave _segment_index as-is: _ensure_segment advances past it.
+        by_writer: Dict[str, List[Tuple[int, Path]]] = {}
+        for path in sorted(self.directory.glob(SEGMENT_GLOB)):
+            parsed = split_segment_name(path)
+            if parsed is None:
+                continue  # foreign file that merely matches the glob
+            by_writer.setdefault(parsed[0], []).append((parsed[1], path))
+        sources: List[Path] = []
+        skipped = 0
+        for writer, numbered in sorted(by_writer.items()):
+            numbered.sort()
+            if writer != self.writer and FileLock.is_locked(
+                writer_lock_path(self.directory, writer)
+            ):
+                skipped += len(numbered)
+                continue
+            sources.extend(path for _, path in numbered)
+        return sources, skipped
+
+    def _compact_locked(self, dry_run: bool) -> CompactionResult:
+        sources, skipped = self._mergeable_sources(seal=not dry_run)
+        meta = self._read_index_file()
+        old_compact: Optional[Path] = None
+        generation = 0
+        if meta is not None:
+            old_compact = self.directory / meta["file"]
+            generation = meta["generation"] + 1
+        bytes_before = sum(_safe_size(p) for p in sources) + (
+            _safe_size(old_compact) if old_compact is not None else 0
+        )
+
+        # Stream: previous generation first (it is already deduplicated),
+        # then segments in deterministic (writer, number) order.
+        seen: Dict[str, Tuple[int, int]] = {}
+        out_path = self.directory / (
+            f"{_COMPACT_PREFIX}{generation:06d}{_COMPACT_SUFFIX}"
+        )
+        tmp_path = out_path.with_suffix(out_path.suffix + ".tmp")
+        out = None if dry_run else open(tmp_path, "wb")
+        digest_chunks: List[bytes] = []
+        offset = 0
+        corrupt = 0
+        try:
+            streams: List[Path] = (
+                [old_compact] if old_compact is not None else []
+            ) + sources
+            for path in streams:
+                try:
+                    handle = open(path, "rb")
+                except OSError:
+                    continue
+                with handle:
+                    for line in handle:
+                        if not line.endswith(b"\n"):
+                            line += b"\n"
+                        try:
+                            record = json.loads(line.decode("utf-8"))
+                            key = str(record["key"])
+                            record["payload"]  # presence check
+                        except (ValueError, KeyError, TypeError):
+                            corrupt += 1
+                            continue
+                        if key in seen:
+                            continue  # duplicate: identical payload, drop
+                        seen[key] = (offset, len(line))
+                        if out is not None:
+                            out.write(line)
+                            digest_chunks.append(line)
+                        offset += len(line)
+        finally:
+            if out is not None:
+                out.flush()
+                os.fsync(out.fileno())
+                out.close()
+        if dry_run:
+            return CompactionResult(
+                records=len(seen),
+                bytes_before=bytes_before,
+                bytes_after=offset,
+                dry_run=True,
+                skipped_segments=skipped,
+            )
+
+        # Publish: data file, then the index that names it — both atomic.
+        os.replace(tmp_path, out_path)
+        index_payload = {
+            "generation": generation,
+            "file": out_path.name,
+            "bytes": offset,
+            "checksum": content_digest(iter(digest_chunks)),
+            "entries": {
+                key: [off, length] for key, (off, length) in seen.items()
+            },
+        }
+        index_tmp = self.directory / (INDEX_NAME + ".tmp")
+        with open(index_tmp, "wb") as handle:
+            handle.write(json.dumps(index_payload).encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(index_tmp, self.directory / INDEX_NAME)
+
+        # Retire the merged inputs.
+        for path in sources:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self._scanned.pop(path, None)
+        if old_compact is not None and old_compact != out_path:
+            try:
+                os.remove(old_compact)
+            except OSError:
+                pass
+
+        # Swap our own view to the new generation.  Own/foreign locations
+        # into deleted files must go now — _read would recover them, but
+        # an up-to-date index costs nothing here.
+        deleted = set(sources)
+        for key, location in list(self._index.items()):
+            if location[0] != _COMPACT and location[1] in deleted:
+                del self._index[key]
+        self._generation = -1  # force the reload below to remap
+        self._close_mmap()
+        self._load_compacted()
+        self.stats.corrupt_records += corrupt
+        return CompactionResult(
+            records=len(seen),
+            bytes_before=bytes_before,
+            bytes_after=offset,
+            skipped_segments=skipped,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held by the directory's segments and compacted
+        layer (a directory scan; informational)."""
+        total = sum(
+            _safe_size(path)
+            for path in self.directory.glob(SEGMENT_GLOB)
+            if split_segment_name(path) is not None
+        )
+        total += sum(
+            _safe_size(path)
+            for path in self.directory.glob(
+                f"{_COMPACT_PREFIX}*{_COMPACT_SUFFIX}"
+            )
+        )
+        return total
+
+    def _close_mmap(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._mmap_handle is not None:
+            self._mmap_handle.close()
+            self._mmap_handle = None
+
+    def close(self) -> None:
+        """Flush and close the append handle, release the writer lock (so
+        compactors may merge our segments), and unmap the read layer.  The
+        next :meth:`put` reopens; the next :meth:`get` remaps."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._writer_lock.release()
+            self._close_mmap()
+            self._generation = -1
+
+    def __enter__(self) -> "FabricCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _safe_size(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0

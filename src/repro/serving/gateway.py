@@ -93,6 +93,11 @@ class GatewayStats:
     disk_misses: int = 0
     models: Dict[str, ServiceStats] = field(default_factory=dict)
     engines: Dict[str, EngineStats] = field(default_factory=dict)
+    #: Per-engine counters of the persistent disk tier itself (the
+    #: DiskCache/FabricCache attached to each live engine) — notably the
+    #: fabric's ``remote_hits``, which is how an operator sees
+    #: cross-worker cache reuse in ``repro stats`` against a pool.
+    disk_tiers: Dict[str, Dict] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         """JSON-serializable snapshot — the wire shape served by the
@@ -506,6 +511,9 @@ class AnnotationGateway:
                 merged = per_model.setdefault(name, ServiceStats())
                 self._merge_stats(merged, worker.stats)
                 snapshot.engines[name] = replace(worker.engine.stats)
+                tier = worker.engine.result_cache
+                if tier is not None:
+                    snapshot.disk_tiers[name] = asdict(tier.stats)
             retired_engine_totals = [
                 replace(stats) for stats in self._retired_engines.values()
             ]

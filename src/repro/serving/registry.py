@@ -140,12 +140,19 @@ class ModelRegistry:
         max_live: Optional[int] = None,
         engine_config: Optional[EngineConfig] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        fabric_writer: Optional[str] = None,
     ) -> None:
         if max_live is not None and max_live < 1:
             raise ValueError(f"max_live must be >= 1: {max_live}")
         self.max_live = max_live
         self.engine_config = engine_config
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        # With a fabric writer id, per-fingerprint directories get the
+        # concurrently-writable FabricCache (one writer id per process —
+        # the serving pool passes "w<slot>-pid<PID>") instead of the
+        # single-writer DiskCache.  Same keys, same payload bytes; what
+        # changes is that sibling processes' entries are readable.
+        self.fabric_writer = fabric_writer
         self.stats = RegistryStats()
         self._entries: Dict[str, RegisteredModel] = {}
         # One DiskCache handle per fingerprint, shared by every engine
@@ -314,13 +321,21 @@ class ModelRegistry:
         """
         if self.cache_dir is None or engine.result_cache is not None:
             return
-        from .diskcache import DiskCache  # deferred: only with the tier on
-
         fingerprint = engine.model_fingerprint
         with self._lock:
             cache = self._disk_caches.get(fingerprint)
             if cache is None:
-                cache = DiskCache(self.cache_dir / fingerprint)
+                if self.fabric_writer is not None:
+                    from .fabric import FabricCache  # deferred: tier on
+
+                    cache = FabricCache(
+                        self.cache_dir / fingerprint,
+                        writer=self.fabric_writer,
+                    )
+                else:
+                    from .diskcache import DiskCache  # deferred: tier on
+
+                    cache = DiskCache(self.cache_dir / fingerprint)
                 self._disk_caches[fingerprint] = cache
         engine.result_cache = cache
 

@@ -171,6 +171,18 @@ class AnnotationServer:
     ``window`` bounds each connection's in-flight answers (default
     ``4 * max_batch``); ``port=0`` binds an ephemeral port — read
     :attr:`address` after :meth:`start`.
+
+    Pool embedding hooks: ``sock`` serves an already-bound listening
+    socket instead of binding ``host``/``port`` (the inherited-FD sharding
+    of :mod:`repro.serving.pool`); ``reuse_port`` sets ``SO_REUSEPORT`` on
+    the bind so several worker processes can share one port (kernel
+    load-balanced); ``admin_handler(record, gateway)`` — called in the
+    executor before the default admin plane — lets an embedding answer
+    (or augment) admin operations itself; returning ``None`` falls
+    through to :func:`protocol.handle_admin`.  An op answered by the
+    handler triggers none of the default side effects (in particular, a
+    handled ``shutdown`` does *not* set :attr:`shutdown_requested` — the
+    pool drains its workers itself).
     """
 
     def __init__(
@@ -184,11 +196,16 @@ class AnnotationServer:
         window: Optional[int] = None,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
         shutdown_grace: float = 10.0,
+        sock=None,
+        reuse_port: bool = False,
+        admin_handler=None,
     ) -> None:
         if window is not None and window < 1:
             raise ValueError(f"window must be >= 1: {window}")
         if shutdown_grace < 0:
             raise ValueError(f"shutdown_grace must be >= 0: {shutdown_grace}")
+        if sock is not None and reuse_port:
+            raise ValueError("sock= and reuse_port are mutually exclusive")
         self.gateway = gateway
         self.options = options or AnnotationOptions()
         self.host = host
@@ -198,6 +215,9 @@ class AnnotationServer:
         self.window = window or 4 * gateway.queue_config.max_batch
         self.max_line_bytes = max_line_bytes
         self.shutdown_grace = shutdown_grace
+        self.sock = sock
+        self.reuse_port = reuse_port
+        self.admin_handler = admin_handler
         self.stats = ServerStats()
         self._server: Optional["asyncio.base_events.Server"] = None
         self._connections: Set[_Connection] = set()
@@ -228,12 +248,21 @@ class AnnotationServer:
         if self._server is not None:
             return self
         self.shutdown_requested = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._serve_connection,
-            self.host,
-            self.port,
-            limit=self.max_line_bytes,
-        )
+        if self.sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection,
+                sock=self.sock,
+                limit=self.max_line_bytes,
+            )
+        else:
+            kwargs = {"reuse_port": True} if self.reuse_port else {}
+            self._server = await asyncio.start_server(
+                self._serve_connection,
+                self.host,
+                self.port,
+                limit=self.max_line_bytes,
+                **kwargs,
+            )
         return self
 
     async def stop(self) -> None:
@@ -429,12 +458,24 @@ class AnnotationServer:
 
     async def _admin(self, record: protocol.AdminRecord) -> Dict:
         """One admin record's answer; mutations run in the executor (a
-        retire drains a worker — blocking work the loop must not hold)."""
+        retire drains a worker — blocking work the loop must not hold).
+        A configured ``admin_handler`` gets first refusal (also in the
+        executor — a pool handler blocks on control pipes); an op it
+        answers skips the default side effects."""
         loop = asyncio.get_running_loop()
+        handled = False
+
+        def run() -> Dict:
+            nonlocal handled
+            if self.admin_handler is not None:
+                custom = self.admin_handler(record, self.gateway)
+                if custom is not None:
+                    handled = True
+                    return custom
+            return protocol.handle_admin(record, self.gateway)
+
         try:
-            answer = await loop.run_in_executor(
-                None, protocol.handle_admin, record, self.gateway
-            )
+            answer = await loop.run_in_executor(None, run)
         except Exception as error:  # noqa: BLE001 - e.g. executor teardown
             answer = protocol.error_answer(
                 protocol.format_error(error),
@@ -443,7 +484,7 @@ class AnnotationServer:
             )
         if "error" in answer:
             self.stats.errors += 1
-        elif record.op == "shutdown":
+        elif record.op == "shutdown" and not handled:
             # Acknowledged; the owner of this server observes the event
             # and calls stop() — the answer is already queued ahead of
             # the drain, so the requesting client sees it.
@@ -531,6 +572,14 @@ class ServerThread:
             raise error
         assert self.address is not None
         return self.address
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port — the ephemeral port a ``port=0`` bind
+        landed on.  Meaningful after :meth:`start`."""
+        if self.address is None:
+            raise RuntimeError("the server is not started")
+        return self.address[1]
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()

@@ -947,6 +947,64 @@ class TestParser:
         assert code == 1
         assert "not a directory" in capsys.readouterr().err
 
+    def test_cache_compact_dry_run_mutates_nothing(self, tmp_path, capsys):
+        from repro.serving import DiskCache
+
+        cache_dir = tmp_path / "cache"
+        with DiskCache(cache_dir, max_segment_records=2) as cache:
+            for i in range(6):
+                cache.put(f"k{i}", {"i": i})
+        before = sorted((p.name, p.stat().st_size)
+                        for p in cache_dir.glob("*.jsonl"))
+        assert main(["cache", "compact", str(cache_dir), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would compact" in out
+        assert "6 live records" in out
+        assert "reclaimable" in out
+        after = sorted((p.name, p.stat().st_size)
+                       for p in cache_dir.glob("*.jsonl"))
+        assert before == after
+
+    def test_cache_compact_skips_live_writer(self, tmp_path, capsys):
+        from repro.serving import DiskCache
+
+        cache_dir = tmp_path / "cache"
+        live = DiskCache(cache_dir)  # holds the writer lock
+        try:
+            live.put("k", {"v": 1})
+            assert main(["cache", "compact", str(cache_dir)]) == 0
+            out = capsys.readouterr().out
+            assert "skipped" in out
+            assert "writer active" in out
+            # The live writer's data was not touched.
+            assert live.get("k") == {"v": 1}
+        finally:
+            live.close()
+        # Writer gone: the same command now compacts.
+        assert main(["cache", "compact", str(cache_dir)]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_cache_compact_fabric_directory(self, tmp_path, capsys):
+        from repro.serving import FabricCache
+
+        cache_dir = tmp_path / "cache"
+        live = FabricCache(cache_dir, writer="live")
+        try:
+            live.put("live-k", {"v": 1})
+            with FabricCache(cache_dir, writer="done") as done:
+                done.put("done-k", {"v": 2})
+            # A live fabric writer does not block compaction — its
+            # segments are skipped, the quiescent writer's merge.
+            assert main(["cache", "compact", str(cache_dir)]) == 0
+            out = capsys.readouterr().out
+            assert "compacted" in out
+            assert "live-writer segments left in place" in out
+        finally:
+            live.close()
+        with FabricCache(cache_dir, writer="check") as check:
+            assert check.get("live-k") == {"v": 1}
+            assert check.get("done-k") == {"v": 2}
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

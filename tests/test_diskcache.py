@@ -251,6 +251,81 @@ class TestDiskCacheGrowthControl:
         assert cache.total_bytes == 0  # foreign bytes never entered accounting
 
 
+class TestWriterLockAndDryRun:
+    """The advisory writer lock and the non-mutating compaction preview
+    that make `repro cache compact` safe against live processes."""
+
+    def test_writer_lock_held_while_open_released_on_close(self, tmp_path):
+        from repro.serving import FileLock
+        from repro.serving.diskcache import WRITER_LOCK_NAME
+
+        cache = DiskCache(tmp_path)
+        cache.put("k", {"v": 1})
+        assert cache.holds_writer_lock
+        assert FileLock.is_locked(tmp_path / WRITER_LOCK_NAME)
+        cache.close()
+        assert not cache.holds_writer_lock
+        assert not FileLock.is_locked(tmp_path / WRITER_LOCK_NAME)
+
+    def test_second_writer_cannot_compact(self, tmp_path):
+        from repro.serving import CacheLockedError
+
+        first = DiskCache(tmp_path)
+        try:
+            first.put("k", {"v": 1})
+            second = DiskCache(tmp_path)
+            try:
+                # flock is per open file description, so even an
+                # in-process second handle observes the contention.
+                assert not second.holds_writer_lock
+                with pytest.raises(CacheLockedError):
+                    second.compact()
+            finally:
+                second.close()
+            # The holder itself may still compact.
+            assert first.compact().records == 1
+        finally:
+            first.close()
+
+    def test_dry_run_projection_matches_real_compaction(self, tmp_path):
+        with DiskCache(tmp_path, max_segment_records=2) as cache:
+            for i in range(7):
+                cache.put(f"k{i}", {"i": i})
+        # Add dead weight: a corrupt line a real compaction would drop.
+        segment = sorted(tmp_path.glob("segment-*.jsonl"))[0]
+        with open(segment, "ab") as handle:
+            handle.write(b"{torn garbage\n")
+        with DiskCache(tmp_path) as cache:
+            files_before = sorted(
+                (p.name, p.stat().st_size) for p in tmp_path.glob("*.jsonl")
+            )
+            dry = cache.compact(dry_run=True)
+            assert dry.dry_run
+            assert sorted(
+                (p.name, p.stat().st_size) for p in tmp_path.glob("*.jsonl")
+            ) == files_before  # nothing rewritten
+            assert dry.reclaimed_bytes > 0  # the garbage line is dead space
+            real = cache.compact()
+        assert not real.dry_run
+        assert real.records == dry.records == 7
+        assert real.bytes_after == dry.bytes_after
+        assert real.reclaimed_bytes == dry.reclaimed_bytes
+
+    def test_dry_run_works_without_the_writer_lock(self, tmp_path):
+        writer = DiskCache(tmp_path)
+        try:
+            writer.put("k", {"v": 1})
+            observer = DiskCache(tmp_path)
+            try:
+                result = observer.compact(dry_run=True)  # no lock needed
+                assert result.dry_run
+                assert result.records == 1
+            finally:
+                observer.close()
+        finally:
+            writer.close()
+
+
 @pytest.mark.smoke
 class TestEngineDiskTier:
     """The engine's persistent tier: hit/miss, restarts, invalidation."""

@@ -1,0 +1,312 @@
+"""The cross-process cache fabric (repro.serving.fabric).
+
+The load-bearing guarantees:
+
+* **concurrent writers never corrupt**: two real processes appending to
+  one directory — including writing the *same* key — leave every record
+  readable, zero corrupt lines, and compaction leaves exactly one valid
+  entry per key;
+* **cross-writer reads**: an entry flushed by writer A is a (remote)
+  hit for writer B without re-encoding, after at most one refresh;
+* **lock-aware compaction**: a live writer's segments are skipped, not
+  merged; a second concurrent compactor is refused (``CacheLockedError``);
+  ``dry_run=True`` reports reclaimable bytes and mutates nothing;
+* **legacy interop**: a directory of plain single-writer ``DiskCache``
+  segments reads and compacts through the fabric — warm caches survive
+  a scale-out;
+* readers recover when a compaction deletes segment files out from
+  under their in-memory index.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.serving import CacheLockedError, DiskCache, FileLock
+from repro.serving.fabric import (
+    FabricCache,
+    INDEX_NAME,
+    LEGACY_WRITER,
+    is_fabric_directory,
+    split_segment_name,
+    writer_lock_path,
+)
+
+
+def _payload(tag, i):
+    return {"tag": tag, "i": i, "text": f"payload-{tag}-{i}" * 3}
+
+
+class TestFabricBasics:
+    def test_put_get_roundtrip_and_hot_hits(self, tmp_path):
+        with FabricCache(tmp_path, writer="w0") as cache:
+            for i in range(5):
+                cache.put(f"k{i}", _payload("a", i))
+            assert len(cache) == 5
+            for i in range(5):
+                assert cache.get(f"k{i}") == _payload("a", i)
+            assert cache.stats.writes == 5
+            assert cache.stats.hits == 5
+            assert cache.stats.misses == 0
+            assert cache.get("absent") is None
+            assert cache.stats.misses == 1
+
+    def test_first_write_wins(self, tmp_path):
+        with FabricCache(tmp_path, writer="w0") as cache:
+            cache.put("k", {"v": 1})
+            cache.put("k", {"v": 2})  # ignored: entries are immutable
+            assert cache.get("k") == {"v": 1}
+            assert cache.stats.writes == 1
+
+    def test_segment_rotation_names_carry_writer(self, tmp_path):
+        with FabricCache(tmp_path, writer="w7", max_segment_records=3) as cache:
+            for i in range(8):
+                cache.put(f"k{i}", _payload("r", i))
+        segments = sorted(tmp_path.glob("segment-*.jsonl"))
+        assert len(segments) == 3  # 3 + 3 + 2
+        for path in segments:
+            writer, _number = split_segment_name(path)
+            assert writer == "w7"
+
+    def test_is_fabric_directory(self, tmp_path):
+        assert not is_fabric_directory(tmp_path)
+        with FabricCache(tmp_path / "fab", writer="w0") as cache:
+            cache.put("k", {"v": 1})
+        assert is_fabric_directory(tmp_path / "fab")
+        with DiskCache(tmp_path / "flat") as cache:
+            cache.put("k", {"v": 1})
+        # A plain single-writer DiskCache directory is NOT fabric...
+        assert not is_fabric_directory(tmp_path / "flat")
+        # ...until a fabric writer (or compaction) has touched it.
+        with FabricCache(tmp_path / "flat", writer="w0") as cache:
+            cache.compact()
+        assert is_fabric_directory(tmp_path / "flat")
+
+
+@pytest.mark.smoke
+class TestCrossWriterReads:
+    def test_sibling_entry_is_a_remote_hit(self, tmp_path):
+        a = FabricCache(tmp_path, writer="wa", refresh_interval=0.0)
+        b = FabricCache(tmp_path, writer="wb", refresh_interval=0.0)
+        try:
+            a.put("shared", _payload("a", 0))
+            # b never wrote this key: the miss triggers a refresh that
+            # tails a's segment, then the retry hits.
+            assert b.get("shared") == _payload("a", 0)
+            assert b.stats.remote_hits == 1
+            assert b.stats.misses == 0
+            assert b.stats.corrupt_records == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_reads_see_only_complete_lines(self, tmp_path):
+        a = FabricCache(tmp_path, writer="wa", refresh_interval=0.0)
+        b = FabricCache(tmp_path, writer="wb", refresh_interval=0.0)
+        try:
+            a.put("k0", _payload("a", 0))
+            assert b.get("k0") is not None
+            # Simulate a writer mid-append: a torn (unterminated) tail
+            # line must be invisible, not corrupt.
+            segment = next(tmp_path.glob("segment-wa-*.jsonl"))
+            with open(segment, "ab") as handle:
+                handle.write(b'{"key": "torn", "payload": {"v"')
+            assert b.get("torn") is None
+            assert b.stats.corrupt_records == 0
+            # The writer finishing the line makes it readable.
+            with open(segment, "ab") as handle:
+                handle.write(b': 1}}\n')
+            assert b.get("torn") == {"v": 1}
+        finally:
+            a.close()
+            b.close()
+
+    def test_compacted_generation_readable_by_late_joiner(self, tmp_path):
+        with FabricCache(tmp_path, writer="wa") as a:
+            for i in range(10):
+                a.put(f"k{i}", _payload("a", i))
+            a.compact()
+        assert (tmp_path / INDEX_NAME).exists()
+        with FabricCache(tmp_path, writer="wb") as b:
+            for i in range(10):
+                assert b.get(f"k{i}") == _payload("a", i)
+
+    def test_reader_recovers_from_concurrent_compaction(self, tmp_path):
+        a = FabricCache(tmp_path, writer="wa", refresh_interval=0.0)
+        b = FabricCache(tmp_path, writer="wb", refresh_interval=0.0)
+        try:
+            a.put("k", _payload("a", 0))
+            assert b.get("k") is not None  # b's index points at a's segment
+            a.close()  # quiescent: compaction may merge a's segments
+            with FabricCache(tmp_path, writer="wc") as c:
+                c.compact()
+            # a's segment file is gone; b recovers via a forced refresh
+            # onto the compacted generation.
+            assert b.get("k") == _payload("a", 0)
+        finally:
+            b.close()
+
+
+def _fabric_writer_process(directory, writer, count, barrier):
+    cache = FabricCache(directory, writer=writer, max_segment_records=16)
+    try:
+        barrier.wait(timeout=30)  # maximize interleaving
+        for i in range(count):
+            cache.put(f"{writer}-k{i}", _payload(writer, i))
+        cache.put("shared", {"winner": "first-write-wins"})
+    finally:
+        cache.close()
+
+
+@pytest.mark.smoke
+class TestConcurrentProcesses:
+    def test_two_process_writers_never_corrupt(self, tmp_path):
+        """Satellite acceptance: two real processes, same directory, one
+        deliberately duplicated key — every record readable, zero
+        corrupt, and exactly one valid entry for the duplicate after
+        compaction."""
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        barrier = ctx.Barrier(2)
+        workers = [
+            ctx.Process(
+                target=_fabric_writer_process,
+                args=(str(tmp_path), writer, 50, barrier),
+            )
+            for writer in ("wa", "wb")
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        with FabricCache(tmp_path, writer="reader") as reader:
+            for writer in ("wa", "wb"):
+                for i in range(50):
+                    assert reader.get(f"{writer}-k{i}") == _payload(writer, i)
+            assert reader.get("shared") == {"winner": "first-write-wins"}
+            assert reader.stats.corrupt_records == 0
+            result = reader.compact()
+        assert result.records == 101  # 2 x 50 + exactly ONE "shared"
+        assert result.skipped_segments == 0
+        # The compacted file holds the key exactly once.
+        compacted = next(tmp_path.glob("compact-*.jsonl"))
+        with open(compacted, "r", encoding="utf-8") as handle:
+            keys = [json.loads(line)["key"] for line in handle]
+        assert keys.count("shared") == 1
+        assert len(keys) == len(set(keys)) == 101
+        # And everything is still readable post-compaction.
+        with FabricCache(tmp_path, writer="reader2") as reader:
+            assert reader.get("wa-k0") == _payload("wa", 0)
+            assert reader.get("shared") == {"winner": "first-write-wins"}
+
+
+@pytest.mark.smoke
+class TestLockAwareCompaction:
+    def test_live_writer_segments_are_skipped(self, tmp_path):
+        live = FabricCache(tmp_path, writer="live")
+        try:
+            live.put("live-k", _payload("live", 0))
+            with FabricCache(tmp_path, writer="done") as done:
+                done.put("done-k", _payload("done", 0))
+            with FabricCache(tmp_path, writer="compactor") as compactor:
+                result = compactor.compact()
+            # The quiescent writer's segment merged; the live writer's
+            # survived untouched and stayed readable.
+            assert result.skipped_segments == 1
+            assert any(
+                split_segment_name(p) == ("live", 0)
+                for p in tmp_path.glob("segment-*.jsonl")
+            )
+            with FabricCache(tmp_path, writer="reader") as reader:
+                assert reader.get("live-k") == _payload("live", 0)
+                assert reader.get("done-k") == _payload("done", 0)
+        finally:
+            live.close()
+
+    def test_concurrent_compactors_mutually_exclude(self, tmp_path):
+        with FabricCache(tmp_path, writer="wa") as a:
+            a.put("k", {"v": 1})
+        # Hold the compaction lock the way a concurrent compactor would.
+        with FileLock(tmp_path / "compact.lock") as held:
+            assert held.held
+            with FabricCache(tmp_path, writer="wb") as b:
+                with pytest.raises(CacheLockedError):
+                    b.compact()
+
+    def test_dry_run_reports_without_mutating(self, tmp_path):
+        with FabricCache(tmp_path, writer="wa") as a:
+            for i in range(10):
+                a.put(f"k{i}", _payload("a", i))
+        with FabricCache(tmp_path, writer="wb") as cache:
+            before = sorted(
+                (p.name, p.stat().st_size)
+                for p in tmp_path.iterdir()
+                if p.suffix == ".jsonl"
+            )
+            dry = cache.compact(dry_run=True)
+            after = sorted(
+                (p.name, p.stat().st_size)
+                for p in tmp_path.iterdir()
+                if p.suffix == ".jsonl"
+            )
+            assert dry.dry_run
+            assert before == after  # nothing rewritten, nothing deleted
+            assert not (tmp_path / INDEX_NAME).exists()
+            real = cache.compact()
+        # The dry run's projection matches the real outcome byte-for-byte.
+        assert not real.dry_run
+        assert dry.records == real.records == 10
+        assert dry.bytes_after == real.bytes_after
+        assert dry.reclaimed_bytes == real.reclaimed_bytes
+
+    def test_writer_lock_released_on_close(self, tmp_path):
+        cache = FabricCache(tmp_path, writer="wa")
+        cache.put("k", {"v": 1})
+        lock_path = writer_lock_path(tmp_path, "wa")
+        assert FileLock.is_locked(lock_path)
+        cache.close()
+        assert not FileLock.is_locked(lock_path)
+
+
+class TestLegacyInterop:
+    def test_diskcache_segments_read_through_fabric(self, tmp_path):
+        with DiskCache(tmp_path) as legacy:
+            for i in range(5):
+                legacy.put(f"k{i}", _payload("legacy", i))
+        with FabricCache(tmp_path, writer="w0") as fabric:
+            for i in range(5):
+                assert fabric.get(f"k{i}") == _payload("legacy", i)
+            assert fabric.stats.corrupt_records == 0
+            # Legacy segments parse as the anonymous legacy writer.
+            assert any(
+                split_segment_name(p)[0] == LEGACY_WRITER
+                for p in tmp_path.glob("segment-*.jsonl")
+            )
+            result = fabric.compact()
+        assert result.records == 5
+        # Legacy segment files merged into the compacted generation.
+        assert not any(
+            split_segment_name(p)[0] == LEGACY_WRITER
+            for p in tmp_path.glob("segment-*.jsonl")
+        )
+        with FabricCache(tmp_path, writer="w1") as fabric:
+            assert fabric.get("k0") == _payload("legacy", 0)
+
+    def test_live_legacy_writer_is_skipped(self, tmp_path):
+        legacy = DiskCache(tmp_path)
+        try:
+            legacy.put("k", _payload("legacy", 0))
+            assert legacy.holds_writer_lock
+            with FabricCache(tmp_path, writer="w0") as fabric:
+                result = fabric.compact()
+            assert result.skipped_segments == 1
+            assert legacy.get("k") == _payload("legacy", 0)
+        finally:
+            legacy.close()

@@ -1,0 +1,488 @@
+"""The multi-process serving pool (repro.serving.pool).
+
+The ISSUE-6 acceptance surface:
+
+* a 2-worker pool serves concurrent connections with answers
+  **byte-identical** to the single-process `repro serve` stack;
+* ``{"op": "stats"}`` on any connection answers the pool-wide merged
+  view (per-worker counters summed, plus a ``pool`` section);
+* ``{"op": "shutdown"}`` on any connection drains the whole pool;
+* a warm cache entry written by one worker is a **disk hit in another
+  worker without a single encoder pass** (the cross-process fabric);
+* a crashed worker is detected and restarted (bounded, with backoff)
+  and the pool keeps serving;
+* SIGTERM with live multi-worker, multi-connection traffic drains every
+  accepted request before exit (exercised end-to-end through the CLI in
+  ``TestPoolCLI``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import save_annotator
+from repro.io import table_to_dict
+from repro.serving import (
+    AnnotationEngine,
+    AnnotationOptions,
+    AnnotationRequest,
+)
+from repro.serving.pool import PoolConfig, ServingPool, merge_counters
+
+
+@pytest.fixture(scope="module")
+def bundle(shared_tiny_annotator, tmp_path_factory):
+    root = tmp_path_factory.mktemp("pool-bundle")
+    save_annotator(shared_tiny_annotator, root / "model")
+    return root / "model"
+
+
+@pytest.fixture(scope="module")
+def tables(shared_tiny_annotator):
+    return shared_tiny_annotator.trainer.dataset.tables[:6]
+
+
+def _direct_answers(annotator, tables, options):
+    """Direct single-process engine answers, JSON-round-tripped like the
+    wire — the byte-identity reference for pool answers."""
+    engine = AnnotationEngine(annotator.trainer)
+    answers = {}
+    for table in tables:
+        result = engine.annotate_batch(
+            [AnnotationRequest(table=table, options=options)]
+        )[0]
+        answers[table.table_id] = json.loads(
+            json.dumps(result.to_dict(with_embeddings=False))
+        )
+    return answers
+
+
+@pytest.fixture(scope="module")
+def expected(shared_tiny_annotator, tables):
+    return _direct_answers(
+        shared_tiny_annotator, tables, AnnotationOptions(with_embeddings=False)
+    )
+
+
+@pytest.fixture(scope="module")
+def expected_cli(shared_tiny_annotator, tables):
+    """What `repro serve` answers under its CLI defaults (top 3 scores
+    per column) — the reference for the CLI-launched pool."""
+    return _direct_answers(
+        shared_tiny_annotator,
+        tables,
+        AnnotationOptions(with_embeddings=False, top_k=3),
+    )
+
+
+def _config(bundle, **overrides):
+    base = dict(
+        specs=[("default", str(bundle))],
+        host="127.0.0.1",
+        port=0,
+        workers=2,
+        shutdown_grace=10.0,
+    )
+    base.update(overrides)
+    return PoolConfig(**base)
+
+
+class Client:
+    def __init__(self, address, timeout=60.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.stream = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, record):
+        self.stream.write(json.dumps(record) + "\n")
+        self.stream.flush()
+
+    def recv(self):
+        line = self.stream.readline()
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    def ask(self, record):
+        self.send(record)
+        return self.recv()
+
+    def close(self):
+        self.stream.close()
+        self.sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _ask_once(address, record):
+    with Client(address) as client:
+        return client.ask(record)
+
+
+def _proc_running(pid):
+    """True while ``pid`` exists and is not a zombie (an unreaped child
+    counts as exited for orphan-protection purposes)."""
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            stat = handle.read()
+    except OSError:
+        return False
+    return stat.rpartition(")")[2].split()[0] != "Z"
+
+
+@pytest.mark.smoke
+class TestPoolServing:
+    def test_answers_byte_identical_and_stats_merged(
+        self, bundle, tables, expected, tmp_path
+    ):
+        config = _config(bundle, cache_dir=str(tmp_path / "cache"))
+        with ServingPool(config) as pool:
+            address = pool.address
+            # Several connections so the kernel spreads accepts across
+            # both workers; answers must be identical either way.
+            clients = [Client(address) for _ in range(6)]
+            try:
+                for c, client in enumerate(clients):
+                    for table in tables:
+                        record = table_to_dict(table)
+                        record["id"] = f"{c}-{table.table_id}"
+                        client.send(record)
+                for c, client in enumerate(clients):
+                    for _ in tables:
+                        answer = client.recv()
+                        table_id = answer.pop("id").split("-", 1)[1]
+                        assert answer == expected[table_id]
+                stats = clients[0].ask({"op": "stats", "id": "s"})
+            finally:
+                for client in clients:
+                    client.close()
+        assert stats["ok"] and stats["op"] == "stats" and stats["id"] == "s"
+        # Merged across workers: totals count every connection's traffic.
+        assert stats["gateway"]["completed"] == 6 * len(tables)
+        assert stats["server"]["requests"] == 6 * len(tables)
+        assert stats["pool"]["workers"] == 2
+        assert stats["pool"]["live"] == 2
+        assert stats["pool"]["restarts"] == 0
+        per_worker = stats["pool"]["per_worker"]
+        assert sum(w["requests"] for w in per_worker) == 6 * len(tables)
+        assert len({w["pid"] for w in per_worker}) == len(per_worker)
+        # Final (post-drain) stats survive the pool's shutdown.
+        assert pool.final_stats is not None
+        assert pool.final_stats["gateway"]["completed"] == 6 * len(tables)
+
+    def test_shutdown_op_drains_the_whole_pool(self, bundle, tables):
+        pool = ServingPool(_config(bundle))
+        try:
+            address = pool.start()
+            with Client(address) as client:
+                record = table_to_dict(tables[0])
+                record["id"] = "before"
+                assert client.ask(record)["id"] == "before"
+                answer = client.ask({"op": "shutdown", "id": "bye"})
+            assert answer == {"ok": True, "op": "shutdown", "id": "bye"}
+            assert pool.wait(timeout=30), "pool did not stop on shutdown op"
+            # Dead pool: nothing is listening any more.
+            with pytest.raises(OSError):
+                socket.create_connection(address, timeout=2).close()
+        finally:
+            pool.stop()
+
+    def test_warm_entry_crosses_workers_with_zero_encoder_passes(
+        self, bundle, tables, expected, tmp_path
+    ):
+        """The tentpole guarantee: a corpus annotated by one pool run is
+        served by a *fresh multi-worker pool* from the shared fabric with
+        ZERO encoder passes — entries written by one worker are disk
+        hits in every other."""
+        cache_dir = str(tmp_path / "cache")
+        with ServingPool(_config(bundle, workers=1, cache_dir=cache_dir)) as pool:
+            with Client(pool.address) as client:
+                for table in tables:
+                    record = table_to_dict(table)
+                    record["id"] = table.table_id
+                    client.send(record)
+                for _ in tables:
+                    client.recv()
+                warm = client.ask({"op": "stats"})
+        assert warm["gateway"]["encoder_passes"] > 0  # cold run did work
+        with ServingPool(_config(bundle, workers=2, cache_dir=cache_dir)) as pool:
+            clients = [Client(pool.address) for _ in range(4)]
+            try:
+                for client in clients:
+                    for table in tables:
+                        record = table_to_dict(table)
+                        record["id"] = table.table_id
+                        client.send(record)
+                for client in clients:
+                    for table in tables:
+                        answer = client.recv()
+                        answer.pop("id")
+                        assert answer == expected[table.table_id]
+                stats = clients[0].ask({"op": "stats"})
+            finally:
+                for client in clients:
+                    client.close()
+        assert stats["gateway"]["completed"] == 4 * len(tables)
+        assert stats["gateway"]["encoder_passes"] == 0
+        # Every answer came from the disk tier or deduped onto a request
+        # that did (concurrent identical requests collapse in the queue).
+        assert (
+            stats["gateway"]["disk_hits"] + stats["gateway"]["dedup_hits"]
+            == 4 * len(tables)
+        )
+        assert stats["gateway"]["disk_hits"] >= len(tables)
+        # The previous run's writer is foreign to both new workers: its
+        # entries surface as the fabric's remote (cross-writer) hits.
+        tiers = stats["gateway"]["disk_tiers"]
+        assert sum(tier["remote_hits"] for tier in tiers.values()) > 0
+
+    def test_in_flight_cross_worker_reuse(self, bundle, tables, tmp_path):
+        """Within ONE pool run: once any worker annotates a table, the
+        other serves it from the fabric — pool-wide encoder passes stay
+        at one however many connections repeat it."""
+        table = tables[0]
+        config = _config(bundle, cache_dir=str(tmp_path / "cache"))
+        with ServingPool(config) as pool:
+            served_by = set()
+            for attempt in range(64):
+                record = table_to_dict(table)
+                record["id"] = attempt
+                answer = _ask_once(pool.address, record)
+                assert answer["id"] == attempt
+                stats = _ask_once(pool.address, {"op": "stats"})
+                served_by = {
+                    w["pid"]
+                    for w in stats["pool"]["per_worker"]
+                    if w["completed"] > 0
+                }
+                if len(served_by) >= 2:
+                    break
+                time.sleep(0.05)
+            assert len(served_by) >= 2, "kernel never balanced across workers"
+            final = _ask_once(pool.address, {"op": "stats"})
+        assert final["gateway"]["encoder_passes"] == 1
+        tiers = final["gateway"]["disk_tiers"]
+        assert sum(tier["remote_hits"] for tier in tiers.values()) >= 1
+
+
+class TestPoolSupervision:
+    def test_crashed_worker_is_restarted_and_pool_keeps_serving(
+        self, bundle, tables
+    ):
+        config = _config(bundle, max_restarts=2, restart_backoff=0.1)
+        with ServingPool(config) as pool:
+            stats = _ask_once(pool.address, {"op": "stats"})
+            pids = sorted(w["pid"] for w in stats["pool"]["per_worker"])
+            assert len(pids) == 2
+            os.kill(pids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                snapshot = pool.stats()["pool"]
+                if snapshot["live"] == 2 and snapshot["restarts"] == 1:
+                    new_pids = sorted(
+                        w["pid"] for w in snapshot["per_worker"]
+                    )
+                    if len(new_pids) == 2 and new_pids != pids:
+                        break
+                time.sleep(0.2)
+            else:
+                pytest.fail(f"no restart observed: {pool.stats()['pool']}")
+            record = table_to_dict(tables[0])
+            record["id"] = "post-restart"
+            answer = _ask_once(pool.address, record)
+            assert answer["id"] == "post-restart"
+            assert "columns" in answer
+
+    def test_inherited_fd_sharding_serves(self, bundle, tables):
+        """The no-SO_REUSEPORT fallback: parent listens, workers
+        accept-race the inherited descriptor."""
+        with ServingPool(_config(bundle, sharding="inherit")) as pool:
+            for i in range(4):
+                record = table_to_dict(tables[i % len(tables)])
+                record["id"] = i
+                answer = _ask_once(pool.address, record)
+                assert answer["id"] == i and "columns" in answer
+            stats = _ask_once(pool.address, {"op": "stats"})
+            assert stats["pool"]["sharding"] == "inherit"
+            assert stats["gateway"]["completed"] == 4
+
+    def test_worker_validation_fails_fast_in_parent(self, tmp_path):
+        pool = ServingPool(
+            PoolConfig(specs=[("default", str(tmp_path / "nope"))], workers=2)
+        )
+        with pytest.raises(ValueError, match="bundle"):
+            pool.start()
+
+    def test_config_validation(self, bundle):
+        with pytest.raises(ValueError, match="workers"):
+            PoolConfig(specs=[("default", str(bundle))], workers=0)
+        with pytest.raises(ValueError, match="sharding"):
+            PoolConfig(specs=[("default", str(bundle))], sharding="magic")
+
+    def test_workers_exit_when_parent_is_killed(self, bundle):
+        """Orphan protection: SIGKILL the supervising parent (no drain,
+        no cleanup) and the workers must still exit on their own via the
+        control-pipe EOF watchdog.  Regression for the fork-start-method
+        bug where workers inherited the parent-side pipe ends of every
+        sibling, so the EOF never arrived and orphans served forever."""
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"),
+            PYTHONUNBUFFERED="1",
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(bundle),
+                "--listen", "127.0.0.1:0", "--workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        worker_pids = []
+        try:
+            banner = process.stderr.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            address = (match.group(1), int(match.group(2)))
+            stats = _ask_once(address, {"op": "stats"})
+            worker_pids = [w["pid"] for w in stats["pool"]["per_worker"]]
+            assert len(worker_pids) == 2
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                survivors = [p for p in worker_pids if _proc_running(p)]
+                if not survivors:
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail(
+                    f"orphaned workers outlived the parent: {survivors}"
+                )
+        finally:
+            for pid in worker_pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+
+
+class TestMergeCounters:
+    def test_numeric_leaves_add_and_dicts_recurse(self):
+        base = {}
+        merge_counters(base, {"a": 1, "nested": {"x": 2.5}, "name": "w0"})
+        merge_counters(base, {"a": 2, "nested": {"x": 1.5, "y": 1}, "name": "w1"})
+        assert base["a"] == 3
+        assert base["nested"] == {"x": 4.0, "y": 1}
+        assert base["name"] == "w0"  # strings keep the first value
+
+    def test_booleans_do_not_sum(self):
+        base = {}
+        merge_counters(base, {"exact": True})
+        merge_counters(base, {"exact": True})
+        assert base["exact"] is True
+
+
+@pytest.mark.smoke
+class TestPoolCLI:
+    """`repro serve --listen --workers N` end-to-end, in a subprocess —
+    including the SIGTERM drain acceptance test (multiple live
+    connections across multiple workers, every accepted request
+    answered)."""
+
+    @pytest.fixture()
+    def pool_process(self, bundle, tmp_path):
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"),
+            PYTHONUNBUFFERED="1",
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(bundle),
+                "--listen", "127.0.0.1:0", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            match = re.search(
+                r"listening on ([\d.]+):(\d+) \((\d+) workers, (\w+) sharding\)",
+                banner,
+            )
+            assert match, f"unexpected banner: {banner!r}"
+            assert match.group(3) == "2"
+            yield process, (match.group(1), int(match.group(2)))
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+
+    def test_sigterm_drains_multiworker_multiconnection(
+        self, pool_process, tables, expected_cli
+    ):
+        process, address = pool_process
+        # Warm-up proves the pool serves, and gives a requests baseline.
+        with Client(address) as client:
+            record = table_to_dict(tables[0])
+            record["id"] = "warm"
+            answer = client.ask(record)
+            assert answer.pop("id") == "warm"
+            assert answer == expected_cli[tables[0].table_id]
+            base = client.ask({"op": "stats"})["server"]["requests"]
+        # Live connections, one in-flight request each.
+        clients = [Client(address) for _ in range(5)]
+        try:
+            for i, client in enumerate(clients):
+                record = table_to_dict(tables[i % len(tables)])
+                record["id"] = f"drain-{i}"
+                client.send(record)
+            # The drain contract covers ACCEPTED records: wait until the
+            # pool has accepted all five before delivering the signal.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                now = _ask_once(address, {"op": "stats"})["server"]["requests"]
+                if now - base >= len(clients):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("pool never accepted the in-flight requests")
+            process.send_signal(signal.SIGTERM)
+            for i, client in enumerate(clients):
+                answer = client.recv()  # asserts the line arrived
+                assert answer.pop("id") == f"drain-{i}"
+                assert answer == expected_cli[tables[i % len(tables)].table_id]
+        finally:
+            for client in clients:
+                client.close()
+        assert process.wait(timeout=30) == 0
+        epilogue = process.stderr.read()
+        assert "over 2 workers" in epilogue
+        # 1 warm-up + 5 drained requests, all in the FINAL merged stats.
+        assert "served 6 tables" in epilogue
+
+    def test_workers_requires_listen(self, bundle):
+        from repro.cli import main
+
+        assert main(["serve", str(bundle), "-", "--workers", "2"]) == 1

@@ -243,6 +243,24 @@ class TestSocketServing:
 
 
 @pytest.mark.smoke
+class TestServerThreadPort:
+    def test_port_property_reports_ephemeral_bind(self, trainer_a, trainer_b):
+        gateway = _two_model_gateway(trainer_a, trainer_b)
+        server = ServerThread(gateway)  # port=0: ephemeral
+        with pytest.raises(RuntimeError):
+            server.port  # not started yet
+        with gateway:
+            host, port = server.start()
+            try:
+                assert server.port == port > 0
+                # The reported port is genuinely reachable.
+                with Client((host, server.port)) as client:
+                    answer = client.ask({"op": "health"})
+                    assert answer["ok"]
+            finally:
+                server.stop()
+
+
 class TestAdminPlaneLive:
     def test_health_stats_register_repoint_unregister(
         self, trainer_a, trainer_b, bundles
