@@ -167,6 +167,10 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             ("--threshold", args.threshold is not None),
             ("--embeddings", args.embeddings),
             ("--cache-dir", args.cache_dir is not None),
+            ("--dtype", args.dtype is not None),
+            ("--kernels", args.kernels is not None),
+            ("--column-cache", args.column_cache is not None),
+            ("--column-cache-persist", args.column_cache_persist),
         )
         if used
     ]
@@ -218,6 +222,22 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """EngineConfig keyword overrides from the shared serving flags
+    (``--dtype``/``--kernels``/``--column-cache``/``--column-cache-persist``);
+    omitted flags fall through to the EngineConfig defaults."""
+    kwargs = {}
+    if getattr(args, "dtype", None) is not None:
+        kwargs["dtype"] = args.dtype
+    if getattr(args, "kernels", None) is not None:
+        kwargs["kernels"] = args.kernels
+    if getattr(args, "column_cache", None) is not None:
+        kwargs["column_cache_size"] = args.column_cache
+    if getattr(args, "column_cache_persist", False):
+        kwargs["column_cache_persist"] = True
+    return kwargs
+
+
 def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
     """Batch-serve a .jsonl corpus through the AnnotationEngine.
 
@@ -231,6 +251,7 @@ def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
         EngineConfig(
             batch_size=8 if args.batch_size is None else args.batch_size,
             cache_dir=args.cache_dir,
+            **_engine_kwargs(args),
         ),
     )
     options = AnnotationOptions(
@@ -469,13 +490,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         and len(specs) == 1
         and bool(glob.glob(os.path.join(args.cache_dir, SEGMENT_GLOB)))
     )
+    engine_kwargs = _engine_kwargs(args)
     registry = ModelRegistry(
         max_live=args.max_live,
-        engine_config=EngineConfig(batch_size=batch_size),
+        engine_config=EngineConfig(batch_size=batch_size, **engine_kwargs),
         cache_dir=args.cache_dir,
     )
     flat_config = (
-        EngineConfig(batch_size=batch_size, cache_dir=args.cache_dir)
+        EngineConfig(
+            batch_size=batch_size, cache_dir=args.cache_dir, **engine_kwargs
+        )
         if flat_cache
         else None
     )
@@ -707,6 +731,7 @@ def _serve_pool(args: argparse.Namespace, specs) -> int:
         admin=not args.no_admin,
         top_k=3 if args.top_k is None else args.top_k,
         score_threshold=args.threshold,
+        **_engine_kwargs(args),
     )
     pool = ServingPool(config)
     try:
@@ -951,6 +976,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="multi-label decision threshold (.jsonl mode)")
     annotate.add_argument("--embeddings", action="store_true",
                           help="include column embeddings in .jsonl records")
+    annotate.add_argument("--dtype", choices=("float32", "float64"),
+                          default=None,
+                          help="compute precision for .jsonl serving "
+                               "(default float32; float64 needs --kernels fast)")
+    annotate.add_argument("--kernels", choices=("fast", "reference"),
+                          default=None,
+                          help="forward implementation: proof-gated fast "
+                               "kernels (default) or the reference Tensor path")
+    annotate.add_argument("--column-cache", type=int, default=None, metavar="N",
+                          help="column-state cache capacity in entries "
+                               "(0 disables; single-column models only)")
+    annotate.add_argument("--column-cache-persist", action="store_true",
+                          help="also persist column states to --cache-dir")
     annotate.add_argument("--cache-dir", default=None,
                           help="persistent result-cache directory (.jsonl mode)")
     annotate.set_defaults(func=_cmd_annotate)
@@ -982,6 +1020,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "serving")
     serve.add_argument("--max-latency-ms", type=float, default=10.0,
                        help="how long a batch waits to fill before serving")
+    serve.add_argument("--dtype", choices=("float32", "float64"), default=None,
+                       help="compute precision (default float32; float64 "
+                            "needs --kernels fast)")
+    serve.add_argument("--kernels", choices=("fast", "reference"), default=None,
+                       help="forward implementation: proof-gated fast kernels "
+                            "(default) or the reference Tensor path")
+    serve.add_argument("--column-cache", type=int, default=None, metavar="N",
+                       help="column-state cache capacity in entries "
+                            "(0 disables; single-column models only)")
+    serve.add_argument("--column-cache-persist", action="store_true",
+                       help="also persist column states to --cache-dir")
     serve.add_argument("--cache-dir", default=None,
                        help="persistent result-cache root (one subdirectory "
                             "per model fingerprint)")

@@ -1,0 +1,290 @@
+"""No-tape inference sessions: the optimized twin of the autograd forward.
+
+:class:`InferenceSession` captures a :class:`~repro.core.model.DoduoModel`'s
+weights once and replays the encoder forward with the kernels from
+:mod:`repro.nn.kernels`: a fused QKV GEMM, matmuls landing in preallocated
+workspace buffers, and in-place softmax/layernorm/GELU.  Every operation
+mirrors the reference Tensor path's exact sequence (the reference defines
+the bytes), and the shape-dependent fusions are proof-gated, so a session's
+outputs are bitwise identical to the autograd forward at the same weight
+dtype — ``tests/test_kernel_identity.py`` pins this differentially.
+
+Dtype policy
+------------
+A session is built for one compute dtype:
+
+* ``float32`` — the serving default.  Captured arrays *are* the live
+  parameter arrays (no copy), plus a packed QKV copy per block.
+* ``float64`` — the high-precision path used by the differential harness
+  and available through ``EngineConfig.dtype``.  Weights are cast once at
+  session build.
+
+Staleness
+---------
+``stale()`` detects any parameter whose ``.data`` array was **replaced**
+(``load_state_dict``, checkpoint restore, manual surgery) by object
+identity, and :meth:`DoduoModel.train` drops sessions so optimizer steps —
+which update weights in place — can never serve through a stale packed QKV
+or float64 cast.  Code that mutates weights in place *outside* the training
+loop must call ``DoduoModel.invalidate_sessions()``, the same contract the
+trainer's ``invalidate_fingerprint()`` already imposes for the result
+caches (which would otherwise serve stale hits anyway).
+
+The hidden-state array returned by :meth:`encode_batch` aliases workspace
+memory: it is valid until the next call on the same session.  Callers
+gather what they need (``[CLS]`` rows) before re-entering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.kernels import (
+    Workspace,
+    fused_qkv,
+    gelu_,
+    layer_norm_,
+    matmul_into,
+    softmax_,
+)
+from .serialization import EncodedTable, column_visibility, pad_batch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .model import DoduoModel
+
+#: Supported compute dtypes for inference sessions.
+INFERENCE_DTYPES = ("float32", "float64")
+
+
+class _BlockWeights:
+    """Flat per-block weight bundle (plain ndarrays, session dtype)."""
+
+    __slots__ = (
+        "w_q", "b_q", "w_k", "b_k", "w_v", "b_v", "w_qkv", "b_qkv",
+        "w_o", "b_o", "scale32", "heads", "head_dim",
+        "attn_gamma", "attn_beta", "attn_eps",
+        "w_in", "b_in", "w_out", "b_out",
+        "ffn_gamma", "ffn_beta", "ffn_eps",
+    )
+
+
+class InferenceSession:
+    """One model × one compute dtype, ready for repeated no-tape forwards."""
+
+    def __init__(self, model: "DoduoModel", dtype: str = "float32") -> None:
+        if dtype not in INFERENCE_DTYPES:
+            raise ValueError(
+                f"unsupported inference dtype {dtype!r}; expected one of {INFERENCE_DTYPES}"
+            )
+        self.model = model
+        self.dtype = dtype
+        self._np_dtype = np.dtype(dtype)
+        self.workspace = Workspace()
+        self._sources: List[Tuple[object, np.ndarray]] = []
+
+        encoder = model.encoder
+        self.max_position = encoder.config.max_position
+        self.num_segments = encoder.config.num_segments
+        self.tok_w = self._arr(encoder.token_embedding.weight)
+        self.pos_w = self._arr(encoder.position_embedding.weight)
+        self.seg_w = self._arr(encoder.segment_embedding.weight)
+        self.emb_gamma = self._arr(encoder.embedding_norm.gamma)
+        self.emb_beta = self._arr(encoder.embedding_norm.beta)
+        self.emb_eps = encoder.embedding_norm.eps
+
+        self.blocks: List[_BlockWeights] = []
+        for block in encoder.blocks:
+            attn = block.attention
+            bw = _BlockWeights()
+            bw.w_q = self._arr(attn.query.weight)
+            bw.b_q = self._arr(attn.query.bias)
+            bw.w_k = self._arr(attn.key.weight)
+            bw.b_k = self._arr(attn.key.bias)
+            bw.w_v = self._arr(attn.value.weight)
+            bw.b_v = self._arr(attn.value.bias)
+            bw.w_qkv, bw.b_qkv = attn.packed_qkv(dtype=self._np_dtype)
+            bw.w_o = self._arr(attn.output.weight)
+            bw.b_o = self._arr(attn.output.bias)
+            # The reference path multiplies scores by Tensor(scale), which
+            # wraps the python float as a float32 scalar regardless of the
+            # activation dtype — replicated exactly here.
+            bw.scale32 = np.asarray(attn.scale, dtype=np.float32)
+            bw.heads = attn.num_heads
+            bw.head_dim = attn.head_dim
+            bw.attn_gamma = self._arr(block.attention_norm.gamma)
+            bw.attn_beta = self._arr(block.attention_norm.beta)
+            bw.attn_eps = block.attention_norm.eps
+            bw.w_in = self._arr(block.ffn_in.weight)
+            bw.b_in = self._arr(block.ffn_in.bias)
+            bw.w_out = self._arr(block.ffn_out.weight)
+            bw.b_out = self._arr(block.ffn_out.bias)
+            bw.ffn_gamma = self._arr(block.ffn_norm.gamma)
+            bw.ffn_beta = self._arr(block.ffn_norm.beta)
+            bw.ffn_eps = block.ffn_norm.eps
+            self.blocks.append(bw)
+
+        if model.numeric_embedding is not None:
+            self.num_w: Optional[np.ndarray] = self._arr(model.numeric_embedding.weight)
+        else:
+            self.num_w = None
+        self.th_w1 = self._arr(model.type_head.dense.weight)
+        self.th_b1 = self._arr(model.type_head.dense.bias)
+        self.th_w2 = self._arr(model.type_head.out.weight)
+        self.th_b2 = self._arr(model.type_head.out.bias)
+        if model.relation_head is not None:
+            self.rh_w1: Optional[np.ndarray] = self._arr(model.relation_head.dense.weight)
+            self.rh_b1 = self._arr(model.relation_head.dense.bias)
+            self.rh_w2 = self._arr(model.relation_head.out.weight)
+            self.rh_b2 = self._arr(model.relation_head.out.bias)
+        else:
+            self.rh_w1 = None
+            self.rh_b1 = self.rh_w2 = self.rh_b2 = None
+
+    # -- weight capture ----------------------------------------------------------
+    def _arr(self, param) -> np.ndarray:
+        """Capture one parameter: share the live array when the dtype
+        matches, cast once otherwise; record the source for staleness."""
+        data = param.data
+        self._sources.append((param, data))
+        if data.dtype == self._np_dtype:
+            return data
+        return data.astype(self._np_dtype)
+
+    def stale(self) -> bool:
+        """True when any captured parameter's array has been replaced."""
+        return any(param.data is not source for param, source in self._sources)
+
+    # -- forward -----------------------------------------------------------------
+    def encode_batch(
+        self, encoded: Sequence[EncodedTable], width: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """No-tape twin of :meth:`DoduoModel.encode_batch`.
+
+        Same preprocessing (padding, segments, visibility, numeric bins),
+        same odometer updates, same bytes — but returns a plain ndarray
+        that aliases workspace memory (valid until the next session call).
+        ``width`` forces the padded width (must be >= the longest item), so
+        the column cache can encode misses at the exact bucket width.
+        """
+        model = self.model
+        model.encode_calls += 1
+        pad_id = 0  # PAD is always id 0 in our vocabulary
+        token_ids, attention = pad_batch(encoded, pad_id, width=width)
+        padded_width = token_ids.shape[1]
+        model.real_tokens += int(sum(e.length for e in encoded))
+        model.padded_tokens += int(token_ids.size)
+        segments = np.zeros_like(token_ids)
+        if model.use_column_segments:
+            for row, item in enumerate(encoded):
+                segment_row = np.clip(item.column_ids + 1, 0, self.num_segments - 1)
+                segments[row, : item.length] = segment_row
+        visibility = None
+        if model.use_visibility_matrix:
+            visibility = column_visibility(encoded, width=padded_width)
+        numeric = None
+        if self.num_w is not None:
+            numeric = np.zeros_like(token_ids)
+            for row, item in enumerate(encoded):
+                if item.numeric_ids is not None:
+                    numeric[row, : item.length] = item.numeric_ids
+        hidden = self._forward(token_ids, attention, segments, visibility, numeric)
+        locations = []
+        for row, item in enumerate(encoded):
+            for pos in item.cls_positions:
+                locations.append((row, pos))
+        return hidden, np.asarray(locations, dtype=np.int64)
+
+    def _forward(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray],
+        segment_ids: np.ndarray,
+        visibility: Optional[np.ndarray],
+        numeric_ids: Optional[np.ndarray],
+    ) -> np.ndarray:
+        token_ids = np.asarray(token_ids)
+        batch, seq = token_ids.shape
+        if seq > self.max_position:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_position {self.max_position}"
+            )
+        if token_ids.size and (
+            int(token_ids.min()) < 0 or int(token_ids.max()) >= self.tok_w.shape[0]
+        ):
+            raise IndexError("token id out of range for embedding")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        # (tok + pos) + seg [+ numeric] in the reference's left-to-right
+        # order; in-place adds on the fresh gather are bitwise neutral.
+        x = self.tok_w[token_ids]
+        np.add(x, self.pos_w[positions], out=x)
+        np.add(x, self.seg_w[segment_ids], out=x)
+        if numeric_ids is not None:
+            np.add(x, self.num_w[numeric_ids], out=x)
+        layer_norm_(x, self.emb_gamma, self.emb_beta, self.emb_eps, self.workspace)
+        if visibility is not None:
+            bias = F.visibility_bias(visibility)
+            if attention_mask is not None:
+                bias = bias + F.attention_bias_from_mask(attention_mask)
+        elif attention_mask is not None:
+            bias = F.attention_bias_from_mask(attention_mask)
+        else:
+            bias = None
+        for bw in self.blocks:
+            x = self._block(x, bias, bw)
+        return x
+
+    def _block(
+        self, x: np.ndarray, bias: Optional[np.ndarray], bw: _BlockWeights
+    ) -> np.ndarray:
+        batch, seq, dim = x.shape
+        ws = self.workspace
+        q, k, v = fused_qkv(
+            x, bw.w_q, bw.b_q, bw.w_k, bw.b_k, bw.w_v, bw.b_v, bw.w_qkv, bw.b_qkv, ws
+        )
+        q = q.reshape(batch, seq, bw.heads, bw.head_dim).transpose(0, 2, 1, 3)
+        k = k.reshape(batch, seq, bw.heads, bw.head_dim).transpose(0, 2, 1, 3)
+        v = v.reshape(batch, seq, bw.heads, bw.head_dim).transpose(0, 2, 1, 3)
+        scores = matmul_into(q, k.swapaxes(-1, -2), ws, "scores")
+        np.multiply(scores, bw.scale32, out=scores)
+        if bias is not None:
+            np.add(scores, bias, out=scores)
+        softmax_(scores)
+        context = matmul_into(scores, v, ws, "context")
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        attended = matmul_into(context, bw.w_o, ws, "attn_out")
+        attended += bw.b_o
+        np.add(x, attended, out=attended)
+        x = layer_norm_(attended, bw.attn_gamma, bw.attn_beta, bw.attn_eps, ws)
+        hidden = matmul_into(x, bw.w_in, ws, "ffn_h")
+        hidden += bw.b_in
+        gelu_(hidden, ws)
+        out = matmul_into(hidden, bw.w_out, ws, "ffn_o")
+        out += bw.b_out
+        np.add(x, out, out=out)
+        return layer_norm_(out, bw.ffn_gamma, bw.ffn_beta, bw.ffn_eps, ws)
+
+    # -- heads -------------------------------------------------------------------
+    def type_head(self, states: np.ndarray) -> np.ndarray:
+        """Raw-numpy twin of :class:`ColumnTypeHead` (same op sequence)."""
+        return self._head(states, self.th_w1, self.th_b1, self.th_w2, self.th_b2)
+
+    def relation_head(self, pair_states: np.ndarray) -> np.ndarray:
+        """Raw-numpy twin of :class:`ColumnRelationHead`."""
+        if self.rh_w1 is None:
+            raise RuntimeError("model was built without a relation head")
+        return self._head(pair_states, self.rh_w1, self.rh_b1, self.rh_w2, self.rh_b2)
+
+    @staticmethod
+    def _head(states, w1, b1, w2, b2) -> np.ndarray:
+        hidden = np.matmul(states, w1) + b1
+        # Reference GELU sequence (repro.nn.functional.gelu) on fresh
+        # arrays: head inputs are small (rows = columns of one table), so
+        # workspace reuse buys nothing here and op-order fidelity is what
+        # keeps the bytes identical.
+        squared = hidden * hidden
+        inner = F._SQRT_2_OVER_PI * (hidden + 0.044715 * (squared * hidden))
+        activated = 0.5 * hidden * (1.0 + np.tanh(inner))
+        return np.matmul(activated, w2) + b2

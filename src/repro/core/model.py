@@ -24,6 +24,7 @@ from ..nn import (
     concatenate,
 )
 from ..nn import functional as F
+from .inference import InferenceSession
 from .numeric import NUM_MAGNITUDE_BINS
 from .serialization import EncodedTable, column_visibility, pad_batch
 
@@ -128,6 +129,10 @@ class DoduoModel(Module):
         self.encode_calls = 0
         self.real_tokens = 0
         self.padded_tokens = 0
+        # Inference sessions (no-tape optimized forward), one per compute
+        # dtype.  The leading underscore keeps ``named_parameters`` and the
+        # mode walker from descending into them.
+        self._sessions: Dict[str, InferenceSession] = {}
 
     # -- identity ----------------------------------------------------------------
     def fingerprint(self) -> str:
@@ -164,8 +169,42 @@ class DoduoModel(Module):
             digest.update(np.ascontiguousarray(param.data).tobytes())
         return digest.hexdigest()
 
+    # -- inference sessions ------------------------------------------------------
+    def inference_session(self, dtype: str = "float32") -> InferenceSession:
+        """The memoized no-tape session for ``dtype``, rebuilt when stale.
+
+        Staleness is detected by parameter-array identity, which catches
+        ``load_state_dict`` / checkpoint restores / weight surgery that
+        replaces ``.data``; :meth:`train` additionally drops all sessions
+        so in-place optimizer updates can never serve through a stale
+        packed-QKV or float64 weight copy.  In-place mutation outside the
+        training loop must call :meth:`invalidate_sessions` — the same
+        contract ``Trainer.invalidate_fingerprint`` imposes for the result
+        caches.
+        """
+        session = self._sessions.get(dtype)
+        if session is None or session.stale():
+            session = InferenceSession(self, dtype)
+            self._sessions[dtype] = session
+        return session
+
+    def invalidate_sessions(self) -> None:
+        """Drop memoized inference sessions (call after in-place weight edits)."""
+        self._sessions.clear()
+
+    def train(self) -> "DoduoModel":
+        self._sessions.clear()
+        super().train()
+        return self
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._sessions.clear()
+
     # -- encoding ----------------------------------------------------------------
-    def encode_batch(self, encoded: Sequence[EncodedTable]) -> Tuple[Tensor, np.ndarray]:
+    def encode_batch(
+        self, encoded: Sequence[EncodedTable], width: Optional[int] = None
+    ) -> Tuple[Tensor, np.ndarray]:
         """Run the encoder over a padded batch.
 
         Returns the hidden states ``(B, S, d)`` and a ``(num_cls, 2)`` array
@@ -179,7 +218,7 @@ class DoduoModel(Module):
         """
         self.encode_calls += 1
         pad_id = 0  # PAD is always id 0 in our vocabulary
-        token_ids, attention = pad_batch(encoded, pad_id)
+        token_ids, attention = pad_batch(encoded, pad_id, width=width)
         width = token_ids.shape[1]
         self.real_tokens += int(sum(e.length for e in encoded))
         self.padded_tokens += int(token_ids.size)
@@ -267,6 +306,8 @@ class DoduoModel(Module):
         with_types: bool = True,
         with_embeddings: bool = True,
         head_groups: Optional[Sequence[Sequence[int]]] = None,
+        kernels: Optional[str] = None,
+        compute_dtype: str = "float32",
     ) -> FullForward:
         """Run the encoder **once** and derive every inference product.
 
@@ -288,16 +329,31 @@ class DoduoModel(Module):
         function of that table alone — this is the second half of the
         batched==sequential byte-identity contract (exact width bucketing
         in :mod:`repro.encoding` is the first).
+
+        ``kernels`` selects the forward implementation: ``"fast"`` (the
+        default) uses the no-tape :class:`InferenceSession` when the model
+        is in eval mode, ``"reference"`` forces the autograd Tensor path.
+        Both produce identical bytes — the session replays the reference
+        operation sequence and proof-gates every shape-dependent fusion —
+        so the choice is purely a speed knob; ``tests/test_kernel_identity``
+        enforces the equality.  ``compute_dtype`` is the activation/weight
+        precision of the fast path; anything other than ``"float32"``
+        requires it (the Tensor path has no dtype policy).
         """
-        hidden, locations = self.encode_batch(encoded)
-        column_embeddings = hidden[(locations[:, 0], locations[:, 1])]
+        session = self._resolve_session(kernels, compute_dtype)
+        if session is not None:
+            hidden_data, locations = session.encode_batch(encoded)
+        else:
+            hidden, locations = self.encode_batch(encoded)
+            hidden_data = hidden.data
+        column_embeddings = hidden_data[(locations[:, 0], locations[:, 1])]
         counts = [e.num_columns for e in encoded]
         offsets = np.concatenate([[0], np.cumsum(counts)])
         if head_groups is None:
             head_groups = [list(range(len(encoded)))]
         type_logits: Optional[np.ndarray] = None
         if with_types:
-            embeddings_data = column_embeddings.data
+            embeddings_data = column_embeddings
             parts: list = [None] * len(head_groups)
             row_sets: list = [None] * len(head_groups)
             for g, group in enumerate(head_groups):
@@ -306,7 +362,7 @@ class DoduoModel(Module):
                 ) if group else np.empty(0, dtype=np.int64)
                 row_sets[g] = rows
                 parts[g] = (
-                    self.type_head(Tensor(embeddings_data[rows])).data
+                    self.apply_type_head(embeddings_data[rows], session)
                     if len(rows)
                     else None
                 )
@@ -332,7 +388,7 @@ class DoduoModel(Module):
                 ).append(position)
             num_relations = self.relation_head.out.out_features
             relation_logits = np.empty(
-                (len(pairs), num_relations), dtype=hidden.data.dtype
+                (len(pairs), num_relations), dtype=hidden_data.dtype
             )
             for positions in positions_by_group.values():
                 rows, pos_i, pos_j = [], [], []
@@ -343,20 +399,54 @@ class DoduoModel(Module):
                     pos_i.append(cls[i])
                     pos_j.append(cls[j])
                 rows_arr = np.asarray(rows)
-                emb_i = hidden[(rows_arr, np.asarray(pos_i))]
-                emb_j = hidden[(rows_arr, np.asarray(pos_j))]
-                pair_embedding = concatenate([emb_i, emb_j], axis=-1)
-                relation_logits[positions] = self.relation_head(
-                    pair_embedding
-                ).data
+                emb_i = hidden_data[(rows_arr, np.asarray(pos_i))]
+                emb_j = hidden_data[(rows_arr, np.asarray(pos_j))]
+                pair_embedding = np.concatenate([emb_i, emb_j], axis=-1)
+                relation_logits[positions] = self.apply_relation_head(
+                    pair_embedding, session
+                )
         return FullForward(
             type_logits=type_logits,
             relation_logits=relation_logits,
             # Fancy indexing already allocated a fresh array; the per-table
             # slices are copied by the consumer, so no copy is needed here.
-            embeddings=column_embeddings.data if with_embeddings else None,
+            embeddings=column_embeddings if with_embeddings else None,
             columns_per_item=tuple(counts),
         )
+
+    def _resolve_session(
+        self, kernels: Optional[str], compute_dtype: str
+    ) -> Optional[InferenceSession]:
+        """Map a (kernels, dtype) request onto a session or the Tensor path."""
+        mode = "fast" if kernels is None else kernels
+        if mode not in ("fast", "reference"):
+            raise ValueError(f"unknown kernel mode {mode!r}; expected 'fast' or 'reference'")
+        if mode == "fast" and not self.training:
+            return self.inference_session(compute_dtype)
+        if compute_dtype != "float32":
+            raise ValueError(
+                f"compute_dtype {compute_dtype!r} requires the fast kernel path "
+                "with the model in eval mode"
+            )
+        return None
+
+    def apply_type_head(
+        self, states: np.ndarray, session: Optional[InferenceSession] = None
+    ) -> np.ndarray:
+        """Type logits for a ``(rows, d)`` state matrix via the selected path."""
+        if session is not None:
+            return session.type_head(states)
+        return self.type_head(Tensor(states)).data
+
+    def apply_relation_head(
+        self, pair_states: np.ndarray, session: Optional[InferenceSession] = None
+    ) -> np.ndarray:
+        """Relation logits for a ``(rows, 2d)`` state matrix via the selected path."""
+        if session is not None:
+            return session.relation_head(pair_states)
+        if self.relation_head is None:
+            raise RuntimeError("model was built without a relation head")
+        return self.relation_head(Tensor(pair_states)).data
 
     # -- inference helpers ------------------------------------------------------
     def predict_type_probs(

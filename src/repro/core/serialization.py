@@ -115,6 +115,19 @@ class TableSerializer:
             bins.extend([magnitude_bin(value)] * len(value_tokens))
         return tokens[:budget], bins[:budget]
 
+    def column_segments(self, column) -> Tuple[List[int], List[int]]:
+        """The serialized segment of one column: ``(tokens, magnitude_bins)``.
+
+        This is the context-independent unit of serialization work — a
+        column's tokens do not depend on which table carries it or on its
+        neighbours — which makes it the natural grain for cross-table
+        content-addressed caching (:class:`repro.encoding.EncodingPipeline`
+        keys these on :func:`repro.encoding.cache.column_fingerprint`).
+        Every ``serialize_*`` method accepts precomputed segments and
+        assembles identical sequences from them.
+        """
+        return self._column_tokens(column.values, column.header)
+
     def _ordered_values(self, values: Sequence[str]) -> List[str]:
         """Order cells by the configured ``value_order`` policy."""
         order = self.config.value_order
@@ -141,8 +154,17 @@ class TableSerializer:
         return shuffled
 
     # -- table-wise serialization (DODUO) ---------------------------------------
-    def serialize_table(self, table: Table) -> EncodedTable:
-        """``[CLS] col1-values [CLS] col2-values ... [SEP]``"""
+    def serialize_table(
+        self,
+        table: Table,
+        segments: Optional[Sequence[Tuple[List[int], List[int]]]] = None,
+    ) -> EncodedTable:
+        """``[CLS] col1-values [CLS] col2-values ... [SEP]``
+
+        ``segments`` optionally supplies each column's precomputed
+        ``(tokens, bins)`` (see :meth:`column_segments`); the assembled
+        sequence is identical either way.
+        """
         vocab = self.tokenizer.vocab
         token_ids: List[int] = []
         column_ids: List[int] = []
@@ -153,7 +175,11 @@ class TableSerializer:
             token_ids.append(vocab.cls_id)
             column_ids.append(col_index)
             numeric_ids.append(NON_NUMERIC_BIN)
-            tokens, bins = self._column_tokens(column.values, column.header)
+            tokens, bins = (
+                segments[col_index]
+                if segments is not None
+                else self._column_tokens(column.values, column.header)
+            )
             for token, magnitude in zip(tokens, bins):
                 token_ids.append(token)
                 column_ids.append(col_index)
@@ -176,11 +202,20 @@ class TableSerializer:
         )
 
     # -- single-column serialization (Dosolo-SCol) -------------------------------
-    def serialize_column(self, table: Table, col_index: int) -> EncodedTable:
+    def serialize_column(
+        self,
+        table: Table,
+        col_index: int,
+        segment: Optional[Tuple[List[int], List[int]]] = None,
+    ) -> EncodedTable:
         """``[CLS] values [SEP]`` for one column."""
         vocab = self.tokenizer.vocab
         column = table.columns[col_index]
-        tokens, bins = self._column_tokens(column.values, column.header)
+        tokens, bins = (
+            segment
+            if segment is not None
+            else self._column_tokens(column.values, column.header)
+        )
         token_ids = [vocab.cls_id] + tokens + [vocab.sep_id]
         column_ids = [0] * (len(tokens) + 1) + [-1]
         numeric_ids = [NON_NUMERIC_BIN] + bins + [NON_NUMERIC_BIN]
@@ -192,7 +227,15 @@ class TableSerializer:
             table=table,
         )
 
-    def serialize_column_pair(self, table: Table, i: int, j: int) -> EncodedTable:
+    def serialize_column_pair(
+        self,
+        table: Table,
+        i: int,
+        j: int,
+        segments: Optional[
+            Tuple[Tuple[List[int], List[int]], Tuple[List[int], List[int]]]
+        ] = None,
+    ) -> EncodedTable:
         """``[CLS] values_i [SEP] [CLS] values_j [SEP]`` for a column pair.
 
         Two ``[CLS]`` markers are used so the pair model can read both column
@@ -200,8 +243,11 @@ class TableSerializer:
         """
         vocab = self.tokenizer.vocab
         col_i, col_j = table.columns[i], table.columns[j]
-        tokens_i, bins_i = self._column_tokens(col_i.values, col_i.header)
-        tokens_j, bins_j = self._column_tokens(col_j.values, col_j.header)
+        if segments is not None:
+            (tokens_i, bins_i), (tokens_j, bins_j) = segments
+        else:
+            tokens_i, bins_i = self._column_tokens(col_i.values, col_i.header)
+            tokens_j, bins_j = self._column_tokens(col_j.values, col_j.header)
         token_ids = (
             [vocab.cls_id] + tokens_i + [vocab.sep_id]
             + [vocab.cls_id] + tokens_j + [vocab.sep_id]

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..datasets.tables import Table, TableDataset
 from ..encoding import BatchPlanner, EncodingPipeline
+from ..encoding.cache import column_fingerprint
 from ..evaluation.metrics import PRF, multiclass_micro_f1, multilabel_micro_prf
 from ..nn import Adam, LinearDecayScheduler, TransformerConfig
 from ..nn import functional as F
@@ -216,12 +217,13 @@ class DoduoTrainer:
         self.history = TrainingHistory(
             task_losses={task: [] for task in config.tasks}
         )
-        # Memoized annotation fingerprint: hashing walks every weight, and
-        # the serving registry/gateway key routing and cache partitions on
-        # it, so it must not cost a weight walk per lookup.  Invalidated by
-        # train() — external weight mutation must call
-        # invalidate_fingerprint() (or hand the registry a fresh trainer).
-        self._annotation_fingerprint: Optional[str] = None
+        # Memoized annotation fingerprints (one per compute dtype): hashing
+        # walks every weight, and the serving registry/gateway key routing
+        # and cache partitions on it, so it must not cost a weight walk per
+        # lookup.  Invalidated by train() — external weight mutation must
+        # call invalidate_fingerprint() (or hand the registry a fresh
+        # trainer).
+        self._annotation_fingerprints: Dict[str, str] = {}
 
     @property
     def serializer(self) -> TableSerializer:
@@ -569,11 +571,14 @@ class DoduoTrainer:
         :meth:`train` calls this automatically; code that mutates model
         weights behind the trainer's back (manual ``load_state_dict``,
         parameter surgery) must call it too, or stale fingerprints would
-        alias cached annotations across different weights.
+        alias cached annotations across different weights.  Also drops the
+        model's memoized inference sessions — they cache weight views under
+        the same contract.
         """
-        self._annotation_fingerprint = None
+        self._annotation_fingerprints.clear()
+        self.model.invalidate_sessions()
 
-    def annotation_fingerprint(self) -> str:
+    def annotation_fingerprint(self, dtype: str = "float32") -> str:
         """Stable hash of everything that determines an annotation output.
 
         Combines :meth:`DoduoModel.fingerprint` (architecture + weights) with
@@ -587,12 +592,20 @@ class DoduoTrainer:
         changing any weight, serializer knob, or vocabulary invalidates
         every cached entry and re-keys the route.
 
+        ``dtype`` is the serving compute precision (``EngineConfig.dtype``):
+        a ``float64`` engine produces different bytes than a ``float32``
+        one, so the dtype folds into the digest and caches never mix
+        precisions.  The default ``"float32"`` digest is unchanged from
+        before the dtype policy existed, keeping persisted disk-cache
+        entries valid.
+
         Memoized (hashing walks every weight); :meth:`train` invalidates the
         memo, and :meth:`invalidate_fingerprint` does so for out-of-band
         weight mutation.
         """
-        if self._annotation_fingerprint is not None:
-            return self._annotation_fingerprint
+        cached = self._annotation_fingerprints.get(dtype)
+        if cached is not None:
+            return cached
         digest = hashlib.blake2b(digest_size=16)
         digest.update(self.model.fingerprint().encode("utf-8"))
         digest.update(repr(self.serializer.config).encode("utf-8"))
@@ -613,8 +626,13 @@ class DoduoTrainer:
             for label in vocab:
                 digest.update(b"\x1f")
                 digest.update(label.encode("utf-8"))
-        self._annotation_fingerprint = digest.hexdigest()
-        return self._annotation_fingerprint
+        if dtype != "float32":
+            # The float32 digest predates the dtype policy; keeping it
+            # marker-free preserves every previously persisted cache key.
+            digest.update(f"|dtype={dtype}".encode("utf-8"))
+        value = digest.hexdigest()
+        self._annotation_fingerprints[dtype] = value
+        return value
 
     def encode_for_annotation(self, table: Table) -> EncodedAnnotationInput:
         """Serialize ``table`` the way :meth:`annotate_batch` consumes it.
@@ -632,6 +650,9 @@ class DoduoTrainer:
         with_embeddings: bool = True,
         with_relations: bool = True,
         waste_budget: int = 0,
+        kernels: Optional[str] = None,
+        compute_dtype: str = "float32",
+        column_cache: Optional["ColumnStateStore"] = None,
     ) -> List[RawTableAnnotation]:
         """Annotate a batch of tables, one encoder pass per width bucket.
 
@@ -656,6 +677,16 @@ class DoduoTrainer:
         byte-identity contract for fewer passes — see
         :class:`~repro.encoding.BatchPlanner`; 0, the default, keeps exact
         buckets).
+
+        ``kernels``/``compute_dtype`` select the forward implementation and
+        precision (see :meth:`DoduoModel.forward_full`).  ``column_cache``
+        enables column-level content addressing in single-column mode: an
+        object with ``lookup(fingerprint, width)`` / ``store(fingerprint,
+        width, state)`` (the serving :class:`~repro.serving.ColumnCache`)
+        supplying ``[CLS]`` encoder states for columns already seen — at the
+        same padded width — in any prior table; it is ignored in table-wise
+        mode, where cross-column attention makes per-column states
+        context-dependent and therefore unsound to share.
         """
         if encoded is not None and len(encoded) != len(tables):
             raise ValueError(
@@ -706,6 +737,9 @@ class DoduoTrainer:
                 [encoded[i] for i in group],
                 [pairs_per_table[i] for i in group],
                 with_embeddings,
+                kernels=kernels,
+                compute_dtype=compute_dtype,
+                column_cache=column_cache,
             )
             for i, annotation in zip(group, group_results):
                 results[i] = annotation
@@ -717,12 +751,21 @@ class DoduoTrainer:
         encoded: Sequence[EncodedAnnotationInput],
         pairs_per_table: Sequence[List[Tuple[int, int]]],
         with_embeddings: bool,
+        kernels: Optional[str] = None,
+        compute_dtype: str = "float32",
+        column_cache: Optional["ColumnStateStore"] = None,
     ) -> List[RawTableAnnotation]:
         """Annotate one width-homogeneous bucket with one pass (or two in
         single-column mode: columns, then column pairs)."""
         if self.config.single_column:
             return self._annotate_batch_single_column(
-                tables, encoded, pairs_per_table, with_embeddings
+                tables,
+                encoded,
+                pairs_per_table,
+                with_embeddings,
+                kernels=kernels,
+                compute_dtype=compute_dtype,
+                column_cache=column_cache,
             )
         flat_pairs = [
             (b, i, j)
@@ -737,6 +780,8 @@ class DoduoTrainer:
             # on that table alone, keeping batched outputs byte-identical
             # to single-table passes (see DoduoModel.forward_full).
             head_groups=[[b] for b in range(len(tables))],
+            kernels=kernels,
+            compute_dtype=compute_dtype,
         )
         type_probs = activation_probs(out.type_logits, self.config.multi_label)
         relation_probs = (
@@ -754,6 +799,9 @@ class DoduoTrainer:
         encoded: Sequence[EncodedAnnotationInput],
         pairs_per_table: Sequence[List[Tuple[int, int]]],
         with_embeddings: bool,
+        kernels: Optional[str] = None,
+        compute_dtype: str = "float32",
+        column_cache: Optional["ColumnStateStore"] = None,
     ) -> List[RawTableAnnotation]:
         """Single-column mode: one pass over columns, one over column pairs."""
         flat_columns: List[EncodedTable] = []
@@ -762,15 +810,30 @@ class DoduoTrainer:
             start = len(flat_columns)
             flat_columns.extend(item)
             column_groups.append(list(range(start, len(flat_columns))))
-        out = self.model.forward_full(
-            flat_columns,
-            with_embeddings=with_embeddings,
-            # Heads run per table (its columns / its pairs), so their GEMM
-            # row counts — and therefore their bytes — never depend on
-            # which other tables share the batch.
-            head_groups=column_groups,
-        )
-        type_probs = activation_probs(out.type_logits, self.config.multi_label)
+        if column_cache is not None and flat_columns:
+            type_probs, embeddings = self._annotate_columns_cached(
+                tables,
+                flat_columns,
+                column_groups,
+                column_cache,
+                kernels,
+                compute_dtype,
+            )
+            if not with_embeddings:
+                embeddings = None
+        else:
+            out = self.model.forward_full(
+                flat_columns,
+                with_embeddings=with_embeddings,
+                # Heads run per table (its columns / its pairs), so their
+                # GEMM row counts — and therefore their bytes — never
+                # depend on which other tables share the batch.
+                head_groups=column_groups,
+                kernels=kernels,
+                compute_dtype=compute_dtype,
+            )
+            type_probs = activation_probs(out.type_logits, self.config.multi_label)
+            embeddings = out.embeddings
         pair_encoded: List[EncodedTable] = []
         pair_groups: List[List[int]] = []
         for table, pairs in zip(tables, pairs_per_table):
@@ -787,13 +850,91 @@ class DoduoTrainer:
                 with_types=False,
                 with_embeddings=False,
                 head_groups=pair_groups,
+                kernels=kernels,
+                compute_dtype=compute_dtype,
             )
             relation_probs = activation_probs(
                 pair_out.relation_logits, self.config.multi_label
             )
         return self._assemble_annotations(
-            tables, pairs_per_table, type_probs, relation_probs, out.embeddings
+            tables, pairs_per_table, type_probs, relation_probs, embeddings
         )
+
+    def _annotate_columns_cached(
+        self,
+        tables: Sequence[Table],
+        flat_columns: Sequence[EncodedTable],
+        column_groups: Sequence[List[int]],
+        column_cache: "ColumnStateStore",
+        kernels: Optional[str],
+        compute_dtype: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Column-pass products served through the content-addressed cache.
+
+        Sound only in single-column mode: each column's sequence attends to
+        itself alone, and batch-composition independence (the pinned
+        batched==sequential contract) means a ``[CLS]`` state computed in
+        any prior pass *at the same padded width* is bitwise the state this
+        pass would compute.  Misses are deduplicated by content and encoded
+        in one pass forced to the bucket width, so hits and misses share
+        identical geometry; the type head then runs per table over the
+        assembled state matrix — the same per-table GEMM row counts as the
+        uncached path.  Returns ``(type_probs, state_matrix)``; the state
+        matrix is row-aligned with the flattened column order, exactly like
+        ``FullForward.embeddings``.
+        """
+        width = max(e.length for e in flat_columns)
+        fingerprints = [
+            column_fingerprint(column) for table in tables for column in table.columns
+        ]
+        states: List[Optional[np.ndarray]] = [
+            column_cache.lookup(fp, width) for fp in fingerprints
+        ]
+        missing: Dict[str, List[int]] = {}
+        for index, state in enumerate(states):
+            if state is None:
+                missing.setdefault(fingerprints[index], []).append(index)
+        if missing:
+            firsts = [positions[0] for positions in missing.values()]
+            hidden, locations = self._encode_states(
+                [flat_columns[i] for i in firsts], width, kernels, compute_dtype
+            )
+            gathered = hidden[(locations[:, 0], locations[:, 1])]
+            for row, first in enumerate(firsts):
+                state = gathered[row].copy()
+                column_cache.store(fingerprints[first], width, state)
+                for index in missing[fingerprints[first]]:
+                    states[index] = state
+        state_matrix = np.stack(states)
+        session = self.model._resolve_session(kernels, compute_dtype)
+        parts = []
+        for group in column_groups:
+            if group:
+                parts.append(
+                    self.model.apply_type_head(state_matrix[group], session)
+                )
+        num_types = self.model.type_head.out.out_features
+        type_logits = (
+            np.concatenate(parts, axis=0)
+            if parts
+            else np.empty((0, num_types), dtype=state_matrix.dtype)
+        )
+        type_probs = activation_probs(type_logits, self.config.multi_label)
+        return type_probs, state_matrix
+
+    def _encode_states(
+        self,
+        encoded_items: Sequence[EncodedTable],
+        width: Optional[int],
+        kernels: Optional[str],
+        compute_dtype: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One encoder pass at a forced width, via the selected kernel path."""
+        session = self.model._resolve_session(kernels, compute_dtype)
+        if session is not None:
+            return session.encode_batch(encoded_items, width=width)
+        hidden, locations = self.model.encode_batch(encoded_items, width=width)
+        return hidden.data, locations
 
     @staticmethod
     def _assemble_annotations(

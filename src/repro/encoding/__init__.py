@@ -27,7 +27,7 @@ Consumers: :class:`repro.core.trainer.DoduoTrainer` (example preparation,
 splitting), :mod:`repro.pretrain.mlm`, and :mod:`repro.analysis`.
 """
 
-from .cache import LRUCache, table_fingerprint
+from .cache import LRUCache, column_fingerprint, table_fingerprint
 from .planner import BatchPlanner, PaddingReport, width_signature
 from .pipeline import EncodingPipeline, EncodingStats
 
@@ -53,6 +53,7 @@ __all__ = [
     "PaddingReport",
     "SerializerConfig",
     "TableSerializer",
+    "column_fingerprint",
     "column_visibility",
     "pad_batch",
     "pad_token_lists",

@@ -61,6 +61,26 @@ def table_fingerprint(table: Table) -> str:
     return content_digest(chunks())
 
 
+def column_fingerprint(column) -> str:
+    """Stable content hash of one column: header + cell values.
+
+    The column-level sibling of :func:`table_fingerprint`, and the identity
+    under which the serving tier content-addresses per-column work (cached
+    serialized segments, cached ``[CLS]`` encoder states).  Uses the same
+    separator discipline, and — like the table recipe — excludes labels and
+    any notion of position, so the same column reappearing in a different
+    table (or at a different index) shares one address.
+    """
+
+    def chunks() -> Iterable[bytes]:
+        yield (column.header or "").encode("utf-8")
+        for value in column.values:
+            yield b"\x1f"  # unit separator: next cell
+            yield value.encode("utf-8")
+
+    return content_digest(chunks())
+
+
 class LRUCache(Generic[V]):
     """A small ordered-dict LRU with hit/miss counters."""
 

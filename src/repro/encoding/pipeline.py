@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Sequence, Tuple, Union
 
 from ..datasets.tables import Table
-from .cache import LRUCache, table_fingerprint
+from .cache import LRUCache, column_fingerprint, table_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core<->encoding
     # import cycle: repro.core.trainer imports this module at load time)
@@ -70,6 +70,12 @@ class EncodingPipeline:
         self.serializer = serializer
         self.single_column = single_column
         self._cache: LRUCache = LRUCache(cache_size)
+        # Column-level content addressing: serialized segments (tokens +
+        # magnitude bins) keyed by column_fingerprint.  A column's segment
+        # is context-independent — it does not depend on the carrying table
+        # or its neighbours — so a column seen in *any* prior table skips
+        # its tokenization work even when the table-level key misses.
+        self._segments: LRUCache = LRUCache(cache_size)
         self._serializations = 0
 
     # ------------------------------------------------------------------
@@ -93,6 +99,15 @@ class EncodingPipeline:
         return self._cache.misses
 
     @property
+    def segment_hits(self) -> int:
+        """Cross-table column-segment cache hits (serialization tier)."""
+        return self._segments.hits
+
+    @property
+    def segment_misses(self) -> int:
+        return self._segments.misses
+
+    @property
     def stats(self) -> EncodingStats:
         return EncodingStats(
             serializations=self._serializations,
@@ -103,6 +118,7 @@ class EncodingPipeline:
     def clear_cache(self) -> None:
         """Drop every cached serialization and reset the hit/miss counters."""
         self._cache.clear()
+        self._segments.clear()
 
     # ------------------------------------------------------------------
     # Cached encodes
@@ -119,22 +135,40 @@ class EncodingPipeline:
         self._cache.put(key, value)
         return value, False
 
+    def _segment_for(self, column) -> Tuple[List[int], List[int]]:
+        """One column's serialized segment, read through the segment cache."""
+        if self._segments.capacity == 0:
+            return self.serializer.column_segments(column)
+        key = column_fingerprint(column)
+        segment = self._segments.get(key)
+        if segment is None:
+            segment = self.serializer.column_segments(column)
+            self._segments.put(key, segment)
+        return segment
+
+    def _column_segments(self, table: Table) -> List[Tuple[List[int], List[int]]]:
+        """Per-column serialized segments, read through the segment cache."""
+        return [self._segment_for(column) for column in table.columns]
+
     def _encode_table_cached(self, table: Table) -> Tuple[EncodedTable, bool]:
         return self._cached(
             ("table", table_fingerprint(table)),
-            lambda: self.serializer.serialize_table(table),
+            lambda: self.serializer.serialize_table(
+                table, segments=self._column_segments(table)
+            ),
         )
 
     def _encode_columns_cached(
         self, table: Table
     ) -> Tuple[List[EncodedTable], bool]:
-        return self._cached(
-            ("columns", table_fingerprint(table)),
-            lambda: [
-                self.serializer.serialize_column(table, c)
+        def build() -> List[EncodedTable]:
+            segments = self._column_segments(table)
+            return [
+                self.serializer.serialize_column(table, c, segment=segments[c])
                 for c in range(table.num_columns)
-            ],
-        )
+            ]
+
+        return self._cached(("columns", table_fingerprint(table)), build)
 
     def encode_table(self, table: Table) -> EncodedTable:
         """Table-wise serialization ``[CLS] col1 [CLS] col2 ... [SEP]``."""
@@ -150,9 +184,21 @@ class EncodingPipeline:
 
     def encode_pair(self, table: Table, i: int, j: int) -> EncodedTable:
         """A column-pair sequence ``[CLS] vi [SEP] [CLS] vj [SEP]``."""
+
+        def build() -> EncodedTable:
+            columns = table.columns
+            return self.serializer.serialize_column_pair(
+                table,
+                i,
+                j,
+                segments=(
+                    self._segment_for(columns[int(i)]),
+                    self._segment_for(columns[int(j)]),
+                ),
+            )
+
         encoded, _ = self._cached(
-            ("pair", table_fingerprint(table), int(i), int(j)),
-            lambda: self.serializer.serialize_column_pair(table, i, j),
+            ("pair", table_fingerprint(table), int(i), int(j)), build
         )
         return encoded
 

@@ -1,0 +1,208 @@
+"""Optimized inference kernels: in-place ops, workspaces, proof-gated fusion.
+
+The autograd path in :mod:`repro.nn.functional` is the *reference*
+implementation: its operation sequences define the bytes every other path
+must reproduce.  This module provides the serving-speed twins:
+
+* :func:`softmax_`, :func:`layer_norm_`, :func:`gelu_` — the same ufunc
+  sequences as the reference kernels, computed in place on caller-owned
+  buffers.  A ufunc with ``out=`` produces bitwise-identical values to its
+  allocating form, so these are byte-safe by construction; the differential
+  harness (``tests/test_kernel_identity.py``) pins that.
+* :class:`Workspace` — preallocated scratch buffers reused across batches.
+  One workspace lives per inference session (per engine), so steady-state
+  serving allocates no large temporaries.
+* :func:`matmul_into` and :func:`fused_qkv` — GEMMs that land in workspace
+  buffers and the one-GEMM-instead-of-three QKV projection.  BLAS kernel
+  selection is shape-dependent and implementation-defined, so neither is
+  *assumed* byte-identical: both ship **dark until proven**.  The first
+  call per (operation, shape, dtype) computes the reference form too,
+  compares bitwise, and records a verdict in the workspace's
+  :class:`ProofCache`; only a proven shape uses the optimized form on
+  later calls, and a failed proof permanently falls back to the reference
+  form for that shape.  This is the ``waste_budget`` discipline applied to
+  kernels: the optimization is free to be unsound on some platform, the
+  gate keeps the bytes contract regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .functional import _SQRT_2_OVER_PI
+
+
+class ProofCache:
+    """Bitwise-equivalence verdicts for shape-dependent optimizations.
+
+    ``verdict(key)`` returns ``True`` (proven identical), ``False``
+    (disproven — use the reference form), or ``None`` (not yet tried).
+    """
+
+    def __init__(self) -> None:
+        self._verdicts: Dict[Hashable, bool] = {}
+        self.proofs_run = 0
+        self.proofs_failed = 0
+
+    def verdict(self, key: Hashable) -> Optional[bool]:
+        return self._verdicts.get(key)
+
+    def record(self, key: Hashable, ok: bool) -> None:
+        self.proofs_run += 1
+        if not ok:
+            self.proofs_failed += 1
+        self._verdicts[key] = bool(ok)
+
+
+class Workspace:
+    """Named scratch buffers reused across forward passes.
+
+    Buffers are keyed by (name, shape, dtype): a request for the same name
+    with a new shape allocates fresh (the old buffer is dropped), so one
+    workspace holds exactly one live buffer per name — sized for the
+    current batch geometry.  Engines process one bucket at a time, so
+    geometry churn is bounded by the bucket plan, not the request stream.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.proofs = ProofCache()
+
+    def take(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+def matmul_into(a: np.ndarray, b: np.ndarray, ws: Workspace, name: str) -> np.ndarray:
+    """``a @ b`` into a workspace buffer, proof-gated per shape.
+
+    The first call for a given (name, shapes, dtype) computes both
+    ``np.matmul(a, b)`` and ``np.matmul(a, b, out=buffer)``, compares
+    bitwise, and records the verdict; thereafter proven shapes skip the
+    allocating form entirely.  Returns the reference result whenever the
+    ``out=`` form is unproven or disproven, so the caller always gets
+    reference bytes.
+    """
+    key = ("matmul", name, a.shape, b.shape, a.dtype.str)
+    verdict = ws.proofs.verdict(key)
+    if verdict is False:
+        return np.matmul(a, b)
+    out_shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (
+        a.shape[-2],
+        b.shape[-1],
+    )
+    out = ws.take(name, out_shape, a.dtype)
+    if verdict is True:
+        return np.matmul(a, b, out=out)
+    reference = np.matmul(a, b)
+    got = np.matmul(a, b, out=out)
+    ws.proofs.record(key, bool((got == reference).all()))
+    return reference
+
+
+def fused_qkv(
+    x: np.ndarray,
+    w_q: np.ndarray,
+    b_q: np.ndarray,
+    w_k: np.ndarray,
+    b_k: np.ndarray,
+    w_v: np.ndarray,
+    b_v: np.ndarray,
+    w_qkv: np.ndarray,
+    b_qkv: np.ndarray,
+    ws: Workspace,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Query/key/value projections, fused into one GEMM when proven safe.
+
+    The reference path (three separate ``x @ W + b``) defines the bytes.
+    Fusing changes only which BLAS call produces each output column block;
+    whether that is bitwise neutral depends on the BLAS build's blocking
+    strategy, so the first call per input shape runs both and compares.
+    A proven shape runs one GEMM; anything else runs the reference three.
+    """
+    d = w_q.shape[1]
+    key = ("fused_qkv", x.shape, d, x.dtype.str)
+    verdict = ws.proofs.verdict(key)
+    if verdict is True:
+        qkv = np.matmul(x, w_qkv, out=ws.take("qkv", x.shape[:-1] + (3 * d,), x.dtype))
+        qkv += b_qkv
+        return qkv[..., :d], qkv[..., d : 2 * d], qkv[..., 2 * d :]
+    q = np.matmul(x, w_q) + b_q
+    k = np.matmul(x, w_k) + b_k
+    v = np.matmul(x, w_v) + b_v
+    if verdict is None:
+        qkv = np.matmul(x, w_qkv, out=ws.take("qkv", x.shape[:-1] + (3 * d,), x.dtype))
+        qkv += b_qkv
+        ok = (
+            (qkv[..., :d] == q).all()
+            and (qkv[..., d : 2 * d] == k).all()
+            and (qkv[..., 2 * d :] == v).all()
+        )
+        ws.proofs.record(key, bool(ok))
+    return q, k, v
+
+
+def softmax_(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """In-place twin of :func:`repro.nn.functional.softmax` (same op order)."""
+    x -= x.max(axis=axis, keepdims=True)
+    np.exp(x, out=x)
+    x /= x.sum(axis=axis, keepdims=True)
+    return x
+
+
+def layer_norm_(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+    ws: Workspace,
+    scratch: str = "ln",
+) -> np.ndarray:
+    """In-place twin of :func:`repro.nn.functional.layer_norm`.
+
+    Mutates and returns ``x``; uses one workspace buffer for the squared
+    deviations.  Every operation mirrors the reference kernel: mean,
+    subtract, square (as ``x * x`` — bitwise equal to the reference's
+    ``centered ** 2``, which numpy lowers to a multiply), mean, ``1/sqrt``,
+    scale, affine.
+    """
+    mu = x.mean(axis=-1, keepdims=True)
+    np.subtract(x, mu, out=x)  # x = centered
+    sq = ws.take(scratch, x.shape, x.dtype)
+    np.multiply(x, x, out=sq)
+    var = sq.mean(axis=-1, keepdims=True)
+    var += eps
+    np.sqrt(var, out=var)
+    np.divide(1.0, var, out=var)  # var = inv_std
+    np.multiply(x, var, out=x)  # x = normalized
+    np.multiply(x, gamma, out=x)
+    np.add(x, beta, out=x)
+    return x
+
+
+def gelu_(x: np.ndarray, ws: Workspace, scratch: str = "gelu") -> np.ndarray:
+    """In-place twin of :func:`repro.nn.functional.gelu` (same op order).
+
+    Mutates and returns ``x``; one workspace buffer carries the cube/tanh
+    chain, so the steady state allocates nothing.
+    """
+    t = ws.take(scratch, x.shape, x.dtype)
+    np.multiply(x, x, out=t)  # x^2
+    np.multiply(t, x, out=t)  # x^2 * x  (the reference's cube)
+    np.multiply(t, 0.044715, out=t)
+    np.add(x, t, out=t)  # x + 0.044715 x^3
+    np.multiply(t, _SQRT_2_OVER_PI, out=t)
+    np.tanh(t, out=t)
+    np.add(t, 1.0, out=t)  # 1 + tanh(...)
+    np.multiply(x, 0.5, out=x)  # 0.5 x
+    np.multiply(x, t, out=x)  # (0.5 x)(1 + tanh(...))
+    return x

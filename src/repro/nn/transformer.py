@@ -89,6 +89,22 @@ class MultiHeadSelfAttention(Module):
         with shape ``(B, heads, S, S)``; used by the attention analysis."""
         return self._last_attention
 
+    def packed_qkv(self, dtype=None):
+        """Concatenated projection weights for the fused QKV GEMM.
+
+        Returns a ``(d, 3d)`` weight and a ``(3d,)`` bias whose column
+        blocks are ordered query, key, value — the layout
+        :func:`repro.nn.kernels.fused_qkv` slices.  The arrays are fresh
+        copies; callers that cache them (inference sessions) must rebuild
+        when the underlying projections change.
+        """
+        weights = [self.query.weight.data, self.key.weight.data, self.value.weight.data]
+        biases = [self.query.bias.data, self.key.bias.data, self.value.bias.data]
+        if dtype is not None:
+            weights = [w.astype(dtype, copy=False) for w in weights]
+            biases = [b.astype(dtype, copy=False) for b in biases]
+        return np.concatenate(weights, axis=1), np.concatenate(biases)
+
 
 class TransformerBlock(Module):
     """Post-norm residual block: attention then GELU feed-forward."""

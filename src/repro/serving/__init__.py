@@ -84,6 +84,7 @@ exact byte-identity guarantees).
 
 from ..encoding.cache import LRUCache, table_fingerprint
 from . import protocol
+from .colcache import ColumnCache
 from .diskcache import (
     CacheLockedError,
     CompactionResult,
@@ -110,6 +111,7 @@ __all__ = [
     "AnnotationServer",
     "AnnotationService",
     "CacheLockedError",
+    "ColumnCache",
     "CompactionResult",
     "DiskCache",
     "DiskCacheStats",

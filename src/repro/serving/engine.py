@@ -45,6 +45,7 @@ from ..core.annotator import AnnotatedTable
 from ..core.trainer import DoduoTrainer, RawTableAnnotation, default_relation_pairs
 from ..datasets.tables import Table
 from ..encoding import BatchPlanner, EncodingPipeline
+from .colcache import ColumnCache
 from .request import AnnotationOptions, AnnotationRequest, AnnotationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,6 +75,24 @@ class EngineConfig:
     while the merged bucket's extra padded tokens stay under the budget —
     fewer forward passes at the cost of the byte-identity contract.  The
     default 0 keeps exact bucketing.
+
+    ``dtype`` is the engine's compute-precision policy: ``"float32"``
+    (default — the training dtype, bitwise the legacy serving path) or
+    ``"float64"`` (double-precision inference for numeric studies).  The
+    dtype is folded into the model fingerprint, so the result cache, the
+    column cache, and gateway routing never mix precisions.  ``kernels``
+    selects the forward implementation: ``"fast"`` (default) runs the
+    proof-gated :class:`~repro.core.inference.InferenceSession` — fused
+    QKV, preallocated workspaces, in-place softmax/layernorm, each kernel
+    dark until proven bitwise against the reference — while
+    ``"reference"`` forces the original Tensor path (float32 only).
+
+    ``column_cache_size`` bounds the column-level content-addressed state
+    cache (entries; 0 disables).  It only engages for single-column
+    models — table-wise attention makes per-column states
+    context-dependent — and ``column_cache_persist`` additionally spills
+    entries to the engine's persistent tier (requires ``cache_dir`` or an
+    attached result cache) so column states survive restarts.
     """
 
     batch_size: int = 8
@@ -82,6 +101,10 @@ class EngineConfig:
     default_options: AnnotationOptions = field(default_factory=AnnotationOptions)
     cache_dir: Optional[str] = None
     waste_budget: int = 0
+    dtype: str = "float32"
+    kernels: str = "fast"
+    column_cache_size: int = 1024
+    column_cache_persist: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -90,6 +113,23 @@ class EngineConfig:
             raise ValueError(f"cache_size must be >= 0: {self.cache_size}")
         if self.waste_budget < 0:
             raise ValueError(f"waste_budget must be >= 0: {self.waste_budget}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64': {self.dtype!r}"
+            )
+        if self.kernels not in ("fast", "reference"):
+            raise ValueError(
+                f"kernels must be 'fast' or 'reference': {self.kernels!r}"
+            )
+        if self.dtype == "float64" and self.kernels != "fast":
+            raise ValueError(
+                "dtype='float64' requires kernels='fast' (the reference "
+                "Tensor path is float32-only)"
+            )
+        if self.column_cache_size < 0:
+            raise ValueError(
+                f"column_cache_size must be >= 0: {self.column_cache_size}"
+            )
 
 
 @dataclass
@@ -108,6 +148,12 @@ class EngineStats:
     ``planner_mode`` records the batch-composition policy this engine runs
     (``"exact"``, or ``"packed(waste_budget=N)"`` when
     ``EngineConfig.waste_budget`` opted into near-width packing).
+
+    ``column_hits``/``column_misses`` count column-level state-cache
+    lookups (single-column engines only — a hit skips that column's entire
+    encoder pass); ``segment_hits``/``segment_misses`` count the
+    serialization-tier sibling (a hit skips re-tokenizing one column even
+    when the table-level cache misses).
     """
 
     requests: int = 0
@@ -117,6 +163,10 @@ class EngineStats:
     cache_misses: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    column_hits: int = 0
+    column_misses: int = 0
+    segment_hits: int = 0
+    segment_misses: int = 0
     real_tokens: int = 0
     padded_tokens: int = 0
     planner_mode: str = "exact"
@@ -127,6 +177,14 @@ class EngineStats:
         if self.padded_tokens == 0:
             return 0.0
         return (self.padded_tokens - self.real_tokens) / self.padded_tokens
+
+    @property
+    def column_hit_rate(self) -> float:
+        """Fraction of column-state lookups answered from the cache."""
+        total = self.column_hits + self.column_misses
+        if total == 0:
+            return 0.0
+        return self.column_hits / total
 
 
 class AnnotationEngine:
@@ -163,6 +221,16 @@ class AnnotationEngine:
 
             result_cache = DiskCache(self.config.cache_dir)
         self.result_cache = result_cache
+        # Column-level content addressing: sound only for single-column
+        # models (table-wise attention makes a column's state depend on its
+        # neighbours, so those states are never cached).
+        self.column_cache: Optional[ColumnCache] = None
+        if trainer.config.single_column and self.config.column_cache_size > 0:
+            self.column_cache = ColumnCache(
+                self.config.column_cache_size,
+                disk=self.result_cache,
+                persist=self.config.column_cache_persist,
+            )
         self._planner = BatchPlanner(
             batch_size=self.config.batch_size,
             ordered=self.config.length_bucketing,
@@ -273,12 +341,16 @@ class AnnotationEngine:
         # stats accumulate only this call's slice of the cache traffic.
         hits_before = self.encoding.cache_hits
         misses_before = self.encoding.cache_misses
+        seg_hits_before = self.encoding.segment_hits
+        seg_misses_before = self.encoding.segment_misses
         for i in pending:
             encoded[i], cached_flags[i] = self.encoding.encode_cached(
                 requests[i].table
             )
         self.stats.cache_hits += self.encoding.cache_hits - hits_before
         self.stats.cache_misses += self.encoding.cache_misses - misses_before
+        self.stats.segment_hits += self.encoding.segment_hits - seg_hits_before
+        self.stats.segment_misses += self.encoding.segment_misses - seg_misses_before
         # Exact bucket plan: only requests dictating identical padded widths
         # share a forward batch (the byte-identity contract) — unless
         # ``waste_budget`` opted into near-width packing.
@@ -347,8 +419,12 @@ class AnnotationEngine:
         cache keys and routes re-key immediately instead of aliasing stale
         cached annotations onto new weights.  The memo makes repeated
         access cheap (no weight walk).
+
+        The engine's compute dtype is folded in (``EngineConfig.dtype``),
+        so a float64 engine and a float32 engine over the same weights
+        never share cached bytes.
         """
-        return self.trainer.annotation_fingerprint()
+        return self.trainer.annotation_fingerprint(dtype=self.config.dtype)
 
     # ------------------------------------------------------------------
     # Internals
@@ -414,6 +490,14 @@ class AnnotationEngine:
         real_before = model.real_tokens
         padded_before = model.padded_tokens
         batch_index = self.stats.batches
+        column_cache = self.column_cache
+        if column_cache is not None:
+            # Re-keyed per chunk: the fingerprint walk is memoized by the
+            # trainer, and re-reading it here means weight surgery between
+            # chunks orphans stale states instead of serving them.
+            column_cache.model_key = self.model_fingerprint
+            col_hits_before = column_cache.hits
+            col_misses_before = column_cache.misses
         raw = self.trainer.annotate_batch(
             tables,
             encoded=[encoded[i] for i in chunk],
@@ -424,7 +508,13 @@ class AnnotationEngine:
             # mixed-width) bucket that must stay one batch, not be split
             # back into exact buckets.
             waste_budget=self.config.waste_budget,
+            kernels=self.config.kernels,
+            compute_dtype=self.config.dtype,
+            column_cache=column_cache,
         )
+        if column_cache is not None:
+            self.stats.column_hits += column_cache.hits - col_hits_before
+            self.stats.column_misses += column_cache.misses - col_misses_before
         self.stats.batches += 1
         self.stats.encoder_passes += model.encode_calls - passes_before
         self.stats.real_tokens += model.real_tokens - real_before

@@ -103,11 +103,15 @@ class GatewayStats:
         """JSON-serializable snapshot — the wire shape served by the
         ``{"op": "stats"}`` admin answer and ``repro stats``.  Nested
         per-model/per-engine counters serialize recursively; each engine
-        additionally reports its derived ``padding_waste`` fraction."""
+        additionally reports its derived ``padding_waste`` fraction and
+        ``column_hit_rate`` (column-state cache efficiency)."""
         payload = asdict(self)
         for name, engine_stats in self.engines.items():
             payload["engines"][name]["padding_waste"] = round(
                 engine_stats.padding_waste, 6
+            )
+            payload["engines"][name]["column_hit_rate"] = round(
+                engine_stats.column_hit_rate, 6
             )
         return payload
 

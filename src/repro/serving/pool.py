@@ -109,6 +109,10 @@ class PoolConfig:
     admin: bool = True
     top_k: Optional[int] = None   # AnnotationOptions default (CLI passes 3)
     score_threshold: Optional[float] = None
+    dtype: str = "float32"                # engine compute precision
+    kernels: str = "fast"                 # fast (proof-gated) | reference
+    column_cache_size: int = 1024         # column-state cache entries
+    column_cache_persist: bool = False    # spill column states to the fabric
     shutdown_grace: float = 10.0
     sharding: str = "auto"                # auto | reuseport | inherit
     start_method: Optional[str] = None    # default: fork where available
@@ -152,7 +156,7 @@ def merge_counters(base: Dict, extra: Dict) -> Dict:
 
 
 def _fix_ratios(node: Dict) -> None:
-    """Recompute ``padding_waste`` from merged token counters (a mean of
+    """Recompute derived ratios from merged raw counters (a mean of
     per-worker ratios would weight idle workers equally with busy ones)."""
     for value in node.values():
         if isinstance(value, dict):
@@ -161,6 +165,10 @@ def _fix_ratios(node: Dict) -> None:
         padded = node.get("padded_tokens") or 0
         real = node.get("real_tokens") or 0
         node["padding_waste"] = ((padded - real) / padded) if padded else 0.0
+    if "column_hit_rate" in node and "column_hits" in node:
+        hits = node.get("column_hits") or 0
+        total = hits + (node.get("column_misses") or 0)
+        node["column_hit_rate"] = (hits / total) if total else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -210,7 +218,13 @@ def _worker_main(
 
     registry = ModelRegistry(
         max_live=config.max_live,
-        engine_config=EngineConfig(batch_size=config.batch_size),
+        engine_config=EngineConfig(
+            batch_size=config.batch_size,
+            dtype=config.dtype,
+            kernels=config.kernels,
+            column_cache_size=config.column_cache_size,
+            column_cache_persist=config.column_cache_persist,
+        ),
         cache_dir=config.cache_dir,
         fabric_writer=f"w{slot}-pid{os.getpid()}"
         if config.cache_dir is not None

@@ -1,0 +1,318 @@
+"""Differential harness: optimized kernels vs the reference implementations.
+
+The autograd kernels in :mod:`repro.nn.functional` and the Tensor forward
+path *define the bytes*; every optimized twin in :mod:`repro.nn.kernels`
+and the :class:`~repro.core.inference.InferenceSession` forward must
+reproduce them exactly.  This module is the proof:
+
+* in-place softmax/layernorm/gelu vs their allocating references on
+  randomized shapes and seeds — ``==`` on output bytes, in float64 AND
+  float32 (same ufunc sequence, same dtype → same bits);
+* the proof-gated GEMMs (``matmul_into``, ``fused_qkv``) — the gate runs
+  both forms on first call and must return reference bytes regardless of
+  the verdict; a disproven shape must permanently fall back;
+* the full fast forward (``kernels="fast"``) vs the reference Tensor path
+  (``kernels="reference"``) through ``DoduoTrainer.annotate_batch`` —
+  type scores, relations, and embeddings all ``==`` in the default
+  float32 policy (this is the CI gate for the whole optimization layer);
+* the float64 policy — bounded drift vs float32, never byte-mixed
+  (distinct fingerprints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DoduoConfig, DoduoTrainer
+from repro.datasets import generate_wikitable_dataset
+from repro.nn import TransformerConfig
+from repro.nn import functional as F
+from repro.nn.kernels import (
+    ProofCache,
+    Workspace,
+    fused_qkv,
+    gelu_,
+    layer_norm_,
+    matmul_into,
+    softmax_,
+)
+from repro.nn.tensor import Tensor
+from repro.text import train_wordpiece
+
+DTYPES = (np.float32, np.float64)
+SHAPES = ((3, 7), (2, 4, 9), (1, 2, 5, 6), (8, 1), (2, 3, 1))
+
+
+def _rand(rng, shape, dtype):
+    return rng.standard_normal(shape).astype(dtype) * 3.0
+
+
+# ---------------------------------------------------------------------------
+# In-place ufunc twins: byte-equal by construction, pinned here
+# ---------------------------------------------------------------------------
+
+
+class TestInPlaceKernels:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_softmax_bitwise(self, shape, seed, dtype):
+        rng = np.random.default_rng(seed)
+        x = _rand(rng, shape, dtype)
+        reference = F.softmax(Tensor(x.copy())).data
+        out = softmax_(x.copy())
+        assert out.dtype == dtype
+        assert (out == reference).all()
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_layer_norm_bitwise(self, shape, seed, dtype):
+        rng = np.random.default_rng(seed + 100)
+        x = _rand(rng, shape, dtype)
+        gamma = _rand(rng, shape[-1:], dtype)
+        beta = _rand(rng, shape[-1:], dtype)
+        reference = F.layer_norm(
+            Tensor(x.copy()), Tensor(gamma), Tensor(beta), eps=1e-5
+        ).data
+        out = layer_norm_(x.copy(), gamma, beta, 1e-5, Workspace())
+        assert (out == reference).all()
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_gelu_bitwise(self, shape, seed, dtype):
+        rng = np.random.default_rng(seed + 200)
+        x = _rand(rng, shape, dtype)
+        reference = F.gelu(Tensor(x.copy())).data
+        out = gelu_(x.copy(), Workspace())
+        assert (out == reference).all()
+
+    def test_kernels_mutate_in_place(self):
+        x = np.linspace(-2, 2, 12, dtype=np.float32).reshape(3, 4)
+        out = softmax_(x)
+        assert out is x  # no hidden allocation
+
+    def test_workspace_scratch_reused(self):
+        ws = Workspace()
+        x = np.ones((4, 8), dtype=np.float32)
+        gelu_(x.copy(), ws)
+        scratch = ws.take("gelu", (4, 8), np.float32)
+        gelu_(x.copy(), ws)
+        assert ws.take("gelu", (4, 8), np.float32) is scratch
+
+
+# ---------------------------------------------------------------------------
+# Proof-gated GEMMs: reference bytes no matter the verdict
+# ---------------------------------------------------------------------------
+
+
+class TestProofGatedMatmul:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "a_shape,b_shape",
+        [((5, 7), (7, 3)), ((2, 5, 7), (7, 3)), ((2, 3, 5, 7), (2, 3, 7, 4))],
+    )
+    def test_matmul_into_bitwise(self, a_shape, b_shape, dtype):
+        rng = np.random.default_rng(7)
+        a = _rand(rng, a_shape, dtype)
+        b = _rand(rng, b_shape, dtype)
+        ws = Workspace()
+        reference = a @ b
+        first = matmul_into(a, b, ws, "t")  # proof pass
+        second = matmul_into(a, b, ws, "t")  # verdict pass
+        assert (first == reference).all()
+        assert (second == reference).all()
+        assert ws.proofs.proofs_run == 1
+
+    def test_matmul_disproven_falls_back(self):
+        rng = np.random.default_rng(8)
+        a = _rand(rng, (4, 6), np.float32)
+        b = _rand(rng, (6, 5), np.float32)
+        ws = Workspace()
+        key = ("matmul", "t", a.shape, b.shape, a.dtype.str)
+        ws.proofs.record(key, False)  # simulate a platform where out= differs
+        out = matmul_into(a, b, ws, "t")
+        assert (out == a @ b).all()
+        assert "t" not in ws._buffers  # reference form, no workspace write
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("rows", [1, 3, 8])
+    def test_fused_qkv_bitwise(self, rows, dtype):
+        rng = np.random.default_rng(rows)
+        d = 16
+        x = _rand(rng, (2, rows, d), dtype)
+        w = [_rand(rng, (d, d), dtype) for _ in range(3)]
+        b = [_rand(rng, (d,), dtype) for _ in range(3)]
+        w_qkv = np.concatenate(w, axis=1)
+        b_qkv = np.concatenate(b)
+        expected = [x @ w[i] + b[i] for i in range(3)]
+        ws = Workspace()
+        for _ in range(2):  # proof pass, then verdict pass
+            q, k, v = fused_qkv(
+                x, w[0], b[0], w[1], b[1], w[2], b[2], w_qkv, b_qkv, ws
+            )
+            assert (q == expected[0]).all()
+            assert (k == expected[1]).all()
+            assert (v == expected[2]).all()
+        assert ws.proofs.proofs_run == 1
+
+    def test_fused_qkv_disproven_falls_back(self):
+        rng = np.random.default_rng(3)
+        d = 8
+        x = _rand(rng, (1, 4, d), np.float32)
+        w = [_rand(rng, (d, d), np.float32) for _ in range(3)]
+        b = [_rand(rng, (d,), np.float32) for _ in range(3)]
+        w_qkv = np.concatenate(w, axis=1)
+        b_qkv = np.concatenate(b)
+        ws = Workspace()
+        ws.proofs.record(("fused_qkv", x.shape, d, x.dtype.str), False)
+        q, k, v = fused_qkv(
+            x, w[0], b[0], w[1], b[1], w[2], b[2], w_qkv, b_qkv, ws
+        )
+        assert (q == x @ w[0] + b[0]).all()
+        assert (k == x @ w[1] + b[1]).all()
+        assert (v == x @ w[2] + b[2]).all()
+        assert ws.proofs.proofs_failed == 1  # the injected verdict, no retry
+
+    def test_proof_cache_counters(self):
+        proofs = ProofCache()
+        assert proofs.verdict("k") is None
+        proofs.record("k", True)
+        proofs.record("j", False)
+        assert proofs.verdict("k") is True
+        assert proofs.verdict("j") is False
+        assert proofs.proofs_run == 2
+        assert proofs.proofs_failed == 1
+
+
+class TestWorkspace:
+    def test_buffer_identity_and_resize(self):
+        ws = Workspace()
+        a = ws.take("x", (4, 8), np.float32)
+        assert ws.take("x", (4, 8), np.float32) is a  # steady state: reuse
+        b = ws.take("x", (2, 8), np.float32)  # geometry change: realloc
+        assert b is not a
+        c = ws.take("x", (2, 8), np.float64)  # dtype change: realloc
+        assert c is not b
+        assert ws.allocated_bytes == c.nbytes  # one live buffer per name
+
+
+# ---------------------------------------------------------------------------
+# Full forward: fast session vs reference Tensor path
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    dataset = generate_wikitable_dataset(num_tables=20, seed=11, max_rows=4)
+    tokenizer = train_wordpiece(dataset.all_cell_text(), vocab_size=600)
+    encoder = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        hidden_dim=32,
+        num_layers=2,
+        num_heads=2,
+        ffn_dim=64,
+        max_position=160,
+        num_segments=8,
+        dropout=0.0,
+    )
+    config = DoduoConfig(epochs=1, batch_size=8, keep_best_checkpoint=False)
+    t = DoduoTrainer(dataset, tokenizer, encoder, config)
+    t.train()
+    return t
+
+
+def _annotation_bytes(trainer, tables, **kwargs):
+    raw = trainer.annotate_batch(tables, with_embeddings=True, **kwargs)
+    return [
+        (r.type_probs, dict(r.relation_probs), r.embeddings) for r in raw
+    ]
+
+
+class TestFullForwardIdentity:
+    def test_fast_equals_reference_float32(self, trainer):
+        """THE acceptance gate: optimized annotation == reference, ``==``."""
+        tables = trainer.dataset.tables[:6]
+        fast = _annotation_bytes(trainer, tables, kernels="fast")
+        reference = _annotation_bytes(trainer, tables, kernels="reference")
+        for (ft, fr, fe), (rt, rr, re) in zip(fast, reference):
+            assert (ft == rt).all()
+            assert fr.keys() == rr.keys()
+            for pair in fr:
+                assert (fr[pair] == rr[pair]).all()
+            assert (fe == re).all()
+
+    def test_fast_batched_equals_sequential(self, trainer):
+        tables = trainer.dataset.tables[:6]
+        batched = _annotation_bytes(trainer, tables, kernels="fast")
+        sequential = [
+            _annotation_bytes(trainer, [t], kernels="fast")[0] for t in tables
+        ]
+        for (bt, br, be), (st, sr, se) in zip(batched, sequential):
+            assert (bt == st).all()
+            for pair in br:
+                assert (br[pair] == sr[pair]).all()
+            assert (be == se).all()
+
+    def test_session_proofs_all_pass_here(self, trainer):
+        """On this platform every shape proof must hold (the gate exists
+        for platforms where it might not — a failure is a fallback, not a
+        wrong byte — but locally we expect 100% proven)."""
+        trainer.annotate_batch(trainer.dataset.tables[:4], kernels="fast")
+        session = trainer.model.inference_session("float32")
+        assert session.workspace.proofs.proofs_run > 0
+        assert session.workspace.proofs.proofs_failed == 0
+
+    def test_float64_policy_bounded_drift(self, trainer):
+        tables = trainer.dataset.tables[:4]
+        f32 = _annotation_bytes(trainer, tables, kernels="fast")
+        f64 = _annotation_bytes(
+            trainer, tables, kernels="fast", compute_dtype="float64"
+        )
+        for (t32, _, e32), (t64, _, e64) in zip(f32, f64):
+            assert t64.dtype == np.float64
+            # float32 arithmetic carries ~1e-7 relative error; the float64
+            # path is the higher-precision answer, so the gap is bounded by
+            # the float32 error scale, not equality.
+            assert np.abs(t32 - t64).max() < 1e-4
+            assert np.abs(e32 - e64).max() < 1e-3
+            assert np.abs(t32 - t64).max() > 0.0  # genuinely different path
+
+    def test_dtype_folds_into_fingerprint(self, trainer):
+        f32 = trainer.annotation_fingerprint()
+        f64 = trainer.annotation_fingerprint(dtype="float64")
+        assert f32 != f64
+        assert trainer.annotation_fingerprint(dtype="float32") == f32
+
+    def test_reference_path_rejects_float64(self, trainer):
+        with pytest.raises(ValueError):
+            trainer.annotate_batch(
+                trainer.dataset.tables[:1],
+                kernels="reference",
+                compute_dtype="float64",
+            )
+
+    def test_training_mode_invalidates_sessions(self, trainer):
+        trainer.annotate_batch(trainer.dataset.tables[:1], kernels="fast")
+        assert trainer.model._sessions
+        trainer.model.train()
+        assert not trainer.model._sessions  # stale fused weights dropped
+        trainer.model.eval()
+
+    def test_session_stale_after_load_state_dict(self, trainer):
+        trainer.annotate_batch(trainer.dataset.tables[:1], kernels="fast")
+        state = trainer.model.state_dict()
+        trainer.model.load_state_dict(state)
+        assert not trainer.model._sessions
+        # and a fresh session rebuilds against the new arrays
+        reference = _annotation_bytes(
+            trainer, trainer.dataset.tables[:2], kernels="reference"
+        )
+        fast = _annotation_bytes(
+            trainer, trainer.dataset.tables[:2], kernels="fast"
+        )
+        for (ft, _, fe), (rt, _, re) in zip(fast, reference):
+            assert (ft == rt).all()
+            assert (fe == re).all()

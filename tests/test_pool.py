@@ -399,6 +399,51 @@ class TestMergeCounters:
         merge_counters(base, {"exact": True})
         assert base["exact"] is True
 
+    def test_column_hit_rate_recomputed_from_merged_counters(self):
+        """Regression: derived ratios must come from the merged raw
+        counters, never from summing (or averaging) per-worker ratios.
+        Worker A: 4/4 hits (rate 1.0); worker B: 0/12 (rate 0.0).  The
+        merged truth is 4 hits in 16 lookups = 0.25 — the naive sum says
+        1.0 and the naive mean says 0.5."""
+        from repro.serving.pool import _fix_ratios
+
+        base = {}
+        for hits, misses, rate in ((4, 0, 1.0), (0, 12, 0.0)):
+            merge_counters(
+                base,
+                {
+                    "engines": {
+                        "m": {
+                            "column_hits": hits,
+                            "column_misses": misses,
+                            "column_hit_rate": rate,
+                            "real_tokens": 10,
+                            "padded_tokens": 10,
+                            "padding_waste": 0.0,
+                        }
+                    }
+                },
+            )
+        engine = base["engines"]["m"]
+        assert engine["column_hit_rate"] == 1.0  # the broken summed value
+        _fix_ratios(base)
+        assert engine["column_hit_rate"] == 0.25
+        assert engine["padding_waste"] == 0.0
+
+    def test_pool_config_carries_engine_precision_knobs(self, bundle):
+        """The worker rebuilds its EngineConfig from PoolConfig, so the
+        dtype/kernels/column-cache knobs must survive the pickle."""
+        config = _config(
+            bundle,
+            dtype="float64",
+            kernels="fast",
+            column_cache_size=32,
+            column_cache_persist=True,
+        )
+        assert config.dtype == "float64"
+        assert config.column_cache_size == 32
+        assert config.column_cache_persist is True
+
 
 @pytest.mark.smoke
 class TestPoolCLI:

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.core import SerializerConfig, TableSerializer, column_visibility, pad_batch
 from repro.datasets import Column, Table
+from repro.encoding import column_fingerprint
 from repro.text import train_wordpiece
 
 
@@ -113,3 +114,94 @@ class TestBatchProperties:
                 )
                 if p != q and vis[p, q]:
                     assert same_column
+
+
+class TestColumnFingerprintProperties:
+    """The content hash under which per-column work is cached must depend
+    on exactly the column's own content — header and ordered cells — and
+    nothing else (not the carrying table, not its neighbours, not its
+    position)."""
+
+    @given(cols=columns, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_other_column_reordering(self, tokenizer, cols, data):
+        """Reordering the *other* columns moves a column's position but
+        must change neither its fingerprint nor its single-column
+        serialization — the soundness condition for content-addressing
+        per-column work across tables."""
+        perm = data.draw(st.permutations(range(len(cols))))
+        serializer = TableSerializer(tokenizer, SerializerConfig())
+        original = Table(columns=cols)
+        shuffled = Table(columns=[cols[k] for k in perm])
+        by_fingerprint = {}
+        for c in range(original.num_columns):
+            fp = column_fingerprint(original.columns[c])
+            by_fingerprint[fp] = serializer.serialize_column(original, c)
+        for c in range(shuffled.num_columns):
+            fp = column_fingerprint(shuffled.columns[c])
+            assert fp in by_fingerprint  # hash ignores position
+            before = by_fingerprint[fp]
+            after = serializer.serialize_column(shuffled, c)
+            assert (after.token_ids == before.token_ids).all()
+            assert (after.numeric_ids == before.numeric_ids).all()
+
+    @given(cols=columns)
+    @settings(max_examples=40, deadline=None)
+    def test_sensitive_to_any_cell_edit(self, cols):
+        for column in cols:
+            for row, value in enumerate(column.values):
+                edited_values = list(column.values)
+                edited_values[row] = value + "!"
+                edited = Column(values=edited_values, header=column.header)
+                assert column_fingerprint(edited) != column_fingerprint(column)
+
+    @given(values=st.lists(cell, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_sensitive_to_header_and_boundaries(self, values):
+        base = Column(values=values, header="h")
+        assert column_fingerprint(base) != column_fingerprint(
+            Column(values=values, header="h2")
+        )
+        # cell boundaries cannot collide: ["ab","c"] vs ["a","bc"]
+        joined = "".join(values)
+        if len(joined) >= 2 and len(values) >= 2:
+            split_a = Column(values=[joined[:1], joined[1:]], header="h")
+            split_b = Column(values=[joined[:2], joined[2:]], header="h")
+            if split_a.values != split_b.values:
+                assert column_fingerprint(split_a) != column_fingerprint(split_b)
+
+    @given(cols=columns, budget=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_segment_assembly_equals_direct_serialization(
+        self, tokenizer, cols, budget
+    ):
+        """Serializing from precomputed per-column segments (the segment
+        cache's read path) must produce the same encoding as serializing
+        from scratch — for the table-wise, single-column, and pair forms."""
+        serializer = TableSerializer(
+            tokenizer,
+            SerializerConfig(max_tokens_per_column=budget,
+                             max_sequence_length=512),
+        )
+        table = Table(columns=cols)
+        segments = [serializer.column_segments(c) for c in table.columns]
+
+        direct = serializer.serialize_table(table)
+        via_segments = serializer.serialize_table(table, segments=segments)
+        assert (via_segments.token_ids == direct.token_ids).all()
+        assert (via_segments.column_ids == direct.column_ids).all()
+        assert (via_segments.numeric_ids == direct.numeric_ids).all()
+
+        for c in range(table.num_columns):
+            d = serializer.serialize_column(table, c)
+            s = serializer.serialize_column(table, c, segment=segments[c])
+            assert (s.token_ids == d.token_ids).all()
+            assert (s.numeric_ids == d.numeric_ids).all()
+
+        if table.num_columns >= 2:
+            d = serializer.serialize_column_pair(table, 0, 1)
+            s = serializer.serialize_column_pair(
+                table, 0, 1, segments=(segments[0], segments[1])
+            )
+            assert (s.token_ids == d.token_ids).all()
+            assert (s.numeric_ids == d.numeric_ids).all()
