@@ -102,7 +102,7 @@ from .serving import (
     ServingPool,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AnnotatedTable",

@@ -53,7 +53,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from .core import Doduo, DoduoConfig, DoduoTrainer
+from .core import Doduo, DoduoConfig, DoduoTrainer, ProbeBudget, ProbePlanner
 from .core.persistence import load_annotator, save_annotator
 from .core.trainer import RELATION_TASK, TYPE_TASK
 from .core.wide import annotate_wide
@@ -138,6 +138,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_annotate(args: argparse.Namespace) -> int:
+    probe_error = _probe_args_error(args)
+    if probe_error:
+        print(probe_error, file=sys.stderr)
+        return 1
     annotator = load_annotator(args.model)
     if args.table.endswith(".jsonl"):
         csv_only = [
@@ -182,11 +186,19 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         )
         return 1
     table = read_table_csv(args.table, has_header=not args.no_header)
+    planner = None
+    if args.probe_mode == "planned":
+        planner = ProbePlanner(ProbeBudget(max_pairs=args.probe_budget))
     if args.max_columns and table.num_columns > args.max_columns:
         annotated = annotate_wide(
             annotator, table, max_columns=args.max_columns,
             strategy=args.wide_strategy or "contiguous",
+            probe_planner=planner,
         )
+    elif planner is not None:
+        annotated = annotator.engine.annotate(
+            table, pairs=planner.plan_pairs(table)
+        ).annotated
     else:
         annotated = annotator.annotate(table)
     if args.json:
@@ -224,8 +236,9 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
     """EngineConfig keyword overrides from the shared serving flags
-    (``--dtype``/``--kernels``/``--column-cache``/``--column-cache-persist``);
-    omitted flags fall through to the EngineConfig defaults."""
+    (``--dtype``/``--kernels``/``--column-cache``/``--column-cache-persist``/
+    ``--probe-mode``/``--probe-budget``); omitted flags fall through to the
+    EngineConfig defaults."""
     kwargs = {}
     if getattr(args, "dtype", None) is not None:
         kwargs["dtype"] = args.dtype
@@ -235,7 +248,21 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         kwargs["column_cache_size"] = args.column_cache
     if getattr(args, "column_cache_persist", False):
         kwargs["column_cache_persist"] = True
+    if getattr(args, "probe_mode", None) is not None:
+        kwargs["probe_mode"] = args.probe_mode
+    if getattr(args, "probe_budget", None) is not None:
+        kwargs["probe_budget"] = args.probe_budget
     return kwargs
+
+
+def _probe_args_error(args: argparse.Namespace) -> Optional[str]:
+    """Validate the probe flag combination (shared by annotate/serve)."""
+    if (
+        getattr(args, "probe_budget", None) is not None
+        and getattr(args, "probe_mode", None) != "planned"
+    ):
+        return "error: --probe-budget requires --probe-mode planned"
+    return None
 
 
 def _annotate_jsonl_batch(annotator: Doduo, args: argparse.Namespace) -> int:
@@ -459,6 +486,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocol,
     )
 
+    probe_error = _probe_args_error(args)
+    if probe_error:
+        print(probe_error, file=sys.stderr)
+        return 1
     specs, corpus = _parse_serve_routes(args)
     if args.workers is not None:
         # Multi-process pool: the parent owns the address, each worker
@@ -989,6 +1020,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "(0 disables; single-column models only)")
     annotate.add_argument("--column-cache-persist", action="store_true",
                           help="also persist column states to --cache-dir")
+    annotate.add_argument("--probe-mode", choices=("exhaustive", "planned"),
+                          default=None,
+                          help="relation probing policy: exhaustive default "
+                               "pairs (byte-identical legacy behavior) or "
+                               "planner-pruned, budgeted pairs")
+    annotate.add_argument("--probe-budget", type=int, default=None,
+                          metavar="N",
+                          help="max planned relation pairs per table "
+                               "(requires --probe-mode planned)")
     annotate.add_argument("--cache-dir", default=None,
                           help="persistent result-cache directory (.jsonl mode)")
     annotate.set_defaults(func=_cmd_annotate)
@@ -1031,6 +1071,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables; single-column models only)")
     serve.add_argument("--column-cache-persist", action="store_true",
                        help="also persist column states to --cache-dir")
+    serve.add_argument("--probe-mode", choices=("exhaustive", "planned"),
+                       default=None,
+                       help="relation probing policy: exhaustive default "
+                            "pairs (byte-identical legacy behavior) or "
+                            "planner-pruned, budgeted pairs")
+    serve.add_argument("--probe-budget", type=int, default=None, metavar="N",
+                       help="max planned relation pairs per table "
+                            "(requires --probe-mode planned)")
     serve.add_argument("--cache-dir", default=None,
                        help="persistent result-cache root (one subdirectory "
                             "per model fingerprint)")

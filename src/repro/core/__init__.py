@@ -9,6 +9,12 @@ from .calibration import (
 )
 from .model import ColumnRelationHead, ColumnTypeHead, DoduoModel
 from .persistence import load_annotator, save_annotator
+from .probe import (
+    ProbeBudget,
+    ProbePlan,
+    ProbePlanner,
+    relation_type_compatibility,
+)
 from .pipeline import (
     PipelineConfig,
     build_knowledge_base,
@@ -33,7 +39,10 @@ from .trainer import (
 )
 from .wide import (
     annotate_wide,
+    cached_column_profile,
+    column_profile,
     column_similarity,
+    profile_similarity,
     split_columns_by_similarity,
     split_columns_contiguous,
     split_wide_table,
@@ -50,6 +59,9 @@ __all__ = [
     "DoduoTrainer",
     "EncodedTable",
     "PipelineConfig",
+    "ProbeBudget",
+    "ProbePlan",
+    "ProbePlanner",
     "RELATION_TASK",
     "SerializerConfig",
     "TYPE_TASK",
@@ -60,9 +72,13 @@ __all__ = [
     "calibrate_trainer",
     "build_knowledge_base",
     "build_pretrained_lm",
+    "cached_column_profile",
     "clear_pretrain_cache",
+    "column_profile",
     "column_similarity",
     "column_visibility",
+    "profile_similarity",
+    "relation_type_compatibility",
     "expected_calibration_error",
     "fit_temperature",
     "load_annotator",

@@ -50,19 +50,42 @@ def default_relation_pairs(table: Table) -> List[Tuple[int, int]]:
     Annotated tables keep their gold pairs (sorted); unannotated tables fall
     back to TURL's subject-column convention and probe ``(0, j)`` for every
     non-subject column ``j``.  Single-column tables have nothing to probe.
+
+    Gold pairs recorded both ways round — ``(i, j)`` and ``(j, i)``, which
+    real annotation dumps do contain — ask the head the same gold question
+    twice, so unordered duplicates collapse to their first (sorted)
+    occurrence and no pair is ever encoded twice.
     """
     if table.num_columns < 2:
         return []
-    return sorted(table.relation_labels) or [
-        (0, j) for j in range(1, table.num_columns)
-    ]
+    gold = sorted(table.relation_labels)
+    if not gold:
+        return [(0, j) for j in range(1, table.num_columns)]
+    seen = set()
+    unique: List[Tuple[int, int]] = []
+    for i, j in gold:
+        key = (i, j) if i <= j else (j, i)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((i, j))
+    return unique
 
 
 def validate_relation_pairs(
     table: Table, pairs: Sequence[Tuple[int, int]]
 ) -> List[Tuple[int, int]]:
-    """Check that every requested pair indexes real columns of ``table``."""
+    """Check that every requested pair indexes real columns of ``table``.
+
+    Exact repeats are dropped (probing a pair twice buys nothing), but a
+    reversed request ``(j, i)`` is kept alongside ``(i, j)``: the relation
+    head concatenates the two column states in order, so the two directions
+    are genuinely different probes — unlike gold duplicates, where
+    :func:`default_relation_pairs` collapses unordered repeats of the same
+    annotation.
+    """
     checked: List[Tuple[int, int]] = []
+    seen = set()
     for pair in pairs:
         i, j = pair
         for index in (i, j):
@@ -71,7 +94,11 @@ def validate_relation_pairs(
                     f"relation pair {pair!r} is out of range for table "
                     f"{table.table_id!r} with {table.num_columns} columns"
                 )
-        checked.append((int(i), int(j)))
+        key = (int(i), int(j))
+        if key in seen:
+            continue
+        seen.add(key)
+        checked.append(key)
     return checked
 
 
@@ -223,7 +250,10 @@ class DoduoTrainer:
         # lookup.  Invalidated by train() — external weight mutation must
         # call invalidate_fingerprint() (or hand the registry a fresh
         # trainer).
-        self._annotation_fingerprints: Dict[str, str] = {}
+        # Keyed by (dtype, probe descriptor) — see annotation_fingerprint.
+        self._annotation_fingerprints: Dict[
+            Tuple[str, Optional[str]], str
+        ] = {}
 
     @property
     def serializer(self) -> TableSerializer:
@@ -470,7 +500,9 @@ class DoduoTrainer:
         return results  # type: ignore[return-value]
 
     def predict_relations(
-        self, tables: Sequence[Table]
+        self,
+        tables: Sequence[Table],
+        probe_planner: Optional["ProbePlanner"] = None,
     ) -> List[Dict[Tuple[int, int], np.ndarray]]:
         """Per-table relation predictions for each annotated column pair.
 
@@ -481,12 +513,21 @@ class DoduoTrainer:
         prediction stays byte-identical to a per-table call — the
         evaluation path carries the same batched-vs-sequential stability
         contract as serving.
+
+        ``probe_planner`` (a :class:`~repro.core.probe.ProbePlanner`)
+        switches from probing each table's gold pairs to probing the
+        planner's budgeted pair set — evaluation under a probe budget.
+        Gold pairs are pinned by the planner, so labeled tables keep every
+        annotated pair in the probe set.
         """
         self.model.eval()
         results: List[Dict[Tuple[int, int], np.ndarray]] = [
             {} for _ in tables
         ]
-        pairs_per_table = [sorted(t.relation_labels) for t in tables]
+        if probe_planner is None:
+            pairs_per_table = [sorted(t.relation_labels) for t in tables]
+        else:
+            pairs_per_table = [probe_planner.plan_pairs(t) for t in tables]
         active = [i for i, pairs in enumerate(pairs_per_table) if pairs]
         if not active:
             return results
@@ -578,7 +619,9 @@ class DoduoTrainer:
         self._annotation_fingerprints.clear()
         self.model.invalidate_sessions()
 
-    def annotation_fingerprint(self, dtype: str = "float32") -> str:
+    def annotation_fingerprint(
+        self, dtype: str = "float32", probe: Optional[str] = None
+    ) -> str:
         """Stable hash of everything that determines an annotation output.
 
         Combines :meth:`DoduoModel.fingerprint` (architecture + weights) with
@@ -599,11 +642,21 @@ class DoduoTrainer:
         before the dtype policy existed, keeping persisted disk-cache
         entries valid.
 
+        ``probe`` is the probe-planning descriptor
+        (:meth:`~repro.core.probe.ProbePlanner.fingerprint_tag`): a planned
+        engine answers ``pairs=None`` requests with a *different pair set*
+        than an exhaustive one, so the plan policy folds into the digest
+        and no cache or route ever mixes plans.  ``None`` — exhaustive
+        probing, the default policy — leaves the digest marker-free, same
+        contract as the dtype marker: pre-planner persisted cache keys stay
+        valid.
+
         Memoized (hashing walks every weight); :meth:`train` invalidates the
         memo, and :meth:`invalidate_fingerprint` does so for out-of-band
         weight mutation.
         """
-        cached = self._annotation_fingerprints.get(dtype)
+        memo_key = (dtype, probe)
+        cached = self._annotation_fingerprints.get(memo_key)
         if cached is not None:
             return cached
         digest = hashlib.blake2b(digest_size=16)
@@ -630,8 +683,12 @@ class DoduoTrainer:
             # The float32 digest predates the dtype policy; keeping it
             # marker-free preserves every previously persisted cache key.
             digest.update(f"|dtype={dtype}".encode("utf-8"))
+        if probe is not None:
+            # Same pattern: exhaustive probing (None) predates the planner
+            # and stays marker-free.
+            digest.update(f"|probe={probe}".encode("utf-8"))
         value = digest.hexdigest()
-        self._annotation_fingerprints[dtype] = value
+        self._annotation_fingerprints[memo_key] = value
         return value
 
     def encode_for_annotation(self, table: Table) -> EncodedAnnotationInput:
@@ -653,6 +710,7 @@ class DoduoTrainer:
         kernels: Optional[str] = None,
         compute_dtype: str = "float32",
         column_cache: Optional["ColumnStateStore"] = None,
+        probe_planner: Optional["ProbePlanner"] = None,
     ) -> List[RawTableAnnotation]:
         """Annotate a batch of tables, one encoder pass per width bucket.
 
@@ -687,6 +745,16 @@ class DoduoTrainer:
         same padded width — in any prior table; it is ignored in table-wise
         mode, where cross-column attention makes per-column states
         context-dependent and therefore unsound to share.
+
+        ``probe_planner`` (a :class:`~repro.core.probe.ProbePlanner`, or
+        anything with ``plan_pairs(table)``) replaces the
+        :func:`default_relation_pairs` policy for tables whose
+        ``pair_requests`` entry is ``None``: the planner's budgeted,
+        prefilter-pruned pair set is probed instead of the exhaustive
+        default.  Explicit pair requests always bypass the planner, and a
+        planned probe of pair set S is byte-identical to explicitly
+        requesting S — planning changes *which* pairs are paid for, never
+        the bytes of a probed pair.
         """
         if encoded is not None and len(encoded) != len(tables):
             raise ValueError(
@@ -717,7 +785,14 @@ class DoduoTrainer:
                     )
                 pairs_per_table.append([])
             elif requested is None:
-                pairs_per_table.append(default_relation_pairs(table))
+                if probe_planner is not None:
+                    pairs_per_table.append(
+                        validate_relation_pairs(
+                            table, probe_planner.plan_pairs(table)
+                        )
+                    )
+                else:
+                    pairs_per_table.append(default_relation_pairs(table))
             else:
                 pairs_per_table.append(validate_relation_pairs(table, requested))
         # Exact width bucketing: only tables whose forward passes would use

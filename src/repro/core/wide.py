@@ -27,12 +27,16 @@ the per-group predictions back into a single
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..datasets.tables import Column, Table
+from ..encoding.cache import LRUCache, column_fingerprint
 from .annotator import AnnotatedTable, Doduo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .probe import ProbePlanner
 
 
 def _char_ngrams(text: str, n: int = 3) -> Set[str]:
@@ -50,15 +54,46 @@ def column_profile(column: Column, max_values: int = 20) -> Set[str]:
     return grams
 
 
-def column_similarity(a: Column, b: Column) -> float:
-    """Jaccard similarity between two columns' character-3-gram profiles."""
-    grams_a, grams_b = column_profile(a), column_profile(b)
+#: Content-addressed memo for :func:`column_profile` (default ``max_values``
+#: only — the key is content, not parameters).  Module-level on purpose:
+#: the same column reappearing across tables, grouping runs, and probe
+#: plans builds its profile once per process.
+PROFILE_CACHE: LRUCache[Set[str]] = LRUCache(4096)
+
+
+def cached_column_profile(column: Column, max_values: int = 20) -> Set[str]:
+    """Memoized :func:`column_profile`, keyed by column content.
+
+    Grouping used to rebuild both profiles on every
+    :func:`column_similarity` call — O(k²) profile builds for a k-column
+    table; with the memo it is k builds, and the probe planner
+    (:mod:`repro.core.probe`) reuses the same entries as its stage-1
+    signal.  A non-default ``max_values`` bypasses the cache.
+    """
+    if max_values != 20:
+        return column_profile(column, max_values)
+    key = column_fingerprint(column)
+    cached = PROFILE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    profile = column_profile(column, max_values)
+    PROFILE_CACHE.put(key, profile)
+    return profile
+
+
+def profile_similarity(grams_a: Set[str], grams_b: Set[str]) -> float:
+    """Jaccard similarity between two precomputed 3-gram profiles."""
     if not grams_a and not grams_b:
         return 1.0
     union = grams_a | grams_b
     if not union:
         return 0.0
     return len(grams_a & grams_b) / len(union)
+
+
+def column_similarity(a: Column, b: Column) -> float:
+    """Jaccard similarity between two columns' character-3-gram profiles."""
+    return profile_similarity(cached_column_profile(a), cached_column_profile(b))
 
 
 def split_columns_contiguous(num_columns: int, max_columns: int) -> List[List[int]]:
@@ -88,11 +123,15 @@ def split_columns_by_similarity(
     if n == 0:
         return []
 
+    # One memoized profile per column, then O(k²) set arithmetic — the
+    # per-cell column_similarity call used to rebuild both profiles every
+    # time (O(k²) profile builds).
+    profiles = [cached_column_profile(column) for column in table.columns]
     similarity = np.zeros((n, n))
     for i in range(n):
         for j in range(i + 1, n):
-            similarity[i, j] = similarity[j, i] = column_similarity(
-                table.columns[i], table.columns[j]
+            similarity[i, j] = similarity[j, i] = profile_similarity(
+                profiles[i], profiles[j]
             )
 
     groups: List[List[int]] = [[i] for i in range(n)]
@@ -183,6 +222,7 @@ def annotate_wide(
     strategy: str = "contiguous",
     rules: Optional[Sequence[Sequence[int]]] = None,
     with_embeddings: bool = True,
+    probe_planner: Optional["ProbePlanner"] = None,
 ) -> AnnotatedTable:
     """Annotate a table wider than the encoder's column budget.
 
@@ -191,10 +231,24 @@ def annotate_wide(
     original column order.  Relations are predicted within groups only — the
     deliberate trade-off of the paper's splitting recipe.
 
+    All groups go to the annotator's engine as **one** batch, so same-width
+    groups share encoder passes (exact width buckets — bitwise identical to
+    the historical per-group calls).  ``probe_planner`` (a
+    :class:`~repro.core.probe.ProbePlanner`) replaces each group's
+    exhaustive relation probing with a planned, budgeted pair set; without
+    one, every group probes its
+    :func:`~repro.core.trainer.default_relation_pairs` as before.
+
     ``max_columns`` defaults to what the annotator's serializer can fit in
     half its maximum sequence length (a conservative budget that leaves room
     for the per-column token budget).
     """
+    from dataclasses import replace
+
+    # Deferred: serving imports core, so core.wide cannot import serving at
+    # module scope (same pattern as Doduo.annotate_many).
+    from ..serving.request import AnnotationRequest
+
     trainer = annotator.trainer
     if max_columns is None:
         budget = trainer.serializer.config.max_sequence_length
@@ -206,9 +260,28 @@ def annotate_wide(
     colrels: Dict[Tuple[int, int], List[str]] = {}
     embeddings: Optional[np.ndarray] = None
 
+    engine = annotator.engine
+    requests = []
     for g, group in enumerate(groups):
         piece = subtable(table, group, suffix=f"#g{g}")
-        annotated = annotator.annotate(piece, with_embeddings=with_embeddings)
+        requests.append(
+            AnnotationRequest(
+                table=piece,
+                options=replace(
+                    engine.config.default_options,
+                    with_embeddings=with_embeddings,
+                ),
+                pairs=(
+                    probe_planner.plan(piece).pairs
+                    if probe_planner is not None
+                    else None
+                ),
+            )
+        )
+    results = engine.annotate_batch(requests)
+
+    for group, result in zip(groups, results):
+        annotated = result.annotated
         for local, original in enumerate(group):
             coltypes[original] = annotated.coltypes[local]
             if annotated.type_scores:

@@ -42,6 +42,7 @@ from typing import (
 import numpy as np
 
 from ..core.annotator import AnnotatedTable
+from ..core.probe import ProbeBudget, ProbePlanner
 from ..core.trainer import DoduoTrainer, RawTableAnnotation, default_relation_pairs
 from ..datasets.tables import Table
 from ..encoding import BatchPlanner, EncodingPipeline
@@ -93,6 +94,18 @@ class EngineConfig:
     context-dependent — and ``column_cache_persist`` additionally spills
     entries to the engine's persistent tier (requires ``cache_dir`` or an
     attached result cache) so column states survive restarts.
+
+    ``probe_mode`` is the relation-probing policy for requests that leave
+    ``AnnotationRequest.pairs`` unset: ``"exhaustive"`` (default) probes
+    :func:`~repro.core.trainer.default_relation_pairs` — byte-identical to
+    the pre-planner engine — while ``"planned"`` routes the request
+    through a :class:`~repro.core.probe.ProbePlanner`, which prunes and
+    budgets the k² pair cross-product before any encoder work.
+    ``probe_budget`` caps the planned pairs per table
+    (:class:`~repro.core.probe.ProbeBudget.max_pairs`; ``None`` plans
+    without a cap, prefilters only).  Explicit request pairs always bypass
+    the planner, and the probe policy folds into the model fingerprint so
+    no cache tier or route ever mixes plans.
     """
 
     batch_size: int = 8
@@ -105,6 +118,8 @@ class EngineConfig:
     kernels: str = "fast"
     column_cache_size: int = 1024
     column_cache_persist: bool = False
+    probe_mode: str = "exhaustive"
+    probe_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -130,6 +145,21 @@ class EngineConfig:
             raise ValueError(
                 f"column_cache_size must be >= 0: {self.column_cache_size}"
             )
+        if self.probe_mode not in ("exhaustive", "planned"):
+            raise ValueError(
+                f"probe_mode must be 'exhaustive' or 'planned': "
+                f"{self.probe_mode!r}"
+            )
+        if self.probe_budget is not None:
+            if self.probe_budget < 1:
+                raise ValueError(
+                    f"probe_budget must be >= 1: {self.probe_budget}"
+                )
+            if self.probe_mode != "planned":
+                raise ValueError(
+                    "probe_budget requires probe_mode='planned' (exhaustive "
+                    "probing has no budget to apply)"
+                )
 
 
 @dataclass
@@ -154,6 +184,13 @@ class EngineStats:
     encoder pass); ``segment_hits``/``segment_misses`` count the
     serialization-tier sibling (a hit skips re-tokenizing one column even
     when the table-level cache misses).
+
+    ``pairs_planned``/``pairs_pruned`` account the probe planner's work on
+    ``pairs=None`` requests (``probe_mode="planned"`` only): how many
+    relation pairs the plans kept vs discarded from the candidate
+    cross-product.  ``pairs_probed`` counts pairs the relation head
+    actually encoded in every mode — planned, exhaustive, and explicit
+    requests alike (disk-cache hits probe nothing).
     """
 
     requests: int = 0
@@ -169,6 +206,9 @@ class EngineStats:
     segment_misses: int = 0
     real_tokens: int = 0
     padded_tokens: int = 0
+    pairs_planned: int = 0
+    pairs_pruned: int = 0
+    pairs_probed: int = 0
     planner_mode: str = "exact"
 
     @property
@@ -185,6 +225,14 @@ class EngineStats:
         if total == 0:
             return 0.0
         return self.column_hits / total
+
+    @property
+    def probe_prune_rate(self) -> float:
+        """Fraction of candidate relation pairs the planner pruned away."""
+        total = self.pairs_planned + self.pairs_pruned
+        if total == 0:
+            return 0.0
+        return self.pairs_pruned / total
 
 
 class AnnotationEngine:
@@ -236,6 +284,14 @@ class AnnotationEngine:
             ordered=self.config.length_bucketing,
             waste_budget=self.config.waste_budget,
         )
+        # Probe planning: only built in planned mode, so exhaustive engines
+        # carry zero planner state and behave byte-identically to before
+        # the policy existed.
+        self.probe_planner: Optional[ProbePlanner] = None
+        if self.config.probe_mode == "planned":
+            self.probe_planner = ProbePlanner(
+                ProbeBudget(max_pairs=self.config.probe_budget)
+            )
         self.stats = EngineStats(planner_mode=self._planner.mode)
 
     # ------------------------------------------------------------------
@@ -351,13 +407,35 @@ class AnnotationEngine:
         self.stats.cache_misses += self.encoding.cache_misses - misses_before
         self.stats.segment_hits += self.encoding.segment_hits - seg_hits_before
         self.stats.segment_misses += self.encoding.segment_misses - seg_misses_before
+        # Probe planning: pairs=None requests in planned mode get their
+        # pair set decided here, ONCE, so the batching signature and the
+        # probes the trainer runs always agree.  Explicit pairs and
+        # relation-less requests bypass the planner entirely.
+        planned_pairs: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        if self.probe_planner is not None:
+            for i in pending:
+                request = requests[i]
+                if (
+                    request.pairs is None
+                    and request.options.with_relations
+                    and self.trainer.model.relation_head is not None
+                ):
+                    plan = self.probe_planner.plan(request.table)
+                    planned_pairs[i] = plan.pairs
+                    self.stats.pairs_planned += plan.planned
+                    self.stats.pairs_pruned += plan.pruned
         # Exact bucket plan: only requests dictating identical padded widths
         # share a forward batch (the byte-identity contract) — unless
         # ``waste_budget`` opted into near-width packing.
-        signatures = [self._signature(requests[i], encoded[i]) for i in pending]
+        signatures = [
+            self._signature(requests[i], encoded[i], planned_pairs.get(i))
+            for i in pending
+        ]
         for bucket in self._planner.plan(signatures):
             chunk = [pending[k] for k in bucket]
-            self._run_chunk(chunk, requests, encoded, cached_flags, results)
+            self._run_chunk(
+                chunk, requests, encoded, cached_flags, results, planned_pairs
+            )
         # Fresh read (NOT the captured handle): once the registry detaches
         # the tier, this engine stops persisting immediately.
         result_cache = self.result_cache
@@ -422,9 +500,19 @@ class AnnotationEngine:
 
         The engine's compute dtype is folded in (``EngineConfig.dtype``),
         so a float64 engine and a float32 engine over the same weights
-        never share cached bytes.
+        never share cached bytes.  So is the probe policy
+        (``EngineConfig.probe_mode``/``probe_budget``): a planned engine
+        probes a different pair set for the same ``pairs=None`` request,
+        and its cache entries and routes must never alias exhaustive ones.
         """
-        return self.trainer.annotation_fingerprint(dtype=self.config.dtype)
+        probe = (
+            self.probe_planner.fingerprint_tag()
+            if self.probe_planner is not None
+            else None
+        )
+        return self.trainer.annotation_fingerprint(
+            dtype=self.config.dtype, probe=probe
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -441,10 +529,17 @@ class AnnotationEngine:
         raise TypeError(f"expected a Table or AnnotationRequest, got {type(item)!r}")
 
     def _signature(
-        self, request: AnnotationRequest, encoded: object
+        self,
+        request: AnnotationRequest,
+        encoded: object,
+        planned: Optional[Tuple[Tuple[int, int], ...]] = None,
     ) -> Tuple[int, int]:
         """Exact-batching key of one request (see
         :meth:`~repro.encoding.EncodingPipeline.annotation_signature`).
+
+        ``planned`` is the probe planner's pair set for this request (only
+        in planned mode, only for ``pairs=None`` relation requests) — the
+        signature must reflect the pairs that will actually be probed.
 
         Out-of-range explicit pairs are skipped here — the trainer validates
         them with a proper error message; a slightly loose signature only
@@ -464,6 +559,8 @@ class AnnotationEngine:
                 for i, j in request.pairs
                 if 0 <= i < num_columns and 0 <= j < num_columns
             ]
+        elif planned is not None:
+            pairs = planned
         else:
             pairs = default_relation_pairs(request.table)
         return self.encoding.annotation_signature(encoded, pairs)
@@ -475,6 +572,7 @@ class AnnotationEngine:
         encoded: Dict[int, object],
         cached_flags: Dict[int, bool],
         results: List[Optional[AnnotationResult]],
+        planned_pairs: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None,
     ) -> None:
         tables = [requests[i].table for i in chunk]
         pair_requests: List[Optional[Sequence[Tuple[int, int]]]] = []
@@ -482,6 +580,11 @@ class AnnotationEngine:
             request = requests[i]
             if not request.options.with_relations:
                 pair_requests.append(())  # probe nothing
+            elif planned_pairs is not None and i in planned_pairs:
+                # The planner already decided this request's probes (and
+                # the batch signature was computed from them); handing them
+                # over as explicit pairs keeps plan and probe in lockstep.
+                pair_requests.append(planned_pairs[i])
             else:
                 pair_requests.append(request.pairs)
         any_embeddings = any(requests[i].options.with_embeddings for i in chunk)
@@ -515,6 +618,9 @@ class AnnotationEngine:
         if column_cache is not None:
             self.stats.column_hits += column_cache.hits - col_hits_before
             self.stats.column_misses += column_cache.misses - col_misses_before
+        self.stats.pairs_probed += sum(
+            len(raw_item.probed_pairs) for raw_item in raw
+        )
         self.stats.batches += 1
         self.stats.encoder_passes += model.encode_calls - passes_before
         self.stats.real_tokens += model.real_tokens - real_before

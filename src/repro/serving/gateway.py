@@ -103,8 +103,10 @@ class GatewayStats:
         """JSON-serializable snapshot — the wire shape served by the
         ``{"op": "stats"}`` admin answer and ``repro stats``.  Nested
         per-model/per-engine counters serialize recursively; each engine
-        additionally reports its derived ``padding_waste`` fraction and
-        ``column_hit_rate`` (column-state cache efficiency)."""
+        additionally reports its derived ``padding_waste`` fraction,
+        ``column_hit_rate`` (column-state cache efficiency), and
+        ``probe_prune_rate`` (share of candidate relation pairs the probe
+        planner discarded)."""
         payload = asdict(self)
         for name, engine_stats in self.engines.items():
             payload["engines"][name]["padding_waste"] = round(
@@ -112,6 +114,9 @@ class GatewayStats:
             )
             payload["engines"][name]["column_hit_rate"] = round(
                 engine_stats.column_hit_rate, 6
+            )
+            payload["engines"][name]["probe_prune_rate"] = round(
+                engine_stats.probe_prune_rate, 6
             )
         return payload
 

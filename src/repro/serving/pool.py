@@ -113,6 +113,8 @@ class PoolConfig:
     kernels: str = "fast"                 # fast (proof-gated) | reference
     column_cache_size: int = 1024         # column-state cache entries
     column_cache_persist: bool = False    # spill column states to the fabric
+    probe_mode: str = "exhaustive"        # relation probing: exhaustive | planned
+    probe_budget: Optional[int] = None    # planned pairs cap per table
     shutdown_grace: float = 10.0
     sharding: str = "auto"                # auto | reuseport | inherit
     start_method: Optional[str] = None    # default: fork where available
@@ -127,6 +129,17 @@ class PoolConfig:
         if self.max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0: {self.max_restarts}")
         resolve_sharding(self.sharding)  # validate early, in the parent
+        # Probe knobs fail in the parent too, not in a spawned worker.
+        if self.probe_mode not in ("exhaustive", "planned"):
+            raise ValueError(
+                f"probe_mode must be 'exhaustive' or 'planned': "
+                f"{self.probe_mode!r}"
+            )
+        if self.probe_budget is not None and self.probe_mode != "planned":
+            raise ValueError(
+                "probe_budget requires probe_mode='planned' (exhaustive "
+                "probing has no budget to apply)"
+            )
 
 
 def merge_counters(base: Dict, extra: Dict) -> Dict:
@@ -169,6 +182,10 @@ def _fix_ratios(node: Dict) -> None:
         hits = node.get("column_hits") or 0
         total = hits + (node.get("column_misses") or 0)
         node["column_hit_rate"] = (hits / total) if total else 0.0
+    if "probe_prune_rate" in node and "pairs_pruned" in node:
+        pruned = node.get("pairs_pruned") or 0
+        total = pruned + (node.get("pairs_planned") or 0)
+        node["probe_prune_rate"] = (pruned / total) if total else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +241,8 @@ def _worker_main(
             kernels=config.kernels,
             column_cache_size=config.column_cache_size,
             column_cache_persist=config.column_cache_persist,
+            probe_mode=config.probe_mode,
+            probe_budget=config.probe_budget,
         ),
         cache_dir=config.cache_dir,
         fabric_writer=f"w{slot}-pid{os.getpid()}"

@@ -430,6 +430,46 @@ class TestMergeCounters:
         assert engine["column_hit_rate"] == 0.25
         assert engine["padding_waste"] == 0.0
 
+    def test_probe_prune_rate_recomputed_from_merged_counters(self):
+        """Same regression shape for the probe counters: worker A planned
+        6 / pruned 18 (rate 0.75); worker B planned 16 / pruned 0 (rate
+        0.0).  Merged truth is 18 pruned of 40 considered = 0.45 — the
+        naive sum says 0.75 and the naive mean says 0.375."""
+        from repro.serving.pool import _fix_ratios
+
+        base = {}
+        for planned, pruned, rate in ((6, 18, 0.75), (16, 0, 0.0)):
+            merge_counters(
+                base,
+                {
+                    "engines": {
+                        "m": {
+                            "pairs_planned": planned,
+                            "pairs_pruned": pruned,
+                            "pairs_probed": planned,
+                            "probe_prune_rate": rate,
+                        }
+                    }
+                },
+            )
+        engine = base["engines"]["m"]
+        assert engine["probe_prune_rate"] == 0.75  # the broken summed value
+        _fix_ratios(base)
+        assert engine["probe_prune_rate"] == 0.45
+        assert engine["pairs_probed"] == 22
+
+    def test_pool_config_carries_probe_knobs(self, bundle):
+        config = _config(bundle, probe_mode="planned", probe_budget=6)
+        assert config.probe_mode == "planned"
+        assert config.probe_budget == 6
+
+    def test_pool_config_rejects_budget_without_planned_mode(self, bundle):
+        """Validation must happen parent-side, not in a dead worker."""
+        with pytest.raises(ValueError):
+            _config(bundle, probe_budget=6)
+        with pytest.raises(ValueError):
+            _config(bundle, probe_mode="greedy")
+
     def test_pool_config_carries_engine_precision_knobs(self, bundle):
         """The worker rebuilds its EngineConfig from PoolConfig, so the
         dtype/kernels/column-cache knobs must survive the pickle."""

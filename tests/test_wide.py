@@ -5,8 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.probe import ProbeBudget, ProbePlanner
 from repro.core.wide import (
+    PROFILE_CACHE,
     annotate_wide,
+    cached_column_profile,
     column_similarity,
     split_columns_by_similarity,
     split_columns_contiguous,
@@ -92,6 +95,47 @@ class TestSimilarity:
         assert a == b
 
 
+class TestProfileMemoization:
+    """Satellite regression: column 3-gram profiles are built once per
+    column, not once per (i, j) pair."""
+
+    def test_similarity_split_builds_each_profile_once(self):
+        PROFILE_CACHE.clear()
+        table = make_wide_table(num_cols=9)
+        split_columns_by_similarity(table, max_columns=3)
+        assert PROFILE_CACHE.misses == 9
+
+        PROFILE_CACHE.clear()
+        # Before memoization this cost k*(k-1) profile builds.
+        wider = make_wide_table(num_cols=12)
+        split_columns_by_similarity(wider, max_columns=4)
+        assert PROFILE_CACHE.misses == 12
+
+    def test_repeated_split_hits_cache(self):
+        PROFILE_CACHE.clear()
+        table = make_wide_table(num_cols=6)
+        split_columns_by_similarity(table, max_columns=3)
+        misses = PROFILE_CACHE.misses
+        split_columns_by_similarity(table, max_columns=2)
+        assert PROFILE_CACHE.misses == misses
+
+    def test_cached_profile_matches_direct_similarity(self):
+        a = Column(values=["san francisco", "new york"])
+        b = Column(values=["san diego", "new orleans"])
+        direct = column_similarity(a, b)
+        grams_a, grams_b = cached_column_profile(a), cached_column_profile(b)
+        union = grams_a | grams_b
+        jaccard = len(grams_a & grams_b) / len(union) if union else 1.0
+        assert direct == jaccard
+
+    def test_nondefault_max_values_bypasses_cache(self):
+        PROFILE_CACHE.clear()
+        col = Column(values=[f"value {r}" for r in range(30)])
+        cached_column_profile(col, max_values=5)
+        assert PROFILE_CACHE.misses == 0
+        assert cached_column_profile(col, max_values=5) < cached_column_profile(col)
+
+
 class TestSplitWideTable:
     def test_rules_strategy(self):
         table = make_wide_table(num_cols=4)
@@ -174,3 +218,32 @@ class TestAnnotateWide:
         table = make_wide_table(num_cols=6)
         result = annotate_wide(annotator, table)
         assert len(result.coltypes) == 6
+
+    def test_probe_planner_restricts_group_pairs(self, annotator):
+        table = make_wide_table(num_cols=8)
+        planner = ProbePlanner(ProbeBudget(max_pairs=2))
+        result = annotate_wide(
+            annotator, table, max_columns=4, probe_planner=planner
+        )
+        assert len(result.coltypes) == 8
+        assert all(types for types in result.coltypes)
+        # Each group of 4 columns planned at most 2 pairs.
+        assert len(result.colrels) <= 4
+        planned = set()
+        for group_start in (0, 4):
+            piece = subtable(table, list(range(group_start, group_start + 4)))
+            for (i, j) in planner.plan(piece).pairs:
+                planned.add((i + group_start, j + group_start))
+        assert set(result.colrels) <= planned
+
+    def test_probe_planner_matches_unplanned_types(self, annotator):
+        table = make_wide_table(num_cols=6)
+        baseline = annotate_wide(annotator, table, max_columns=3)
+        planned = annotate_wide(
+            annotator,
+            table,
+            max_columns=3,
+            probe_planner=ProbePlanner(ProbeBudget(max_pairs=1)),
+        )
+        # Planning changes which relations are probed, never the types.
+        assert planned.coltypes == baseline.coltypes
