@@ -1,4 +1,9 @@
-"""Analyses: attention dependency, LM probing, embedding-space quality."""
+"""Analyses: attention dependency, LM probing, embedding-space quality.
+
+:mod:`repro.analysis.contracts` (not imported here — it has no numpy
+dependency and stays importable in stripped environments) is the static
+contract checker behind ``repro check``.
+"""
 
 from .attention import (
     AttentionDependency,

@@ -1,0 +1,51 @@
+"""Rule registry for ``repro check``.
+
+A rule is a function ``(project: Project) -> Iterable[Finding]``
+registered under a stable kebab-case id.  Registration order is
+presentation order, so the catalog in ``docs/checks.md`` matches the
+``repro check --list`` output by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .model import Finding, Project
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule"]
+
+RuleFn = Callable[[Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    summary: str
+    fn: RuleFn
+
+    def run(self, project: Project) -> List[Finding]:
+        return list(self.fn(project))
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    """Register ``fn`` as the implementation of ``rule_id``."""
+
+    def decorator(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id: {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id=rule_id, summary=summary, fn=fn)
+        return fn
+
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    return list(_REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    return _REGISTRY.get(rule_id)

@@ -1,0 +1,23 @@
+"""Rule implementations for ``repro check``.
+
+Importing this package registers every rule; registration order is the
+order rules run and the order ``repro check --list`` prints.
+"""
+
+from . import (  # noqa: F401 - imports register the rules
+    stats_merge,
+    fingerprint_fold,
+    async_blocking,
+    lock_discipline,
+    determinism,
+    imports,
+)
+
+__all__ = [
+    "async_blocking",
+    "determinism",
+    "fingerprint_fold",
+    "imports",
+    "lock_discipline",
+    "stats_merge",
+]

@@ -1,0 +1,149 @@
+"""``determinism-hygiene`` — no hidden nondeterminism in serving/nn.
+
+Byte-identity (batched == sequential, warm == cold) is the project's
+headline contract; it dies quietly the moment an unordered container,
+an unseeded global RNG, or a wall-clock value leaks into an ordered
+output or a cache key.  Scoped to ``repro/serving`` and ``repro/nn``
+(the paths that produce and cache annotation bytes):
+
+1. no iteration over ``set`` literals or bare ``set(...)`` calls —
+   unordered iteration feeding any output is a nondeterminism seed;
+   wrap in ``sorted(...)``;
+2. no ``np.random.*`` calls at import time (module or class body) —
+   global-RNG draws make import order observable;
+3. no wall-clock reads (``time.time``/``monotonic``/``datetime.now``…)
+   inside any function whose name mentions ``key`` or ``fingerprint`` —
+   cache keys must be pure content hashes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterator
+
+from ..model import Finding, Project, SourceFile
+from ..registry import rule
+from ._util import dotted_name
+
+RULE_ID = "determinism-hygiene"
+
+_SCOPE_PARTS = ("serving", "nn")
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+_KEY_HINTS = ("key", "fingerprint")
+
+
+def _in_scope(src: SourceFile) -> bool:
+    parts = PurePosixPath(src.rel.replace("\\", "/")).parts
+    return any(part in _SCOPE_PARTS for part in parts[:-1])
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+def _set_iterations(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            yield node
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    yield node
+
+
+def _import_time_rng(tree: ast.AST) -> Iterator[ast.Call]:
+    """``np.random.*`` calls executed at import time.
+
+    Walks the module and class bodies but stops at function boundaries
+    (function bodies run later); default-argument expressions *do* run
+    at import, so those are scanned explicitly.
+    """
+
+    def visit(node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in child.args.defaults + child.args.kw_defaults:
+                    if default is not None:
+                        yield from scan_calls(default)
+                continue
+            if isinstance(child, ast.Call):
+                name = dotted_name(child.func) or ""
+                if name.startswith(("np.random.", "numpy.random.")):
+                    yield child
+            yield from visit(child)
+
+    def scan_calls(node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                name = dotted_name(child.func) or ""
+                if name.startswith(("np.random.", "numpy.random.")):
+                    yield child
+
+    yield from visit(tree)
+
+
+def _clock_in_keys(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(hint in node.name.lower() for hint in _KEY_HINTS):
+            continue
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                name = dotted_name(child.func)
+                if name in _WALL_CLOCK:
+                    yield child
+
+
+@rule(
+    RULE_ID,
+    "no set-order, import-time RNG, or wall-clock nondeterminism in "
+    "serving/nn",
+)
+def check(project: Project) -> Iterator[Finding]:
+    for src in project:
+        if src.tree is None or not _in_scope(src):
+            continue
+        for node in _set_iterations(src.tree):
+            yield src.finding(
+                RULE_ID,
+                node,
+                "iteration over an unordered set can feed ordered output — "
+                "wrap the iterable in sorted(...)",
+            )
+        for call in _import_time_rng(src.tree):
+            yield src.finding(
+                RULE_ID,
+                call,
+                "np.random.* call at import time draws from the global RNG "
+                "— seed an explicit Generator inside the consumer instead",
+            )
+        for call in _clock_in_keys(src.tree):
+            yield src.finding(
+                RULE_ID,
+                call,
+                f"wall-clock read '{dotted_name(call.func)}' inside a "
+                "key/fingerprint function — cache keys must be pure "
+                "content hashes",
+            )

@@ -1,0 +1,174 @@
+"""``unused-import`` — import hygiene and dead re-export shims.
+
+Flags imported names no code path references.  "Referenced" includes
+the places a naive scan misses: string annotations (``"Future[T]"``
+under ``from __future__ import annotations``), ``TYPE_CHECKING``-only
+names used in quoted hints, ``typing.cast("T", ...)`` targets, and
+``__all__`` membership.  ``__init__.py`` files are exempt wholesale —
+re-exporting is their job.
+
+The companion dead-shim check flags modules that consist *only* of a
+docstring plus imports/``__all__`` (a pure re-export surface) when no
+other file in the checked tree imports them — a shim nothing reaches
+is dead API surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from ..model import Finding, Project
+from ..registry import rule
+from ._util import dotted_name
+
+RULE_ID = "unused-import"
+
+
+def _bindings(tree: ast.AST) -> List[Tuple[str, ast.stmt, str]]:
+    """(bound name, import statement, display) for every import."""
+    out: List[Tuple[str, ast.stmt, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                out.append((name, node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                display = f"{'.' * node.level}{node.module or ''}.{alias.name}"
+                out.append((name, node, display))
+    return out
+
+
+def _annotation_strings(tree: ast.AST) -> List[str]:
+    """String literals appearing in annotation / cast positions."""
+    texts: List[str] = []
+
+    def collect(node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Constant) and isinstance(child.value, str):
+                texts.append(child.value)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                args.args
+                + args.posonlyargs
+                + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if arg.annotation is not None:
+                    collect(arg.annotation)
+            if node.returns is not None:
+                collect(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            collect(node.annotation)
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("cast", "typing.cast", "TypeVar", "typing.TypeVar"):
+                for arg in node.args:
+                    collect(arg)
+    return texts
+
+
+def _used_names(tree: ast.AST) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+    # __all__ entries count as exports, hence uses.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for child in ast.walk(node.value):
+                        if isinstance(child, ast.Constant) and isinstance(
+                            child.value, str
+                        ):
+                            used.add(child.value)
+    return used
+
+
+def _is_shim(tree: ast.Module) -> bool:
+    body = list(tree.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    if not body:
+        return False
+    for node in body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.Assign) and all(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        return False
+    return True
+
+
+def _imports_module(tree: ast.AST, stem: str) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if stem in alias.name.split("."):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and stem in node.module.split("."):
+                return True
+            for alias in node.names:
+                if alias.name == stem:
+                    return True
+    return False
+
+
+@rule(RULE_ID, "no unused imports; no unreachable re-export shims")
+def check(project: Project) -> Iterator[Finding]:
+    for src in project:
+        if src.tree is None or src.basename in ("__init__.py", "__main__.py"):
+            continue
+        used = _used_names(src.tree)
+        annotation_text = "\n".join(_annotation_strings(src.tree))
+        for name, node, display in _bindings(src.tree):
+            if name in used:
+                continue
+            if re.search(rf"\b{re.escape(name)}\b", annotation_text):
+                continue
+            yield src.finding(
+                RULE_ID,
+                node,
+                f"'{display}' imported as '{name}' is never used",
+                severity="warning",
+            )
+        if (
+            len(project.files) > 1
+            and isinstance(src.tree, ast.Module)
+            and _is_shim(src.tree)
+        ):
+            stem = src.path.stem
+            referenced = any(
+                other is not src
+                and other.tree is not None
+                and _imports_module(other.tree, stem)
+                for other in project
+            )
+            if not referenced:
+                yield src.finding(
+                    RULE_ID,
+                    src.tree.body[0] if src.tree.body else src.tree,
+                    f"module '{src.rel}' is a pure re-export shim that "
+                    "nothing in the checked tree imports — dead API surface",
+                    severity="warning",
+                )

@@ -1,0 +1,216 @@
+"""``stats-merge`` — merged ratios are recomputed, never summed.
+
+The pool merges per-worker stats dicts with :func:`merge_counters`
+(generic numeric sum) and then *recomputes* every derived ratio from
+the merged raw counters with ``_fix_ratios`` — a mean (or sum) of
+per-worker ratios would weight an idle worker equally with a busy one.
+This invariant shipped broken twice (``column_hit_rate`` in PR 7,
+``probe_prune_rate`` in PR 8: a new ratio landed on ``EngineStats``
+without a ``_fix_ratios`` recompute), so the rule pins it four ways:
+
+1. every ``*_rate``/``*_waste`` property on a ``*Stats`` dataclass must
+   be recomputed by ``_fix_ratios`` (its name appears as a key there);
+2. every raw counter the property reads must be read by ``_fix_ratios``
+   too — deleting one merge input breaks the build, not production;
+3. ratio names must never be operands of ``+``/``+=``/``sum()`` inside
+   any ``*merge*`` function;
+4. the gateway snapshot stays drop-proof: every ``EngineStats`` ratio
+   is serialized by ``GatewayStats.to_dict``, and every ``ServiceStats``
+   counter has a matching ``GatewayStats`` total field.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..model import Finding, Project, SourceFile
+from ..registry import rule
+from ._util import is_property, self_attr_loads, string_constants
+
+RULE_ID = "stats-merge"
+
+_RATIO_RE = re.compile(r"^\w+(_rate|_waste)$")
+_COUNTER_TYPES = ("int", "float")
+
+
+def _stats_classes(
+    project: Project,
+) -> Iterator[Tuple[SourceFile, ast.ClassDef]]:
+    for src in project:
+        for cls in src.classes():
+            if cls.name.endswith("Stats"):
+                yield src, cls
+
+
+def _counter_fields(cls: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    """Numeric dataclass fields declared directly on ``cls``."""
+    out: Dict[str, ast.AnnAssign] = {}
+    for node in cls.body:
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and not node.target.id.startswith("_")
+            and isinstance(node.annotation, ast.Name)
+            and node.annotation.id in _COUNTER_TYPES
+        ):
+            out[node.target.id] = node
+    return out
+
+
+def _ratio_properties(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    out: Dict[str, ast.FunctionDef] = {}
+    for node in cls.body:
+        if (
+            isinstance(node, ast.FunctionDef)
+            and is_property(node)
+            and _RATIO_RE.match(node.name)
+        ):
+            out[node.name] = node
+    return out
+
+
+def _merge_functions(project: Project) -> List[Tuple[SourceFile, ast.FunctionDef]]:
+    out = []
+    for src in project:
+        for fn in src.functions():
+            if "merge" in fn.name:
+                out.append((src, fn))
+    return out
+
+
+def _ratio_tokens(node: ast.AST) -> Set[str]:
+    """Ratio-shaped identifiers/keys appearing anywhere under ``node``."""
+    found: Set[str] = set()
+    for child in ast.walk(node):
+        name = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            name = child.value
+        if name is not None and _RATIO_RE.match(name):
+            found.add(name)
+    return found
+
+
+def _summed_ratios(fn: ast.FunctionDef) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(fn):
+        operands: List[ast.AST] = []
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            operands = [node.left, node.right]
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            operands = [node.target, node.value]
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+        ):
+            operands = list(node.args)
+        names: Set[str] = set()
+        for operand in operands:
+            names.update(_ratio_tokens(operand))
+        for name in sorted(names):
+            yield node, name
+
+
+@rule(
+    RULE_ID,
+    "derived stats ratios are recomputed from merged raw counters, never summed",
+)
+def check(project: Project) -> Iterator[Finding]:
+    stats = list(_stats_classes(project))
+    merges = _merge_functions(project)
+    fixers = project.find_functions("_fix_ratios")
+    fixer_strings: Set[str] = set()
+    for _, fn in fixers:
+        fixer_strings.update(string_constants(fn))
+
+    # (1)+(2): every ratio property recomputed, from all of its inputs.
+    for src, cls in stats:
+        counters = _counter_fields(cls)
+        for name, prop in _ratio_properties(cls).items():
+            if not fixers:
+                if merges:
+                    yield src.finding(
+                        RULE_ID,
+                        prop,
+                        f"{cls.name}.{name} is a derived ratio and stats are "
+                        "merged, but no _fix_ratios recompute step exists",
+                    )
+                continue
+            if name not in fixer_strings:
+                yield src.finding(
+                    RULE_ID,
+                    prop,
+                    f"derived ratio {cls.name}.{name} is not recomputed by "
+                    "_fix_ratios — merged snapshots would carry a single "
+                    "worker's ratio",
+                )
+                continue
+            inputs = sorted(self_attr_loads(prop) & set(counters))
+            for raw in inputs:
+                if raw not in fixer_strings:
+                    yield src.finding(
+                        RULE_ID,
+                        prop,
+                        f"_fix_ratios recomputes {cls.name}.{name} without "
+                        f"reading raw counter '{raw}' — the merged ratio "
+                        "would be computed from a partial input set",
+                    )
+
+    # (3): ratios never summed inside merge code.
+    for src, fn in merges:
+        for node, name in _summed_ratios(fn):
+            yield src.finding(
+                RULE_ID,
+                node,
+                f"derived ratio '{name}' appears as a sum operand in "
+                f"{fn.name}() — ratios must be recomputed from merged raw "
+                "counters, never added",
+            )
+
+    # (4): the gateway snapshot is drop-proof.
+    gateways = project.find_classes("GatewayStats")
+    engine_ratios: Set[str] = set()
+    for _, cls in project.find_classes("EngineStats"):
+        engine_ratios.update(_ratio_properties(cls))
+    for src, cls in gateways:
+        to_dict = next(
+            (
+                n
+                for n in cls.body
+                if isinstance(n, ast.FunctionDef) and n.name == "to_dict"
+            ),
+            None,
+        )
+        if to_dict is None:
+            if engine_ratios:
+                yield src.finding(
+                    RULE_ID, cls, "GatewayStats has no to_dict serializer"
+                )
+            continue
+        serialized = set(string_constants(to_dict)) | {
+            n.attr for n in ast.walk(to_dict) if isinstance(n, ast.Attribute)
+        }
+        for name in sorted(engine_ratios - serialized):
+            yield src.finding(
+                RULE_ID,
+                to_dict,
+                f"EngineStats ratio '{name}' is missing from "
+                "GatewayStats.to_dict — the admin stats payload would "
+                "silently drop it",
+            )
+        gateway_fields = _counter_fields(cls)
+        for _, svc in project.find_classes("ServiceStats"):
+            for field_name, node in _counter_fields(svc).items():
+                if field_name not in gateway_fields:
+                    yield src.finding(
+                        RULE_ID,
+                        cls,
+                        f"ServiceStats counter '{field_name}' has no matching "
+                        "GatewayStats total field — gateway totals would "
+                        "silently drop it",
+                    )

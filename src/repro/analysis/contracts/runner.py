@@ -1,0 +1,257 @@
+"""Collection, suppression filtering, and output for ``repro check``.
+
+:func:`run_check` is the library entry point (used by the pytest gate in
+``tests/test_contracts_clean.py``); :func:`main` is the CLI behind both
+``repro check`` and ``python -m repro.analysis.contracts``.
+
+Exit codes: 0 — no unsuppressed findings; 1 — findings (or malformed
+suppressions); 2 — usage error (no python files under the given paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .model import SUPPRESSION_RULE_ID, Finding, Project, SourceFile
+from .registry import Rule, all_rules, get_rule
+
+__all__ = ["CheckResult", "collect_project", "main", "run_check"]
+
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist"}
+
+
+def _iter_py_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def collect_project(paths: Sequence[Path], base: Optional[Path] = None) -> Project:
+    """Load every ``*.py`` under ``paths`` into a :class:`Project`.
+
+    ``rel`` display paths are made relative to ``base`` (default: the
+    current working directory) when possible, absolute otherwise.
+    """
+    base = base or Path.cwd()
+    files: List[SourceFile] = []
+    seen = set()
+    for path in paths:
+        for file_path in _iter_py_files(Path(path)):
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                rel = str(resolved.relative_to(base.resolve()))
+            except ValueError:
+                rel = str(resolved)
+            files.append(SourceFile.load(file_path, rel=rel))
+    return Project(files)
+
+
+class CheckResult:
+    """Findings of one run, split by suppression state."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        suppressed: List[Finding],
+        rules: List[Rule],
+    ):
+        self.findings = findings
+        self.suppressed = suppressed
+        self.rules = rules
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "rules": [r.rule_id for r in self.rules],
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def _suppression_findings(project: Project) -> List[Finding]:
+    """Malformed suppressions are findings themselves.
+
+    A reason is mandatory (``# repro: allow[<rule-id>] -- why``): an
+    allow-marker without one suppresses nothing and is flagged, so a
+    suppression can never silently outlive its justification.  Unknown
+    rule ids are flagged too — they are typos that would otherwise sit
+    inert in the tree.
+    """
+    out: List[Finding] = []
+    known = {r.rule_id for r in all_rules()}
+    known.add(SUPPRESSION_RULE_ID)
+    for src in project:
+        for sup in src.suppressions:
+            if not sup.valid:
+                out.append(
+                    Finding(
+                        rule_id=SUPPRESSION_RULE_ID,
+                        severity="error",
+                        path=src.rel,
+                        line=sup.line,
+                        message=(
+                            f"suppression for [{sup.rule_id}] has no reason; "
+                            "write '# repro: allow[{}] -- <reason>'".format(
+                                sup.rule_id
+                            )
+                        ),
+                    )
+                )
+            elif sup.rule_id not in known:
+                out.append(
+                    Finding(
+                        rule_id=SUPPRESSION_RULE_ID,
+                        severity="error",
+                        path=src.rel,
+                        line=sup.line,
+                        message=f"suppression names unknown rule [{sup.rule_id}]",
+                    )
+                )
+    return out
+
+
+def _parse_error_findings(project: Project) -> List[Finding]:
+    return [
+        Finding(
+            rule_id="parse-error",
+            severity="error",
+            path=src.rel,
+            line=0,
+            message=f"could not parse: {src.parse_error}",
+        )
+        for src in project
+        if src.parse_error is not None
+    ]
+
+
+def _split_suppressed(
+    project: Project, findings: List[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    by_rel = {src.rel: src for src in project}
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        src = by_rel.get(finding.path)
+        covered = False
+        if src is not None and finding.rule_id != SUPPRESSION_RULE_ID:
+            for sup in src.suppressions:
+                if (
+                    sup.valid
+                    and sup.rule_id == finding.rule_id
+                    and finding.line in sup.lines
+                ):
+                    covered = True
+                    break
+        (suppressed if covered else active).append(finding)
+    return active, suppressed
+
+
+def run_check(
+    project: Project, rule_ids: Optional[Sequence[str]] = None
+) -> CheckResult:
+    """Run the (selected) rules over ``project``."""
+    from . import rules as _rules  # repro: allow[unused-import] -- side-effect import: registers the rules
+
+    if rule_ids:
+        selected = []
+        for rule_id in rule_ids:
+            found = get_rule(rule_id)
+            if found is None:
+                raise ValueError(f"unknown rule: {rule_id}")
+            selected.append(found)
+    else:
+        selected = all_rules()
+
+    findings: List[Finding] = []
+    findings.extend(_parse_error_findings(project))
+    findings.extend(_suppression_findings(project))
+    for rule in selected:
+        findings.extend(rule.run(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    active, suppressed = _split_suppressed(project, findings)
+    return CheckResult(active, suppressed, selected)
+
+
+def _render_text(result: CheckResult, stream) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=stream)
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    print(summary, file=stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Statically enforce the project's serving contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    from . import rules as _rules  # repro: allow[unused-import] -- side-effect import: registers the rules
+
+    stream = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.list:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.summary}", file=stream)
+        return 0
+    if args.paths:
+        roots = [Path(p) for p in args.paths]
+    else:
+        roots = [Path("src")] if Path("src").is_dir() else [Path(".")]
+    project = collect_project(roots)
+    if not project.files:
+        print("error: no python files found under the given paths", file=sys.stderr)
+        return 2
+    try:
+        result = run_check(project, rule_ids=args.rules)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        json.dump(result.to_dict(), stream, indent=2)
+        print(file=stream)
+    else:
+        _render_text(result, stream)
+    return result.exit_code

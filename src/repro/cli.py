@@ -948,6 +948,20 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Deferred import: the checker is pure stdlib and must stay usable
+    # (e.g. in CI) without importing the numpy-heavy toolbox modules.
+    from .analysis.contracts.runner import main as check_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    for rule_id in args.rules or ():
+        argv += ["--rule", rule_id]
+    if args.list:
+        argv.append("--list")
+    return check_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1151,6 +1165,28 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a model bundle")
     info.add_argument("model", help="model bundle directory")
     info.set_defaults(func=_cmd_info)
+
+    check = sub.add_parser(
+        "check",
+        help="statically enforce the serving contracts (see docs/checks.md)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src/ if present)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    check.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    check.add_argument(
+        "--list", action="store_true", help="list registered rules and exit"
+    )
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -20,8 +20,6 @@ import json
 from pathlib import Path
 from typing import Union
 
-import numpy as np
-
 from ..datasets.tables import TableDataset
 from ..nn import TransformerConfig, load_checkpoint, save_checkpoint
 from ..text import WordPieceTokenizer

@@ -45,7 +45,6 @@ from typing import (
     FrozenSet,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )

@@ -250,9 +250,10 @@ class DoduoTrainer:
         # lookup.  Invalidated by train() — external weight mutation must
         # call invalidate_fingerprint() (or hand the registry a fresh
         # trainer).
-        # Keyed by (dtype, probe descriptor) — see annotation_fingerprint.
+        # Keyed by (dtype, probe descriptor, waste budget) — see
+        # annotation_fingerprint.
         self._annotation_fingerprints: Dict[
-            Tuple[str, Optional[str]], str
+            Tuple[str, Optional[str], int], str
         ] = {}
 
     @property
@@ -620,7 +621,10 @@ class DoduoTrainer:
         self.model.invalidate_sessions()
 
     def annotation_fingerprint(
-        self, dtype: str = "float32", probe: Optional[str] = None
+        self,
+        dtype: str = "float32",
+        probe: Optional[str] = None,
+        waste_budget: int = 0,
     ) -> str:
         """Stable hash of everything that determines an annotation output.
 
@@ -651,11 +655,18 @@ class DoduoTrainer:
         contract as the dtype marker: pre-planner persisted cache keys stay
         valid.
 
+        ``waste_budget`` is the engine's near-width packing budget
+        (``EngineConfig.waste_budget``): a non-zero budget lets adjacent
+        width buckets merge, which changes padding and therefore output
+        bytes — so it folds into the digest.  The default ``0`` (exact
+        bucketing, the byte-identity contract) stays marker-free like the
+        other defaults, keeping previously persisted cache keys valid.
+
         Memoized (hashing walks every weight); :meth:`train` invalidates the
         memo, and :meth:`invalidate_fingerprint` does so for out-of-band
         weight mutation.
         """
-        memo_key = (dtype, probe)
+        memo_key = (dtype, probe, waste_budget)
         cached = self._annotation_fingerprints.get(memo_key)
         if cached is not None:
             return cached
@@ -687,6 +698,10 @@ class DoduoTrainer:
             # Same pattern: exhaustive probing (None) predates the planner
             # and stays marker-free.
             digest.update(f"|probe={probe}".encode("utf-8"))
+        if waste_budget:
+            # Near-width packing merges width buckets, changing padding and
+            # output bytes; exact bucketing (0) stays marker-free.
+            digest.update(f"|waste_budget={waste_budget}".encode("utf-8"))
         value = digest.hexdigest()
         self._annotation_fingerprints[memo_key] = value
         return value

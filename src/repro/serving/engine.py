@@ -504,6 +504,10 @@ class AnnotationEngine:
         (``EngineConfig.probe_mode``/``probe_budget``): a planned engine
         probes a different pair set for the same ``pairs=None`` request,
         and its cache entries and routes must never alias exhaustive ones.
+        And so is ``EngineConfig.waste_budget``: near-width packing trades
+        the byte-identity contract for fewer passes, so a packed engine's
+        bytes must never alias an exact-bucketing engine's cache entries
+        (the default 0 stays marker-free, preserving persisted keys).
         """
         probe = (
             self.probe_planner.fingerprint_tag()
@@ -511,7 +515,9 @@ class AnnotationEngine:
             else None
         )
         return self.trainer.annotation_fingerprint(
-            dtype=self.config.dtype, probe=probe
+            dtype=self.config.dtype,
+            probe=probe,
+            waste_budget=self.config.waste_budget,
         )
 
     # ------------------------------------------------------------------

@@ -61,7 +61,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "PoolConfig",
@@ -760,6 +760,9 @@ class ServingPool:
             else:
                 self._stopping = True
                 already = False
+            # Snapshot under the lock: ``_started`` is written by start()
+            # while holding it, and stop() may race a concurrent start().
+            started = self._started
         if already:
             self._done.wait()
             return
@@ -793,7 +796,7 @@ class ServingPool:
             # post-drain snapshots may still be buffered) before closing.
             if slot.evt_thread is not None:
                 slot.evt_thread.join(timeout=5.0)
-        if collect_stats and self._started:
+        if collect_stats and started:
             try:
                 # Every worker is down; this merges their final
                 # snapshots, which include requests answered during the

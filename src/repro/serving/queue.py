@@ -51,7 +51,7 @@ import queue as _queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.annotator import AnnotatedTable

@@ -393,7 +393,8 @@ class ModelRegistry:
     def default_name(self) -> Optional[str]:
         """The route used when a request names no model (first registered
         unless overridden via :meth:`set_default`)."""
-        return self._default_name
+        with self._lock:
+            return self._default_name
 
     def set_default(self, name: str) -> None:
         with self._lock:

@@ -1,0 +1,118 @@
+"""Regression tests for the true positives ``repro check`` surfaced.
+
+The checker's first run over the real tree found three latent bugs —
+each gets a behavioral pin here, independent of the static rule that
+caught it:
+
+* ``EngineConfig.waste_budget`` changed output bytes (near-width
+  packing) without folding into the model fingerprint, so a packed
+  engine shared cache entries and routes with an exact one.
+* ``ModelRegistry.default_name`` read ``_default_name`` without the
+  registry lock (torn read against register/set_default/unregister).
+* ``ServingPool.stop`` read ``_started`` outside the pool lock while
+  ``start`` writes it under the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import AnnotationEngine, EngineConfig
+from repro.serving.pool import PoolConfig, ServingPool
+
+
+@pytest.fixture(scope="module")
+def trainer(shared_tiny_annotator):
+    return shared_tiny_annotator.trainer
+
+
+class TestWasteBudgetFingerprint:
+    def test_packed_engine_rekeys_fingerprint(self, trainer):
+        exact = AnnotationEngine(trainer)
+        packed = AnnotationEngine(trainer, EngineConfig(waste_budget=64))
+        assert exact.model_fingerprint != packed.model_fingerprint
+
+    def test_default_stays_marker_free(self, trainer):
+        # Persisted cache keys from before the fold must stay valid:
+        # waste_budget=0 produces the legacy digest.
+        legacy = trainer.annotation_fingerprint()
+        assert trainer.annotation_fingerprint(waste_budget=0) == legacy
+        exact = AnnotationEngine(trainer, EngineConfig(waste_budget=0))
+        assert exact.model_fingerprint == legacy
+
+    def test_budget_folds_by_value(self, trainer):
+        a = trainer.annotation_fingerprint(waste_budget=32)
+        b = trainer.annotation_fingerprint(waste_budget=64)
+        assert a != b
+        assert a != trainer.annotation_fingerprint()
+        # Memoized per (dtype, probe, waste_budget).
+        assert trainer.annotation_fingerprint(waste_budget=32) == a
+
+    def test_budget_and_dtype_markers_compose(self, trainer):
+        both = trainer.annotation_fingerprint(dtype="float64", waste_budget=32)
+        assert both != trainer.annotation_fingerprint(dtype="float64")
+        assert both != trainer.annotation_fingerprint(waste_budget=32)
+
+
+class _RecordingLock:
+    """Context-manager lock probe: counts acquisitions."""
+
+    def __init__(self) -> None:
+        self._inner = threading.RLock()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self.acquisitions += 1
+        return self._inner.__enter__()
+
+    def __exit__(self, *exc):
+        return self._inner.__exit__(*exc)
+
+    def acquire(self, *args, **kwargs):
+        self.acquisitions += 1
+        return self._inner.acquire(*args, **kwargs)
+
+    def release(self):
+        return self._inner.release()
+
+
+class TestRegistryDefaultNameLock:
+    def test_default_name_reads_under_lock(self):
+        from repro.serving.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        probe = _RecordingLock()
+        registry._lock = probe
+        before = probe.acquisitions
+        assert registry.default_name is None
+        assert probe.acquisitions > before
+
+    def test_default_name_tracks_registration(self, trainer):
+        from repro.serving.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        assert registry.default_name is None
+        registry.register("tiny", trainer)
+        assert registry.default_name == "tiny"
+
+
+class TestPoolStopStartedLock:
+    def test_stop_before_start_is_safe_and_collects_nothing(self):
+        pool = ServingPool(PoolConfig(specs=[("default", "nowhere")]))
+        pool.stop()  # never started: must not raise, must not merge stats
+        assert pool.final_stats is None
+
+    def test_stop_is_idempotent_without_start(self):
+        pool = ServingPool(PoolConfig(specs=[("default", "nowhere")]))
+        pool.stop()
+        pool.stop()
+        assert pool.final_stats is None
+
+    def test_stop_snapshots_started_under_lock(self):
+        pool = ServingPool(PoolConfig(specs=[("default", "nowhere")]))
+        probe = _RecordingLock()
+        pool._lock = probe
+        pool.stop()
+        assert probe.acquisitions > 0
