@@ -28,12 +28,28 @@ possible ratio is ~1.0x, so there the bench instead asserts the pool
 does not *collapse* throughput (>= 0.75x — supervision and fabric
 overhead stay in the noise) and tags the published summary
 ``cpu_limited`` so the artifact is not misread as a scaling failure.
+
+A second experiment measures the shared weight arena (``--weight-arena``)
+on a large random-init model where weights dominate worker memory:
+
+* **per-extra-worker RSS** — private (non-COW, non-file-backed) RSS per
+  worker from ``/proc/<pid>/smaps_rollup``, with and without the arena.
+  Without it every worker deserializes its own private copy of
+  ``weights.npz``; with it all workers map the same parent-built arena
+  file, so the marginal cost of a worker drops by the weight payload.
+  Acceptance bar: >= 50% reduction.
+* **crash-restart** — SIGKILL the only worker of a 1-worker pool and
+  time until a request is answered again.  The restarted worker's
+  ``arena_remaps`` counter proves structurally that it re-attached the
+  pre-built arena instead of re-parsing the bundle; the latencies for
+  both modes are reported (not asserted — wall-clock is host noise).
 """
 
 import collections
 import json
 import os
 import re
+import signal
 import socket
 import subprocess
 import sys
@@ -59,6 +75,14 @@ else:
     SPEEDUP_FLOOR = 0.75  # single CPU: processes time-share one core
 RESULTS_PATH = Path(__file__).parent / "multiproc_saturation.json"
 
+#: The arena experiment's model: large enough that the weight payload
+#: dominates a worker's private memory (the effect the arena removes),
+#: small enough to random-init and save in seconds.  ~13M params ≈ 52 MB
+#: of float32 weights at hidden 512 x 4 layers.
+ARENA_HIDDEN = 512
+ARENA_LAYERS = 4
+ARENA_WORKERS = 2
+
 
 def _serving_env():
     env = dict(os.environ)
@@ -76,12 +100,12 @@ def _serving_env():
     return env
 
 
-def _start_pool(bundle, cache_dir, workers, env):
+def _start_pool(bundle, cache_dir, workers, env, extra=()):
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve", str(bundle),
             "--listen", "127.0.0.1:0", "--workers", str(workers),
-            "--cache-dir", str(cache_dir),
+            "--cache-dir", str(cache_dir), *extra,
         ],
         env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
     )
@@ -152,6 +176,151 @@ def _run_cell(address, request_bytes, connections):
     return seconds
 
 
+def _private_rss_kb(pid):
+    """Private RSS of a process in kB (``Private_Clean + Private_Dirty``
+    from ``smaps_rollup``).
+
+    Under the pool's fork start method, pages COW-shared with the parent
+    and file-backed mappings (the arena) are excluded — what remains is
+    exactly the marginal memory cost of one more worker.
+    """
+    private = 0
+    with open(f"/proc/{pid}/smaps_rollup") as handle:
+        for line in handle:
+            if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                private += int(line.split()[1])
+    return private
+
+
+def _arena_bundle(tmp, corpus, tokenizer):
+    """A bundle whose weights dominate worker memory, random-init.
+
+    The arena experiment measures memory sharing and restart mechanics,
+    neither of which cares about model quality — and training a model
+    this size would dominate the bench's runtime.
+    """
+    from repro.core import DoduoConfig, DoduoTrainer
+    from repro.nn import TransformerConfig
+
+    trainer = DoduoTrainer(
+        corpus,
+        tokenizer,
+        TransformerConfig(
+            vocab_size=tokenizer.vocab_size, hidden_dim=ARENA_HIDDEN,
+            num_layers=ARENA_LAYERS, num_heads=8, ffn_dim=4 * ARENA_HIDDEN,
+            max_position=160, num_segments=8, dropout=0.0,
+        ),
+        DoduoConfig(epochs=1, batch_size=8, keep_best_checkpoint=False),
+    )
+    bundle = tmp / "bundle-arena"
+    save_annotator(Doduo(trainer), bundle)
+    return bundle, trainer.model.num_parameters()
+
+
+def _measure_worker_rss(bundle, tmp, env, arena, warmup_record):
+    """Mean per-worker private RSS (kB) of a warm pool, and the merged
+    ``arena_remaps`` counter proving which load path the workers took."""
+    cache_dir = tmp / f"cache-arena-mem-{'on' if arena else 'off'}"
+    extra = ("--weight-arena",) if arena else ()
+    process, address = _start_pool(bundle, cache_dir, ARENA_WORKERS, env, extra)
+    try:
+        _warm_workers(address, ARENA_WORKERS, warmup_record)
+        stats = _ask(address, {"op": "stats"})
+        pids = [worker["pid"] for worker in stats["pool"]["per_worker"]]
+        private = [_private_rss_kb(pid) for pid in pids]
+        remaps = stats["registry"].get("arena_remaps", 0)
+    finally:
+        process.terminate()
+        process.wait(timeout=60)
+    return sum(private) / len(private), remaps
+
+
+def _measure_crash_restart(bundle, tmp, env, arena, warmup_record):
+    """SIGKILL the only worker and time until a request is answered.
+
+    The timed region covers supervisor detection, respawn backoff, and
+    the restarted worker's model load — the full outage a client sees.
+    Returns the latency and the post-restart ``arena_remaps`` counter
+    (the merged view only aggregates *live* workers, so a non-zero count
+    can only come from the restarted worker's own load).
+    """
+    cache_dir = tmp / f"cache-arena-restart-{'on' if arena else 'off'}"
+    extra = ("--weight-arena",) if arena else ()
+    process, address = _start_pool(bundle, cache_dir, 1, env, extra)
+    try:
+        _warm_workers(address, 1, warmup_record)
+        pid = _ask(address, {"op": "stats"})["pool"]["per_worker"][0]["pid"]
+        os.kill(pid, signal.SIGKILL)
+        start = time.perf_counter()
+        deadline = start + 120
+        while True:
+            # A connection may land in the listener backlog before the
+            # replacement worker accepts (blocking until it does — that
+            # wait IS the restart latency) or get reset mid-flight;
+            # retry resets until the pool answers again.
+            try:
+                _ask(address, warmup_record)
+                break
+            except (OSError, ValueError):
+                if time.perf_counter() > deadline:
+                    raise
+                time.sleep(0.05)
+        latency = time.perf_counter() - start
+        remaps = _ask(address, {"op": "stats"})["registry"].get(
+            "arena_remaps", 0
+        )
+    finally:
+        process.terminate()
+        process.wait(timeout=60)
+    return latency, remaps
+
+
+def _arena_experiment(tmp, env, corpus, tokenizer, warmup_record):
+    bundle, params = _arena_bundle(tmp, corpus, tokenizer)
+    rss = {}
+    warm_remaps = {}
+    restart = {}
+    restart_remaps = {}
+    for arena in (False, True):
+        mode = "arena" if arena else "plain"
+        rss[mode], warm_remaps[mode] = _measure_worker_rss(
+            bundle, tmp, env, arena, warmup_record
+        )
+        restart[mode], restart_remaps[mode] = _measure_crash_restart(
+            bundle, tmp, env, arena, warmup_record
+        )
+    reduction = 1.0 - rss["arena"] / rss["plain"]
+    print_table(
+        f"Shared weight arena ({params / 1e6:.1f}M params, "
+        f"{ARENA_WORKERS} workers)",
+        ["Mode", "Private RSS/worker", "Crash-restart", "Arena remaps"],
+        [
+            (mode, f"{rss[mode] / 1024:.1f} MB", f"{restart[mode]:.2f} s",
+             str(warm_remaps[mode]))
+            for mode in ("plain", "arena")
+        ],
+    )
+    print_block(
+        f"arena per-extra-worker private RSS reduction: {reduction:.1%} "
+        f"(restart re-attached the arena: "
+        f"{restart_remaps['arena']} remap(s), 0 bundle re-parses)"
+    )
+    return {
+        "model_params": params,
+        "weights_mb": round(params * 4 / 1e6, 1),
+        "workers": ARENA_WORKERS,
+        "worker_private_rss_mb": {
+            mode: round(rss[mode] / 1024, 1) for mode in rss
+        },
+        "per_extra_worker_rss_reduction": round(reduction, 3),
+        "warm_arena_remaps": warm_remaps["arena"],
+        "restart_latency_seconds": {
+            mode: round(restart[mode], 3) for mode in restart
+        },
+        "restart_arena_remaps": restart_remaps["arena"],
+    }
+
+
 def run_experiment():
     tmp = Path(tempfile.mkdtemp(prefix="bench-multiproc-"))
     bundle = tmp / "bundle"
@@ -219,6 +388,8 @@ def run_experiment():
         rows,
     )
 
+    arena = _arena_experiment(tmp, env, corpus, tokenizer, warmup_record)
+
     top = max(CONNECTIONS_GRID)
     speedup_2w = grid[(2, top)] / grid[(1, top)]
     summary = {
@@ -237,6 +408,7 @@ def run_experiment():
         ],
         "speedup_2_workers_at_max_connections": round(speedup_2w, 3),
         "speedup_floor": SPEEDUP_FLOOR,
+        "arena": arena,
     }
     RESULTS_PATH.write_text(json.dumps(summary, indent=2) + "\n")
     print_block("multiproc-json: " + json.dumps(summary))
@@ -254,3 +426,13 @@ def test_multiproc_saturation(benchmark):
         summary["speedup_2_workers_at_max_connections"]
         >= summary["speedup_floor"]
     )
+    # The arena bars: sharing the parent-built weight arena must cut a
+    # worker's private memory by at least half (the weight payload no
+    # longer has a per-process copy), every warm worker must have loaded
+    # through the arena path, and a crash-restarted worker must have
+    # re-attached the arena (merged stats only aggregate live workers,
+    # so this count can only come from the restarted process).
+    arena = summary["arena"]
+    assert arena["per_extra_worker_rss_reduction"] >= 0.5, arena
+    assert arena["warm_arena_remaps"] == arena["workers"], arena
+    assert arena["restart_arena_remaps"] >= 1, arena

@@ -252,15 +252,19 @@ def fraction_trainer(fraction: float, tasks: Tuple[str, ...]) -> DoduoTrainer:
 
 
 def annotation_engine(trainer: DoduoTrainer, batch_size: int = 8,
-                      cache_size: int = 256) -> AnnotationEngine:
+                      cache_size: int = 256, **config_kwargs) -> AnnotationEngine:
     """A serving engine over a benchmark-trained model.
 
     Engines are intentionally *not* cached: each caller gets fresh stats and
     an empty serialization cache, so throughput measurements stay honest.
+    Extra keyword arguments land on :class:`EngineConfig` verbatim
+    (``precision=``, ``waste_budget=``, ...).
     """
     return AnnotationEngine(
         trainer,
-        EngineConfig(batch_size=batch_size, cache_size=cache_size),
+        EngineConfig(
+            batch_size=batch_size, cache_size=cache_size, **config_kwargs
+        ),
     )
 
 

@@ -53,7 +53,26 @@ BYTE_NEUTRAL: Dict[str, str] = {
         "proof against the reference path, so both settings emit the "
         "same bytes"
     ),
+    "weight_arena": (
+        "a float32 arena stores each parameter's exact live bytes, so an "
+        "arena-backed model is bitwise the in-memory one (pinned by "
+        "tests); int8 arenas change bytes only via precision, which "
+        "folds on its own"
+    ),
 }
+
+#: Fields that are KNOWN to change annotation bytes.  They must fold into
+#: the fingerprint — the rule rejects any attempt to allowlist them, so a
+#: future edit cannot quietly downgrade a byte-affecting knob to
+#: byte-neutral (``precision="int8"`` sharing a float32 cache partition
+#: is exactly the poisoning this audit exists to prevent).
+BYTE_AFFECTING: Tuple[str, ...] = (
+    "dtype",
+    "precision",
+    "waste_budget",
+    "probe_mode",
+    "probe_budget",
+)
 
 
 def _config_fields(cls: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
@@ -214,4 +233,19 @@ def check(project: Project) -> Iterator[Finding]:
                     f"stale byte-neutral allowlist entry '{name}' — no such "
                     "EngineConfig field",
                     severity="warning",
+                )
+            for name in sorted(set(BYTE_AFFECTING) & set(BYTE_NEUTRAL)):
+                yield src.finding(
+                    RULE_ID,
+                    cls,
+                    f"'{name}' is audited byte-affecting but appears in the "
+                    "byte-neutral allowlist — it must fold into "
+                    "model_fingerprint, never be allowlisted",
+                )
+            for name in sorted(set(BYTE_AFFECTING) & set(fields) - classified):
+                yield src.finding(
+                    RULE_ID,
+                    cls,
+                    f"byte-affecting field '{name}' does not reach "
+                    "model_fingerprint — cache partitions will mix outputs",
                 )

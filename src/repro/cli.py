@@ -173,6 +173,7 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
             ("--cache-dir", args.cache_dir is not None),
             ("--dtype", args.dtype is not None),
             ("--kernels", args.kernels is not None),
+            ("--precision", args.precision is not None),
             ("--column-cache", args.column_cache is not None),
             ("--column-cache-persist", args.column_cache_persist),
         )
@@ -236,14 +237,19 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
     """EngineConfig keyword overrides from the shared serving flags
-    (``--dtype``/``--kernels``/``--column-cache``/``--column-cache-persist``/
-    ``--probe-mode``/``--probe-budget``); omitted flags fall through to the
-    EngineConfig defaults."""
+    (``--dtype``/``--kernels``/``--precision``/``--weight-arena``/
+    ``--column-cache``/``--column-cache-persist``/``--probe-mode``/
+    ``--probe-budget``); omitted flags fall through to the EngineConfig
+    defaults."""
     kwargs = {}
     if getattr(args, "dtype", None) is not None:
         kwargs["dtype"] = args.dtype
     if getattr(args, "kernels", None) is not None:
         kwargs["kernels"] = args.kernels
+    if getattr(args, "precision", None) is not None:
+        kwargs["precision"] = args.precision
+    if getattr(args, "weight_arena", False):
+        kwargs["weight_arena"] = True
     if getattr(args, "column_cache", None) is not None:
         kwargs["column_cache_size"] = args.column_cache
     if getattr(args, "column_cache_persist", False):
@@ -1025,6 +1031,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default=None,
                           help="compute precision for .jsonl serving "
                                "(default float32; float64 needs --kernels fast)")
+    annotate.add_argument("--precision", choices=("float32", "float64", "int8"),
+                          default=None,
+                          help="weight representation for inference: int8 "
+                               "serves per-channel quantized weights behind "
+                               "the accuracy gate (requires fast kernels; "
+                               "default float32)")
     annotate.add_argument("--kernels", choices=("fast", "reference"),
                           default=None,
                           help="forward implementation: proof-gated fast "
@@ -1077,6 +1089,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dtype", choices=("float32", "float64"), default=None,
                        help="compute precision (default float32; float64 "
                             "needs --kernels fast)")
+    serve.add_argument("--precision", choices=("float32", "float64", "int8"),
+                       default=None,
+                       help="weight representation for inference: int8 "
+                            "serves per-channel quantized weights behind "
+                            "the accuracy gate (requires fast kernels; "
+                            "default float32)")
+    serve.add_argument("--weight-arena", action="store_true",
+                       help="map model weights from a shared mmap arena "
+                            "built next to each bundle — pool workers "
+                            "share one physical copy of the weights and "
+                            "evict/reload becomes a remap")
     serve.add_argument("--kernels", choices=("fast", "reference"), default=None,
                        help="forward implementation: proof-gated fast kernels "
                             "(default) or the reference Tensor path")

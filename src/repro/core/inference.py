@@ -18,6 +18,14 @@ A session is built for one compute dtype:
 * ``float64`` — the high-precision path used by the differential harness
   and available through ``EngineConfig.dtype``.  Weights are cast once at
   session build.
+* ``int8`` — :class:`QuantizedInferenceSession`: Linear/QKV weights
+  round-trip through per-channel symmetric int8 (float32 accumulate),
+  which is *deliberately not byte-identical*.  It therefore skips the
+  bitwise proof gates entirely and ships behind the accuracy gate in
+  :mod:`repro.nn.quant` instead: one calibration pass records max drift
+  per (layer, shape) vs the float32 reference, and drift past tolerance
+  disproves the session — it permanently falls back to float32 and every
+  fallback bumps the model's ``quant_fallbacks`` odometer.
 
 Staleness
 ---------
@@ -58,6 +66,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Supported compute dtypes for inference sessions.
 INFERENCE_DTYPES = ("float32", "float64")
 
+#: Accuracy-gated session dtypes: not byte-identical to the reference,
+#: dispatched by :meth:`DoduoModel.inference_session` to
+#: :class:`QuantizedInferenceSession` and fenced off from the float
+#: cache partitions by the ``precision`` fingerprint fold.
+QUANTIZED_DTYPES = ("int8",)
+
+#: Items from the first batch used for the one-shot calibration pass.
+CALIBRATION_ITEMS = 8
+
+
+def _sigmoid_gelu_(x: np.ndarray, ws, scratch: str = "gelu") -> np.ndarray:
+    """In-place sigmoid GELU ``x * sigmoid(1.702 x)`` (quantized path only).
+
+    Four ufunc dispatches against the reference tanh chain's nine; the
+    approximation differs from exact GELU by at most ~0.021 per element,
+    which the accuracy gate measures rather than assumes.  Never call
+    this from the proof-gated float path — it is not bitwise anything.
+    """
+    t = ws.take(scratch, x.shape, x.dtype)
+    np.multiply(x, -1.702, out=t)
+    np.exp(t, out=t)
+    t += 1.0
+    np.divide(x, t, out=x)
+    return x
+
+
+def _lean_layer_norm_(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float
+) -> np.ndarray:
+    """Layer norm with the variance reduced by one einsum (quantized path).
+
+    Same math as :func:`repro.nn.kernels.layer_norm_` but the squared
+    deviations never materialize as a full-size scratch array — the
+    einsum contracts them directly to per-row sums — and the three
+    follow-up ops run on the tiny ``(batch, seq)`` reduction.  Summation
+    order differs from the reference, so bytes differ: accuracy-gated
+    sessions only.
+    """
+    inv_dim = 1.0 / x.shape[-1]
+    mu = np.einsum("...i->...", x)
+    mu *= inv_dim
+    np.subtract(x, mu[..., None], out=x)
+    var = np.einsum("...i,...i->...", x, x)
+    var *= inv_dim
+    var += eps
+    np.sqrt(var, out=var)
+    np.divide(x, var[..., None], out=x)
+    np.multiply(x, gamma, out=x)
+    np.add(x, beta, out=x)
+    return x
+
 
 class _BlockWeights:
     """Flat per-block weight bundle (plain ndarrays, session dtype)."""
@@ -84,6 +143,11 @@ class InferenceSession:
         self._np_dtype = np.dtype(dtype)
         self.workspace = Workspace()
         self._sources: List[Tuple[object, np.ndarray]] = []
+        # When set to a list, _forward appends a copy of every block's
+        # output (the int8 calibration pass taps both the quantized and
+        # the reference session this way).  None in steady state: the
+        # check is a no-op branch, so serving bytes are untouched.
+        self._capture: Optional[List[np.ndarray]] = None
 
         encoder = model.encoder
         self.max_position = encoder.config.max_position
@@ -234,6 +298,9 @@ class InferenceSession:
             bias = None
         for bw in self.blocks:
             x = self._block(x, bias, bw)
+            if self._capture is not None:
+                # Block outputs alias reused workspace buffers; copy.
+                self._capture.append(np.array(x, copy=True))
         return x
 
     def _block(
@@ -288,3 +355,231 @@ class InferenceSession:
         inner = F._SQRT_2_OVER_PI * (hidden + 0.044715 * (squared * hidden))
         activated = 0.5 * hidden * (1.0 + np.tanh(inner))
         return np.matmul(activated, w2) + b2
+
+
+class QuantizedInferenceSession(InferenceSession):
+    """Int8 weights, float32 accumulate, accuracy-gated — not byte-gated.
+
+    Every GEMM weight (packed QKV, attention output, FFN, both heads)
+    round-trips through per-channel symmetric int8
+    (:func:`repro.nn.quant.quantize_dequantize`) at session build, then
+    compute proceeds in float32 on the dequantized arrays: numpy has no
+    int8 GEMM, so the weight *representation* is int8 (what an arena
+    persists, what the fingerprint sees) while the *arithmetic* is the
+    float32 BLAS path.  When the model is attached to an int8 arena the
+    round-trip already happened at arena build — the captured arrays are
+    the arena's shared dequantized views and no private copy is made.
+
+    Because byte-identity is deliberately off the table, this session is
+    licensed to skip machinery that exists only to defend it:
+
+    * ``_block`` issues workspace GEMMs directly — no proof-cache lookups
+      and, crucially, no dark-launch double-compute per novel shape.
+    * ``merge_head_groups`` tells callers to collapse per-table head
+      chains into one bucket-wide GEMM.
+
+    The license is the **accuracy gate**: the first ``encode_batch``
+    runs a bounded calibration pass (quantized vs float32 reference),
+    records the max drift per (layer, shape) in the proof cache under
+    :data:`repro.nn.quant.DRIFT_KEY_PREFIX` keys, and a summary verdict
+    under :data:`~repro.nn.quant.GATE_KEY`.  Drift past tolerance
+    disproves the gate: the session permanently delegates to the
+    memoized float32 session and bumps ``model.quant_fallbacks`` once
+    per delegated call.  A persisted ``GATE_KEY`` verdict (hydrated into
+    ``workspace.proofs`` before first use) skips calibration entirely.
+    """
+
+    def __init__(self, model: "DoduoModel") -> None:
+        super().__init__(model, "float32")
+        self.dtype = "int8"
+        self.fallback = False
+        self._calibrated = False
+        arena = getattr(model, "_weight_arena", None)
+        if arena is not None and arena.precision == "int8":
+            # Parameters already hold the arena's dequantized views, and
+            # per-channel quantization commutes with column concat, so
+            # the packed QKV built from them equals quantizing the pack.
+            pass
+        else:
+            from ..nn.quant import quantize_dequantize
+
+            for bw in self.blocks:
+                bw.w_qkv = quantize_dequantize(bw.w_qkv)
+                bw.w_o = quantize_dequantize(bw.w_o)
+                bw.w_in = quantize_dequantize(bw.w_in)
+                bw.w_out = quantize_dequantize(bw.w_out)
+            self.th_w1 = quantize_dequantize(self.th_w1)
+            self.th_w2 = quantize_dequantize(self.th_w2)
+            if self.rh_w1 is not None:
+                self.rh_w1 = quantize_dequantize(self.rh_w1)
+                self.rh_w2 = quantize_dequantize(self.rh_w2)
+        # Fold the attention scale into the Q columns of the packed QKV:
+        # (s·q) @ kᵀ == s·(q @ kᵀ) exactly in real arithmetic, so the
+        # full (seq × seq) scores multiply disappears from every block.
+        # ``packed_qkv`` hands back fresh concat copies (and the
+        # quantize branch above replaced them again), so the in-place
+        # scale never touches arena views or live parameters.  Rounding
+        # differs from the reference order — accuracy gate territory.
+        for bw in self.blocks:
+            dim = bw.w_qkv.shape[0]
+            qcols = bw.w_qkv[:, :dim]
+            np.multiply(qcols, bw.scale32, out=qcols)
+            qbias = bw.b_qkv[:dim]
+            np.multiply(qbias, bw.scale32, out=qbias)
+
+    @property
+    def merge_head_groups(self) -> bool:
+        """Collapse per-table head groups into one GEMM — unless the gate
+        failed, in which case the float32 fallback keeps reference
+        (per-group) behavior."""
+        return not self.fallback
+
+    # -- gate --------------------------------------------------------------------
+    def _float_session(self) -> InferenceSession:
+        return self.model.inference_session("float32")
+
+    def _calibrate(
+        self, encoded: Sequence[EncodedTable], width: Optional[int]
+    ) -> None:
+        from ..nn import quant
+
+        proofs = self.workspace.proofs
+        persisted = proofs.verdict(quant.GATE_KEY)
+        if persisted is not None:
+            self._calibrated = True
+            self.fallback = not persisted
+            return
+        sample = list(encoded[:CALIBRATION_ITEMS])
+        if not sample:
+            return  # nothing to measure yet; retry on the next batch
+        self._calibrated = True
+        reference = self._float_session()
+        self._capture = []
+        hidden_q, loc_q = super().encode_batch(sample, width=width)
+        captured_q, self._capture = self._capture, None
+        cls_q = np.array(hidden_q[(loc_q[:, 0], loc_q[:, 1])], copy=True)
+        reference._capture = []
+        hidden_f, loc_f = reference.encode_batch(sample, width=width)
+        captured_f, reference._capture = reference._capture, None
+        cls_f = np.array(hidden_f[(loc_f[:, 0], loc_f[:, 1])], copy=True)
+        ok = True
+        for i, (xq, xf) in enumerate(zip(captured_q, captured_f)):
+            drift = quant.max_drift(xq, xf)
+            layer_ok = drift <= quant.HIDDEN_DRIFT_TOLERANCE
+            ok = ok and layer_ok
+            proofs.record(
+                quant.drift_key(f"block{i}", xq.shape), layer_ok, drift=drift
+            )
+        logits_q = InferenceSession.type_head(self, cls_q)
+        logits_f = reference.type_head(cls_f)
+        drift = quant.max_drift(logits_q, logits_f)
+        head_ok = drift <= quant.LOGIT_DRIFT_TOLERANCE
+        ok = ok and head_ok
+        proofs.record(
+            quant.drift_key("type_head", logits_q.shape), head_ok, drift=drift
+        )
+        if self.rh_w1 is not None and cls_q.shape[0] >= 2:
+            pairs_q = np.concatenate([cls_q[:-1], cls_q[1:]], axis=-1)
+            pairs_f = np.concatenate([cls_f[:-1], cls_f[1:]], axis=-1)
+            rel_q = InferenceSession.relation_head(self, pairs_q)
+            rel_f = reference.relation_head(pairs_f)
+            drift = quant.max_drift(rel_q, rel_f)
+            rel_ok = drift <= quant.LOGIT_DRIFT_TOLERANCE
+            ok = ok and rel_ok
+            proofs.record(
+                quant.drift_key("relation_head", rel_q.shape), rel_ok, drift=drift
+            )
+        proofs.record(quant.GATE_KEY, ok)
+        self.fallback = not ok
+
+    # -- forward -----------------------------------------------------------------
+    def encode_batch(
+        self, encoded: Sequence[EncodedTable], width: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._calibrated:
+            self._calibrate(encoded, width)
+        if self.fallback:
+            self.model.quant_fallbacks += 1
+            return self._float_session().encode_batch(encoded, width=width)
+        return super().encode_batch(encoded, width=width)
+
+    def _block(
+        self, x: np.ndarray, bias: Optional[np.ndarray], bw: _BlockWeights
+    ) -> np.ndarray:
+        # Same workspace buffer names as the proof-gated base block, but
+        # every GEMM lands in its buffer unconditionally — the accuracy
+        # gate replaces the per-shape bitwise proof, so no verdict
+        # lookups and no dark-launch reference recompute — and the
+        # elementwise chain is the fused variant: attention scale is
+        # pre-folded into the Q weights, GELU is the 4-op sigmoid form,
+        # layer norm reduces variance by einsum.
+        batch, seq, dim = x.shape
+        ws = self.workspace
+        qkv = np.matmul(
+            x, bw.w_qkv, out=ws.take("qkv", (batch, seq, 3 * dim), x.dtype)
+        )
+        qkv += bw.b_qkv
+        q = qkv[..., :dim].reshape(batch, seq, bw.heads, bw.head_dim)
+        k = qkv[..., dim : 2 * dim].reshape(batch, seq, bw.heads, bw.head_dim)
+        v = qkv[..., 2 * dim :].reshape(batch, seq, bw.heads, bw.head_dim)
+        q = q.transpose(0, 2, 1, 3)
+        k = k.transpose(0, 2, 1, 3)
+        v = v.transpose(0, 2, 1, 3)
+        scores = np.matmul(
+            q,
+            k.swapaxes(-1, -2),
+            out=ws.take("scores", (batch, bw.heads, seq, seq), x.dtype),
+        )
+        if bias is not None:
+            np.add(scores, bias, out=scores)
+        softmax_(scores)
+        context = np.matmul(
+            scores, v, out=ws.take("context", (batch, bw.heads, seq, bw.head_dim), x.dtype)
+        )
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        attended = np.matmul(
+            context, bw.w_o, out=ws.take("attn_out", (batch, seq, dim), x.dtype)
+        )
+        attended += bw.b_o
+        np.add(x, attended, out=attended)
+        x = _lean_layer_norm_(attended, bw.attn_gamma, bw.attn_beta, bw.attn_eps)
+        hidden = np.matmul(
+            x, bw.w_in, out=ws.take("ffn_h", (batch, seq, bw.w_in.shape[1]), x.dtype)
+        )
+        hidden += bw.b_in
+        _sigmoid_gelu_(hidden, ws)
+        out = np.matmul(
+            hidden, bw.w_out, out=ws.take("ffn_o", (batch, seq, dim), x.dtype)
+        )
+        out += bw.b_out
+        np.add(x, out, out=out)
+        return _lean_layer_norm_(out, bw.ffn_gamma, bw.ffn_beta, bw.ffn_eps)
+
+    # -- heads -------------------------------------------------------------------
+    def type_head(self, states: np.ndarray) -> np.ndarray:
+        if self.fallback:
+            self.model.quant_fallbacks += 1
+            return self._float_session().type_head(states)
+        return super().type_head(states)
+
+    def relation_head(self, pair_states: np.ndarray) -> np.ndarray:
+        if self.fallback:
+            self.model.quant_fallbacks += 1
+            return self._float_session().relation_head(pair_states)
+        return super().relation_head(pair_states)
+
+    @staticmethod
+    def _head(states, w1, b1, w2, b2) -> np.ndarray:
+        # Lean head chain: sigmoid GELU on fresh arrays (head inputs are
+        # a handful of rows — no workspace needed).  Calibration runs
+        # the drift check through this same code path, so the gate
+        # verdict covers exactly what serving executes.
+        hidden = np.matmul(states, w1)
+        hidden += b1
+        t = np.multiply(hidden, -1.702)
+        np.exp(t, out=t)
+        t += 1.0
+        np.divide(hidden, t, out=hidden)
+        out = np.matmul(hidden, w2)
+        out += b2
+        return out

@@ -24,7 +24,11 @@ from ..nn import (
     concatenate,
 )
 from ..nn import functional as F
-from .inference import InferenceSession
+from .inference import (
+    QUANTIZED_DTYPES,
+    InferenceSession,
+    QuantizedInferenceSession,
+)
 from .numeric import NUM_MAGNITUDE_BINS
 from .serialization import EncodedTable, column_visibility, pad_batch
 
@@ -129,6 +133,11 @@ class DoduoModel(Module):
         self.encode_calls = 0
         self.real_tokens = 0
         self.padded_tokens = 0
+        # Serving calls answered by the float32 fallback after the int8
+        # accuracy gate disproved quantization (see
+        # QuantizedInferenceSession); the engine diffs this into
+        # ``EngineStats.quant_fallbacks`` alongside the token odometers.
+        self.quant_fallbacks = 0
         # Inference sessions (no-tape optimized forward), one per compute
         # dtype.  The leading underscore keeps ``named_parameters`` and the
         # mode walker from descending into them.
@@ -166,7 +175,12 @@ class DoduoModel(Module):
         for name, param in sorted(self.named_parameters()):
             digest.update(name.encode("utf-8"))
             digest.update(repr((param.data.shape, str(param.data.dtype))).encode("utf-8"))
-            digest.update(np.ascontiguousarray(param.data).tobytes())
+            # Hash through the buffer protocol, not ``.tobytes()``: the
+            # digest is identical, but tobytes would materialize a full
+            # private copy of every weight — for arena-backed models that
+            # one transient walk would dirty as many heap pages as the
+            # arena saves per worker.
+            digest.update(np.ascontiguousarray(param.data))
         return digest.hexdigest()
 
     # -- inference sessions ------------------------------------------------------
@@ -184,7 +198,10 @@ class DoduoModel(Module):
         """
         session = self._sessions.get(dtype)
         if session is None or session.stale():
-            session = InferenceSession(self, dtype)
+            if dtype in QUANTIZED_DTYPES:
+                session = QuantizedInferenceSession(self)
+            else:
+                session = InferenceSession(self, dtype)
             self._sessions[dtype] = session
         return session
 
@@ -351,6 +368,14 @@ class DoduoModel(Module):
         offsets = np.concatenate([[0], np.cumsum(counts)])
         if head_groups is None:
             head_groups = [list(range(len(encoded)))]
+        elif getattr(session, "merge_head_groups", False):
+            # Accuracy-gated sessions (int8) trade the per-group row-count
+            # contract away behind their drift gate, which licenses one
+            # bucket-wide head GEMM chain instead of a chain per table.
+            # Checked after encode_batch on purpose: the int8 calibration
+            # pass runs there, and a failed gate flips this off so the
+            # float32 fallback keeps reference per-group behavior.
+            head_groups = [[i for group in head_groups for i in group]]
         type_logits: Optional[np.ndarray] = None
         if with_types:
             embeddings_data = column_embeddings

@@ -11,6 +11,14 @@ to reconstruct a working :class:`~repro.core.annotator.Doduo`:
 ``load_annotator(save_annotator(model))`` reproduces predictions bit-exactly
 (asserted by the tests), which is what makes the CLI's train-then-annotate
 workflow possible across processes.
+
+A bundle can additionally carry derived **weight arenas**
+(``arena-<precision>.rpwa``, see :mod:`repro.nn.arena`): flat mmap-able
+files holding the inference weights, built on demand by
+:func:`ensure_model_arena` and consumed via
+``load_annotator(..., weight_arena=...)`` — the model's parameters then
+*are* read-only views over the arena's pages, shared by every process
+that maps the same file, instead of a private ``weights.npz`` copy.
 """
 
 from __future__ import annotations
@@ -18,10 +26,11 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from ..datasets.tables import TableDataset
-from ..nn import TransformerConfig, load_checkpoint, save_checkpoint
+from ..nn import TransformerConfig, deferred_init, load_checkpoint, save_checkpoint
+from ..nn.arena import ARENA_SUFFIX, Arena, attach_arena, write_model_arena
 from ..text import WordPieceTokenizer
 from .annotator import Doduo
 from .trainer import DoduoConfig, DoduoTrainer
@@ -57,8 +66,18 @@ def save_annotator(annotator: Doduo, directory: PathLike) -> Path:
     return directory
 
 
-def load_annotator(directory: PathLike) -> Doduo:
+def load_annotator(
+    directory: PathLike, weight_arena: Optional[PathLike] = None
+) -> Doduo:
     """Reconstruct an annotator from a bundle written by :func:`save_annotator`.
+
+    ``weight_arena`` (a path or an open :class:`~repro.nn.arena.Arena`)
+    replaces the ``weights.npz`` deserialization with zero-copy attachment:
+    every parameter becomes a read-only memmap view over the arena file, so
+    N processes loading the same bundle share one physical copy of the
+    weights and "loading" is a header parse plus a remap.  A float32 arena
+    is bitwise the npz load; an int8 arena attaches the dequantized
+    round-trip (the quantized serving representation).
 
     Raises
     ------
@@ -95,7 +114,69 @@ def load_annotator(directory: PathLike) -> Doduo:
         relation_vocab=list(manifest["relation_vocab"]),
         name=manifest.get("dataset_name", ""),
     )
-    trainer = DoduoTrainer(dataset, tokenizer, encoder_config, doduo_config)
-    load_checkpoint(trainer.model, directory / "weights.npz")
+    # Every parameter is about to be overwritten (npz copy) or replaced
+    # (arena view), so skip the random init: drawing ~the full weight
+    # payload just to discard it costs startup time, and in a forked
+    # serving worker it permanently dirties that many COW heap pages —
+    # which would defeat the arena's per-worker memory savings.
+    with deferred_init():
+        trainer = DoduoTrainer(dataset, tokenizer, encoder_config, doduo_config)
+    if weight_arena is not None:
+        arena = (
+            weight_arena
+            if isinstance(weight_arena, Arena)
+            else Arena(weight_arena)
+        )
+        attach_arena(trainer.model, arena)
+    else:
+        load_checkpoint(trainer.model, directory / "weights.npz")
     trainer.model.eval()
     return Doduo(trainer)
+
+
+def _weights_signature(weights_path: Path) -> dict:
+    stat = weights_path.stat()
+    return {"size": stat.st_size, "mtime_ns": stat.st_mtime_ns}
+
+
+def ensure_model_arena(
+    bundle_dir: PathLike,
+    precision: str = "float32",
+    arena_dir: Optional[PathLike] = None,
+) -> Path:
+    """The bundle's weight arena for ``precision``, building it if needed.
+
+    The arena lives next to the bundle by default
+    (``arena-<precision>.rpwa``; ``arena_dir`` overrides the directory).
+    An existing file is reused only when its recorded precision and its
+    source signature — size and mtime of ``weights.npz`` at build time —
+    still match, so retraining or re-saving the bundle invalidates the
+    arena instead of serving stale weights.  Building parses the bundle
+    once (the one deserialization N workers then all skip) and writes
+    atomically, so concurrent builders race benignly to identical bytes.
+    """
+    bundle_dir = Path(bundle_dir)
+    weights_path = bundle_dir / "weights.npz"
+    signature = _weights_signature(weights_path)
+    directory = Path(arena_dir) if arena_dir is not None else bundle_dir
+    path = directory / f"arena-{precision}{ARENA_SUFFIX}"
+    if path.exists():
+        try:
+            existing = Arena(path)
+        except (OSError, ValueError, KeyError):
+            existing = None  # corrupt or truncated: rebuild below
+        if (
+            existing is not None
+            and existing.precision == precision
+            and existing.meta.get("source") == signature
+        ):
+            return path
+    annotator = load_annotator(bundle_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_model_arena(
+        annotator.trainer.model,
+        path,
+        precision=precision,
+        meta={"source": signature},
+    )
+    return path

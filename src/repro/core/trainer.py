@@ -625,6 +625,7 @@ class DoduoTrainer:
         dtype: str = "float32",
         probe: Optional[str] = None,
         waste_budget: int = 0,
+        precision: Optional[str] = None,
     ) -> str:
         """Stable hash of everything that determines an annotation output.
 
@@ -662,11 +663,19 @@ class DoduoTrainer:
         bucketing, the byte-identity contract) stays marker-free like the
         other defaults, keeping previously persisted cache keys valid.
 
+        ``precision`` is the weight-representation policy
+        (``EngineConfig.precision``): ``"int8"`` serves from quantized
+        weights behind an accuracy gate, which is *deliberately* not
+        byte-identical, so it must never share a cache partition or a
+        registry route with any float path.  ``None`` and ``"float32"``
+        both leave the digest marker-free (float32 weights are the
+        baseline the other markers already describe).
+
         Memoized (hashing walks every weight); :meth:`train` invalidates the
         memo, and :meth:`invalidate_fingerprint` does so for out-of-band
         weight mutation.
         """
-        memo_key = (dtype, probe, waste_budget)
+        memo_key = (dtype, probe, waste_budget, precision)
         cached = self._annotation_fingerprints.get(memo_key)
         if cached is not None:
             return cached
@@ -702,6 +711,11 @@ class DoduoTrainer:
             # Near-width packing merges width buckets, changing padding and
             # output bytes; exact bucketing (0) stays marker-free.
             digest.update(f"|waste_budget={waste_budget}".encode("utf-8"))
+        if precision not in (None, "float32"):
+            # Quantized weights (int8) are accuracy-gated, not byte-gated:
+            # they get their own cache partition.  float32 — the baseline
+            # representation — stays marker-free like every other default.
+            digest.update(f"|precision={precision}".encode("utf-8"))
         value = digest.hexdigest()
         self._annotation_fingerprints[memo_key] = value
         return value
@@ -997,6 +1011,12 @@ class DoduoTrainer:
                     states[index] = state
         state_matrix = np.stack(states)
         session = self.model._resolve_session(kernels, compute_dtype)
+        if getattr(session, "merge_head_groups", False):
+            # Accuracy-gated sessions (int8) are licensed to run one head
+            # GEMM over the whole assembled state matrix instead of one
+            # per table — groups are contiguous ranges in flat order, so
+            # concatenating them preserves row alignment.
+            column_groups = [[i for group in column_groups for i in group]]
         parts = []
         for group in column_groups:
             if group:

@@ -57,8 +57,23 @@ def column_profile(column: Column, max_values: int = 20) -> Set[str]:
 #: Content-addressed memo for :func:`column_profile` (default ``max_values``
 #: only — the key is content, not parameters).  Module-level on purpose:
 #: the same column reappearing across tables, grouping runs, and probe
-#: plans builds its profile once per process.
+#: plans builds its profile once per process.  LRU-bounded so lake-scale
+#: corpora cannot grow it without limit; :func:`profile_cache_stats`
+#: surfaces the hit/miss/eviction counters.
 PROFILE_CACHE: LRUCache[Set[str]] = LRUCache(4096)
+
+
+def profile_cache_stats() -> Dict[str, int]:
+    """Counters of the module-level profile memo (size, hits, misses,
+    evictions) — ``evictions > 0`` means the corpus's distinct-column
+    working set exceeds the cap and profiles are being rebuilt."""
+    return {
+        "size": len(PROFILE_CACHE),
+        "capacity": PROFILE_CACHE.capacity,
+        "hits": PROFILE_CACHE.hits,
+        "misses": PROFILE_CACHE.misses,
+        "evictions": PROFILE_CACHE.evictions,
+    }
 
 
 def cached_column_profile(column: Column, max_values: int = 20) -> Set[str]:

@@ -5,7 +5,7 @@ DODUO implementation (see DESIGN.md, substitution table).
 """
 
 from . import functional
-from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Module
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Module, deferred_init
 from .optim import (
     Adam,
     AdamW,
@@ -45,6 +45,7 @@ __all__ = [
     "WarmupLinearScheduler",
     "concatenate",
     "copy_parameters",
+    "deferred_init",
     "functional",
     "load_checkpoint",
     "save_checkpoint",

@@ -7,12 +7,57 @@ PyTorch convention while staying pure numpy.
 
 from __future__ import annotations
 
+import contextlib
+import mmap
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from . import functional as F
 from .tensor import Tensor
+
+#: When True, Linear/Embedding allocate their weights as untouched zeros
+#: instead of drawing random initial values.  See :func:`deferred_init`.
+_DEFER_INIT = False
+
+
+@contextlib.contextmanager
+def deferred_init():
+    """Skip random weight initialization inside the context.
+
+    For load paths that overwrite every parameter anyway (checkpoint
+    load, arena attach), random init writes the full weight payload once
+    just to throw it away — which costs startup time and, in a forked
+    serving worker, permanently dirties that many copy-on-write heap
+    pages.  Deferred parameters are ``np.zeros`` allocations: backed by
+    untouched zero pages, they cost no physical memory until written,
+    and none at all when an arena view replaces them.
+
+    Strictly for full-overwrite loads: a deferred module that is never
+    loaded has all-zero weights, and the module's RNG stream is not
+    advanced, so partially-initialized training setups must not use it.
+    """
+    global _DEFER_INIT
+    previous = _DEFER_INIT
+    _DEFER_INIT = True
+    try:
+        yield
+    finally:
+        _DEFER_INIT = previous
+
+
+def _untouched_zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """A zero float32 array on fresh anonymous pages.
+
+    ``np.zeros`` may recycle already-dirtied heap pages (whose memset
+    then copies them in a forked worker); an explicit anonymous mmap is
+    backed by untouched zero pages that cost no physical memory until —
+    unless — they are written.
+    """
+    size = max(1, int(np.prod(shape))) * np.dtype(np.float32).itemsize
+    return np.frombuffer(mmap.mmap(-1, size), dtype=np.float32, count=int(
+        np.prod(shape)
+    )).reshape(shape)
 
 
 class Module:
@@ -58,6 +103,13 @@ class Module:
         return self
 
     def _set_mode(self, training: bool) -> None:
+        # Mode only ever changes through train()/eval(), which set the
+        # whole subtree — so a node that already has the requested flag
+        # roots a consistent subtree and the walk can stop.  Serving
+        # calls eval() before every forward; without this short-circuit
+        # that is a full module-tree walk per request.
+        if self.training is training:
+            return
         self.training = training
         for value in vars(self).values():
             if isinstance(value, Module):
@@ -107,9 +159,14 @@ class Linear(Module):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        bound = np.sqrt(6.0 / (in_features + out_features))
-        weight = rng.uniform(-bound, bound, size=(in_features, out_features))
-        self.weight = Tensor(weight.astype(np.float32), requires_grad=True)
+        if _DEFER_INIT:
+            weight = _untouched_zeros((in_features, out_features))
+        else:
+            bound = np.sqrt(6.0 / (in_features + out_features))
+            weight = rng.uniform(
+                -bound, bound, size=(in_features, out_features)
+            ).astype(np.float32)
+        self.weight = Tensor(weight, requires_grad=True)
         if bias:
             self.bias: Optional[Tensor] = Tensor(
                 np.zeros(out_features, dtype=np.float32), requires_grad=True
@@ -137,8 +194,13 @@ class Embedding(Module):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
-        weight = rng.standard_normal((num_embeddings, embedding_dim)) * scale
-        self.weight = Tensor(weight.astype(np.float32), requires_grad=True)
+        if _DEFER_INIT:
+            weight = _untouched_zeros((num_embeddings, embedding_dim))
+        else:
+            weight = (
+                rng.standard_normal((num_embeddings, embedding_dim)) * scale
+            ).astype(np.float32)
+        self.weight = Tensor(weight, requires_grad=True)
 
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices)

@@ -26,7 +26,10 @@ the serving equivalence tests pin the batched one).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -95,6 +98,22 @@ class EngineConfig:
     entries to the engine's persistent tier (requires ``cache_dir`` or an
     attached result cache) so column states survive restarts.
 
+    ``precision`` is the weight-representation policy, orthogonal to
+    ``dtype`` (the activation compute dtype): ``None`` (default — the
+    plain float32 weights, byte-identical to a default engine),
+    ``"float32"`` (explicit alias of the default, same digest, same
+    bytes), ``"float64"``, or ``"int8"`` — per-channel symmetric weight
+    quantization served through the accuracy-gated
+    :class:`~repro.core.inference.QuantizedInferenceSession`.  Non-default
+    precisions fold into the model fingerprint, so int8 never shares a
+    cache partition or a route with any float path.  ``weight_arena``
+    opts the loading tier (registry / pool) into serving this model from
+    a shared mmap-ed arena file (:mod:`repro.nn.arena`); it is
+    byte-neutral — a float32 arena stores each parameter's exact bytes —
+    and the engine itself ignores it, which is why it lives here: it
+    rides the same ``engine_config`` plumbing the registry already
+    forwards per model.
+
     ``probe_mode`` is the relation-probing policy for requests that leave
     ``AnnotationRequest.pairs`` unset: ``"exhaustive"`` (default) probes
     :func:`~repro.core.trainer.default_relation_pairs` — byte-identical to
@@ -120,6 +139,8 @@ class EngineConfig:
     column_cache_persist: bool = False
     probe_mode: str = "exhaustive"
     probe_budget: Optional[int] = None
+    precision: Optional[str] = None
+    weight_arena: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -160,6 +181,32 @@ class EngineConfig:
                     "probe_budget requires probe_mode='planned' (exhaustive "
                     "probing has no budget to apply)"
                 )
+        if self.precision not in (None, "float32", "float64", "int8"):
+            raise ValueError(
+                "precision must be None, 'float32', 'float64', or 'int8': "
+                f"{self.precision!r}"
+            )
+        if self.precision in ("float64", "int8") and self.kernels != "fast":
+            raise ValueError(
+                f"precision={self.precision!r} requires kernels='fast' (the "
+                "reference Tensor path is float32-only)"
+            )
+        if (
+            self.precision is not None
+            and self.dtype != "float32"
+            and self.precision != self.dtype
+        ):
+            raise ValueError(
+                f"precision={self.precision!r} and dtype={self.dtype!r} "
+                "disagree; set one (precision wins the compute path)"
+            )
+
+    @property
+    def compute_precision(self) -> str:
+        """The dtype handed to the forward path: ``precision`` when set,
+        else ``dtype`` — so legacy dtype-only configs keep working and
+        ``precision`` can express int8 without a second knob."""
+        return self.precision or self.dtype
 
 
 @dataclass
@@ -191,6 +238,12 @@ class EngineStats:
     cross-product.  ``pairs_probed`` counts pairs the relation head
     actually encoded in every mode — planned, exhaustive, and explicit
     requests alike (disk-cache hits probe nothing).
+
+    ``quant_fallbacks`` counts int8-engine calls answered by the float32
+    fallback after the accuracy gate disproved quantization
+    (``precision="int8"`` only; always 0 on float engines) — nonzero
+    means this host serves float32 bytes at int8 cache keys, at float32
+    speed.
     """
 
     requests: int = 0
@@ -209,6 +262,7 @@ class EngineStats:
     pairs_planned: int = 0
     pairs_pruned: int = 0
     pairs_probed: int = 0
+    quant_fallbacks: int = 0
     planner_mode: str = "exact"
 
     @property
@@ -293,6 +347,10 @@ class AnnotationEngine:
                 ProbeBudget(max_pairs=self.config.probe_budget)
             )
         self.stats = EngineStats(planner_mode=self._planner.mode)
+        # The proof-cache object we last hydrated from disk; identity-
+        # tracked so a rebuilt session (weight swap, invalidation) gets
+        # re-hydrated instead of silently starting cold.
+        self._hydrated_proofs: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -431,11 +489,15 @@ class AnnotationEngine:
             self._signature(requests[i], encoded[i], planned_pairs.get(i))
             for i in pending
         ]
+        if pending:
+            self._hydrate_proofs()
         for bucket in self._planner.plan(signatures):
             chunk = [pending[k] for k in bucket]
             self._run_chunk(
                 chunk, requests, encoded, cached_flags, results, planned_pairs
             )
+        if pending:
+            self._persist_proofs()
         # Fresh read (NOT the captured handle): once the registry detaches
         # the tier, this engine stops persisting immediately.
         result_cache = self.result_cache
@@ -518,7 +580,63 @@ class AnnotationEngine:
             dtype=self.config.dtype,
             probe=probe,
             waste_budget=self.config.waste_budget,
+            precision=self.config.precision,
         )
+
+    # ------------------------------------------------------------------
+    # Proof persistence
+    # ------------------------------------------------------------------
+    # Kernel proofs (bitwise verdicts per shape) and the int8 accuracy
+    # gate live in the session workspace's ProofCache — per process, so
+    # every pool worker and every crash-restart used to pay the full
+    # dark-launch double-compute (and the calibration pass) again.  With
+    # a persistent tier attached, verdicts are written as a JSON sidecar
+    # keyed by the model fingerprint: any proof is invalidated the moment
+    # weights, dtype, precision, or probe policy change, because the key
+    # changes with them.  No persistent tier → both helpers no-op.
+
+    def _proofs_path(self) -> Optional[Path]:
+        root = getattr(self.result_cache, "directory", None) or self.config.cache_dir
+        if root is None:
+            return None
+        return Path(root) / "proofs" / f"{self.model_fingerprint}.json"
+
+    def _session_proofs(self):
+        """The live session's proof cache, or None on the Tensor path."""
+        session = self.trainer.model._resolve_session(
+            self.config.kernels, self.config.compute_precision
+        )
+        if session is None:
+            return None
+        return session.workspace.proofs
+
+    def _hydrate_proofs(self) -> None:
+        path = self._proofs_path()
+        if path is None:
+            return
+        proofs = self._session_proofs()
+        if proofs is None or proofs is self._hydrated_proofs:
+            return
+        self._hydrated_proofs = proofs
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Missing or corrupt sidecar degrades to re-proving.
+            return
+        proofs.load_payload(payload)
+
+    def _persist_proofs(self) -> None:
+        proofs = self._session_proofs()
+        if proofs is None or not proofs.dirty:
+            return
+        path = self._proofs_path()
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(proofs.to_payload()), encoding="utf-8")
+        os.replace(tmp, path)
+        proofs.dirty = False
 
     # ------------------------------------------------------------------
     # Internals
@@ -598,6 +716,7 @@ class AnnotationEngine:
         passes_before = model.encode_calls
         real_before = model.real_tokens
         padded_before = model.padded_tokens
+        fallbacks_before = model.quant_fallbacks
         batch_index = self.stats.batches
         column_cache = self.column_cache
         if column_cache is not None:
@@ -618,7 +737,7 @@ class AnnotationEngine:
             # back into exact buckets.
             waste_budget=self.config.waste_budget,
             kernels=self.config.kernels,
-            compute_dtype=self.config.dtype,
+            compute_dtype=self.config.compute_precision,
             column_cache=column_cache,
         )
         if column_cache is not None:
@@ -631,6 +750,7 @@ class AnnotationEngine:
         self.stats.encoder_passes += model.encode_calls - passes_before
         self.stats.real_tokens += model.real_tokens - real_before
         self.stats.padded_tokens += model.padded_tokens - padded_before
+        self.stats.quant_fallbacks += model.quant_fallbacks - fallbacks_before
         for i, raw_item in zip(chunk, raw):
             results[i] = self._build_result(
                 requests[i], raw_item, cached_flags[i], batch_index

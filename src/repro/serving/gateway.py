@@ -91,6 +91,10 @@ class GatewayStats:
     encoder_passes: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    #: Calls served by the float32 fallback because a model's int8
+    #: accuracy gate failed — nonzero means quantized serving silently
+    #: degraded to full precision (correct, but not the fast path).
+    quant_fallbacks: int = 0
     models: Dict[str, ServiceStats] = field(default_factory=dict)
     engines: Dict[str, EngineStats] = field(default_factory=dict)
     #: Per-engine counters of the persistent disk tier itself (the
@@ -496,7 +500,12 @@ class AnnotationGateway:
     # Derived from the dataclass so a counter added to ServiceStats can
     # never be silently dropped from retired merges or gateway totals.
     _SERVICE_COUNTERS = tuple(f.name for f in _dataclass_fields(ServiceStats))
-    _ENGINE_TOTALS = ("encoder_passes", "disk_hits", "disk_misses")
+    _ENGINE_TOTALS = (
+        "encoder_passes",
+        "disk_hits",
+        "disk_misses",
+        "quant_fallbacks",
+    )
 
     @classmethod
     def _merge_stats(cls, into: ServiceStats, source: ServiceStats) -> None:

@@ -115,6 +115,12 @@ class PoolConfig:
     column_cache_persist: bool = False    # spill column states to the fabric
     probe_mode: str = "exhaustive"        # relation probing: exhaustive | planned
     probe_budget: Optional[int] = None    # planned pairs cap per table
+    precision: Optional[str] = None       # weight representation (int8 quantized)
+    weight_arena: bool = False            # serve weights from a shared mmap arena
+    # name → arena file, filled by the parent before spawning (see
+    # ServingPool.start): workers then map the SAME pre-built file, which
+    # is the whole point — one physical weight copy pool-wide.
+    arena_paths: Dict[str, str] = field(default_factory=dict)
     shutdown_grace: float = 10.0
     sharding: str = "auto"                # auto | reuseport | inherit
     start_method: Optional[str] = None    # default: fork where available
@@ -139,6 +145,11 @@ class PoolConfig:
             raise ValueError(
                 "probe_budget requires probe_mode='planned' (exhaustive "
                 "probing has no budget to apply)"
+            )
+        if self.precision not in (None, "float32", "float64", "int8"):
+            raise ValueError(
+                f"precision must be one of None, 'float32', 'float64', "
+                f"'int8': {self.precision!r}"
             )
 
 
@@ -243,6 +254,8 @@ def _worker_main(
             column_cache_persist=config.column_cache_persist,
             probe_mode=config.probe_mode,
             probe_budget=config.probe_budget,
+            precision=config.precision,
+            weight_arena=config.weight_arena,
         ),
         cache_dir=config.cache_dir,
         fabric_writer=f"w{slot}-pid{os.getpid()}"
@@ -250,7 +263,10 @@ def _worker_main(
         else None,
     )
     for name, path in config.specs:
-        registry.register(name, path)
+        # The parent pre-built the arena (ServingPool.start), so every
+        # worker — including crash-restarted ones — maps the same file
+        # instead of re-parsing the bundle.
+        registry.register(name, path, arena=config.arena_paths.get(name))
     gateway = AnnotationGateway(
         registry,
         QueueConfig(
@@ -549,7 +565,34 @@ class ServingPool:
                     f"model {name!r}: {path} is not a bundle directory "
                     "(no bundle.json)"
                 )
+        if self.config.weight_arena:
+            # Serialize each model's weights ONCE, in the parent, before
+            # any worker exists: workers (and crash restarts) then map
+            # the same file, so the page cache backs one physical copy
+            # of the weights pool-wide.  Paths travel as strings to keep
+            # the PoolConfig picklable for spawn-based start methods.
+            from ..core.persistence import ensure_model_arena
+
+            arena_precision = (
+                "int8" if self.config.precision == "int8" else "float32"
+            )
+            for name, path in self.config.specs:
+                self.config.arena_paths[name] = str(
+                    ensure_model_arena(path, precision=arena_precision)
+                )
         self._bind()
+        if self._ctx.get_start_method() == "fork":
+            # Freeze the parent heap before forking: moving every object
+            # to the permanent generation keeps the children's cyclic GC
+            # from walking (and so dirtying, via refcount writes) the
+            # COW pages holding the parent's interpreter state.  The
+            # parent is a long-lived supervisor, so never collecting its
+            # pre-fork garbage is a fine trade for keeping those pages
+            # shared across all workers — including crash restarts,
+            # which fork from this same frozen heap.
+            import gc
+
+            gc.freeze()
         for slot in self._slots:
             self._spawn(slot)
         deadline = time.monotonic() + self.config.ready_timeout

@@ -53,7 +53,10 @@ class RegistryStats:
     ``evictions`` counts live engines dropped by the ``max_live`` policy
     or :meth:`ModelRegistry.evict`; ``routed`` counts successful route
     resolutions (the gateway's submit traffic); ``repoints`` counts
-    in-place rebinds of a name to new weights.
+    in-place rebinds of a name to new weights.  ``arena_remaps`` counts
+    loads served by mapping a weight arena instead of deserializing
+    ``weights.npz`` — on an arena-backed registry every load (including
+    every evict→reload cycle) should land here.
     """
 
     registered: int = 0
@@ -62,6 +65,7 @@ class RegistryStats:
     evictions: int = 0
     routed: int = 0
     repoints: int = 0
+    arena_remaps: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable counters (the ``{"op": "stats"}`` wire shape)."""
@@ -85,6 +89,7 @@ class RegisteredModel:
         "pinned",
         "engine",
         "engine_config",
+        "arena",
         "fingerprint",
         "last_used",
         "loads",
@@ -98,12 +103,17 @@ class RegisteredModel:
         pinned: bool,
         engine: Optional[AnnotationEngine],
         engine_config: Optional[EngineConfig],
+        arena: Optional[Path] = None,
     ) -> None:
         self.name = name
         self.path = path
         self.pinned = pinned
         self.engine = engine
         self.engine_config = engine_config
+        # Weight-arena file backing this entry's loads (None = npz loads).
+        # Set at registration (the pool pre-builds arenas in the parent)
+        # or on first load when the engine config asks for one.
+        self.arena = arena
         self.fingerprint: Optional[str] = (
             engine.model_fingerprint if engine is not None else None
         )
@@ -174,6 +184,7 @@ class ModelRegistry:
         source: ModelSource,
         pinned: bool = False,
         engine_config: Optional[EngineConfig] = None,
+        arena: Optional[Union[str, Path]] = None,
     ) -> RegisteredModel:
         """Bind ``name`` to a model source.
 
@@ -183,13 +194,19 @@ class ModelRegistry:
         / :class:`~repro.core.annotator.Doduo` (live immediately, and
         implicitly pinned — there is no checkpoint to reload it from after
         an eviction).  The first registration becomes the default route.
+
+        ``arena`` (bundle-path sources only) pins the weight-arena file
+        this entry loads from — the serving pool passes the arena its
+        parent pre-built so every worker maps the same pages.  Without
+        it, an engine config with ``weight_arena=True`` builds/reuses
+        the bundle's own arena on first load.
         """
         if not name or name != name.strip():
             raise ValueError(f"model name must be non-empty, got {name!r}")
         with self._lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
-            entry = self._build_entry(name, source, pinned, engine_config)
+            entry = self._build_entry(name, source, pinned, engine_config, arena=arena)
             self._entries[name] = entry
             self.stats.registered += 1
             if self._default_name is None:
@@ -203,6 +220,7 @@ class ModelRegistry:
         pinned: bool,
         engine_config: Optional[EngineConfig],
         replacing: Optional[RegisteredModel] = None,
+        arena: Optional[Union[str, Path]] = None,
     ) -> RegisteredModel:
         """One validated :class:`RegisteredModel` for ``source`` (caller
         holds the registry lock; ``replacing`` exempts the entry a repoint
@@ -214,7 +232,19 @@ class ModelRegistry:
                     f"model {name!r}: {path} is not a bundle directory "
                     "(no bundle.json)"
                 )
-            return RegisteredModel(name, path, pinned, None, engine_config)
+            return RegisteredModel(
+                name,
+                path,
+                pinned,
+                None,
+                engine_config,
+                arena=Path(arena) if arena is not None else None,
+            )
+        if arena is not None:
+            raise ValueError(
+                f"model {name!r}: arena= applies to bundle-path sources "
+                "only (an in-memory engine already owns its weights)"
+            )
         engine = self._as_engine(source, engine_config)
         # One serving thread per route drives each engine, and an
         # engine's trainer/pipeline is not thread-safe — the same
@@ -498,13 +528,23 @@ class ModelRegistry:
     def _load(self, entry: RegisteredModel) -> None:
         """Build ``entry``'s engine from its checkpoint (caller holds the
         entry's load lock, NOT the registry lock — this is the slow path)."""
-        from ..core.persistence import load_annotator  # deferred: heavy import
-
-        annotator = load_annotator(entry.path)
-        engine = AnnotationEngine(
-            annotator.trainer,
-            entry.engine_config or self.engine_config or EngineConfig(),
+        from ..core.persistence import (  # deferred: heavy import
+            ensure_model_arena,
+            load_annotator,
         )
+
+        config = entry.engine_config or self.engine_config or EngineConfig()
+        if entry.arena is None and config.weight_arena:
+            # First arena-backed load without a pre-built file (single-
+            # process registries; the pool pre-builds in the parent):
+            # build or reuse the bundle's own arena, then every reload —
+            # evict→reload in particular — is a remap of the same file.
+            entry.arena = ensure_model_arena(
+                entry.path,
+                precision="int8" if config.precision == "int8" else "float32",
+            )
+        annotator = load_annotator(entry.path, weight_arena=entry.arena)
+        engine = AnnotationEngine(annotator.trainer, config)
         self._attach_result_cache(engine)
         with self._lock:
             entry.engine = engine
@@ -513,6 +553,8 @@ class ModelRegistry:
             self.stats.loads += 1
             if entry.loads > 1:
                 self.stats.reloads += 1
+            if entry.arena is not None:
+                self.stats.arena_remaps += 1
 
     # ------------------------------------------------------------------
     # Eviction

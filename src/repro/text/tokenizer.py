@@ -105,9 +105,18 @@ class WordPieceTokenizer:
     to ``[UNK]``.
     """
 
+    #: Word -> id-sequence memo entries kept per tokenizer before the memo
+    #: resets.  Cell text repeats heavily across tables (entity names,
+    #: years, headers), so greedy longest-match segmentation re-runs on
+    #: the same words constantly; the memo short-circuits it.  Outputs are
+    #: byte-identical — segmentation is a pure function of the (immutable)
+    #: vocabulary — so every consumer, including training, may share it.
+    _MEMO_CAP = 65536
+
     def __init__(self, vocab: Vocabulary, max_word_chars: int = 32) -> None:
         self.vocab = vocab
         self.max_word_chars = max_word_chars
+        self._word_ids: Dict[str, List[int]] = {}
 
     def tokenize_word(self, word: str) -> List[str]:
         if len(word) > self.max_word_chars:
@@ -138,7 +147,20 @@ class WordPieceTokenizer:
         return pieces
 
     def encode(self, text: str) -> List[int]:
-        return [self.vocab.token_to_id(piece) for piece in self.tokenize(text)]
+        ids: List[int] = []
+        memo = self._word_ids
+        for word in basic_tokenize(text):
+            cached = memo.get(word)
+            if cached is None:
+                cached = [
+                    self.vocab.token_to_id(piece)
+                    for piece in self.tokenize_word(word)
+                ]
+                if len(memo) >= self._MEMO_CAP:
+                    memo.clear()
+                memo[word] = cached
+            ids.extend(cached)
+        return ids
 
     def decode(self, token_ids: Iterable[int]) -> str:
         words: List[str] = []

@@ -759,7 +759,12 @@ class TestServeProtocolFeatures:
         records = [json.loads(line) for line in captured.out.splitlines()]
         assert records[0]["ok"] and records[1]["columns"] and records[2]["columns"]
         assert "1 disk hits" in captured.err  # the flat tier stayed warm
-        subdirs = [p for p in cache_dir.iterdir() if p.is_dir()]
+        # The proofs/ sidecar (persisted kernel verdicts) is not a cache
+        # tier — only fingerprint subdirectories count as writer roots.
+        subdirs = [
+            p for p in cache_dir.iterdir()
+            if p.is_dir() and p.name != "proofs"
+        ]
         assert len(subdirs) == 1
         assert list(subdirs[0].glob("segment-*.jsonl"))
 
